@@ -1,0 +1,270 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reconstructed evaluation (see DESIGN.md) and runs a Bechamel
+   micro-benchmark suite with one test per table/figure covering its
+   critical code path.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 fig2  # selected sections
+     dune exec bench/main.exe -- micro        # only Bechamel
+
+   Experiment latencies are simulated microseconds (deterministic); the
+   Bechamel section reports real wall-clock of this implementation. *)
+
+open Bechamel
+open Toolkit
+
+let say fmt = Format.printf fmt
+
+(* --- Experiment sections ----------------------------------------------------- *)
+
+let run_table1 () =
+  let _, rendered = Vtpm_sim.Experiments.table1 () in
+  print_string rendered;
+  print_newline ()
+
+let run_table2 () =
+  let battery mode = Vtpm_attacks.Attack.run_battery ~mode in
+  let baseline = battery Vtpm_access.Host.Baseline_mode in
+  let improved = battery Vtpm_access.Host.Improved_mode in
+  let rows =
+    List.map2
+      (fun (b : Vtpm_attacks.Attack.outcome) (i : Vtpm_attacks.Attack.outcome) ->
+        let cell (o : Vtpm_attacks.Attack.outcome) = if o.succeeded then "RETRIEVED" else "blocked" in
+        [ b.attack; cell b; cell i; i.detail ])
+      baseline improved
+  in
+  print_string
+    (Vtpm_sim.Table.render
+       ~title:"Table 2: attack outcomes, baseline vs improved (RETRIEVED = attacker wins)"
+       ~header:[ "attack"; "baseline"; "improved"; "improved detail" ]
+       ~rows);
+  print_newline ()
+
+let run_table3 () =
+  let _, rendered = Vtpm_sim.Experiments.table3 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig1 () =
+  let _, rendered = Vtpm_sim.Experiments.fig1 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig2 () =
+  let _, rendered = Vtpm_sim.Experiments.fig2 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig3 () =
+  let _, rendered = Vtpm_sim.Experiments.fig3 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig4 () =
+  let _, rendered = Vtpm_sim.Experiments.fig4 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig5 () =
+  let _, rendered = Vtpm_sim.Experiments.fig5 () in
+  print_string rendered;
+  print_newline ()
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------- *)
+
+(* One test per table/figure, benchmarking the code path that dominates it. *)
+
+let data_4k = String.init 4096 (fun i -> Char.chr (i land 0xff))
+
+(* table1: the full monitored request round trip (PCRRead, improved). *)
+let bench_roundtrip () =
+  let host, tenants =
+    Vtpm_sim.Workload.make_host_with_tenants ~mode:Vtpm_access.Host.Improved_mode ~n:1 ~seed:7 ()
+  in
+  let tenant = List.hd tenants in
+  Test.make ~name:"table1/monitored-pcr-read"
+    (Staged.stage (fun () ->
+         match Vtpm_sim.Tenant.run_op tenant Vtpm_sim.Tenant.Op_pcr_read with
+         | Ok () -> ()
+         | Error e -> invalid_arg e
+         | exception _ -> ignore host))
+
+(* table2: the monitor's denial path (unbound sender). *)
+let bench_denial () =
+  let host, _ =
+    Vtpm_sim.Workload.make_host_with_tenants ~mode:Vtpm_access.Host.Improved_mode ~n:1 ~seed:8 ()
+  in
+  let monitor = Vtpm_access.Host.monitor_exn host in
+  let router = Vtpm_access.Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Test.make ~name:"table2/denied-request"
+    (Staged.stage (fun () ->
+         match router ~sender:999 ~claimed_instance:1 ~wire with
+         | Ok _ -> invalid_arg "should deny"
+         | Error _ -> ()))
+
+(* table3: sealed state save of a provisioned instance. *)
+let bench_sealed_save () =
+  let host, tenants =
+    Vtpm_sim.Workload.make_host_with_tenants ~mode:Vtpm_access.Host.Improved_mode ~n:1 ~seed:9 ()
+  in
+  let tenant = List.hd tenants in
+  let mgr = host.Vtpm_access.Host.mgr in
+  let inst =
+    match Vtpm_mgr.Manager.find mgr tenant.Vtpm_sim.Tenant.guest.Vtpm_access.Host.vtpm_id with
+    | Ok i -> i
+    | Error _ -> invalid_arg "no instance"
+  in
+  Test.make ~name:"table3/sealed-state-save"
+    (Staged.stage (fun () ->
+         match Vtpm_mgr.Stateproc.save mgr inst ~format:Vtpm_mgr.Stateproc.Sealed with
+         | Ok _ -> ()
+         | Error e -> invalid_arg e))
+
+(* fig1: one mixed-workload operation end to end. *)
+let bench_mixed_op () =
+  let host, tenants =
+    Vtpm_sim.Workload.make_host_with_tenants ~mode:Vtpm_access.Host.Improved_mode ~n:1 ~seed:10 ()
+  in
+  let tenant = List.hd tenants in
+  let rng = Vtpm_util.Rng.create ~seed:3 in
+  ignore host;
+  Test.make ~name:"fig1/mixed-op"
+    (Staged.stage (fun () ->
+         let op = Vtpm_sim.Workload.pick_op rng Vtpm_sim.Workload.mixed in
+         match Vtpm_sim.Tenant.run_op tenant op with Ok () -> () | Error _ -> ()))
+
+(* fig2: pure policy evaluation over a large rule list. *)
+let bench_policy_eval () =
+  let policy = Vtpm_access.Policy.synthetic ~n:4096 in
+  let subject = Vtpm_access.Subject.Guest 3 in
+  Test.make ~name:"fig2/policy-eval-4096"
+    (Staged.stage (fun () ->
+         ignore
+           (Vtpm_access.Policy.eval policy ~subject ~label:"tenant_x"
+              ~ordinal:Vtpm_tpm.Types.ord_pcr_read
+              ~measured_ok:(fun () -> true))))
+
+(* fig3: audit append (per-request bookkeeping that shapes tail latency). *)
+let bench_audit () =
+  let cost = Vtpm_util.Cost.create () in
+  let audit = Vtpm_access.Audit.create ~cost in
+  Test.make ~name:"fig3/audit-append"
+    (Staged.stage (fun () ->
+         Vtpm_access.Audit.append audit ~subject:"guest:3" ~operation:"TPM_Extend"
+           ~instance:(Some 1) ~allowed:true ~reason:"rule@4"))
+
+(* fig4: protected migration export. *)
+let bench_migrate () =
+  let host, tenants =
+    Vtpm_sim.Workload.make_host_with_tenants ~mode:Vtpm_access.Host.Improved_mode ~n:1 ~seed:12 ()
+  in
+  let dest = Vtpm_access.Host.create ~mode:Vtpm_access.Host.Improved_mode ~seed:13 ~rsa_bits:256 () in
+  let dest_key = Vtpm_mgr.Migration.bind_pubkey dest.Vtpm_access.Host.mgr in
+  let tenant = List.hd tenants in
+  let mgr = host.Vtpm_access.Host.mgr in
+  let inst =
+    match Vtpm_mgr.Manager.find mgr tenant.Vtpm_sim.Tenant.guest.Vtpm_access.Host.vtpm_id with
+    | Ok i -> i
+    | Error _ -> invalid_arg "no instance"
+  in
+  Test.make ~name:"fig4/protected-export"
+    (Staged.stage (fun () ->
+         match
+           Vtpm_mgr.Migration.export mgr inst ~mode:Vtpm_mgr.Migration.Protected
+             ~dest_key:(Some dest_key)
+         with
+         | Ok _ -> ()
+         | Error e -> invalid_arg e))
+
+(* Substrate primitives, for context in the report. *)
+let bench_primitives () =
+  let rng = Vtpm_util.Rng.create ~seed:99 in
+  let key = Vtpm_crypto.Rsa.generate ~bits:512 rng in
+  let digest = Vtpm_crypto.Sha1.digest "bench" in
+  [
+    Test.make ~name:"prim/sha1-4KiB"
+      (Staged.stage (fun () -> ignore (Vtpm_crypto.Sha1.digest data_4k)));
+    Test.make ~name:"prim/sha256-4KiB"
+      (Staged.stage (fun () -> ignore (Vtpm_crypto.Sha256.digest data_4k)));
+    Test.make ~name:"prim/hmac-sha1"
+      (Staged.stage (fun () -> ignore (Vtpm_crypto.Hmac.sha1_mac ~key:"k" "message")));
+    Test.make ~name:"prim/rsa512-sign"
+      (Staged.stage (fun () -> ignore (Vtpm_crypto.Rsa.sign key ~digest)));
+    Test.make ~name:"prim/xtea-ctr-4KiB"
+      (Staged.stage
+         (let xk = Vtpm_crypto.Xtea.key_of_string (String.sub data_4k 0 16) in
+          fun () -> ignore (Vtpm_crypto.Xtea.ctr_transform xk ~nonce:1 data_4k)));
+  ]
+
+let run_micro () =
+  say "Bechamel micro-benchmarks (real wall-clock of this implementation)@.";
+  let tests =
+    [
+      bench_roundtrip ();
+      bench_denial ();
+      bench_sealed_save ();
+      bench_mixed_op ();
+      bench_policy_eval ();
+      bench_audit ();
+      bench_migrate ();
+    ]
+    @ bench_primitives ()
+  in
+  let grouped = Test.make_grouped ~name:"vtpm" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !rows in
+  print_string
+    (Vtpm_sim.Table.render ~title:"" ~header:[ "benchmark"; "ns/run"; "us/run" ]
+       ~rows:
+         (List.map
+            (fun (name, ns) ->
+              [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.2f" (ns /. 1000.0) ])
+            rows));
+  print_newline ()
+
+(* --- Driver ---------------------------------------------------------------------- *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig1", run_fig1);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          say "=== %s ===@." name;
+          f ()
+      | None ->
+          say "unknown section %s; available: %s@." name
+            (String.concat " " (List.map fst sections)))
+    requested

@@ -1,0 +1,200 @@
+(* vtpmctl: drive the simulated Xen vTPM stack from the command line.
+
+     vtpmctl attacks  [--mode MODE]          run the attack battery
+     vtpmctl workload [--mode MODE] [--vms N] [--ops N] [--mix MIX]
+     vtpmctl policy-lint [FILE]              parse + lint a policy (stdin default)
+     vtpmctl demo     [--mode MODE]          one guest, basic vTPM session, audit dump
+*)
+
+open Cmdliner
+open Vtpm_access
+
+let mode_conv =
+  let parse = function
+    | "baseline" -> Ok Host.Baseline_mode
+    | "improved" -> Ok Host.Improved_mode
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (expected baseline|improved)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Host.mode_name m))
+
+let mode_arg =
+  Arg.(value & opt mode_conv Host.Improved_mode & info [ "m"; "mode" ] ~docv:"MODE"
+         ~doc:"Manager mode: $(b,baseline) (2006 design) or $(b,improved) (this paper).")
+
+(* --- attacks ----------------------------------------------------------------- *)
+
+let run_attacks mode =
+  Fmt.pr "attack battery against the %s manager:@." (Host.mode_name mode);
+  let outcomes = Vtpm_attacks.Attack.run_battery ~mode in
+  List.iter (fun o -> Fmt.pr "  %a@." Vtpm_attacks.Attack.pp_outcome o) outcomes;
+  let wins = List.length (List.filter (fun o -> o.Vtpm_attacks.Attack.succeeded) outcomes) in
+  Fmt.pr "attacker wins: %d/%d@." wins (List.length outcomes);
+  if wins > 0 && mode = Host.Improved_mode then exit 1
+
+let attacks_cmd =
+  Cmd.v (Cmd.info "attacks" ~doc:"Run the security evaluation (Table 2 scenarios).")
+    Term.(const run_attacks $ mode_arg)
+
+(* --- workload ----------------------------------------------------------------- *)
+
+let mix_conv =
+  let parse = function
+    | "mixed" -> Ok Vtpm_sim.Workload.mixed
+    | "attestation" -> Ok Vtpm_sim.Workload.attestation_heavy
+    | "sealing" -> Ok Vtpm_sim.Workload.sealing_heavy
+    | s -> Error (`Msg (Printf.sprintf "unknown mix %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Vtpm_sim.Workload.mix_name m))
+
+let run_workload mode vms ops mix =
+  Fmt.pr "workload: %d VM(s), %d ops/VM, %s mix, %s manager@." vms ops
+    (Vtpm_sim.Workload.mix_name mix) (Host.mode_name mode);
+  let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode ~n:vms () in
+  let r = Vtpm_sim.Workload.run host ~tenants ~mix ~ops_per_tenant:ops () in
+  Fmt.pr "ran %d ops (%d failures) in %.1f simulated ms — %.1f ops/s@." r.Vtpm_sim.Workload.ops_run
+    r.Vtpm_sim.Workload.failures
+    (r.Vtpm_sim.Workload.elapsed_us /. 1000.0)
+    r.Vtpm_sim.Workload.throughput_ops_s;
+  Fmt.pr "latency: %a@." Vtpm_sim.Metrics.pp_summary r.Vtpm_sim.Workload.overall;
+  List.iter
+    (fun (op, (s : Vtpm_sim.Metrics.summary)) ->
+      if s.Vtpm_sim.Metrics.n > 0 then
+        Fmt.pr "  %-10s %a@." (Vtpm_sim.Tenant.op_name op) Vtpm_sim.Metrics.pp_summary s)
+    r.Vtpm_sim.Workload.per_op;
+  match host.Host.monitor with
+  | Some m ->
+      let s = Monitor.stats m in
+      Fmt.pr "monitor: %d lookups, %d cache hits, %d rules scanned, %d denied@."
+        s.Monitor.lookups s.Monitor.cache_hits s.Monitor.rules_scanned s.Monitor.denied
+  | None -> ()
+
+let workload_cmd =
+  let vms = Arg.(value & opt int 4 & info [ "vms" ] ~docv:"N" ~doc:"Number of guest VMs.") in
+  let ops = Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Operations per VM.") in
+  let mix =
+    Arg.(value & opt mix_conv Vtpm_sim.Workload.mixed & info [ "mix" ] ~docv:"MIX"
+           ~doc:"Operation mix: $(b,mixed), $(b,attestation) or $(b,sealing).")
+  in
+  Cmd.v (Cmd.info "workload" ~doc:"Run a synthetic vTPM workload and report latencies.")
+    Term.(const run_workload $ mode_arg $ vms $ ops $ mix)
+
+(* --- policy-lint -------------------------------------------------------------- *)
+
+let read_whole_channel ic =
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let run_policy_lint file =
+  let source =
+    match file with
+    | Some path ->
+        let ic = open_in path in
+        let s = read_whole_channel ic in
+        close_in ic;
+        s
+    | None -> read_whole_channel stdin
+  in
+  match Policy.parse source with
+  | Error e ->
+      Fmt.epr "parse error: %a@." Policy.pp_parse_error e;
+      exit 1
+  | Ok p -> (
+      Fmt.pr "parsed: %d rules, default %s@." (Policy.rule_count p)
+        (match Policy.default_verdict p with Policy.Allow -> "allow" | Policy.Deny -> "deny");
+      match Policy.validate p with
+      | [] -> Fmt.pr "no findings@."
+      | lints ->
+          List.iter (fun l -> Fmt.pr "finding: %a@." Policy.pp_lint l) lints;
+          exit 2)
+
+let policy_lint_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Policy file; reads standard input when omitted.")
+  in
+  Cmd.v (Cmd.info "policy-lint" ~doc:"Parse and lint a vTPM access policy.")
+    Term.(const run_policy_lint $ file)
+
+(* --- audit-verify --------------------------------------------------------------- *)
+
+let run_audit_verify file head_hex =
+  let source =
+    match file with
+    | Some path ->
+        let ic = open_in path in
+        let s = read_whole_channel ic in
+        close_in ic;
+        s
+    | None -> read_whole_channel stdin
+  in
+  match Audit.import source with
+  | Error m ->
+      Fmt.epr "cannot parse audit export: %s@." m;
+      exit 1
+  | Ok entries -> (
+      let expected_head = Option.map Vtpm_util.Hex.decode head_hex in
+      match Audit.verify_chain ?expected_head entries with
+      | Ok () ->
+          Fmt.pr "audit chain OK: %d entries%s@." (List.length entries)
+            (match head_hex with Some _ -> ", anchored head matches" | None -> "")
+      | Error (-1) ->
+          Fmt.epr "chain intact but does not end at the given head (truncated or stale)@.";
+          exit 2
+      | Error seq ->
+          Fmt.epr "chain broken at entry %d@." seq;
+          exit 2)
+
+let audit_verify_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Audit export (from Export_audit / Audit.export); stdin when omitted.")
+  in
+  let head =
+    Arg.(value & opt (some string) None & info [ "head" ] ~docv:"HEX"
+           ~doc:"Expected chain head (e.g. from a hardware anchor), hex-encoded.")
+  in
+  Cmd.v
+    (Cmd.info "audit-verify" ~doc:"Verify the hash chain of an exported audit log.")
+    Term.(const run_audit_verify $ file $ head)
+
+(* --- demo --------------------------------------------------------------------- *)
+
+let run_demo mode =
+  let host = Host.create ~mode ~seed:7 ~rsa_bits:256 () in
+  let guest = Host.create_guest_exn host ~name:"demo" ~label:"tenant_demo" () in
+  let tpm = Host.guest_client host guest in
+  let pr_result what run =
+    match run () with
+    | Ok _ -> Fmt.pr "  %-20s ok@." what
+    | Error e -> Fmt.pr "  %-20s %a@." what Vtpm_tpm.Client.pp_error e
+    | exception Vtpm_mgr.Driver.Denied r -> Fmt.pr "  %-20s denied: %s@." what r
+  in
+  Fmt.pr "demo guest on %s manager (domid %d, vTPM %d)@." (Host.mode_name mode) guest.Host.domid
+    guest.Host.vtpm_id;
+  pr_result "measure" (fun () -> Vtpm_tpm.Client.measure tpm ~pcr:10 ~event:"demo");
+  pr_result "pcr_read" (fun () -> Vtpm_tpm.Client.pcr_read tpm ~pcr:10);
+  pr_result "get_random" (fun () -> Vtpm_tpm.Client.get_random tpm ~length:16);
+  pr_result "save_state (admin)" (fun () -> Vtpm_tpm.Client.save_state tpm);
+  match host.Host.monitor with
+  | None -> Fmt.pr "(baseline manager: no audit log)@."
+  | Some m ->
+      Fmt.pr "audit:@.";
+      List.iter (fun e -> Fmt.pr "  %a@." Audit.pp_entry e) (Audit.entries m.Monitor.audit)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Create a guest and run a short vTPM session.")
+    Term.(const run_demo $ mode_arg)
+
+let () =
+  let info =
+    Cmd.info "vtpmctl" ~version:"1.0.0"
+      ~doc:"Drive the simulated Xen vTPM stack (vTPM access control reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ demo_cmd; attacks_cmd; workload_cmd; policy_lint_cmd; audit_verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/cloud_tenants.ml: Audit Fmt Host List Monitor Result String Vtpm_access Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen

@@ -1,0 +1,1 @@
+examples/measured_boot.ml: Audit Fmt Host List Monitor Policy String Vtpm_access Vtpm_mgr Vtpm_tpm Vtpm_xen

@@ -1,0 +1,1 @@
+examples/measured_boot.mli:

@@ -1,0 +1,1 @@
+examples/migration.ml: Fmt Host Monitor Result String Vtpm_access Vtpm_mgr Vtpm_tpm Vtpm_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Fmt Host List Monitor String Vtpm_access Vtpm_crypto Vtpm_tpm Vtpm_util

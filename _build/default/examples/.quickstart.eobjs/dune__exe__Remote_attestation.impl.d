@@ -1,0 +1,1 @@
+examples/remote_attestation.ml: Attestation Fmt Host List String Vtpm_access Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util

@@ -1,0 +1,119 @@
+(* The abstract's motivating scenario: a multi-tenant host (the "Amazon"
+   example) where co-resident VMs and host-side dump tools threaten tenant
+   secrets. Runs the same cast of characters against the baseline manager
+   and against the improved monitor, narrating what each attacker gets.
+
+   Run with:  dune exec examples/cloud_tenants.exe *)
+
+open Vtpm_access
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e)
+
+let section fmt = Fmt.pr ("@.== " ^^ fmt ^^ " ==@.")
+
+(* One tenant's deployment: measured boot + a sealed database key. *)
+let provision host name =
+  let guest = Host.create_guest_exn host ~name ~label:("tenant_" ^ name) () in
+  let tpm = Host.guest_client host guest in
+  let _ = ok "measure" (Vtpm_tpm.Client.measure tpm ~pcr:10 ~event:(name ^ "-kernel")) in
+  let srk_auth = Vtpm_crypto.Sha1.digest (name ^ "-srk") in
+  let _ = ok "own" (Vtpm_tpm.Client.take_ownership tpm ~owner_auth:(name ^ "-owner") ~srk_auth) in
+  let sess = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:srk_auth) in
+  let sealed =
+    ok "seal"
+      (Vtpm_tpm.Client.seal ~continue:false tpm sess ~key:Vtpm_tpm.Types.kh_srk
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 10 ])
+         ~blob_auth:(Vtpm_crypto.Sha1.digest (name ^ "-blob"))
+         ~data:(name ^ "-database-master-key"))
+  in
+  (guest, sealed)
+
+let run_scenario mode =
+  section "host in %s mode" (Host.mode_name mode);
+  let host = Host.create ~mode ~seed:77 ~rsa_bits:256 () in
+  let alice, _sealed = provision host "alice" in
+  let mallory, _ = provision host "mallory" in
+  Fmt.pr "tenants: alice (vtpm %d), mallory (vtpm %d)@." alice.Host.vtpm_id mallory.Host.vtpm_id;
+
+  (* Attack 1: Mallory forges Alice's instance number on her own ring. *)
+  let alice_pcr10 =
+    let inst = Result.get_ok (Vtpm_mgr.Manager.find host.Host.mgr alice.Host.vtpm_id) in
+    Result.get_ok (Vtpm_tpm.Engine.pcr_value inst.Vtpm_mgr.Manager.engine 10)
+  in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let frame = Vtpm_mgr.Proto.encode_request ~claimed_instance:alice.Host.vtpm_id wire in
+  ignore (Vtpm_xen.Ring.push_request mallory.Host.conn.Vtpm_mgr.Driver.ring frame);
+  ignore (Vtpm_mgr.Driver.process_pending host.Host.backend);
+  (match Vtpm_xen.Ring.pop_response mallory.Host.conn.Vtpm_mgr.Driver.ring with
+  | Some slot -> (
+      match Vtpm_mgr.Proto.decode_response slot.Vtpm_xen.Ring.payload with
+      | Ok (Vtpm_mgr.Proto.Ok_routed, payload) -> (
+          let resp = Vtpm_tpm.Wire.decode_response payload in
+          match resp.Vtpm_tpm.Cmd.body with
+          | Vtpm_tpm.Cmd.R_pcr_value v when String.equal v alice_pcr10 ->
+              Fmt.pr "  forged-instance: mallory READ alice's PCR10 = %s@."
+                (Vtpm_util.Hex.fingerprint v)
+          | Vtpm_tpm.Cmd.R_pcr_value _ ->
+              Fmt.pr "  forged-instance: routed to mallory's own vTPM — nothing leaked@."
+          | _ -> Fmt.pr "  forged-instance: unexpected response@.")
+      | Ok (Vtpm_mgr.Proto.Denied, r) -> Fmt.pr "  forged-instance: denied (%s)@." r
+      | _ -> Fmt.pr "  forged-instance: bad frame@.")
+  | None -> Fmt.pr "  forged-instance: no response@.");
+
+  (* Attack 2: a rogue dom0 backup tool asks the manager for Alice's
+     vTPM state. *)
+  (match
+     Host.management host ~process:"backup-tool" ~token:"stolen?"
+       (Monitor.Save_instance { vtpm_id = alice.Host.vtpm_id })
+   with
+  | Ok (Monitor.M_blob blob) -> (
+      match Vtpm_mgr.Stateproc.detect_format blob with
+      | Some Vtpm_mgr.Stateproc.Plain ->
+          Fmt.pr "  rogue-management: got PLAINTEXT state (%d bytes) — total compromise@."
+            (String.length blob)
+      | _ -> Fmt.pr "  rogue-management: got only a sealed blob@.")
+  | Ok _ -> ()
+  | Error e -> Fmt.pr "  rogue-management: rejected (%s)@." e);
+
+  (* Attack 3: memory dump of Alice's RAM, hunting for the database key.
+     Deployment discipline differs by era: the baseline-era app kept the
+     key resident; the improved deployment keeps only the sealed blob. *)
+  let dom = Vtpm_xen.Hypervisor.domain_exn host.Host.xen alice.Host.domid in
+  let resident =
+    match mode with
+    | Host.Baseline_mode -> "alice-database-master-key"
+    | Host.Improved_mode -> "(sealed blob only)"
+  in
+  ignore (Vtpm_xen.Domain.write_memory dom ~frame:3 ~offset:64 resident);
+  (match
+     Vtpm_xen.Hypervisor.scan_foreign_memory host.Host.xen ~caller:Vtpm_xen.Hypervisor.dom0_id
+       ~target:alice.Host.domid ~pattern:"alice-database-master-key"
+   with
+  | Ok (_ :: _ as hits) ->
+      Fmt.pr "  memory-dump: key found at %d location(s) in guest RAM@." (List.length hits)
+  | Ok [] -> Fmt.pr "  memory-dump: key not resident; dump recovers nothing usable@."
+  | Error e -> Fmt.pr "  memory-dump: %s@." e);
+
+  (* The improved host also has a verifiable audit trail of all of this. *)
+  match host.Host.monitor with
+  | Some m ->
+      let denials =
+        List.length (List.filter (fun (e : Audit.entry) -> not e.Audit.allowed) (Audit.entries m.Monitor.audit))
+      in
+      Fmt.pr "  audit: %d decisions recorded, %d denials, chain %s@."
+        (Audit.length m.Monitor.audit) denials
+        (match
+           Audit.verify_chain ~expected_head:(Audit.head m.Monitor.audit) (Audit.entries m.Monitor.audit)
+         with
+        | Ok () -> "intact"
+        | Error _ -> "BROKEN")
+  | None -> Fmt.pr "  audit: baseline manager keeps no audit log@."
+
+let () =
+  Fmt.pr "Multi-tenant host scenario (the abstract's motivating example)@.";
+  run_scenario Host.Baseline_mode;
+  run_scenario Host.Improved_mode;
+  Fmt.pr "@.Conclusion: the improved monitor closes the co-resident and dom0-tool@.";
+  Fmt.pr "attack paths that the 2006-style manager leaves open.@."

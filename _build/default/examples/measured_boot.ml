@@ -1,0 +1,76 @@
+(* Measurement-gated vTPM access: a `when measured` policy ties a guest's
+   vTPM service to its boot-time kernel digest. A rootkitted guest loses
+   access the moment its kernel no longer matches the reference recorded
+   at bind time; an administrator re-baselines it with a rebind.
+
+   Run with:  dune exec examples/measured_boot.exe *)
+
+open Vtpm_access
+
+let measured_policy =
+  Policy.parse_exn
+    (String.concat "\n"
+       [
+         "# vTPM policy: everything useful requires an untampered kernel";
+         "default deny";
+         "allow guest:* class:session";
+         "allow guest:* class:info";
+         "allow guest:* class:measurement when measured";
+         "allow guest:* class:sealing when measured";
+         "allow guest:* class:attestation when measured";
+         "allow guest:* class:keys when measured";
+         "allow guest:* class:random when measured";
+         "allow guest:* class:ownership when measured";
+         "allow dom0:vtpm-manager *";
+       ])
+
+let try_pcr_read tpm label =
+  match Vtpm_tpm.Client.pcr_read tpm ~pcr:0 with
+  | Ok _ -> Fmt.pr "  %s: vTPM access GRANTED@." label
+  | Error e -> Fmt.pr "  %s: error %a@." label Vtpm_tpm.Client.pp_error e
+  | exception Vtpm_mgr.Driver.Denied reason -> Fmt.pr "  %s: DENIED (%s)@." label reason
+
+let () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:404 ~rsa_bits:256 () in
+  let monitor = Host.monitor_exn host in
+  Monitor.set_policy monitor measured_policy;
+  (match Policy.validate measured_policy with
+  | [] -> Fmt.pr "policy loaded: %d rules, no lint findings@." (Policy.rule_count measured_policy)
+  | lints ->
+      Fmt.pr "policy loaded with lints:@.";
+      List.iter (fun l -> Fmt.pr "  %a@." Policy.pp_lint l) lints);
+
+  let guest = Host.create_guest_exn host ~name:"gateway" ~label:"tenant_gw" () in
+  let tpm = Host.guest_client host guest in
+  Fmt.pr "@.guest booted with kernel 'vmlinuz-5.x-tenant'; binding recorded its digest@.";
+  try_pcr_read tpm "clean guest";
+
+  (* The rootkit arrives. *)
+  Fmt.pr "@.!! rootkit modifies the guest kernel in place@.";
+  let dom = Vtpm_xen.Hypervisor.domain_exn host.Host.xen guest.Host.domid in
+  Vtpm_xen.Domain.set_kernel dom ~image:"vmlinuz-5.x-tenant + rootkit";
+  try_pcr_read tpm "tampered guest";
+
+  (* Sessions (needed to even negotiate) stay available, as the policy
+     intends — only data-bearing classes are gated. *)
+  (match Vtpm_tpm.Client.exchange tpm Vtpm_tpm.Cmd.Oiap with
+  | Ok _ -> Fmt.pr "  tampered guest: session setup still allowed (by design)@."
+  | Error _ | (exception Vtpm_mgr.Driver.Denied _) ->
+      Fmt.pr "  tampered guest: session setup denied@.");
+
+  (* Incident response: admin restores the kernel and re-baselines. *)
+  Fmt.pr "@.admin restores the kernel from a known-good image and rebinds@.";
+  Vtpm_xen.Domain.set_kernel dom ~image:"vmlinuz-5.x-tenant-v2";
+  (match
+     Host.management host ~process:Host.manager_process ~token:(Host.manager_token host)
+       (Monitor.Rebind { vtpm_id = guest.Host.vtpm_id; new_domid = guest.Host.domid })
+   with
+  | Ok _ -> Fmt.pr "  rebind done; new reference measurement recorded@."
+  | Error e -> Fmt.pr "  rebind failed: %s@." e);
+  try_pcr_read tpm "re-baselined guest";
+
+  (* The whole incident is in the audit log. *)
+  Fmt.pr "@.audit trail of the incident:@.";
+  List.iter
+    (fun (e : Audit.entry) -> Fmt.pr "  %a@." Audit.pp_entry e)
+    (List.filteri (fun i _ -> i < 60) (Audit.entries monitor.Monitor.audit))

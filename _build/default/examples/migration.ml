@@ -1,0 +1,95 @@
+(* vTPM migration between two hosts, with a man-in-the-middle tapping the
+   stream: plaintext (baseline) vs protected-to-destination-TPM (improved),
+   plus a hijack attempt where the attacker redirects the stream to a
+   platform of their own.
+
+   Run with:  dune exec examples/migration.exe *)
+
+open Vtpm_access
+
+let ok what = function Ok v -> v | Error e -> failwith (what ^ ": " ^ e)
+
+let provision host name =
+  let guest = Host.create_guest_exn host ~name ~label:("tenant_" ^ name) () in
+  let tpm = Host.guest_client host guest in
+  (match Vtpm_tpm.Client.measure tpm ~pcr:10 ~event:(name ^ "-workload") with
+  | Ok _ -> ()
+  | Error e -> failwith (Fmt.str "measure: %a" Vtpm_tpm.Client.pp_error e));
+  guest
+
+let pcr10_of mgr vtpm_id =
+  let inst = Result.get_ok (Vtpm_mgr.Manager.find mgr vtpm_id) in
+  Result.get_ok (Vtpm_tpm.Engine.pcr_value inst.Vtpm_mgr.Manager.engine 10)
+
+let () =
+  Fmt.pr "=== baseline: plaintext migration ===@.";
+  let src = Host.create ~mode:Host.Baseline_mode ~seed:301 ~rsa_bits:256 () in
+  let dst = Host.create ~mode:Host.Baseline_mode ~seed:302 ~rsa_bits:256 () in
+  let g = provision src "legacy-app" in
+  let marker = pcr10_of src.Host.mgr g.Host.vtpm_id in
+  Fmt.pr "source vTPM PCR10 = %s@." (Vtpm_util.Hex.fingerprint marker);
+  let stream =
+    match
+      Host.management src ~process:"xm-migrate" ~token:""
+        (Monitor.Migrate_out { vtpm_id = g.Host.vtpm_id; dest_key = None })
+    with
+    | Ok (Monitor.M_blob s) -> s
+    | _ -> failwith "migrate-out failed"
+  in
+  Fmt.pr "stream on the wire: %d bytes@." (String.length stream);
+  (* Eve taps the wire. *)
+  (match Vtpm_mgr.Migration.snoop stream with
+  | Ok engine ->
+      Fmt.pr "EVE: recovered the full TPM state from the stream (PCR10 = %s)@."
+        (Vtpm_util.Hex.fingerprint (Result.get_ok (Vtpm_tpm.Engine.pcr_value engine 10)))
+  | Error m -> Fmt.pr "EVE: %s@." m);
+  (match
+     Host.management dst ~process:"xm-migrate" ~token:"" (Monitor.Migrate_in { stream })
+   with
+  | Ok (Monitor.M_instance id) ->
+      Fmt.pr "destination: instance %d live, PCR10 = %s@." id
+        (Vtpm_util.Hex.fingerprint (pcr10_of dst.Host.mgr id))
+  | _ -> failwith "migrate-in failed");
+
+  Fmt.pr "@.=== improved: stream protected to the destination platform ===@.";
+  let src = Host.create ~mode:Host.Improved_mode ~seed:303 ~rsa_bits:256 () in
+  let dst = Host.create ~mode:Host.Improved_mode ~seed:304 ~rsa_bits:256 () in
+  let eve_box = Host.create ~mode:Host.Improved_mode ~seed:305 ~rsa_bits:256 () in
+  let g = provision src "modern-app" in
+  let marker = pcr10_of src.Host.mgr g.Host.vtpm_id in
+  Fmt.pr "source vTPM PCR10 = %s@." (Vtpm_util.Hex.fingerprint marker);
+  let dest_key = Vtpm_mgr.Migration.bind_pubkey dst.Host.mgr in
+  let stream =
+    match
+      Host.management src ~process:Host.manager_process ~token:(Host.manager_token src)
+        (Monitor.Migrate_out { vtpm_id = g.Host.vtpm_id; dest_key = Some dest_key })
+    with
+    | Ok (Monitor.M_blob s) -> s
+    | Ok _ -> failwith "unexpected result"
+    | Error e -> failwith e
+  in
+  Fmt.pr "stream on the wire: %d bytes@." (String.length stream);
+  (match Vtpm_mgr.Migration.snoop stream with
+  | Ok _ -> Fmt.pr "EVE: recovered state (should not happen!)@."
+  | Error m -> Fmt.pr "EVE: %s@." m);
+  (* Eve also tries to import the captured stream on her own platform. *)
+  (match
+     Host.management eve_box ~process:Host.manager_process ~token:(Host.manager_token eve_box)
+       (Monitor.Migrate_in { stream })
+   with
+  | Ok _ -> Fmt.pr "EVE: imported on her own box (should not happen!)@."
+  | Error e -> Fmt.pr "EVE: import on her platform fails — %s@." e);
+  (* The legitimate destination succeeds. *)
+  let id =
+    match
+      Host.management dst ~process:Host.manager_process ~token:(Host.manager_token dst)
+        (Monitor.Migrate_in { stream })
+    with
+    | Ok (Monitor.M_instance id) -> id
+    | Ok _ -> failwith "unexpected result"
+    | Error e -> failwith e
+  in
+  Fmt.pr "destination: instance %d live, PCR10 = %s (matches source: %b)@." id
+    (Vtpm_util.Hex.fingerprint (pcr10_of dst.Host.mgr id))
+    (String.equal marker (pcr10_of dst.Host.mgr id));
+  ignore (ok "sanity" (Ok ()))

@@ -1,0 +1,89 @@
+(* Quickstart: boot a host with the improved vTPM monitor, create a guest
+   with an attached vTPM, and exercise the basics — measure, seal, unseal,
+   quote — through the public API.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Vtpm_access
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e)
+
+let () =
+  (* 1. A host = hypervisor + vTPM manager + reference monitor. *)
+  let host = Host.create ~mode:Host.Improved_mode ~seed:2026 ~rsa_bits:256 () in
+  Fmt.pr "host up in %s mode@." (Host.mode_name host.Host.mode);
+
+  (* 2. A guest with a vTPM bound at build time. *)
+  let guest = Host.create_guest_exn host ~name:"demo-vm" ~label:"tenant_demo" () in
+  Fmt.pr "guest %s: domid=%d vtpm=%d@." guest.Host.name guest.Host.domid guest.Host.vtpm_id;
+
+  (* 3. The guest talks TPM 1.2 through its split-driver frontend. *)
+  let tpm = Host.guest_client host guest in
+
+  (* Measured boot: fold the kernel digest into PCR 10. *)
+  let pcr10 = ok "measure" (Vtpm_tpm.Client.measure tpm ~pcr:10 ~event:"vmlinuz-demo") in
+  Fmt.pr "PCR10 after boot measurement: %s@." (Vtpm_util.Hex.encode pcr10);
+
+  (* Own the vTPM: this creates the Storage Root Key. *)
+  let owner_auth = Vtpm_crypto.Sha1.digest "demo-owner-password" in
+  let srk_auth = Vtpm_crypto.Sha1.digest "demo-srk-password" in
+  let srk_pub = ok "take_ownership" (Vtpm_tpm.Client.take_ownership tpm ~owner_auth ~srk_auth) in
+  Fmt.pr "vTPM owned; SRK fingerprint %s@."
+    (Vtpm_util.Hex.fingerprint (Vtpm_crypto.Rsa.fingerprint srk_pub));
+
+  (* 4. Seal a secret to the current PCR state. *)
+  let blob_auth = Vtpm_crypto.Sha1.digest "demo-blob-password" in
+  let sess = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:srk_auth) in
+  let sealed =
+    ok "seal"
+      (Vtpm_tpm.Client.seal ~continue:false tpm sess ~key:Vtpm_tpm.Types.kh_srk
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 10 ])
+         ~blob_auth ~data:"the database master key")
+  in
+  Fmt.pr "sealed %d plaintext bytes into a %d-byte blob bound to PCR10@." 23 (String.length sealed);
+
+  (* ... and get it back. *)
+  let ks = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:srk_auth) in
+  let ds = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:blob_auth) in
+  let plain =
+    ok "unseal"
+      (Vtpm_tpm.Client.unseal tpm ~key_session:ks ~data_session:ds ~key:Vtpm_tpm.Types.kh_srk
+         ~blob:sealed)
+  in
+  Fmt.pr "unsealed: %S@." plain;
+
+  (* 5. Remote attestation: create a signing key and quote PCR 0+10. *)
+  let aik_auth = Vtpm_crypto.Sha1.digest "demo-aik-password" in
+  let osap =
+    ok "osap" (Vtpm_tpm.Client.start_osap tpm ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:srk_auth)
+  in
+  let blob, _pub =
+    ok "create_wrap_key"
+      (Vtpm_tpm.Client.create_wrap_key tpm osap ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let aik = ok "load_key2" (Vtpm_tpm.Client.load_key2 ~continue:false tpm osap ~parent:Vtpm_tpm.Types.kh_srk ~blob) in
+  let verifier_nonce = Vtpm_crypto.Sha1.digest "challenge-from-verifier" in
+  let qs = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:aik_auth) in
+  let composite, signature, pub =
+    ok "quote"
+      (Vtpm_tpm.Client.quote ~continue:false tpm qs ~key:aik ~external_data:verifier_nonce
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 0; 10 ]))
+  in
+  let verified =
+    Vtpm_tpm.Engine.verify_quote ~pubkey:pub ~composite ~external_data:verifier_nonce ~signature
+  in
+  Fmt.pr "quote over PCR{0,10}: %s@." (if verified then "VERIFIED" else "BROKEN");
+
+  (* 6. What the monitor saw. *)
+  let monitor = Host.monitor_exn host in
+  Fmt.pr "@.monitor audit log (%d entries, head %s):@."
+    (Audit.length monitor.Monitor.audit)
+    (Vtpm_util.Hex.fingerprint (Audit.head monitor.Monitor.audit));
+  List.iter
+    (fun e -> Fmt.pr "  %a@." Audit.pp_entry e)
+    (Audit.entries monitor.Monitor.audit);
+  Fmt.pr "@.quickstart done; simulated time elapsed: %.1f ms@."
+    (Host.now_us host /. 1000.0)

@@ -1,0 +1,99 @@
+(* Remote attestation, end to end: a relying party challenges a guest,
+   the guest answers with a vTPM quote + its measurement event log + a
+   hardware deep quote, and the verifier replays the log against a
+   whitelist before trusting the service.
+
+   Run with:  dune exec examples/remote_attestation.exe *)
+
+open Vtpm_access
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e)
+
+let () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:555 ~rsa_bits:256 () in
+  let guest = Host.create_guest_exn host ~name:"webserver" ~label:"tenant_web" () in
+  let tpm = Host.guest_client host guest in
+
+  (* --- Guest side: measured boot with an event log ------------------- *)
+  let log = Vtpm_tpm.Eventlog.create () in
+  let boot_chain =
+    [
+      ("grub-stage2", "bootloader-bytes");
+      ("vmlinuz-5.x", "kernel-bytes");
+      ("initrd.img", "initrd-bytes");
+      ("nginx.service", "unit-file-bytes");
+    ]
+  in
+  List.iter
+    (fun (name, data) ->
+      let digest =
+        Vtpm_tpm.Eventlog.record log ~pcr:10 ~event_type:Vtpm_tpm.Eventlog.ev_ipl
+          ~description:name ~data
+      in
+      ignore (ok "extend" (Vtpm_tpm.Client.extend tpm ~pcr:10 ~digest)))
+    boot_chain;
+  Fmt.pr "guest measured %d boot components into PCR10:@." (List.length boot_chain);
+  List.iter (fun e -> Fmt.pr "  %a@." Vtpm_tpm.Eventlog.pp_event e) (Vtpm_tpm.Eventlog.events log);
+
+  (* AIK under the SRK. *)
+  let srk_auth = Vtpm_crypto.Sha1.digest "web-srk" in
+  let _ = ok "own" (Vtpm_tpm.Client.take_ownership tpm ~owner_auth:"web-owner" ~srk_auth) in
+  let sess =
+    ok "osap" (Vtpm_tpm.Client.start_osap tpm ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:srk_auth)
+  in
+  let aik_auth = Vtpm_crypto.Sha1.digest "web-aik" in
+  let blob, aik_pub =
+    ok "create"
+      (Vtpm_tpm.Client.create_wrap_key tpm sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let aik = ok "load" (Vtpm_tpm.Client.load_key2 ~continue:false tpm sess ~parent:Vtpm_tpm.Types.kh_srk ~blob) in
+
+  (* --- Verifier side: fresh challenge -------------------------------- *)
+  let nonce = Vtpm_crypto.Sha1.digest "rp-challenge-2026-07-05" in
+  Fmt.pr "@.verifier sends challenge %s@." (Vtpm_util.Hex.fingerprint nonce);
+
+  (* --- Guest answers: quote + log + deep quote ----------------------- *)
+  let sel = Vtpm_tpm.Types.Pcr_selection.of_list [ 10 ] in
+  let qs = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:aik_auth) in
+  let composite, signature, pubkey =
+    ok "quote" (Vtpm_tpm.Client.quote ~continue:false tpm qs ~key:aik ~external_data:nonce ~pcr_sel:sel)
+  in
+  let evidence = { Attestation.composite; signature; pubkey; pcr_sel = sel; event_log = log } in
+  let deep =
+    match Vtpm_mgr.Deep_quote.produce host.Host.mgr ~vtpm_quote:(composite, signature, pubkey) with
+    | Ok dq -> dq
+    | Error e -> failwith e
+  in
+  Fmt.pr "guest answers with quote (%d-byte sig), %d log events, deep quote@."
+    (String.length signature) (Vtpm_tpm.Eventlog.length log);
+
+  (* --- Verifier checks ------------------------------------------------ *)
+  let vp = Attestation.policy () in
+  List.iter (fun (name, data) -> Attestation.whitelist vp ~software:name ~data) boot_chain;
+  Attestation.enroll_key vp aik_pub;
+  Attestation.enroll_key vp deep.Vtpm_mgr.Deep_quote.hw_pubkey;
+  (match Attestation.verify_deep vp ~nonce evidence deep with
+  | Ok () -> Fmt.pr "@.verifier: ACCEPTED — known software stack on a hardware-rooted vTPM@."
+  | Error e -> Fmt.pr "@.verifier: REJECTED — %s@." e);
+
+  (* --- And what happens after a malware drop -------------------------- *)
+  Fmt.pr "@.!! guest later loads an unapproved module and re-attests@.";
+  let digest =
+    Vtpm_tpm.Eventlog.record log ~pcr:10 ~event_type:Vtpm_tpm.Eventlog.ev_action
+      ~description:"cryptominer.ko" ~data:"evil-bytes"
+  in
+  ignore (ok "extend" (Vtpm_tpm.Client.extend tpm ~pcr:10 ~digest));
+  let nonce2 = Vtpm_crypto.Sha1.digest "rp-challenge-2" in
+  let qs2 = ok "oiap" (Vtpm_tpm.Client.start_oiap tpm ~usage_secret:aik_auth) in
+  let composite2, signature2, _ =
+    ok "quote2" (Vtpm_tpm.Client.quote ~continue:false tpm qs2 ~key:aik ~external_data:nonce2 ~pcr_sel:sel)
+  in
+  let evidence2 =
+    { evidence with Attestation.composite = composite2; signature = signature2 }
+  in
+  (match Attestation.verify vp ~nonce:nonce2 evidence2 with
+  | Ok () -> Fmt.pr "verifier: accepted (should not happen!)@."
+  | Error f -> Fmt.pr "verifier: REJECTED — %a@." Attestation.pp_failure f)

@@ -1,0 +1,1 @@
+lib/attacks/attack.ml: Domain Fmt Host Hypervisor Lazy List Monitor Policy Printf Ring String Vtpm_access Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen Xenstore

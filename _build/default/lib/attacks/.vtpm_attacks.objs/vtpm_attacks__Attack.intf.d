@@ -1,0 +1,1 @@
+lib/attacks/attack.mli: Format Vtpm_access

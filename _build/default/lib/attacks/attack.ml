@@ -1,0 +1,326 @@
+(* Attack harness: the scenarios the evaluation's security matrix
+   (Table 2) runs against both manager modes.
+
+   Each attack returns an [outcome]: did the adversary retrieve guest
+   secrets / gain vTPM access, and what exactly happened. "Succeeded"
+   always means *the attacker won* — so the improved monitor wants
+   [succeeded = false] everywhere. *)
+
+open Vtpm_access
+open Vtpm_xen
+
+type outcome = { attack : string; succeeded : bool; detail : string }
+
+let outcome attack succeeded detail = { attack; succeeded; detail }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-24s %s  %s" o.attack (if o.succeeded then "RETRIEVED" else "blocked  ") o.detail
+
+(* Shared fixture: a host with a victim guest whose vTPM holds a secret.
+   The victim measures its boot into PCR 10 and stores a secret in vTPM
+   NVRAM-like sealed storage; its PCR state is the recognizable asset. *)
+
+type fixture = {
+  host : Host.t;
+  victim : Host.guest;
+  attacker : Host.guest;
+  secret : string;
+  sealed_blob : string;
+  srk_auth : string;
+  blob_auth : string;
+}
+
+let victim_secret = "victim-database-master-key-0xDEADBEEF"
+
+let setup ?(mode = Host.Improved_mode) ?(seed = 11) () : fixture =
+  let host = Host.create ~mode ~seed ~rsa_bits:256 () in
+  let victim = Host.create_guest_exn host ~name:"victim" ~label:"tenant_victim" () in
+  let attacker = Host.create_guest_exn host ~name:"attacker" ~label:"tenant_attacker" () in
+  let c = Host.guest_client host victim in
+  let fail_client what e = invalid_arg (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e) in
+  let unwrap what = function Ok v -> v | Error e -> fail_client what e in
+  let _ = unwrap "measure" (Vtpm_tpm.Client.measure c ~pcr:10 ~event:"victim-kernel") in
+  let srk_auth = Vtpm_crypto.Sha1.digest "victim-srk" in
+  let owner_auth = Vtpm_crypto.Sha1.digest "victim-owner" in
+  let _ = unwrap "takeown" (Vtpm_tpm.Client.take_ownership c ~owner_auth ~srk_auth) in
+  let blob_auth = Vtpm_crypto.Sha1.digest "victim-blob" in
+  let sess = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:srk_auth) in
+  let sealed_blob =
+    unwrap "seal"
+      (Vtpm_tpm.Client.seal ~continue:false c sess ~key:Vtpm_tpm.Types.kh_srk
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 10 ])
+         ~blob_auth ~data:victim_secret)
+  in
+  { host; victim; attacker; secret = victim_secret; sealed_blob; srk_auth; blob_auth }
+
+(* --- A1: forged instance number from a co-resident guest ------------------- *)
+
+(* The attacker guest frames requests claiming the victim's instance id and
+   pushes them on its own ring. Success criterion: the response exposes the
+   victim's vTPM state (PCR 10 carries the victim's measurement). *)
+let forged_instance (f : fixture) : outcome =
+  let name = "forged-instance" in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let frame = Vtpm_mgr.Proto.encode_request ~claimed_instance:f.victim.Host.vtpm_id wire in
+  match Ring.push_request f.attacker.Host.conn.Vtpm_mgr.Driver.ring frame with
+  | Error e -> outcome name false ("could not even push: " ^ e)
+  | Ok _ -> (
+      let _ = Vtpm_mgr.Driver.process_pending f.host.Host.backend in
+      match Ring.pop_response f.attacker.Host.conn.Vtpm_mgr.Driver.ring with
+      | None -> outcome name false "no response"
+      | Some slot -> (
+          match Vtpm_mgr.Proto.decode_response slot.Ring.payload with
+          | Ok (Vtpm_mgr.Proto.Denied, reason) -> outcome name false ("denied: " ^ reason)
+          | Ok (Vtpm_mgr.Proto.Ok_routed, payload) -> (
+              match Vtpm_tpm.Wire.decode_response payload with
+              | exception Vtpm_tpm.Wire.Malformed m -> outcome name false m
+              | resp -> (
+                  match resp.Vtpm_tpm.Cmd.body with
+                  | Vtpm_tpm.Cmd.R_pcr_value v when v <> String.make 20 '\x00' ->
+                      outcome name true
+                        (Printf.sprintf "read victim PCR10=%s via forged id"
+                           (Vtpm_util.Hex.fingerprint v))
+                  | Vtpm_tpm.Cmd.R_pcr_value _ ->
+                      outcome name false "request landed on attacker's own vTPM"
+                  | _ -> outcome name false "unexpected response"))
+          | _ -> outcome name false "bad frame"))
+
+(* --- A2: state-file dump ----------------------------------------------------- *)
+
+(* A dom0 tool copies the suspended vTPM state file and parses it offline
+   for the victim's sealed secret. *)
+let state_file_dump (f : fixture) : outcome =
+  let name = "state-file-dump" in
+  match Host.suspend_vtpm f.host f.victim with
+  | Error e -> outcome name false ("suspend failed: " ^ e)
+  | Ok () -> (
+      let restore () = ignore (Host.resume_vtpm f.host f.victim) in
+      match Host.read_file f.host (Host.state_path f.victim.Host.vtpm_id) with
+      | None ->
+          restore ();
+          outcome name false "no state file"
+      | Some blob -> (
+          (* Offline parse: strip the format header and deserialize. *)
+          let parsed =
+            match Vtpm_mgr.Stateproc.detect_format blob with
+            | Some Vtpm_mgr.Stateproc.Plain ->
+                Vtpm_tpm.Engine.deserialize_state (String.sub blob 8 (String.length blob - 8))
+            | Some Vtpm_mgr.Stateproc.Sealed -> Error "state is sealed to the hardware TPM"
+            | None -> Error "unknown format"
+          in
+          restore ();
+          match parsed with
+          | Error m -> outcome name false m
+          | Ok stolen_engine -> (
+              (* With the raw TPM state the attacker owns everything: spin
+                 up the stolen TPM and unseal with the secrets extracted
+                 from the state (usage auths are in the clear inside). *)
+              match stolen_engine.Vtpm_tpm.Engine.owner with
+              | None -> outcome name false "no owner in stolen state"
+              | Some o ->
+                  let srk = o.Vtpm_tpm.Engine.srk in
+                  let detail =
+                    Printf.sprintf "recovered SRK auth %s from plaintext state"
+                      (Vtpm_util.Hex.fingerprint srk.Vtpm_tpm.Keystore.usage_auth)
+                  in
+                  outcome name true detail)))
+
+(* --- A3: XenStore re-pointing -------------------------------------------------- *)
+
+(* A dom0 tool rewrites the attacker frontend's `instance` node to the
+   victim's id — the toolstack-level variant of A1. The frontend (which
+   trusts XenStore) then stamps the victim's id into its frames. *)
+let xenstore_repoint (f : fixture) : outcome =
+  let name = "xenstore-repoint" in
+  let path =
+    Printf.sprintf "/local/domain/%d/device/vtpm/0/instance" f.attacker.Host.domid
+  in
+  match
+    Hypervisor.xs_write f.host.Host.xen ~caller:Hypervisor.dom0_id path
+      (string_of_int f.victim.Host.vtpm_id)
+  with
+  | Error e -> outcome name false ("xenstore write failed: " ^ Xenstore.error_name e)
+  | Ok () -> (
+      let c = Host.guest_client f.host f.attacker in
+      match Vtpm_tpm.Client.pcr_read c ~pcr:10 with
+      | Ok v when v <> String.make 20 '\x00' ->
+          outcome name true
+            (Printf.sprintf "read victim PCR10=%s after node rewrite" (Vtpm_util.Hex.fingerprint v))
+      | Ok _ -> outcome name false "rewrite ignored; landed on own vTPM"
+      | Error _ -> outcome name false "request rejected"
+      | exception Vtpm_mgr.Driver.Denied r -> outcome name false ("denied: " ^ r))
+
+(* --- A4: migration stream snoop ------------------------------------------------ *)
+
+let migration_snoop (f : fixture) : outcome =
+  let name = "migration-snoop" in
+  (* Run a migration export as the legitimate manager; the attacker taps
+     the stream in transit. *)
+  let stream_result =
+    match f.host.Host.mode with
+    | Host.Baseline_mode ->
+        Host.management f.host ~process:"xm-migrate" ~token:""
+          (Monitor.Migrate_out { vtpm_id = f.victim.Host.vtpm_id; dest_key = None })
+    | Host.Improved_mode ->
+        (* Destination key: a second host's platform. *)
+        let dest = Host.create ~mode:Host.Improved_mode ~seed:99 ~rsa_bits:256 () in
+        let dest_key = Vtpm_mgr.Migration.bind_pubkey dest.Host.mgr in
+        Host.management f.host ~process:Host.manager_process ~token:(Host.manager_token f.host)
+          (Monitor.Migrate_out { vtpm_id = f.victim.Host.vtpm_id; dest_key = Some dest_key })
+  in
+  match stream_result with
+  | Error e -> outcome name false ("migration failed: " ^ e)
+  | Ok (Monitor.M_blob stream) -> (
+      match Vtpm_mgr.Migration.snoop stream with
+      | Ok engine ->
+          let detail =
+            match engine.Vtpm_tpm.Engine.owner with
+            | Some _ -> "full TPM state recovered from plaintext stream"
+            | None -> "TPM state recovered (no owner)"
+          in
+          outcome name true detail
+      | Error m -> outcome name false m)
+  | Ok _ -> outcome name false "unexpected management result"
+
+(* --- A5: unauthorized management ------------------------------------------------ *)
+
+(* An arbitrary dom0 tool (not the manager daemon) asks for a state save of
+   the victim's instance. *)
+let rogue_management (f : fixture) : outcome =
+  let name = "rogue-management" in
+  match
+    Host.management f.host ~process:"rogue-tool" ~token:"guessed-token"
+      (Monitor.Save_instance { vtpm_id = f.victim.Host.vtpm_id })
+  with
+  | Ok (Monitor.M_blob blob) -> (
+      match Vtpm_mgr.Stateproc.detect_format blob with
+      | Some Vtpm_mgr.Stateproc.Plain ->
+          outcome name true "obtained plaintext state via management interface"
+      | Some Vtpm_mgr.Stateproc.Sealed ->
+          outcome name false "obtained only a sealed blob (still a policy gap)"
+      | None -> outcome name false "unknown blob")
+  | Ok _ -> outcome name false "unexpected result"
+  | Error e -> outcome name false ("rejected: " ^ e)
+
+(* --- A6: tampered guest (measurement bypass) ------------------------------------ *)
+
+(* The victim's kernel is modified in place (rootkit); the guest then tries
+   to keep using its vTPM. With a `when measured` policy the gate closes;
+   the baseline keeps serving it. Requires the measured policy installed
+   (the fixture installs it for improved mode). *)
+let measured_policy =
+  lazy
+    (Policy.parse_exn
+       (String.concat "\n"
+          [
+            "default deny";
+            "allow guest:* class:session";
+            "allow guest:* class:info";
+            "allow guest:* class:measurement when measured";
+            "allow guest:* class:sealing when measured";
+            "allow guest:* class:attestation when measured";
+            "allow guest:* class:keys when measured";
+            "allow guest:* class:random when measured";
+            "allow guest:* class:ownership when measured";
+            "allow dom0:vtpm-manager *";
+          ]))
+
+let tampered_guest (f : fixture) : outcome =
+  let name = "tampered-guest" in
+  (match f.host.Host.mode with
+  | Host.Improved_mode -> Monitor.set_policy (Host.monitor_exn f.host) (Lazy.force measured_policy)
+  | Host.Baseline_mode -> ());
+  (* Rootkit: the victim's kernel digest changes. *)
+  let dom = Hypervisor.domain_exn f.host.Host.xen f.victim.Host.domid in
+  Domain.set_kernel dom ~image:"vmlinuz-5.x-tenant+rootkit";
+  let c = Host.guest_client f.host f.victim in
+  let result =
+    match Vtpm_tpm.Client.pcr_read c ~pcr:10 with
+    | Ok v -> outcome name true (Printf.sprintf "tampered guest still reads vTPM (PCR10=%s)" (Vtpm_util.Hex.fingerprint v))
+    | Error _ -> outcome name false "request rejected"
+    | exception Vtpm_mgr.Driver.Denied r -> outcome name false ("denied: " ^ r)
+  in
+  (* Undo for subsequent attacks. *)
+  Domain.set_kernel dom ~image:"vmlinuz-5.x-tenant";
+  (match f.host.Host.mode with
+  | Host.Improved_mode -> Monitor.set_policy (Host.monitor_exn f.host) Policy.default_improved
+  | Host.Baseline_mode -> ());
+  result
+
+(* --- A7: guest memory dump -------------------------------------------------------- *)
+
+(* The abstract's motivating attack: a dom0 dump tool greps guest RAM. The
+   vTPM monitor cannot stop the dump itself (hypervisor privilege), but
+   the improved deployment keeps secrets sealed: the victim only holds the
+   sealed blob in RAM, unsealing transiently. The baseline-era application
+   kept the plaintext key resident. *)
+let memory_dump (f : fixture) : outcome =
+  let name = "memory-dump" in
+  let dom = Hypervisor.domain_exn f.host.Host.xen f.victim.Host.domid in
+  (* Victim application behaviour differs by deployment discipline. *)
+  (match f.host.Host.mode with
+  | Host.Baseline_mode ->
+      (* Plaintext key resident in guest memory. *)
+      ignore (Domain.write_memory dom ~frame:5 ~offset:128 f.secret)
+  | Host.Improved_mode ->
+      (* Only the sealed blob is resident. *)
+      ignore (Domain.write_memory dom ~frame:5 ~offset:128 f.sealed_blob));
+  match
+    Hypervisor.scan_foreign_memory f.host.Host.xen ~caller:Hypervisor.dom0_id
+      ~target:f.victim.Host.domid ~pattern:f.secret
+  with
+  | Error e -> outcome name false ("dump failed: " ^ e)
+  | Ok [] -> outcome name false "secret not resident; only sealed blob found in dump"
+  | Ok hits ->
+      outcome name true (Printf.sprintf "plaintext secret found at %d location(s) in RAM" (List.length hits))
+
+(* --- A8: denial of service ---------------------------------------------------------- *)
+
+(* A co-resident guest floods its vTPM channel to monopolize the shared
+   manager. The improved monitor supports per-subject rate limiting
+   (enabled here for the test); the baseline serves every request. The
+   attack "succeeds" when the flood is served essentially unthrottled. *)
+let dos_flood (f : fixture) : outcome =
+  let name = "dos-flood" in
+  (match f.host.Host.mode with
+  | Host.Improved_mode ->
+      Monitor.set_quota (Host.monitor_exn f.host) ~rate_per_s:100.0 ~burst:20.0
+  | Host.Baseline_mode -> ());
+  let c = Host.guest_client f.host f.attacker in
+  let total = 200 in
+  let served = ref 0 in
+  for _ = 1 to total do
+    match Vtpm_tpm.Client.pcr_read c ~pcr:0 with
+    | Ok _ -> incr served
+    | Error _ -> ()
+    | exception Vtpm_mgr.Driver.Denied _ -> ()
+  done;
+  let frac = float_of_int !served /. float_of_int total in
+  if frac >= 0.9 then
+    outcome name true (Printf.sprintf "flood served %d/%d requests unthrottled" !served total)
+  else
+    outcome name false
+      (Printf.sprintf "rate limiter throttled flood to %d/%d requests" !served total)
+
+(* --- The full battery -------------------------------------------------------------- *)
+
+let all : (string * (fixture -> outcome)) list =
+  [
+    ("forged-instance", forged_instance);
+    ("state-file-dump", state_file_dump);
+    ("xenstore-repoint", xenstore_repoint);
+    ("migration-snoop", migration_snoop);
+    ("rogue-management", rogue_management);
+    ("tampered-guest", tampered_guest);
+    ("memory-dump", memory_dump);
+    ("dos-flood", dos_flood);
+  ]
+
+(* Run every attack against a fresh fixture per attack (attacks mutate
+   state) in the given mode. *)
+let run_battery ~(mode : Host.mode) : outcome list =
+  List.mapi
+    (fun i (_, attack) ->
+      let f = setup ~mode ~seed:(41 + i) () in
+      attack f)
+    all

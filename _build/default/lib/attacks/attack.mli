@@ -1,0 +1,66 @@
+(** Attack harness: the scenarios the security matrix (Table 2) runs
+    against both manager modes.
+
+    "Succeeded" always means *the attacker won* — retrieved guest secrets
+    or gained vTPM access — so the improved monitor wants [false]
+    everywhere. *)
+
+type outcome = { attack : string; succeeded : bool; detail : string }
+
+val outcome : string -> bool -> string -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Shared fixture: a host with a victim guest whose vTPM holds a sealed
+    secret, plus a co-resident attacker guest. *)
+type fixture = {
+  host : Vtpm_access.Host.t;
+  victim : Vtpm_access.Host.guest;
+  attacker : Vtpm_access.Host.guest;
+  secret : string;
+  sealed_blob : string;
+  srk_auth : string;
+  blob_auth : string;
+}
+
+val victim_secret : string
+
+val setup : ?mode:Vtpm_access.Host.mode -> ?seed:int -> unit -> fixture
+
+(** {1 The attacks}
+
+    Each mutates its fixture; use a fresh one per attack. *)
+
+val forged_instance : fixture -> outcome
+(** A1 — co-resident guest stamps the victim's instance number into its
+    own frames. *)
+
+val state_file_dump : fixture -> outcome
+(** A2 — dom0 tool parses the suspended vTPM state file offline. *)
+
+val xenstore_repoint : fixture -> outcome
+(** A3 — dom0 tool rewrites the attacker frontend's [instance] node to the
+    victim's id. *)
+
+val migration_snoop : fixture -> outcome
+(** A4 — man-in-the-middle taps a vTPM migration stream. *)
+
+val rogue_management : fixture -> outcome
+(** A5 — arbitrary dom0 process asks the manager for the victim's state. *)
+
+val tampered_guest : fixture -> outcome
+(** A6 — rootkitted guest keeps using its vTPM (measurement bypass);
+    installs a [when measured] policy on improved hosts. *)
+
+val memory_dump : fixture -> outcome
+(** A7 — dom0 dump tool greps victim RAM for the secret; baseline-era apps
+    keep it resident, improved deployments only the sealed blob. *)
+
+val dos_flood : fixture -> outcome
+(** A8 — co-resident guest floods the shared manager; improved hosts rate
+    limit (enabled by this attack), baseline serves everything. *)
+
+val all : (string * (fixture -> outcome)) list
+(** Name → attack, in Table 2 row order. *)
+
+val run_battery : mode:Vtpm_access.Host.mode -> outcome list
+(** Run every attack against a fresh fixture in the given mode. *)

@@ -1,0 +1,1 @@
+lib/core/acm.ml: Buffer List Option Printf String Vtpm_xen

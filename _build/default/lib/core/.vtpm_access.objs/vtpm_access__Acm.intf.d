@@ -1,0 +1,1 @@
+lib/core/acm.mli: Vtpm_xen

@@ -1,0 +1,1 @@
+lib/core/anchor.ml: Audit Fmt Printf Result Vtpm_crypto Vtpm_mgr Vtpm_tpm

@@ -1,0 +1,1 @@
+lib/core/anchor.mli: Audit Vtpm_mgr

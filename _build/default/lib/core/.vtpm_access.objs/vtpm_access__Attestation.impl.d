@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Engine Eventlog Fmt Hashtbl List String Types Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util

@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Format Vtpm_crypto Vtpm_mgr Vtpm_tpm

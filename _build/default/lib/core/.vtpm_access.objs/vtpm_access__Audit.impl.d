@@ -1,0 +1,1 @@
+lib/core/audit.ml: Fmt List Option Printf String Vtpm_crypto Vtpm_util

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Hashtbl Result Vtpm_mgr Vtpm_util Vtpm_xen

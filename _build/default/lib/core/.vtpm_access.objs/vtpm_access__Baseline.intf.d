@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Vtpm_mgr Vtpm_xen

@@ -1,0 +1,1 @@
+lib/core/binding.ml: Hashtbl Vtpm_util Vtpm_xen

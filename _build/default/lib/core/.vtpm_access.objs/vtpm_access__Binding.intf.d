@@ -1,0 +1,1 @@
+lib/core/binding.mli: Vtpm_util Vtpm_xen

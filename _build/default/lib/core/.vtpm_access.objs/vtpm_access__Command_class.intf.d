@@ -1,0 +1,1 @@
+lib/core/command_class.mli:

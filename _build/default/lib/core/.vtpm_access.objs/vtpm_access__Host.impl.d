@@ -1,0 +1,1 @@
+lib/core/host.ml: Acm Baseline Binding Domain Hashtbl Hypervisor List Monitor Printf Result Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen Xenstore

@@ -1,0 +1,1 @@
+lib/core/host.mli: Acm Baseline Hashtbl Monitor Policy Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen

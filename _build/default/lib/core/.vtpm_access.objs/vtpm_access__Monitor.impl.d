@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Audit Binding Domain Hashtbl Hypervisor Policy Printf Quota Result String Subject Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen Xenstore

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Audit Binding Hashtbl Policy Quota Subject Vtpm_crypto Vtpm_mgr Vtpm_xen

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Buffer Command_class Fmt Lazy List Printf String Subject Vtpm_tpm Vtpm_xen

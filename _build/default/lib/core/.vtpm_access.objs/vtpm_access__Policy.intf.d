@@ -1,0 +1,1 @@
+lib/core/policy.mli: Command_class Format Subject Vtpm_xen

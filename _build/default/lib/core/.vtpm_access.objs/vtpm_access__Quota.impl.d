@@ -1,0 +1,1 @@
+lib/core/quota.ml: Float Hashtbl Subject Vtpm_util

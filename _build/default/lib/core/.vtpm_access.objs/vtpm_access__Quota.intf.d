@@ -1,0 +1,1 @@
+lib/core/quota.mli: Subject Vtpm_util

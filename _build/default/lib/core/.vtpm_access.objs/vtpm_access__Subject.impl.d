@@ -1,0 +1,1 @@
+lib/core/subject.ml: Fmt Hashtbl String Vtpm_crypto Vtpm_xen

@@ -1,0 +1,123 @@
+(* sHype-style Access Control Module: Chinese Wall and Simple Type
+   Enforcement over security labels.
+
+   Xen's contemporaneous access-control framework (the sHype ACM, later
+   XSM) policed two coarse events that the per-command vTPM monitor does
+   not cover:
+
+   - *Chinese Wall* at domain build: labels in a common conflict set must
+     never run simultaneously on one host (e.g. two competing banks);
+   - *Simple Type Enforcement* at resource/channel setup: two domains may
+     share a device channel (our vTPM ring included) only if their labels
+     share a type.
+
+   The improved host consults an ACM policy at guest creation and vTPM
+   attach, complementing the fine-grained monitor. *)
+
+type label = string
+
+type t = {
+  conflict_sets : (string * label list) list; (* named CW conflict sets *)
+  types_of : (label * string list) list; (* STE: label -> type memberships *)
+  mutable running : (Vtpm_xen.Domain.domid * label) list;
+}
+
+let create ?(conflict_sets = []) ?(types_of = []) () = { conflict_sets; types_of; running = [] }
+
+(* The canonical datacenter policy used by examples and tests: tenants of
+   competing organisations conflict; every tenant shares the "vtpm_client"
+   type with the platform so devices can attach. *)
+let example_policy () =
+  create
+    ~conflict_sets:[ ("banks", [ "bank_a"; "bank_b" ]); ("telcos", [ "telco_x"; "telco_y" ]) ]
+    ~types_of:
+      [
+        ("system_u:dom0", [ "platform"; "vtpm_server" ]);
+        ("bank_a", [ "vtpm_client" ]);
+        ("bank_b", [ "vtpm_client" ]);
+        ("telco_x", [ "vtpm_client" ]);
+        ("telco_y", [ "vtpm_client" ]);
+      ]
+    ()
+
+let types_of t label = Option.value ~default:[] (List.assoc_opt label t.types_of)
+
+let share_type t a b =
+  List.exists (fun ty -> List.mem ty (types_of t b)) (types_of t a)
+
+(* Labels that conflict with [label] under some conflict set. *)
+let conflicts_with t label =
+  List.concat_map
+    (fun (_, members) -> if List.mem label members then List.filter (fun l -> l <> label) members else [])
+    t.conflict_sets
+
+(* --- Chinese Wall: domain admission ------------------------------------------ *)
+
+type decision = Admitted | Rejected of string
+
+(* May a domain with [label] start while the current [running] set runs? *)
+let admit t ~domid ~label : decision =
+  let hostile = conflicts_with t label in
+  match List.find_opt (fun (_, l) -> List.mem l hostile) t.running with
+  | Some (other_domid, other_label) ->
+      Rejected
+        (Printf.sprintf "Chinese Wall: label %s conflicts with running domain %d (%s)" label
+           other_domid other_label)
+  | None ->
+      t.running <- (domid, label) :: t.running;
+      Admitted
+
+let retire t ~domid = t.running <- List.filter (fun (d, _) -> d <> domid) t.running
+
+(* --- Simple Type Enforcement: channel setup ------------------------------------ *)
+
+(* May [frontend_label] attach a device served by [backend_label]? STE's
+   client/server pairing for device channels: the frontend label must
+   carry the client type, the backend label the server type. *)
+let may_attach_vtpm t ~frontend_label ~backend_label : decision =
+  if not (List.mem "vtpm_client" (types_of t frontend_label)) then
+    Rejected (Printf.sprintf "STE: label %s lacks type vtpm_client" frontend_label)
+  else if not (List.mem "vtpm_server" (types_of t backend_label)) then
+    Rejected (Printf.sprintf "STE: backend label %s lacks type vtpm_server" backend_label)
+  else Admitted
+
+(* --- Policy text form ------------------------------------------------------------
+
+   Concrete syntax, one statement per line:
+
+     conflict <name> = <label> <label> ...
+     types <label> = <type> <type> ...
+*)
+
+let parse (source : string) : (t, string) result =
+  let conflict_sets = ref [] and types_of = ref [] and error = ref None in
+  List.iteri
+    (fun i raw ->
+      if !error = None then begin
+        let line =
+          match String.index_opt raw '#' with Some j -> String.sub raw 0 j | None -> raw
+        in
+        match List.filter (fun s -> s <> "") (String.split_on_char ' ' line) with
+        | [] -> ()
+        | "conflict" :: name :: "=" :: members when members <> [] ->
+            conflict_sets := (name, members) :: !conflict_sets
+        | "types" :: label :: "=" :: tys when tys <> [] -> types_of := (label, tys) :: !types_of
+        | _ -> error := Some (Printf.sprintf "line %d: malformed ACM statement" (i + 1))
+      end)
+    (String.split_on_char '\n' source);
+  match !error with
+  | Some e -> Error e
+  | None ->
+      Ok (create ~conflict_sets:(List.rev !conflict_sets) ~types_of:(List.rev !types_of) ())
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, members) ->
+      Buffer.add_string buf (Printf.sprintf "conflict %s = %s\n" name (String.concat " " members)))
+    t.conflict_sets;
+  List.iter
+    (fun (label, tys) ->
+      Buffer.add_string buf (Printf.sprintf "types %s = %s\n" label (String.concat " " tys)))
+    t.types_of;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** sHype-style Access Control Module: Chinese Wall and Simple Type
+    Enforcement over security labels.
+
+    Complements the per-command vTPM monitor at two coarse events: domain
+    build (labels in a common conflict set must not run simultaneously)
+    and device attach (frontend/backend labels must carry the client and
+    server types of the channel). *)
+
+type label = string
+
+type t
+
+val create :
+  ?conflict_sets:(string * label list) list -> ?types_of:(label * string list) list -> unit -> t
+
+val example_policy : unit -> t
+(** The datacenter policy used by examples and tests: competing banks and
+    telcos conflict; tenants carry [vtpm_client], dom0 [vtpm_server]. *)
+
+val types_of : t -> label -> string list
+val share_type : t -> label -> label -> bool
+val conflicts_with : t -> label -> label list
+
+type decision = Admitted | Rejected of string
+
+val admit : t -> domid:Vtpm_xen.Domain.domid -> label:label -> decision
+(** Chinese Wall admission; on [Admitted] the domain joins the running
+    set. *)
+
+val retire : t -> domid:Vtpm_xen.Domain.domid -> unit
+(** Remove a destroyed domain from the running set, re-opening its wall. *)
+
+val may_attach_vtpm : t -> frontend_label:label -> backend_label:label -> decision
+(** STE client/server pairing: the frontend needs type [vtpm_client], the
+    backend [vtpm_server]. *)
+
+(** {1 Policy text form}
+
+    {v
+      conflict <name> = <label> <label> ...
+      types <label> = <type> <type> ...
+    v} *)
+
+val parse : string -> (t, string) result
+val to_string : t -> string

@@ -1,0 +1,93 @@
+(* Audit anchoring in the hardware TPM.
+
+   A hash-chained log alone cannot prove it was not truncated; the chain
+   head must live somewhere the adversary cannot rewrite. The manager
+   periodically commits the head into a hardware-TPM NV space whose write
+   requires owner authorization, and bumps a monotonic counter so missing
+   commits are detectable. A dom0 tool that steals the log file cannot
+   forge a matching anchor. *)
+
+type t = {
+  nv_index : int;
+  counter_handle : int;
+  counter_auth : string;
+}
+
+let default_nv_index = 0x1A0D
+let head_size = 32 (* SHA-256 head *)
+
+let ( let* ) = Result.bind
+let client_err what e = Error (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e)
+
+let owner_session mgr hw =
+  Result.fold ~ok:Result.ok
+    ~error:(client_err "owner session")
+    (Vtpm_tpm.Client.start_oiap hw ~usage_secret:mgr.Vtpm_mgr.Manager.hw_owner_auth)
+
+(* One-time setup: define the NV space (owner-write, world-read within the
+   manager) and create the anchor counter. *)
+let setup ?(nv_index = default_nv_index) (mgr : Vtpm_mgr.Manager.t) : (t, string) result =
+  let hw = Vtpm_mgr.Manager.hw_client mgr in
+  let* sess = owner_session mgr hw in
+  let attrs = { Vtpm_tpm.Types.nv_attrs_default with Vtpm_tpm.Types.nv_owner_write = true } in
+  let* () =
+    Result.fold ~ok:Result.ok ~error:(client_err "nv_define")
+      (Vtpm_tpm.Client.nv_define hw ~session:sess ~continue:true ~index:nv_index ~size:head_size
+         ~attrs ())
+  in
+  let counter_auth = Vtpm_crypto.Sha1.digest ("anchor-ctr:" ^ mgr.Vtpm_mgr.Manager.hw_owner_auth) in
+  let* resp =
+    Result.fold ~ok:Result.ok ~error:(client_err "create_counter")
+      (Vtpm_tpm.Client.authorized ~continue:false hw sess ~make_req:(fun auth ->
+           Vtpm_tpm.Cmd.Create_counter { label = "audt"; counter_auth; auth }))
+  in
+  match resp.Vtpm_tpm.Cmd.body with
+  | Vtpm_tpm.Cmd.R_counter { handle; _ } -> Ok { nv_index; counter_handle = handle; counter_auth }
+  | _ -> Error "unexpected counter response"
+
+(* Commit the current audit head; returns the anchor counter value. *)
+let commit (t : t) (mgr : Vtpm_mgr.Manager.t) (audit : Audit.t) : (int, string) result =
+  let hw = Vtpm_mgr.Manager.hw_client mgr in
+  let* sess = owner_session mgr hw in
+  let* () =
+    Result.fold ~ok:Result.ok ~error:(client_err "nv_write")
+      (Vtpm_tpm.Client.nv_write hw ~session:sess ~continue:false ~index:t.nv_index ~offset:0
+         ~data:(Audit.head audit) ())
+  in
+  let* csess =
+    Result.fold ~ok:Result.ok
+      ~error:(client_err "counter session")
+      (Vtpm_tpm.Client.start_oiap hw ~usage_secret:t.counter_auth)
+  in
+  let* resp =
+    Result.fold ~ok:Result.ok ~error:(client_err "increment")
+      (Vtpm_tpm.Client.authorized ~continue:false hw csess ~make_req:(fun auth ->
+           Vtpm_tpm.Cmd.Increment_counter { handle = t.counter_handle; auth }))
+  in
+  match resp.Vtpm_tpm.Cmd.body with
+  | Vtpm_tpm.Cmd.R_counter { value; _ } -> Ok value
+  | _ -> Error "unexpected counter response"
+
+(* Read back the anchored head and the commit count. *)
+let read (t : t) (mgr : Vtpm_mgr.Manager.t) : (string * int, string) result =
+  let hw = Vtpm_mgr.Manager.hw_client mgr in
+  let* head =
+    Result.fold ~ok:Result.ok ~error:(client_err "nv_read")
+      (Vtpm_tpm.Client.nv_read hw ~index:t.nv_index ~offset:0 ~length:head_size ())
+  in
+  let* resp =
+    Result.fold ~ok:Result.ok ~error:(client_err "read_counter")
+      (Vtpm_tpm.Client.exchange hw (Vtpm_tpm.Cmd.Read_counter { handle = t.counter_handle }))
+  in
+  match resp.Vtpm_tpm.Cmd.body with
+  | Vtpm_tpm.Cmd.R_counter { value; _ } -> Ok (head, value)
+  | _ -> Error "unexpected counter response"
+
+(* Verify an exported log against the hardware anchor: the chain must be
+   intact and end at the anchored head. *)
+let verify (t : t) (mgr : Vtpm_mgr.Manager.t) (entries : Audit.entry list) : (unit, string) result =
+  let* anchored_head, _count = read t mgr in
+  match Audit.verify_chain ~expected_head:anchored_head entries with
+  | Ok () -> Ok ()
+  | Error -1 -> Error "log does not end at the anchored head (truncated or stale)"
+  | Error seq -> Error (Printf.sprintf "chain broken at entry %d" seq)

@@ -1,0 +1,27 @@
+(** Audit anchoring in the hardware TPM.
+
+    A hash-chained log alone cannot prove it was not truncated; the head
+    must live where the adversary cannot rewrite it. The manager commits
+    the head into a hardware-TPM NV space (owner-write) and bumps a
+    monotonic counter so missing commits are detectable. *)
+
+type t = { nv_index : int; counter_handle : int; counter_auth : string }
+
+val default_nv_index : int
+
+val head_size : int
+(** 32 bytes (SHA-256 head). *)
+
+val setup : ?nv_index:int -> Vtpm_mgr.Manager.t -> (t, string) result
+(** One-time: define the NV space and create the anchor counter. *)
+
+val commit : t -> Vtpm_mgr.Manager.t -> Audit.t -> (int, string) result
+(** Write the current head and increment the counter; returns the counter
+    value. *)
+
+val read : t -> Vtpm_mgr.Manager.t -> (string * int, string) result
+(** [(anchored head, commit count)]. *)
+
+val verify : t -> Vtpm_mgr.Manager.t -> Audit.entry list -> (unit, string) result
+(** The exported log must be chain-intact and end exactly at the anchored
+    head — catching both tampering and truncation. *)

@@ -1,0 +1,94 @@
+(* The verifier side of remote attestation.
+
+   A relying party receives (quote, event log) from a guest and decides
+   whether to trust it:
+
+   1. the quote signature must verify under a key the verifier trusts;
+   2. the quoted composite must equal the composite replayed from the
+      event log (otherwise the log is incomplete or fabricated);
+   3. every event digest must be on the verifier's whitelist (otherwise
+      the guest ran something unknown);
+   4. the anti-replay nonce must be the verifier's own fresh challenge.
+
+   [verify_deep] additionally checks the hardware linkage produced by
+   [Vtpm_mgr.Deep_quote]. *)
+
+open Vtpm_tpm
+
+type evidence = {
+  composite : string;
+  signature : string;
+  pubkey : Vtpm_crypto.Rsa.public;
+  pcr_sel : Types.Pcr_selection.t;
+  event_log : Eventlog.t;
+}
+
+type failure =
+  | Bad_signature
+  | Composite_mismatch of { quoted : string; replayed : string }
+  | Unknown_measurement of Eventlog.event
+  | Untrusted_key
+
+let pp_failure ppf = function
+  | Bad_signature -> Fmt.string ppf "quote signature invalid"
+  | Composite_mismatch { quoted; replayed } ->
+      Fmt.pf ppf "event log does not reproduce the quoted PCRs (quoted %s, replayed %s)"
+        (Vtpm_util.Hex.fingerprint quoted) (Vtpm_util.Hex.fingerprint replayed)
+  | Unknown_measurement e -> Fmt.pf ppf "measurement not whitelisted: %a" Eventlog.pp_event e
+  | Untrusted_key -> Fmt.string ppf "quote key is not a trusted AIK"
+
+(* The verifier's reference database: digests of software it accepts, and
+   AIK public keys it has enrolled. *)
+type policy = {
+  known_digests : (string, string) Hashtbl.t; (* digest -> software name *)
+  mutable trusted_keys : string list; (* Rsa fingerprints *)
+}
+
+let policy () = { known_digests = Hashtbl.create 16; trusted_keys = [] }
+
+let whitelist p ~software ~data =
+  Hashtbl.replace p.known_digests (Vtpm_crypto.Sha1.digest data) software
+
+let whitelist_digest p ~software ~digest = Hashtbl.replace p.known_digests digest software
+
+let enroll_key p (pub : Vtpm_crypto.Rsa.public) =
+  p.trusted_keys <- Vtpm_crypto.Rsa.fingerprint pub :: p.trusted_keys
+
+let key_trusted p (pub : Vtpm_crypto.Rsa.public) =
+  List.mem (Vtpm_crypto.Rsa.fingerprint pub) p.trusted_keys
+
+let verify (p : policy) ~(nonce : string) (ev : evidence) : (unit, failure) result =
+  if not (key_trusted p ev.pubkey) then Error Untrusted_key
+  else if
+    not
+      (Engine.verify_quote ~pubkey:ev.pubkey ~composite:ev.composite ~external_data:nonce
+         ~signature:ev.signature)
+  then Error Bad_signature
+  else begin
+    let replayed = Eventlog.expected_composite ev.event_log ev.pcr_sel in
+    if not (String.equal replayed ev.composite) then
+      Error (Composite_mismatch { quoted = ev.composite; replayed })
+    else begin
+      match
+        List.find_opt
+          (fun (e : Eventlog.event) -> not (Hashtbl.mem p.known_digests e.Eventlog.digest))
+          (Eventlog.events ev.event_log)
+      with
+      | Some e -> Error (Unknown_measurement e)
+      | None -> Ok ()
+    end
+  end
+
+(* Deep attestation: the vTPM evidence plus the hardware linkage. The
+   hardware AIK must also be enrolled. *)
+let verify_deep (p : policy) ~(nonce : string) (ev : evidence) (dq : Vtpm_mgr.Deep_quote.t) :
+    (unit, string) result =
+  match verify p ~nonce ev with
+  | Error f -> Error (Fmt.str "%a" pp_failure f)
+  | Ok () ->
+      if not (String.equal dq.Vtpm_mgr.Deep_quote.vtpm_signature ev.signature) then
+        Error "deep quote wraps a different vTPM quote"
+      else if not (key_trusted p dq.Vtpm_mgr.Deep_quote.hw_pubkey) then
+        Error "hardware AIK not enrolled"
+      else if not (Vtpm_mgr.Deep_quote.verify dq ~nonce) then Error "hardware linkage broken"
+      else Ok ()

@@ -1,0 +1,43 @@
+(** The verifier side of remote attestation.
+
+    A relying party receives (quote, event log) from a guest and checks:
+    the signature under an enrolled key, that the log replays to the
+    quoted composite, that every measurement is whitelisted, and that the
+    nonce is its own fresh challenge. *)
+
+type evidence = {
+  composite : string;
+  signature : string;
+  pubkey : Vtpm_crypto.Rsa.public;
+  pcr_sel : Vtpm_tpm.Types.Pcr_selection.t;
+  event_log : Vtpm_tpm.Eventlog.t;
+}
+
+type failure =
+  | Bad_signature
+  | Composite_mismatch of { quoted : string; replayed : string }
+  | Unknown_measurement of Vtpm_tpm.Eventlog.event
+  | Untrusted_key
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type policy
+(** The verifier's reference database: accepted software digests and
+    enrolled AIK public keys. *)
+
+val policy : unit -> policy
+
+val whitelist : policy -> software:string -> data:string -> unit
+(** Accept software whose measured payload is [data]. *)
+
+val whitelist_digest : policy -> software:string -> digest:string -> unit
+
+val enroll_key : policy -> Vtpm_crypto.Rsa.public -> unit
+val key_trusted : policy -> Vtpm_crypto.Rsa.public -> bool
+
+val verify : policy -> nonce:string -> evidence -> (unit, failure) result
+
+val verify_deep :
+  policy -> nonce:string -> evidence -> Vtpm_mgr.Deep_quote.t -> (unit, string) result
+(** {!verify}, plus the hardware linkage: the deep quote must wrap exactly
+    this vTPM quote, under an enrolled hardware AIK. *)

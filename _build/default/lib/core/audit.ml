@@ -1,0 +1,130 @@
+(* Hash-chained audit log.
+
+   Every monitor decision appends an entry whose hash covers the previous
+   entry's hash, so truncation or in-place tampering of a dumped log is
+   detectable given the latest head hash (which the manager can anchor in
+   hardware-TPM NV or a monotonic counter). *)
+
+type entry = {
+  seq : int;
+  time_us : float; (* simulated time of the decision *)
+  subject : string;
+  operation : string; (* ordinal name or management op *)
+  instance : int option;
+  allowed : bool;
+  reason : string;
+  prev_hash : string;
+  hash : string;
+}
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable head : string;
+  mutable seq : int;
+  cost : Vtpm_util.Cost.t;
+}
+
+let genesis = Vtpm_crypto.Sha256.digest "vtpm-audit-genesis"
+
+let create ~cost = { entries = []; head = genesis; seq = 0; cost }
+
+let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash =
+  Vtpm_crypto.Sha256.digest
+    (Printf.sprintf "%d|%.3f|%s|%s|%s|%b|%s|%s" seq time_us subject operation
+       (match instance with Some i -> string_of_int i | None -> "-")
+       allowed reason (Vtpm_util.Hex.encode prev_hash))
+
+let append t ~subject ~operation ~instance ~allowed ~reason =
+  Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.audit_append_us;
+  let seq = t.seq in
+  let time_us = Vtpm_util.Cost.now t.cost in
+  let prev_hash = t.head in
+  let hash = entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash in
+  let e = { seq; time_us; subject; operation; instance; allowed; reason; prev_hash; hash } in
+  t.entries <- e :: t.entries;
+  t.head <- hash;
+  t.seq <- seq + 1
+
+let length t = t.seq
+let head t = t.head
+let entries_newest_first t = t.entries
+let entries t = List.rev t.entries
+
+(* Verify chain integrity of a (possibly exported) entry list against an
+   expected head. Returns the sequence number of the first bad link. *)
+let verify_chain ?(expected_head : string option) (es : entry list) : (unit, int) result =
+  let rec go prev = function
+    | [] -> (
+        match expected_head with
+        | Some h when not (String.equal h prev) -> Error (-1)
+        | _ -> Ok ())
+    | (e : entry) :: rest ->
+        let recomputed =
+          entry_digest ~seq:e.seq ~time_us:e.time_us ~subject:e.subject ~operation:e.operation
+            ~instance:e.instance ~allowed:e.allowed ~reason:e.reason ~prev_hash:prev
+        in
+        if String.equal recomputed e.hash then go e.hash rest else Error e.seq
+  in
+  go genesis es
+
+(* --- Export / import ---------------------------------------------------------
+
+   A line-oriented on-disk form: free-text fields are hex-escaped so the
+   '|' separator is unambiguous. [verify_chain] applies to imported lists
+   exactly as to live ones. *)
+
+let entry_to_line (e : entry) =
+  String.concat "|"
+    [
+      string_of_int e.seq;
+      Printf.sprintf "%.3f" e.time_us;
+      Vtpm_util.Hex.encode e.subject;
+      Vtpm_util.Hex.encode e.operation;
+      (match e.instance with Some i -> string_of_int i | None -> "-");
+      (if e.allowed then "1" else "0");
+      Vtpm_util.Hex.encode e.reason;
+      Vtpm_util.Hex.encode e.prev_hash;
+      Vtpm_util.Hex.encode e.hash;
+    ]
+
+let entry_of_line (line : string) : (entry, string) result =
+  match String.split_on_char '|' line with
+  | [ seq; time_us; subject; operation; instance; allowed; reason; prev_hash; hash ] -> (
+      match
+        ( int_of_string_opt seq,
+          float_of_string_opt time_us,
+          (match instance with
+          | "-" -> Some None
+          | s -> Option.map Option.some (int_of_string_opt s)),
+          match allowed with "1" -> Some true | "0" -> Some false | _ -> None )
+      with
+      | Some seq, Some time_us, Some instance, Some allowed -> (
+          match
+            ( Vtpm_util.Hex.decode subject,
+              Vtpm_util.Hex.decode operation,
+              Vtpm_util.Hex.decode reason,
+              Vtpm_util.Hex.decode prev_hash,
+              Vtpm_util.Hex.decode hash )
+          with
+          | subject, operation, reason, prev_hash, hash ->
+              Ok { seq; time_us; subject; operation; instance; allowed; reason; prev_hash; hash }
+          | exception Invalid_argument m -> Error m)
+      | _ -> Error "malformed audit line")
+  | _ -> Error "wrong field count in audit line"
+
+let export (t : t) : string =
+  String.concat "\n" (List.map entry_to_line (entries t)) ^ "\n"
+
+let import (s : string) : (entry list, string) result =
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> ( match entry_of_line l with Ok e -> go (e :: acc) rest | Error m -> Error m)
+  in
+  go [] lines
+
+let pp_entry ppf (e : entry) =
+  Fmt.pf ppf "#%04d %10.1fus %-14s %-22s inst=%-3s %s %s" e.seq e.time_us e.subject e.operation
+    (match e.instance with Some i -> string_of_int i | None -> "-")
+    (if e.allowed then "ALLOW" else "DENY ")
+    e.reason

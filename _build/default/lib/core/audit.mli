@@ -1,0 +1,55 @@
+(** Hash-chained audit log.
+
+    Every monitor decision appends an entry whose hash covers the previous
+    entry's hash, so truncation or in-place tampering of a dumped log is
+    detectable given the latest head — which {!Anchor} can pin in
+    hardware-TPM NV. *)
+
+type entry = {
+  seq : int;
+  time_us : float;  (** simulated time of the decision *)
+  subject : string;
+  operation : string;  (** ordinal name or management op *)
+  instance : int option;
+  allowed : bool;
+  reason : string;
+  prev_hash : string;
+  hash : string;
+}
+
+type t
+
+val genesis : string
+(** Chain anchor of an empty log. *)
+
+val create : cost:Vtpm_util.Cost.t -> t
+
+val append :
+  t -> subject:string -> operation:string -> instance:int option -> allowed:bool -> reason:string ->
+  unit
+
+val length : t -> int
+
+val head : t -> string
+(** Hash of the newest entry ({!genesis} when empty). *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val entries_newest_first : t -> entry list
+
+val verify_chain : ?expected_head:string -> entry list -> (unit, int) result
+(** Recompute the chain over an exported (oldest-first) list.
+    [Error seq] marks the first bad link; [Error (-1)] means the chain is
+    internally consistent but does not end at [expected_head] (truncated
+    or stale). *)
+
+(** {1 Export / import}
+
+    A line-oriented on-disk form; {!verify_chain} applies to imported
+    lists exactly as to live ones. *)
+
+val export : t -> string
+val import : string -> (entry list, string) result
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,23 @@
+(** The baseline: the 2006-design manager front-end, reproduced faithfully
+    so every experiment has a comparison point.
+
+    Properties — each exploited by an attack in [Vtpm_attacks]:
+    requests route by the *claimed* instance number; no per-command
+    policy; any dom0 process may perform any management operation; state
+    and migration streams are plaintext. *)
+
+type t = { xen : Vtpm_xen.Hypervisor.t; mgr : Vtpm_mgr.Manager.t }
+
+val create : xen:Vtpm_xen.Hypervisor.t -> mgr:Vtpm_mgr.Manager.t -> t
+
+val router : t -> Vtpm_mgr.Driver.router
+(** Instance-number routing, exactly as vtpm_managerd did. *)
+
+(** {1 Management — no authentication, no policy}
+
+    [process] is accepted and ignored. *)
+
+val save_instance : t -> process:string -> vtpm_id:int -> (string, string) result
+val restore_instance : t -> process:string -> blob:string -> (int, string) result
+val migrate_out : t -> process:string -> vtpm_id:int -> (string, string) result
+val migrate_in : t -> process:string -> stream:string -> (int, string) result

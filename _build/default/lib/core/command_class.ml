@@ -1,0 +1,80 @@
+(* Command classification.
+
+   Policies that enumerate raw ordinals are brittle and long; the improved
+   design groups the TPM 1.2 command set into functional classes so a
+   realistic tenant policy is a handful of lines. Classes partition
+   [Vtpm_tpm.Types.all_ordinals]; the partition test enforces this. *)
+
+open Vtpm_tpm
+
+type t =
+  | Measurement (* extend / read / reset PCRs *)
+  | Attestation (* quote, identity evidence *)
+  | Sealing (* seal / unseal / bind-grade storage *)
+  | Key_management (* create / load / evict keys *)
+  | Random (* RNG services *)
+  | Session (* OIAP / OSAP setup *)
+  | Nv_storage (* NV define / read / write *)
+  | Counters (* monotonic counters *)
+  | Ownership (* take/clear ownership of one's own vTPM *)
+  | Admin (* platform clears, state save, startup *)
+  | Info (* capabilities, self-test *)
+
+let all =
+  [
+    Measurement; Attestation; Sealing; Key_management; Random; Session; Nv_storage; Counters;
+    Ownership; Admin; Info;
+  ]
+
+let name = function
+  | Measurement -> "measurement"
+  | Attestation -> "attestation"
+  | Sealing -> "sealing"
+  | Key_management -> "keys"
+  | Random -> "random"
+  | Session -> "session"
+  | Nv_storage -> "nv"
+  | Counters -> "counters"
+  | Ownership -> "ownership"
+  | Admin -> "admin"
+  | Info -> "info"
+
+let of_name s = List.find_opt (fun c -> String.equal (name c) s) all
+
+let classify (ordinal : int) : t =
+  if
+    ordinal = Types.ord_extend || ordinal = Types.ord_pcr_read || ordinal = Types.ord_pcr_reset
+  then Measurement
+  else if ordinal = Types.ord_quote then Attestation
+  else if ordinal = Types.ord_seal || ordinal = Types.ord_unseal then Sealing
+  else if
+    ordinal = Types.ord_create_wrap_key || ordinal = Types.ord_load_key2
+    || ordinal = Types.ord_flush_specific || ordinal = Types.ord_sign
+  then Key_management
+  else if ordinal = Types.ord_get_random || ordinal = Types.ord_stir_random then Random
+  else if ordinal = Types.ord_oiap || ordinal = Types.ord_osap then Session
+  else if
+    ordinal = Types.ord_nv_define_space || ordinal = Types.ord_nv_write_value
+    || ordinal = Types.ord_nv_read_value
+  then Nv_storage
+  else if
+    ordinal = Types.ord_create_counter || ordinal = Types.ord_increment_counter
+    || ordinal = Types.ord_read_counter || ordinal = Types.ord_release_counter
+  then Counters
+  else if ordinal = Types.ord_take_ownership || ordinal = Types.ord_owner_clear then Ownership
+  else if
+    ordinal = Types.ord_force_clear || ordinal = Types.ord_save_state
+    || ordinal = Types.ord_startup
+  then Admin
+  else Info
+
+let ordinals_of (c : t) : int list =
+  List.filter (fun o -> classify o = c) Types.all_ordinals
+
+(* The classes a well-behaved guest workload needs; used by the default
+   tenant policy and by the workload generator. *)
+let guest_default =
+  [
+    Measurement; Attestation; Sealing; Key_management; Random; Session; Nv_storage; Counters;
+    Ownership; Info;
+  ]

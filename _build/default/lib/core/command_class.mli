@@ -1,0 +1,32 @@
+(** Command classification.
+
+    Policies that enumerate raw ordinals are brittle and long; the
+    improved design groups the TPM 1.2 command set into functional classes
+    so a realistic tenant policy is a handful of lines. Classes partition
+    {!Vtpm_tpm.Types.all_ordinals} (enforced by a test). *)
+
+type t =
+  | Measurement  (** extend / read / reset PCRs *)
+  | Attestation  (** quote *)
+  | Sealing  (** seal / unseal *)
+  | Key_management  (** create / load / evict keys, sign *)
+  | Random
+  | Session  (** OIAP / OSAP setup *)
+  | Nv_storage
+  | Counters
+  | Ownership  (** take/clear ownership of one's own vTPM *)
+  | Admin  (** platform clears, state save, startup *)
+  | Info  (** capabilities, self-test *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+val classify : int -> t
+(** Class of a TPM ordinal. *)
+
+val ordinals_of : t -> int list
+
+val guest_default : t list
+(** The classes a well-behaved tenant workload needs; everything except
+    [Admin]. Used by the default policy and the workload generator. *)

@@ -1,0 +1,332 @@
+(* The improved reference monitor — the paper's contribution.
+
+   Sits between the vTPM backend and the manager. For every request it:
+
+   1. derives the subject from the hypervisor-attested sender (never from
+      the claimed instance number in the frame);
+   2. resolves the target instance from the binding table;
+   3. evaluates the policy (with a decision cache for unguarded rules and
+      a PCR-backed measurement gate for guarded ones);
+   4. appends a hash-chained audit record;
+   5. only then lets the manager execute the command.
+
+   Management operations (state save/restore, migration, rebinding, audit
+   export) are mediated by the same policy using the subject's dom0
+   process identity, authenticated by a registered credential. *)
+
+open Vtpm_xen
+
+type stats = {
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable rules_scanned : int;
+  mutable allowed : int;
+  mutable denied : int;
+  mutable gate_checks : int;
+  mutable throttled : int;
+}
+
+type t = {
+  xen : Hypervisor.t;
+  mgr : Vtpm_mgr.Manager.t;
+  mutable policy : Policy.t;
+  mutable policy_has_guards : bool;
+  bindings : Binding.t;
+  audit : Audit.t;
+  credentials : Subject.Credentials.t;
+  cache : (int * string * int, Policy.verdict) Hashtbl.t;
+  mutable cache_enabled : bool;
+  mutable audit_enabled : bool;
+  mutable quota : Quota.t option; (* None: no rate limiting *)
+  stats : stats;
+}
+
+let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.default_improved)
+    () =
+  let cost = xen.Hypervisor.cost in
+  {
+    xen;
+    mgr;
+    policy;
+    policy_has_guards = Policy.has_guards policy;
+    bindings = Binding.create ~cost;
+    audit = Audit.create ~cost;
+    credentials = Subject.Credentials.create ();
+    cache = Hashtbl.create 256;
+    cache_enabled = true;
+    audit_enabled = true;
+    quota = None;
+    stats =
+      {
+        lookups = 0;
+        cache_hits = 0;
+        rules_scanned = 0;
+        allowed = 0;
+        denied = 0;
+        gate_checks = 0;
+        throttled = 0;
+      };
+  }
+
+let set_policy t policy =
+  t.policy <- policy;
+  t.policy_has_guards <- Policy.has_guards policy;
+  Hashtbl.reset t.cache
+
+let set_cache_enabled t v =
+  t.cache_enabled <- v;
+  if not v then Hashtbl.reset t.cache
+
+let set_audit_enabled t v = t.audit_enabled <- v
+
+(* Enable token-bucket rate limiting for all mediated requests. *)
+let set_quota t ~rate_per_s ~burst =
+  t.quota <- Some (Quota.create ~rate_per_s ~burst ~cost:t.xen.Hypervisor.cost ())
+
+let clear_quota t = t.quota <- None
+
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.lookups <- 0;
+  s.cache_hits <- 0;
+  s.rules_scanned <- 0;
+  s.allowed <- 0;
+  s.denied <- 0;
+  s.gate_checks <- 0;
+  s.throttled <- 0
+
+(* The measurement gate: the guest's *current* kernel digest must match
+   the reference recorded when the vTPM was bound. *)
+let measured_ok t ~(subject : Subject.t) ~(binding : Binding.binding option) () =
+  t.stats.gate_checks <- t.stats.gate_checks + 1;
+  Vtpm_util.Cost.charge t.xen.Hypervisor.cost Vtpm_util.Cost.monitor_measure_gate_us;
+  match (subject, binding) with
+  | Subject.Dom0_process _, _ -> true (* gates constrain guests *)
+  | Subject.Guest d, Some b -> (
+      match Hypervisor.find_domain t.xen d with
+      | Ok dom -> String.equal dom.Domain.kernel_digest b.Binding.reference_measurement
+      | Error _ -> false)
+  | Subject.Guest _, None -> false
+
+(* Policy check with decision cache. Returns the verdict and the reason
+   string for the audit trail. *)
+let decide t ~(subject : Subject.t) ~(ordinal : int) ~(binding : Binding.binding option) :
+    Policy.verdict * string =
+  let s = t.stats in
+  s.lookups <- s.lookups + 1;
+  let kind, skey = Subject.cache_key subject in
+  let key = (kind, skey, ordinal) in
+  let cacheable = t.cache_enabled && not t.policy_has_guards in
+  match if cacheable then Hashtbl.find_opt t.cache key else None with
+  | Some verdict ->
+      s.cache_hits <- s.cache_hits + 1;
+      Vtpm_util.Cost.charge t.xen.Hypervisor.cost Vtpm_util.Cost.monitor_lookup_us;
+      (verdict, "cached")
+  | None ->
+      let label = Subject.label ~xen:t.xen subject in
+      let d =
+        Policy.eval t.policy ~subject ~label ~ordinal ~measured_ok:(measured_ok t ~subject ~binding)
+      in
+      s.rules_scanned <- s.rules_scanned + d.Policy.scanned;
+      Vtpm_util.Cost.charge t.xen.Hypervisor.cost
+        (Vtpm_util.Cost.monitor_lookup_us
+        +. (Vtpm_util.Cost.monitor_rule_scan_us *. float_of_int d.Policy.scanned));
+      if cacheable && not d.Policy.needs_measurement then
+        Hashtbl.replace t.cache key d.Policy.verdict;
+      let reason =
+        match d.Policy.matched_line with
+        | Some l -> Printf.sprintf "rule@%d" l
+        | None -> "default"
+      in
+      (d.Policy.verdict, reason)
+
+let audit_and_count t ~subject ~operation ~instance ~allowed ~reason =
+  let s = t.stats in
+  if allowed then s.allowed <- s.allowed + 1 else s.denied <- s.denied + 1;
+  if t.audit_enabled then
+    Audit.append t.audit ~subject:(Subject.to_string subject) ~operation ~instance ~allowed ~reason
+
+(* --- XenStore tamper detection ------------------------------------------
+
+   The improved monitor is *immune* to device-node rewrites (it routes on
+   the attested sender), but silent immunity hides an ongoing attack. A
+   XenStore watch on the vTPM device subtree compares every write against
+   the binding table and raises an audit alert on divergence, so the
+   re-pointing attempt itself becomes evidence. *)
+
+let watch_token = "vtpm-monitor-tamper-watch"
+
+let enable_tamper_detection t =
+  Xenstore.watch t.xen.Hypervisor.store ~token:watch_token ~path:"/local/domain"
+    (fun path ->
+      (* Only instance nodes are authoritative-shadowed state. *)
+      match String.split_on_char '/' path with
+      | [ ""; "local"; "domain"; domid_str; "device"; "vtpm"; "0"; "instance" ] -> (
+          match int_of_string_opt domid_str with
+          | None -> ()
+          | Some domid -> (
+              let node_value =
+                Result.value ~default:"?"
+                  (Xenstore.read t.xen.Hypervisor.store ~caller:Hypervisor.dom0_id path)
+              in
+              match Binding.lookup_domid t.bindings domid with
+              | Some b when string_of_int b.Binding.vtpm_id <> node_value ->
+                  Audit.append t.audit ~subject:"xenstore"
+                    ~operation:"tamper-alert"
+                    ~instance:(Some b.Binding.vtpm_id) ~allowed:false
+                    ~reason:
+                      (Printf.sprintf "instance node of domain %d rewritten to %s (bound: %d)"
+                         domid node_value b.Binding.vtpm_id)
+              | _ -> ()))
+      | _ -> ())
+
+let disable_tamper_detection t =
+  Xenstore.unwatch t.xen.Hypervisor.store ~token:watch_token
+
+(* Rate-limit check, applied after the policy allows. *)
+let quota_ok t subject =
+  match t.quota with
+  | None -> true
+  | Some q ->
+      let ok = Quota.admit q subject in
+      if not ok then t.stats.throttled <- t.stats.throttled + 1;
+      ok
+
+(* --- The wire-request router (installed into the vTPM backend) ----------- *)
+
+let router t : Vtpm_mgr.Driver.router =
+ fun ~sender ~claimed_instance ~wire ->
+  let subject = Subject.Guest sender in
+  match Binding.lookup_domid t.bindings sender with
+  | None ->
+      audit_and_count t ~subject ~operation:"unbound-request" ~instance:None ~allowed:false
+        ~reason:"no vTPM binding";
+      Error "no vTPM bound to requesting domain"
+  | Some b -> (
+      match Vtpm_tpm.Wire.peek_header wire with
+      | None ->
+          audit_and_count t ~subject ~operation:"malformed" ~instance:(Some b.Binding.vtpm_id)
+            ~allowed:false ~reason:"short frame";
+          Error "malformed TPM request"
+      | Some { Vtpm_tpm.Wire.ordinal; _ } -> (
+          let op_name = Vtpm_tpm.Types.ordinal_name ordinal in
+          (* A claimed id that disagrees with the binding is noise at best,
+             an attack at worst; route by binding either way and log. *)
+          let mismatch = claimed_instance <> b.Binding.vtpm_id in
+          match decide t ~subject ~ordinal ~binding:(Some b) with
+          | Policy.Deny, reason ->
+              audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
+                ~allowed:false ~reason;
+              Error (Printf.sprintf "policy denied %s (%s)" op_name reason)
+          | Policy.Allow, _ when not (quota_ok t subject) ->
+              audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
+                ~allowed:false ~reason:"rate-limited";
+              Error (Printf.sprintf "rate limit exceeded for %s" (Subject.to_string subject))
+          | Policy.Allow, reason -> (
+              let reason = if mismatch then reason ^ ";claimed-id-mismatch" else reason in
+              audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
+                ~allowed:true ~reason;
+              match Vtpm_mgr.Manager.find t.mgr b.Binding.vtpm_id with
+              | Error e -> Error (Vtpm_util.Verror.to_string e)
+              | Ok inst -> (
+                  match Vtpm_mgr.Manager.execute_wire t.mgr inst ~wire with
+                  | Ok resp -> Ok resp
+                  | Error e -> Error (Vtpm_util.Verror.to_string e)))))
+
+(* --- Management interface -------------------------------------------------- *)
+
+type management_op =
+  | Save_instance of { vtpm_id : int }
+  | Restore_instance of { blob : string }
+  | Migrate_out of { vtpm_id : int; dest_key : Vtpm_crypto.Rsa.public option }
+  | Migrate_in of { stream : string }
+  | Rebind of { vtpm_id : int; new_domid : Domain.domid }
+  | Export_audit
+
+let management_op_name = function
+  | Save_instance _ -> "mgmt:save"
+  | Restore_instance _ -> "mgmt:restore"
+  | Migrate_out _ -> "mgmt:migrate-out"
+  | Migrate_in _ -> "mgmt:migrate-in"
+  | Rebind _ -> "mgmt:rebind"
+  | Export_audit -> "mgmt:export-audit"
+
+type management_result =
+  | M_blob of string
+  | M_instance of int
+  | M_audit of Audit.entry list
+  | M_unit
+
+let register_process t ~process ~token = Subject.Credentials.register t.credentials ~process ~token
+
+(* All management operations are policed as Admin-class commands under the
+   caller's dom0 process identity; the credential gate comes first. *)
+let management t ~(process : string) ~(token : string) (op : management_op) :
+    (management_result, string) result =
+  let subject = Subject.Dom0_process process in
+  let op_name = management_op_name op in
+  if not (Subject.Credentials.verify t.credentials ~process ~token) then begin
+    audit_and_count t ~subject ~operation:op_name ~instance:None ~allowed:false
+      ~reason:"bad credential";
+    Error "management credential rejected"
+  end
+  else begin
+    (* Map the op onto the Admin class for policy purposes. *)
+    let ordinal = Vtpm_tpm.Types.ord_save_state in
+    match decide t ~subject ~ordinal ~binding:None with
+    | Policy.Deny, reason ->
+        audit_and_count t ~subject ~operation:op_name ~instance:None ~allowed:false ~reason;
+        Error (Printf.sprintf "policy denied %s (%s)" op_name reason)
+    | Policy.Allow, reason -> (
+        audit_and_count t ~subject ~operation:op_name ~instance:None ~allowed:true ~reason;
+        match op with
+        | Save_instance { vtpm_id } -> (
+            match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+            | Error e -> Error (Vtpm_util.Verror.to_string e)
+            | Ok inst ->
+                Result.map
+                  (fun b -> M_blob b)
+                  (Vtpm_mgr.Stateproc.save t.mgr inst ~format:Vtpm_mgr.Stateproc.Sealed))
+        | Restore_instance { blob } -> (
+            match Vtpm_mgr.Stateproc.load t.mgr blob with
+            | Error e -> Error e
+            | Ok (engine, _) ->
+                let inst = Vtpm_mgr.Manager.create_instance t.mgr in
+                let inst = { inst with Vtpm_mgr.Manager.engine } in
+                Hashtbl.replace t.mgr.Vtpm_mgr.Manager.instances inst.Vtpm_mgr.Manager.vtpm_id inst;
+                Ok (M_instance inst.Vtpm_mgr.Manager.vtpm_id))
+        | Migrate_out { vtpm_id; dest_key } -> (
+            match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+            | Error e -> Error (Vtpm_util.Verror.to_string e)
+            | Ok inst -> (
+                match
+                  Vtpm_mgr.Migration.export t.mgr inst ~mode:Vtpm_mgr.Migration.Protected ~dest_key
+                with
+                | Error e -> Error e
+                | Ok stream ->
+                    Vtpm_mgr.Migration.finalize_source t.mgr inst;
+                    (match Binding.lookup_instance t.bindings vtpm_id with
+                    | Some b -> Binding.unbind t.bindings ~domid:b.Binding.domid
+                    | None -> ());
+                    Ok (M_blob stream)))
+        | Migrate_in { stream } ->
+            Result.map
+              (fun (i : Vtpm_mgr.Manager.instance) -> M_instance i.Vtpm_mgr.Manager.vtpm_id)
+              (Vtpm_mgr.Migration.import t.mgr stream)
+        | Rebind { vtpm_id; new_domid } -> (
+            (match Binding.lookup_instance t.bindings vtpm_id with
+            | Some b -> Binding.unbind t.bindings ~domid:b.Binding.domid
+            | None -> ());
+            match Hypervisor.find_domain t.xen new_domid with
+            | Error e -> Error e
+            | Ok dom -> (
+                match
+                  Binding.bind t.bindings ~vtpm_id ~domid:new_domid
+                    ~reference_measurement:dom.Domain.kernel_digest
+                with
+                | Ok _ -> Ok M_unit
+                | Error e -> Error (Vtpm_util.Verror.to_string e)))
+        | Export_audit -> Ok (M_audit (Audit.entries t.audit)))
+  end

@@ -1,0 +1,110 @@
+(** The improved reference monitor — the paper's contribution.
+
+    Sits between the vTPM backend and the manager. For every request it:
+
+    + derives the subject from the hypervisor-attested sender (never from
+      the claimed instance number in the frame);
+    + resolves the target instance from the binding table;
+    + evaluates the policy — decision cache for unguarded rules,
+      PCR-backed measurement gate for guarded ones;
+    + optionally applies a per-subject rate limit;
+    + appends a hash-chained audit record;
+    + only then lets the manager execute the command.
+
+    Management operations (state save/restore, migration, rebinding,
+    audit export) are mediated by the same policy under the caller's dom0
+    process identity, authenticated by a registered credential. *)
+
+type stats = {
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable rules_scanned : int;
+  mutable allowed : int;
+  mutable denied : int;
+  mutable gate_checks : int;
+  mutable throttled : int;
+}
+
+type t = {
+  xen : Vtpm_xen.Hypervisor.t;
+  mgr : Vtpm_mgr.Manager.t;
+  mutable policy : Policy.t;
+  mutable policy_has_guards : bool;
+  bindings : Binding.t;
+  audit : Audit.t;
+  credentials : Subject.Credentials.t;
+  cache : (int * string * int, Policy.verdict) Hashtbl.t;
+  mutable cache_enabled : bool;
+  mutable audit_enabled : bool;
+  mutable quota : Quota.t option;
+  stats : stats;
+}
+
+val create :
+  xen:Vtpm_xen.Hypervisor.t -> mgr:Vtpm_mgr.Manager.t -> ?policy:Policy.t -> unit -> t
+(** [policy] defaults to {!Policy.default_improved}. *)
+
+(** {1 Configuration} *)
+
+val set_policy : t -> Policy.t -> unit
+(** Installs a new policy and invalidates the decision cache. *)
+
+val set_cache_enabled : t -> bool -> unit
+val set_audit_enabled : t -> bool -> unit
+
+val set_quota : t -> rate_per_s:float -> burst:float -> unit
+(** Enable token-bucket rate limiting for all mediated requests. *)
+
+val clear_quota : t -> unit
+
+val enable_tamper_detection : t -> unit
+(** Watch the vTPM device subtree in XenStore: any rewrite of an
+    [instance] node that diverges from the binding table raises a
+    [tamper-alert] audit entry — the re-pointing attack becomes evidence
+    instead of merely failing. *)
+
+val disable_tamper_detection : t -> unit
+
+val register_process : t -> process:string -> token:string -> unit
+(** Register a dom0 process credential for the management interface. *)
+
+(** {1 Observability} *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** {1 Decision core (exposed for benchmarks)} *)
+
+val decide :
+  t -> subject:Subject.t -> ordinal:int -> binding:Binding.binding option ->
+  Policy.verdict * string
+(** The policy step alone: verdict plus the audit reason. *)
+
+(** {1 The wire-request router} *)
+
+val router : t -> Vtpm_mgr.Driver.router
+(** Install into a {!Vtpm_mgr.Driver.backend}. *)
+
+(** {1 Management interface} *)
+
+type management_op =
+  | Save_instance of { vtpm_id : int }
+  | Restore_instance of { blob : string }
+  | Migrate_out of { vtpm_id : int; dest_key : Vtpm_crypto.Rsa.public option }
+  | Migrate_in of { stream : string }
+  | Rebind of { vtpm_id : int; new_domid : Vtpm_xen.Domain.domid }
+  | Export_audit
+
+val management_op_name : management_op -> string
+
+type management_result =
+  | M_blob of string
+  | M_instance of int
+  | M_audit of Audit.entry list
+  | M_unit
+
+val management :
+  t -> process:string -> token:string -> management_op -> (management_result, string) result
+(** Credential gate first, then Admin-class policy, then the operation.
+    All state leaving through here is sealed; migration streams are
+    protected. *)

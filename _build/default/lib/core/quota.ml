@@ -1,0 +1,52 @@
+(* Per-subject request quotas: a flooding guest must not starve its
+   co-tenants' vTPM service.
+
+   Token-bucket over simulated time: each subject holds up to [burst]
+   tokens, refilled at [rate_per_s]; every mediated request spends one.
+   The monitor consults the bucket after the policy allows a request, so
+   throttling shows up in the audit log as its own denial reason. *)
+
+type bucket = { mutable tokens : float; mutable last_refill_us : float }
+
+type t = {
+  rate_per_s : float;
+  burst : float;
+  buckets : (int * string, bucket) Hashtbl.t; (* keyed by Subject.cache_key *)
+  cost : Vtpm_util.Cost.t;
+}
+
+let create ?(rate_per_s = 200.0) ?(burst = 50.0) ~cost () =
+  { rate_per_s; burst; buckets = Hashtbl.create 16; cost }
+
+let bucket_for t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+      let b = { tokens = t.burst; last_refill_us = Vtpm_util.Cost.now t.cost } in
+      Hashtbl.replace t.buckets key b;
+      b
+
+let refill t b =
+  let now = Vtpm_util.Cost.now t.cost in
+  let dt_s = (now -. b.last_refill_us) /. 1_000_000.0 in
+  if dt_s > 0.0 then begin
+    b.tokens <- Float.min t.burst (b.tokens +. (dt_s *. t.rate_per_s));
+    b.last_refill_us <- now
+  end
+
+(* Spend one token; [false] means the subject is over its rate. *)
+let admit t (subject : Subject.t) : bool =
+  let b = bucket_for t (Subject.cache_key subject) in
+  refill t b;
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    true
+  end
+  else false
+
+let remaining t (subject : Subject.t) : float =
+  let b = bucket_for t (Subject.cache_key subject) in
+  refill t b;
+  b.tokens
+
+let forget t (subject : Subject.t) = Hashtbl.remove t.buckets (Subject.cache_key subject)

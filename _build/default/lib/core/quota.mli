@@ -1,0 +1,20 @@
+(** Per-subject request quotas: a flooding guest must not starve its
+    co-tenants' vTPM service.
+
+    Token bucket over simulated time: each subject holds up to [burst]
+    tokens, refilled at [rate_per_s]; every mediated request spends one.
+    The monitor consults the bucket after the policy allows, so throttling
+    appears in the audit log under its own reason. *)
+
+type t
+
+val create : ?rate_per_s:float -> ?burst:float -> cost:Vtpm_util.Cost.t -> unit -> t
+
+val admit : t -> Subject.t -> bool
+(** Spend one token; [false] means the subject is over its rate. *)
+
+val remaining : t -> Subject.t -> float
+(** Tokens currently available (after refill). *)
+
+val forget : t -> Subject.t -> unit
+(** Drop a subject's bucket (e.g. when its domain dies). *)

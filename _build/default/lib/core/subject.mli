@@ -1,0 +1,36 @@
+(** Subjects: who is asking.
+
+    The 2006 vTPM manager had one notion of requester — "whatever wrote
+    the instance number into the frame". The improvement's first move is
+    an explicit subject identity with two provenances: guests identified
+    by the hypervisor (unforgeable), and dom0 processes authenticated by a
+    registered credential (the hypervisor cannot tell them apart). *)
+
+type t =
+  | Guest of Vtpm_xen.Domain.domid  (** hypervisor-attested guest *)
+  | Dom0_process of string  (** named process in the control domain *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val cache_key : t -> int * string
+(** Stable key for decision caching. *)
+
+val label : xen:Vtpm_xen.Hypervisor.t -> t -> string
+(** Security label: the toolstack-assigned label for guests,
+    ["dom0:<process>"] for dom0 processes, ["invalid"] for dead
+    domains. *)
+
+(** Registered credentials for dom0 processes. The baseline has no such
+    table — any dom0 process is fully trusted, which Table 2's
+    rogue-management row exploits. *)
+module Credentials : sig
+  type t
+
+  val create : unit -> t
+  val register : t -> process:string -> token:string -> unit
+
+  val verify : t -> process:string -> token:string -> bool
+  (** Constant-shape token comparison. *)
+end

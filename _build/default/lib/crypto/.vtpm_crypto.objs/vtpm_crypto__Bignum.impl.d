@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Char List Stdlib String Vtpm_util

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Char Hmac Sha1 String Vtpm_util

@@ -1,0 +1,1 @@
+lib/crypto/xtea.ml: Array Bytes Char Int32 String

@@ -1,0 +1,332 @@
+(* Arbitrary-precision natural numbers.
+
+   The environment ships no bignum library (no zarith), and the vTPM key
+   hierarchy needs RSA, so the repo carries its own naturals. Little-endian
+   limbs in base 2^30: a 30x30-bit product plus carries stays below 2^62,
+   inside OCaml's 63-bit native int, so schoolbook multiplication needs no
+   intermediate boxing.
+
+   Only naturals are provided; the one signed computation (extended
+   Euclid for the RSA private exponent) tracks signs explicitly in
+   [mod_inverse]. *)
+
+type t = int array (* little-endian limbs, no trailing zero limb; zero = [||] *)
+
+let limb_bits = 30
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec build v acc = if v = 0 then List.rev acc else build (v lsr limb_bits) ((v land limb_mask) :: acc) in
+  Array.of_list (build v [])
+
+let to_int_opt (a : t) =
+  (* Fits when at most ~62 bits. *)
+  if Array.length a > 3 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = Array.length a - 1 downto 0 do
+      if !v >= 1 lsl (62 - limb_bits) then ok := false
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize out
+
+(* a - b; requires a >= b. *)
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Bignum.sub: underflow";
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Bignum.sub: underflow";
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = (ai * b.(j)) + out.(i + j) + !carry in
+        out.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    normalize out
+  end
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let test_bit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let shift_left (a : t) k : t =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- out.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize out
+  end
+
+let shift_right (a : t) k : t =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < la && bits > 0 then (a.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask else 0 in
+        out.(i) <- lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Long division producing (quotient, remainder). Binary shift-subtract
+   processing [num_bits a] bit positions; O(bits * limbs), which is ample
+   for the 512/1024-bit operands the key hierarchy uses. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let shift = num_bits a - num_bits b in
+    let q = Array.make ((shift / limb_bits) + 1) 0 in
+    let r = ref a in
+    let d = ref (shift_left b shift) in
+    for i = shift downto 0 do
+      if compare !r !d >= 0 then begin
+        r := sub !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shift_right !d 1
+    done;
+    (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+let is_even (a : t) = is_zero a || a.(0) land 1 = 0
+let mod_add m a b = rem (add a b) m
+let mod_mul m a b = rem (mul a b) m
+
+(* Modular exponentiation, square-and-multiply MSB-first. *)
+let mod_pow ~modulus base exp =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let base = rem base modulus in
+    let result = ref one in
+    for i = num_bits exp - 1 downto 0 do
+      result := mod_mul modulus !result !result;
+      if test_bit exp i then result := mod_mul modulus !result base
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Modular inverse of [a] mod [m] via extended Euclid with explicit signs.
+   Returns [None] when gcd(a, m) <> 1. *)
+let mod_inverse ~modulus:m a =
+  (* Invariants: r_old = s_old * a (mod m) with sign tracking. *)
+  let rec go r_old s_old neg_old r s neg =
+    if is_zero r then
+      if equal r_old one then
+        Some (if neg_old then sub m (rem s_old m) else rem s_old m)
+      else None
+    else begin
+      let q, r' = divmod r_old r in
+      (* s' = s_old - q * s, with signs. *)
+      let qs = mul q s in
+      let s', neg' =
+        if neg_old = neg then
+          if compare s_old qs >= 0 then (sub s_old qs, neg_old) else (sub qs s_old, not neg_old)
+        else (add s_old qs, neg_old)
+      in
+      go r s neg r' s' neg'
+    end
+  in
+  let a = rem a m in
+  if is_zero a then None else go m zero false a one false
+
+(* Big-endian byte-string conversions (the TPM wire format for keys). *)
+let of_bytes_be (s : string) : t =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be (a : t) : string =
+  if is_zero a then "\x00"
+  else begin
+    let n = (num_bits a + 7) / 8 in
+    let out = Bytes.create n in
+    let v = ref a in
+    for i = n - 1 downto 0 do
+      let byte = match to_int_opt (rem !v (of_int 256)) with Some b -> b | None -> assert false in
+      Bytes.set out i (Char.chr byte);
+      v := shift_right !v 8
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+(* Fixed-width big-endian encoding, left-padded with zeros. *)
+let to_bytes_be_padded (a : t) ~width =
+  let s = to_bytes_be a in
+  let n = String.length s in
+  if n > width then invalid_arg "Bignum.to_bytes_be_padded: value too wide"
+  else String.make (width - n) '\x00' ^ s
+
+let to_hex a = Vtpm_util.Hex.encode (to_bytes_be a)
+
+(* Uniformly random value with exactly [bits] bits (top bit set). *)
+let random_bits rng ~bits =
+  if bits <= 0 then invalid_arg "Bignum.random_bits";
+  let nbytes = (bits + 7) / 8 in
+  let raw = Bytes.of_string (Vtpm_util.Rng.bytes rng nbytes) in
+  (* Clear excess high bits, then force the top bit. *)
+  let excess = (nbytes * 8) - bits in
+  let top = Char.code (Bytes.get raw 0) land (0xff lsr excess) in
+  let top = top lor (1 lsl (7 - excess)) in
+  Bytes.set raw 0 (Char.chr top);
+  of_bytes_be (Bytes.unsafe_to_string raw)
+
+(* Uniformly random in [lo, hi) by rejection. *)
+let random_range rng ~lo ~hi =
+  if compare lo hi >= 0 then invalid_arg "Bignum.random_range";
+  let span = sub hi lo in
+  let bits = num_bits span in
+  let rec draw () =
+    let nbytes = (bits + 7) / 8 in
+    let raw = Bytes.of_string (Vtpm_util.Rng.bytes rng nbytes) in
+    let excess = (nbytes * 8) - bits in
+    Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) land (0xff lsr excess)));
+    let v = of_bytes_be (Bytes.unsafe_to_string raw) in
+    if compare v span < 0 then add lo v else draw ()
+  in
+  draw ()
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71; 73; 79; 83; 89; 97 ]
+
+(* Miller–Rabin probabilistic primality test. *)
+let is_probable_prime ?(rounds = 16) rng (n : t) =
+  if compare n two < 0 then false
+  else if compare n (of_int 4) < 0 then true (* 2 and 3 *)
+  else if is_even n then false
+  else begin
+    let small_factor =
+      List.exists
+        (fun p ->
+          let p = of_int p in
+          compare p n < 0 && is_zero (rem n p))
+        small_primes
+    in
+    if small_factor then false
+    else begin
+      let n_minus_1 = sub n one in
+      (* n - 1 = d * 2^s with d odd *)
+      let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+      let d, s = split n_minus_1 0 in
+      let witness a =
+        let x = ref (mod_pow ~modulus:n a d) in
+        if equal !x one || equal !x n_minus_1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 1 to s - 1 do
+               x := mod_mul n !x !x;
+               if equal !x n_minus_1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      in
+      let rec rounds_left k =
+        if k = 0 then true
+        else begin
+          let a = random_range rng ~lo:two ~hi:n_minus_1 in
+          if witness a then false else rounds_left (k - 1)
+        end
+      in
+      rounds_left rounds
+    end
+  end
+
+(* Random probable prime of exactly [bits] bits. *)
+let random_prime rng ~bits =
+  let rec search () =
+    let cand = random_bits rng ~bits in
+    let cand = if is_even cand then add cand one else cand in
+    if is_probable_prime rng cand then cand else search ()
+  in
+  search ()

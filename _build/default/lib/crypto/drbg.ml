@@ -1,0 +1,28 @@
+(* Deterministic random bit generator in the style of Hash_DRBG
+   (NIST SP 800-90A, simplified): state is a SHA-256 chaining value that is
+   ratcheted on every generate call. The TPM engine's GetRandom and nonce
+   generation draw from a per-instance DRBG so TPM outputs are reproducible
+   for a given instance seed while remaining unpredictable without it. *)
+
+type t = { mutable v : string; mutable reseed_counter : int }
+
+let instantiate ~seed = { v = Sha256.digest ("drbg-init:" ^ seed); reseed_counter = 0 }
+
+let reseed t ~entropy =
+  t.v <- Sha256.digest ("drbg-reseed:" ^ t.v ^ entropy);
+  t.reseed_counter <- 0
+
+let generate t n =
+  let out = Buffer.create n in
+  let counter = ref 0 in
+  while Buffer.length out < n do
+    let block = Sha256.digest (Printf.sprintf "drbg-gen:%s:%d" t.v !counter) in
+    Buffer.add_string out block;
+    incr counter
+  done;
+  (* Ratchet forward so earlier outputs cannot be recomputed from state. *)
+  t.v <- Sha256.digest ("drbg-update:" ^ t.v);
+  t.reseed_counter <- t.reseed_counter + 1;
+  String.sub (Buffer.contents out) 0 n
+
+let generate_nonce t = generate t 20

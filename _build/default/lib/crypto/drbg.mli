@@ -1,0 +1,21 @@
+(** Deterministic random bit generator, Hash_DRBG style (simplified
+    NIST SP 800-90A).
+
+    The TPM engine's GetRandom and nonce generation draw from a
+    per-instance DRBG: outputs are reproducible for a given instance seed
+    while remaining unpredictable without it, and the state ratchets
+    forward so past outputs cannot be recomputed from captured state. *)
+
+type t = { mutable v : string; mutable reseed_counter : int }
+(** Exposed so TPM state serialization can persist the chaining value. *)
+
+val instantiate : seed:string -> t
+
+val reseed : t -> entropy:string -> unit
+(** Mix fresh entropy (TPM_StirRandom). *)
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] bytes and ratchets the state. *)
+
+val generate_nonce : t -> string
+(** 20 bytes, the TPM 1.2 nonce size. *)

@@ -1,0 +1,33 @@
+(* HMAC (RFC 2104), generic over a hash function given as digest + block
+   size. TPM 1.2 authorization sessions (OIAP/OSAP) prove knowledge of a
+   usage secret with HMAC-SHA1 over a digest of the command parameters. *)
+
+type hash = { digest : string -> string; block_size : int }
+
+let sha1 : hash = { digest = Sha1.digest; block_size = Sha1.block_size }
+let sha256 : hash = { digest = Sha256.digest; block_size = Sha256.block_size }
+
+let xor_pad key pad_byte block_size =
+  let out = Bytes.make block_size (Char.chr pad_byte) in
+  String.iteri
+    (fun i c -> Bytes.set out i (Char.chr (Char.code c lxor pad_byte)))
+    key;
+  Bytes.unsafe_to_string out
+
+let mac (h : hash) ~key (msg : string) : string =
+  let key = if String.length key > h.block_size then h.digest key else key in
+  let ipad = xor_pad key 0x36 h.block_size in
+  let opad = xor_pad key 0x5c h.block_size in
+  h.digest (opad ^ h.digest (ipad ^ msg))
+
+let sha1_mac ~key msg = mac sha1 ~key msg
+let sha256_mac ~key msg = mac sha256 ~key msg
+
+(* Constant-shape comparison: never short-circuits, so the comparison time
+   does not leak the position of the first mismatching byte. *)
+let equal_ct a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0

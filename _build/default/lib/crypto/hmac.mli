@@ -1,0 +1,21 @@
+(** HMAC (RFC 2104), generic over a hash function.
+
+    TPM 1.2 authorization sessions (OIAP/OSAP) prove knowledge of a usage
+    secret with HMAC-SHA1 over a digest of the command parameters. *)
+
+type hash = { digest : string -> string; block_size : int }
+
+val sha1 : hash
+val sha256 : hash
+
+val mac : hash -> key:string -> string -> string
+(** [mac h ~key msg] is HMAC over [msg]; keys longer than the hash block
+    are pre-hashed per the RFC. *)
+
+val sha1_mac : key:string -> string -> string
+val sha256_mac : key:string -> string -> string
+
+val equal_ct : string -> string -> bool
+(** Constant-shape comparison: never short-circuits, so timing does not
+    leak the position of the first mismatching byte. Use for all MAC and
+    credential comparisons. *)

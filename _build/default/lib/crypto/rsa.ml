@@ -1,0 +1,123 @@
+(* RSA over [Bignum], as the TPM 1.2 key hierarchy needs: storage keys wrap
+   child-key blobs, signing keys produce quotes. Padding follows the shape
+   of PKCS#1 v1.5 (type 01 for signatures, type 02 for encryption); the
+   security parameter defaults to 512-bit moduli so key generation and
+   signing stay fast inside tests and benchmarks — the monitor under study
+   is agnostic to key size.
+
+   Raw textbook exponentiation is never exposed; all entry points pad. *)
+
+type public = { n : Bignum.t; e : Bignum.t; bits : int }
+type key = { pub : public; d : Bignum.t; p : Bignum.t; q : Bignum.t }
+
+let default_e = Bignum.of_int 65537
+let modulus_bytes pub = (pub.bits + 7) / 8
+
+let generate ?(bits = 512) (rng : Vtpm_util.Rng.t) : key =
+  if bits < 128 || bits mod 2 <> 0 then invalid_arg "Rsa.generate: bad modulus size";
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = Bignum.random_prime rng ~bits:half in
+    let q = Bignum.random_prime rng ~bits:half in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      if Bignum.num_bits n <> bits then attempt ()
+      else begin
+        let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+        match Bignum.mod_inverse ~modulus:phi default_e with
+        | None -> attempt ()
+        | Some d -> { pub = { n; e = default_e; bits }; d; p; q }
+      end
+    end
+  in
+  attempt ()
+
+(* --- PKCS#1 v1.5 style padding --------------------------------------- *)
+
+let pad_signature pub digest =
+  let k = modulus_bytes pub in
+  let dl = String.length digest in
+  if dl + 11 > k then invalid_arg "Rsa: digest too long for modulus";
+  (* 00 01 FF..FF 00 digest *)
+  "\x00\x01" ^ String.make (k - dl - 3) '\xff' ^ "\x00" ^ digest
+
+let pad_encrypt rng pub msg =
+  let k = modulus_bytes pub in
+  let ml = String.length msg in
+  if ml + 11 > k then invalid_arg "Rsa: message too long for modulus";
+  let ps = Bytes.create (k - ml - 3) in
+  for i = 0 to Bytes.length ps - 1 do
+    (* nonzero random padding *)
+    Bytes.set ps i (Char.chr (1 + Vtpm_util.Rng.int rng 255))
+  done;
+  "\x00\x02" ^ Bytes.unsafe_to_string ps ^ "\x00" ^ msg
+
+let unpad_encrypt (s : string) =
+  let k = String.length s in
+  if k < 11 || s.[0] <> '\x00' || s.[1] <> '\x02' then None
+  else begin
+    match String.index_from_opt s 2 '\x00' with
+    | Some sep when sep >= 10 -> Some (String.sub s (sep + 1) (k - sep - 1))
+    | _ -> None
+  end
+
+(* --- Core operations --------------------------------------------------- *)
+
+let sign (key : key) ~(digest : string) : string =
+  let em = pad_signature key.pub digest in
+  let m = Bignum.of_bytes_be em in
+  let s = Bignum.mod_pow ~modulus:key.pub.n m key.d in
+  Bignum.to_bytes_be_padded s ~width:(modulus_bytes key.pub)
+
+let verify (pub : public) ~(digest : string) ~(signature : string) : bool =
+  if String.length signature <> modulus_bytes pub then false
+  else begin
+    let s = Bignum.of_bytes_be signature in
+    if Bignum.compare s pub.n >= 0 then false
+    else begin
+      let em = Bignum.mod_pow ~modulus:pub.n s pub.e in
+      let expected = pad_signature pub digest in
+      Hmac.equal_ct (Bignum.to_bytes_be_padded em ~width:(modulus_bytes pub)) expected
+    end
+  end
+
+let encrypt rng (pub : public) (msg : string) : string =
+  let em = pad_encrypt rng pub msg in
+  let m = Bignum.of_bytes_be em in
+  let c = Bignum.mod_pow ~modulus:pub.n m pub.e in
+  Bignum.to_bytes_be_padded c ~width:(modulus_bytes pub)
+
+let decrypt (key : key) (cipher : string) : string option =
+  if String.length cipher <> modulus_bytes key.pub then None
+  else begin
+    let c = Bignum.of_bytes_be cipher in
+    if Bignum.compare c key.pub.n >= 0 then None
+    else begin
+      let m = Bignum.mod_pow ~modulus:key.pub.n c key.d in
+      unpad_encrypt (Bignum.to_bytes_be_padded m ~width:(modulus_bytes key.pub))
+    end
+  end
+
+(* --- Wire form (for storing public keys in TPM key blobs) -------------- *)
+
+let public_to_bytes (pub : public) : string =
+  let w = Vtpm_util.Codec.writer () in
+  Vtpm_util.Codec.write_u16 w pub.bits;
+  Vtpm_util.Codec.write_sized w (Bignum.to_bytes_be pub.n);
+  Vtpm_util.Codec.write_sized w (Bignum.to_bytes_be pub.e);
+  Vtpm_util.Codec.contents w
+
+let public_of_bytes (s : string) : public option =
+  match
+    let r = Vtpm_util.Codec.reader s in
+    let bits = Vtpm_util.Codec.read_u16 r in
+    let n = Bignum.of_bytes_be (Vtpm_util.Codec.read_sized r) in
+    let e = Bignum.of_bytes_be (Vtpm_util.Codec.read_sized r) in
+    { n; e; bits }
+  with
+  | pub -> Some pub
+  | exception Vtpm_util.Codec.Truncated _ -> None
+
+(* Stable fingerprint of a public key, used as key handle material. *)
+let fingerprint (pub : public) : string = Sha1.digest (public_to_bytes pub)

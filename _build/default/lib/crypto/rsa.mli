@@ -1,0 +1,50 @@
+(** RSA over {!Bignum}, as the TPM 1.2 key hierarchy needs: storage keys
+    wrap child-key blobs, signing keys produce quotes.
+
+    Padding follows PKCS#1 v1.5 (block type 01 for signatures, 02 for
+    encryption). Default modulus size is 512 bits so key generation and
+    signing stay fast inside tests and benchmarks — the access-control
+    monitor under study is agnostic to key size. Raw textbook
+    exponentiation is never exposed. *)
+
+type public = { n : Bignum.t; e : Bignum.t; bits : int }
+type key = { pub : public; d : Bignum.t; p : Bignum.t; q : Bignum.t }
+
+val default_e : Bignum.t
+(** 65537. *)
+
+val modulus_bytes : public -> int
+
+val generate : ?bits:int -> Vtpm_util.Rng.t -> key
+(** Fresh key with an exact [bits]-bit modulus (default 512).
+    @raise Invalid_argument for odd or tiny sizes. *)
+
+(** {1 Signatures} *)
+
+val sign : key -> digest:string -> string
+(** PKCS#1 v1.5 signature over [digest]; output is [modulus_bytes] wide. *)
+
+val verify : public -> digest:string -> signature:string -> bool
+(** Constant-shape comparison of the recovered encoding. *)
+
+(** {1 Encryption} *)
+
+val encrypt : Vtpm_util.Rng.t -> public -> string -> string
+(** Probabilistic (random nonzero padding). *)
+
+val decrypt : key -> string -> string option
+(** [None] on wrong width, range or padding. *)
+
+(** {1 Wire form} *)
+
+val public_to_bytes : public -> string
+val public_of_bytes : string -> public option
+
+val fingerprint : public -> string
+(** Stable SHA-1 of the wire form, used as key-handle material. *)
+
+(** {1 Padding internals, exposed for tests} *)
+
+val pad_signature : public -> string -> string
+val pad_encrypt : Vtpm_util.Rng.t -> public -> string -> string
+val unpad_encrypt : string -> string option

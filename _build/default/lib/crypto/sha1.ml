@@ -1,0 +1,134 @@
+(* SHA-1 (FIPS 180-4). TPM 1.2 is specified over SHA-1: PCRs are 20-byte
+   SHA-1 digests and all authorization HMACs use it, so the repo carries its
+   own implementation (no crypto library is vendored in this environment).
+
+   Implemented over int32 words with an incremental context so large vTPM
+   state images can be hashed in streaming fashion. *)
+
+type ctx = {
+  mutable h0 : int32;
+  mutable h1 : int32;
+  mutable h2 : int32;
+  mutable h3 : int32;
+  mutable h4 : int32;
+  buf : Bytes.t; (* pending partial block *)
+  mutable buf_len : int;
+  mutable total : int64; (* total message bytes *)
+}
+
+let digest_size = 20
+let block_size = 64
+
+let init () =
+  {
+    h0 = 0x67452301l;
+    h1 = 0xEFCDAB89l;
+    h2 = 0x98BADCFEl;
+    h3 = 0x10325476l;
+    h4 = 0xC3D2E1F0l;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+  }
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let w = Array.make 80 0l
+
+let process_block ctx (block : Bytes.t) off =
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl32 (Int32.logxor (Int32.logxor w.(i - 3) w.(i - 8)) (Int32.logxor w.(i - 14) w.(i - 16))) 1
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
+  let d = ref ctx.h3 and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+      else if i < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+      else if i < 60 then
+        ( Int32.logor
+            (Int32.logand !b !c)
+            (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+          0x8F1BBCDCl )
+      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+    in
+    let temp = Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(i) in
+    e := !d;
+    d := !c;
+    c := rotl32 !b 30;
+    b := !a;
+    a := temp
+  done;
+  ctx.h0 <- Int32.add ctx.h0 !a;
+  ctx.h1 <- Int32.add ctx.h1 !b;
+  ctx.h2 <- Int32.add ctx.h2 !c;
+  ctx.h3 <- Int32.add ctx.h3 !d;
+  ctx.h4 <- Int32.add ctx.h4 !e
+
+let feed ctx (s : string) =
+  ctx.total <- Int64.add ctx.total (Int64.of_int (String.length s));
+  let pos = ref 0 and len = String.length s in
+  (* Fill any pending partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min (block_size - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = block_size then begin
+      process_block ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= block_size do
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    process_block ctx ctx.buf 0;
+    pos := !pos + block_size
+  done;
+  if len - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  feed ctx "\x80";
+  while ctx.buf_len <> 56 do
+    feed ctx "\x00"
+  done;
+  let tail = Buffer.create 8 in
+  for i = 7 downto 0 do
+    Buffer.add_char tail
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * i)) land 0xff))
+  done;
+  feed ctx (Buffer.contents tail);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  let put i (v : int32) =
+    for j = 0 to 3 do
+      Bytes.set out ((4 * i) + j)
+        (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * (3 - j))) land 0xff))
+    done
+  in
+  put 0 ctx.h0;
+  put 1 ctx.h1;
+  put 2 ctx.h2;
+  put 3 ctx.h3;
+  put 4 ctx.h4;
+  Bytes.unsafe_to_string out
+
+let digest (s : string) : string =
+  let ctx = init () in
+  feed ctx s;
+  finalize ctx
+
+let hexdigest s = Vtpm_util.Hex.encode (digest s)

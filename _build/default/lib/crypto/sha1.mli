@@ -1,0 +1,30 @@
+(** SHA-1 (FIPS 180-4).
+
+    TPM 1.2 is specified over SHA-1: PCRs hold 20-byte SHA-1 digests and
+    authorization HMACs use it. Implemented in-repo because the build
+    environment vendors no crypto library. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val digest : string -> string
+(** One-shot digest; the result is [digest_size] raw bytes. *)
+
+val hexdigest : string -> string
+(** [digest] rendered in lowercase hex. *)
+
+(** {1 Incremental interface}
+
+    For hashing large vTPM state images in streaming fashion. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** Pads, finishes and returns the digest. The context must not be fed
+    afterwards. *)

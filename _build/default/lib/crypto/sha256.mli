@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for the hash-chained audit log and the state-sealing MAC, where a
+    longer digest than TPM 1.2's SHA-1 is appropriate. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val digest : string -> string
+val hexdigest : string -> string
+
+(** {1 Incremental interface} *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string

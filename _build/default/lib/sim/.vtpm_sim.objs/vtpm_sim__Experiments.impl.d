@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Fmt Host List Metrics Monitor Policy Printf String Table Tenant Vtpm_access Vtpm_mgr Vtpm_tpm Vtpm_util Workload

@@ -1,0 +1,1 @@
+lib/sim/table.ml: Buffer List Printf String

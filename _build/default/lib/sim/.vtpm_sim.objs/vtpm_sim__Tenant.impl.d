@@ -1,0 +1,1 @@
+lib/sim/tenant.ml: Fmt Host Printf Result Vtpm_access Vtpm_crypto Vtpm_tpm Vtpm_util

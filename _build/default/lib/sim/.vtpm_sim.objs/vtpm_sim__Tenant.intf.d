@@ -1,0 +1,1 @@
+lib/sim/tenant.mli: Vtpm_access Vtpm_tpm Vtpm_util

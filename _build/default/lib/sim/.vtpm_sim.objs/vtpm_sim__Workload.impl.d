@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Hashtbl Host List Metrics Option Printf Tenant Vtpm_access Vtpm_mgr Vtpm_util Vtpm_xen

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Metrics Tenant Vtpm_access Vtpm_util

@@ -1,0 +1,43 @@
+(** The reproduced evaluation: one function per table/figure (see
+    DESIGN.md, "Reconstructed evaluation"). Each returns raw data plus a
+    rendered text block; [bench/main.exe] prints them and EXPERIMENTS.md
+    records them. Latencies are simulated microseconds — deterministic
+    and machine-independent. *)
+
+type table1_row = {
+  op : Tenant.op;
+  baseline_us : float;
+  improved_us : float;
+  overhead_pct : float;
+}
+
+val table1 : ?reps:int -> unit -> table1_row list * string
+(** Per-command latency, baseline vs improved. *)
+
+type table3_row = { operation : string; baseline_us : float; improved_us : float }
+
+val inflate_state : Tenant.t -> kib:int -> unit
+(** Grow a tenant's vTPM state by [kib] KiB of NV data (for the size
+    sweeps). *)
+
+val table3 : ?state_kib:int -> unit -> table3_row list * string
+(** Lifecycle costs: create+attach, state save, state resume. *)
+
+val fig1 :
+  ?vm_counts:int list -> ?total_ops:int -> unit -> (string * (float * float) list) list * string
+(** Aggregate throughput vs number of VMs. A constant total op count with
+    a shared workload seed isolates per-VM effects from sampling noise. *)
+
+val fig2 :
+  ?rule_counts:int list -> ?reps:int -> unit -> (string * (float * float) list) list * string
+(** Per-request latency vs policy size, decision cache on/off. *)
+
+val fig3 : ?ops_per_tenant:int -> unit -> (string * Metrics.summary) list * string
+(** Mixed-workload latency distribution, both modes. *)
+
+val fig4 : ?state_kibs:int list -> unit -> (string * (float * float) list) list * string
+(** Migration time vs state size, plaintext vs protected. *)
+
+val fig5 : ?reps:int -> unit -> (string * float) list * string
+(** Ablation: which monitor feature (cache, audit) costs what on a cheap
+    command, against the no-monitor baseline. *)

@@ -1,0 +1,76 @@
+(* Latency/throughput metrics over simulated time.
+
+   Samples are microseconds of simulated time (from the host's cost
+   meter), so results are deterministic and machine-independent; the
+   Bechamel benches measure real wall-clock of the implementation
+   separately. *)
+
+type t = { mutable samples : float list; mutable count : int; mutable sum : float }
+
+let create () = { samples = []; count = 0; sum = 0.0 }
+
+let add t v =
+  t.samples <- v :: t.samples;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let sorted t = List.sort Float.compare t.samples |> Array.of_list
+
+(* Percentile with linear interpolation between closest ranks. *)
+let percentile_of (arr : float array) (p : float) =
+  let n = Array.length arr in
+  if n = 0 then 0.0
+  else if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank) |> Float.round) in
+    let lo = max 0 (min (n - 2) lo) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(lo + 1) -. arr.(lo)))
+  end
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize t : summary =
+  let arr = sorted t in
+  let n = Array.length arr in
+  {
+    n;
+    mean = mean t;
+    p50 = percentile_of arr 50.0;
+    p90 = percentile_of arr 90.0;
+    p99 = percentile_of arr 99.0;
+    max = (if n = 0 then 0.0 else arr.(n - 1));
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus" s.n s.mean s.p50
+    s.p90 s.p99 s.max
+
+(* Empirical CDF points (value, cumulative fraction), decimated to at most
+   [points] entries for plotting. *)
+let cdf ?(points = 50) t : (float * float) list =
+  let arr = sorted t in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let step = max 1 (n / points) in
+    let acc = ref [] in
+    let i = ref (step - 1) in
+    while !i < n do
+      acc := (arr.(!i), float_of_int (!i + 1) /. float_of_int n) :: !acc;
+      i := !i + step
+    done;
+    if (n - 1) mod step <> 0 then acc := (arr.(n - 1), 1.0) :: !acc;
+    List.rev !acc
+  end

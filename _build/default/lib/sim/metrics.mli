@@ -1,0 +1,24 @@
+(** Latency/throughput metrics over simulated time.
+
+    Samples are simulated microseconds (from the host cost meter), so
+    results are deterministic and machine-independent; Bechamel measures
+    real wall-clock separately. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val percentile_of : float array -> float -> float
+(** Percentile of a sorted array, linear interpolation between ranks. *)
+
+type summary = { n : int; mean : float; p50 : float; p90 : float; p99 : float; max : float }
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val cdf : ?points:int -> t -> (float * float) list
+(** Empirical CDF [(value, cumulative fraction)], decimated to at most
+    [points] entries. *)

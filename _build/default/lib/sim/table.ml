@@ -1,0 +1,53 @@
+(* Plain-text table and series rendering shared by the bench harness and
+   the examples — the same fixed-width style the paper's tables would
+   print. *)
+
+let hr widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let fmt_cell width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~title ~header ~(rows : string list list) : string =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  let line row = String.concat " | " (List.map2 fmt_cell widths row) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (hr widths ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.contents buf
+
+(* A figure as a printed series: x, one column per line. *)
+let render_series ~title ~x_label ~(series : (string * (float * float) list) list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let header = x_label :: List.map fst series in
+  let xs =
+    match series with
+    | [] -> []
+    | (_, pts) :: _ -> List.map fst pts
+  in
+  let rows =
+    List.mapi
+      (fun i x ->
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun (_, pts) ->
+               match List.nth_opt pts i with
+               | Some (_, y) -> Printf.sprintf "%.2f" y
+               | None -> "-")
+             series)
+      xs
+  in
+  Buffer.add_string buf (render ~title:"" ~header ~rows);
+  Buffer.contents buf
+
+let us_str v = Printf.sprintf "%.1f" v
+let pct_str v = Printf.sprintf "%+.1f%%" v

@@ -1,0 +1,13 @@
+(** Plain-text table and series rendering shared by the bench harness and
+    the examples. *)
+
+val render : title:string -> header:string list -> rows:string list list -> string
+(** Fixed-width table with a separator under the header. *)
+
+val render_series :
+  title:string -> x_label:string -> series:(string * (float * float) list) list -> string
+(** A figure as a printed series: one x column, one column per series. All
+    series must share x values. *)
+
+val us_str : float -> string
+val pct_str : float -> string

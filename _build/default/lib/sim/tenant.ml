@@ -1,0 +1,137 @@
+(* A tenant: a guest prepared for realistic vTPM use — owned vTPM, loaded
+   signing key, a sealed secret — plus per-operation drivers that measure
+   simulated latency. The workload generator composes these. *)
+
+open Vtpm_access
+
+type t = {
+  guest : Host.guest;
+  client : Vtpm_tpm.Client.t;
+  srk_auth : string;
+  owner_auth : string;
+  sign_key : int; (* loaded signing key handle *)
+  sign_key_auth : string;
+  mutable sealed_blob : string;
+  blob_auth : string;
+  rng : Vtpm_util.Rng.t;
+}
+
+exception Setup_failed of string
+
+let unwrap what = function
+  | Ok v -> v
+  | Error e -> raise (Setup_failed (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e))
+
+(* Provision a fresh tenant on [host]. *)
+let setup (host : Host.t) ~name ~label : t =
+  let guest =
+    match Host.create_guest host ~name ~label () with
+    | Ok g -> g
+    | Error e -> raise (Setup_failed ("create_guest: " ^ e))
+  in
+  let client = Host.guest_client host guest in
+  let tag s = Vtpm_crypto.Sha1.digest (name ^ ":" ^ s) in
+  let owner_auth = tag "owner" and srk_auth = tag "srk" in
+  let _ = unwrap "measure" (Vtpm_tpm.Client.measure client ~pcr:10 ~event:(name ^ "-boot")) in
+  let _ = unwrap "take_ownership" (Vtpm_tpm.Client.take_ownership client ~owner_auth ~srk_auth) in
+  let sign_key_auth = tag "signkey" in
+  let sess =
+    unwrap "osap"
+      (Vtpm_tpm.Client.start_osap client ~entity_handle:Vtpm_tpm.Types.kh_srk
+         ~usage_secret:srk_auth)
+  in
+  let blob, _pub =
+    unwrap "create_key"
+      (Vtpm_tpm.Client.create_wrap_key client sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:sign_key_auth ())
+  in
+  let sign_key =
+    unwrap "load_key"
+      (Vtpm_tpm.Client.load_key2 ~continue:false client sess ~parent:Vtpm_tpm.Types.kh_srk ~blob)
+  in
+  let blob_auth = tag "blob" in
+  let sess2 = unwrap "oiap" (Vtpm_tpm.Client.start_oiap client ~usage_secret:srk_auth) in
+  let sealed_blob =
+    unwrap "seal"
+      (Vtpm_tpm.Client.seal ~continue:false client sess2 ~key:Vtpm_tpm.Types.kh_srk
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [])
+         ~blob_auth ~data:(name ^ "-secret-material"))
+  in
+  {
+    guest;
+    client;
+    srk_auth;
+    owner_auth;
+    sign_key;
+    sign_key_auth;
+    sealed_blob;
+    blob_auth;
+    rng = Vtpm_util.Rng.create ~seed:(guest.Host.domid * 31 + 17);
+  }
+
+(* --- Operations -------------------------------------------------------------
+
+   Each op returns [Ok ()] or the failure; the driver measures the
+   simulated time around the call. Denials surface as [Error]. *)
+
+type op = Op_extend | Op_pcr_read | Op_random | Op_seal | Op_unseal | Op_quote | Op_sign
+
+let op_name = function
+  | Op_extend -> "extend"
+  | Op_pcr_read -> "pcr_read"
+  | Op_random -> "get_random"
+  | Op_seal -> "seal"
+  | Op_unseal -> "unseal"
+  | Op_quote -> "quote"
+  | Op_sign -> "sign"
+
+let all_ops = [ Op_extend; Op_pcr_read; Op_random; Op_seal; Op_unseal; Op_quote; Op_sign ]
+
+let run_op (t : t) (op : op) : (unit, string) result =
+  let lift what r = Result.map_error (fun e -> Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e) (Result.map ignore r) in
+  match op with
+  | Op_extend ->
+      lift "extend"
+        (Vtpm_tpm.Client.measure t.client ~pcr:(10 + Vtpm_util.Rng.int t.rng 4)
+           ~event:(Printf.sprintf "event-%d" (Vtpm_util.Rng.int t.rng 1000)))
+  | Op_pcr_read -> lift "pcr_read" (Vtpm_tpm.Client.pcr_read t.client ~pcr:(Vtpm_util.Rng.int t.rng 16))
+  | Op_random -> lift "random" (Vtpm_tpm.Client.get_random t.client ~length:32)
+  | Op_seal -> (
+      match Vtpm_tpm.Client.start_oiap t.client ~usage_secret:t.srk_auth with
+      | Error e -> Error (Fmt.str "oiap: %a" Vtpm_tpm.Client.pp_error e)
+      | Ok sess -> (
+          match
+            Vtpm_tpm.Client.seal ~continue:false t.client sess ~key:Vtpm_tpm.Types.kh_srk
+              ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [])
+              ~blob_auth:t.blob_auth
+              ~data:(Vtpm_util.Rng.bytes t.rng 64)
+          with
+          | Ok blob ->
+              t.sealed_blob <- blob;
+              Ok ()
+          | Error e -> Error (Fmt.str "seal: %a" Vtpm_tpm.Client.pp_error e)))
+  | Op_unseal -> (
+      match
+        ( Vtpm_tpm.Client.start_oiap t.client ~usage_secret:t.srk_auth,
+          Vtpm_tpm.Client.start_oiap t.client ~usage_secret:t.blob_auth )
+      with
+      | Ok ks, Ok ds ->
+          lift "unseal"
+            (Vtpm_tpm.Client.unseal t.client ~key_session:ks ~data_session:ds
+               ~key:Vtpm_tpm.Types.kh_srk ~blob:t.sealed_blob)
+      | Error e, _ | _, Error e -> Error (Fmt.str "oiap: %a" Vtpm_tpm.Client.pp_error e))
+  | Op_quote -> (
+      match Vtpm_tpm.Client.start_oiap t.client ~usage_secret:t.sign_key_auth with
+      | Error e -> Error (Fmt.str "oiap: %a" Vtpm_tpm.Client.pp_error e)
+      | Ok sess ->
+          lift "quote"
+            (Vtpm_tpm.Client.quote ~continue:false t.client sess ~key:t.sign_key
+               ~external_data:(Vtpm_util.Rng.bytes t.rng 20)
+               ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 0; 10 ])))
+  | Op_sign -> (
+      match Vtpm_tpm.Client.start_oiap t.client ~usage_secret:t.sign_key_auth with
+      | Error e -> Error (Fmt.str "oiap: %a" Vtpm_tpm.Client.pp_error e)
+      | Ok sess ->
+          lift "sign"
+            (Vtpm_tpm.Client.sign ~continue:false t.client sess ~key:t.sign_key
+               ~digest:(Vtpm_crypto.Sha1.digest (Vtpm_util.Rng.bytes t.rng 64))))

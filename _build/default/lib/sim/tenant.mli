@@ -1,0 +1,32 @@
+(** A tenant: a guest provisioned for realistic vTPM use — owned vTPM,
+    loaded signing key, a sealed secret — plus per-operation drivers. The
+    workload generator composes these. *)
+
+type t = {
+  guest : Vtpm_access.Host.guest;
+  client : Vtpm_tpm.Client.t;
+  srk_auth : string;
+  owner_auth : string;
+  sign_key : int;
+  sign_key_auth : string;
+  mutable sealed_blob : string;
+  blob_auth : string;
+  rng : Vtpm_util.Rng.t;
+}
+
+exception Setup_failed of string
+
+val setup : Vtpm_access.Host.t -> name:string -> label:string -> t
+(** Provision a fresh tenant: create the guest, measure boot, take
+    ownership, create+load a signing key, seal a secret.
+    @raise Setup_failed when any step is denied or fails. *)
+
+type op = Op_extend | Op_pcr_read | Op_random | Op_seal | Op_unseal | Op_quote | Op_sign
+
+val op_name : op -> string
+val all_ops : op list
+
+val run_op : t -> op -> (unit, string) result
+(** Execute one operation through the tenant's split-driver client,
+    including any session setup it needs. Monitor denials surface as
+    [Error] (or {!Vtpm_mgr.Driver.Denied} from the transport). *)

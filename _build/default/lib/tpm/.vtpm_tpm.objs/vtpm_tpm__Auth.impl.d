@@ -1,0 +1,1 @@
+lib/tpm/auth.ml: Drbg Hashtbl Hmac Types Vtpm_crypto

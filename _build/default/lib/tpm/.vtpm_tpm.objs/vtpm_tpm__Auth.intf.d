@@ -1,0 +1,1 @@
+lib/tpm/auth.mli: Vtpm_crypto

@@ -1,0 +1,1 @@
+lib/tpm/client.ml: Auth Cmd Fmt Hmac Result Sha1 String Types Vtpm_crypto Vtpm_util Wire

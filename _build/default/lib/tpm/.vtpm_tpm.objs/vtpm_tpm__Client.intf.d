@@ -1,0 +1,1 @@
+lib/tpm/client.mli: Auth Cmd Format Types Vtpm_crypto

@@ -1,0 +1,1 @@
+lib/tpm/cmd.ml: Auth Types Vtpm_crypto Vtpm_util

@@ -1,0 +1,1 @@
+lib/tpm/engine.ml: Auth Cmd Drbg Hashtbl Keystore List Nvram Pcr Printf Result Rsa Sha1 Stdlib String Types Vtpm_crypto Vtpm_util

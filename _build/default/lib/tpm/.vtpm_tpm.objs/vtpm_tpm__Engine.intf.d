@@ -1,0 +1,1 @@
+lib/tpm/engine.mli: Auth Cmd Hashtbl Keystore Nvram Pcr Types Vtpm_crypto Vtpm_util

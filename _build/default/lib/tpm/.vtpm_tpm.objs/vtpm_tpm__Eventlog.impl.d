@@ -1,0 +1,1 @@
+lib/tpm/eventlog.ml: Fmt List Pcr Printf String Types Vtpm_crypto Vtpm_util

@@ -1,0 +1,1 @@
+lib/tpm/eventlog.mli: Format Pcr Types

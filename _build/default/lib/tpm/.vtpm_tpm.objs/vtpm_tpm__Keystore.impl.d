@@ -1,0 +1,1 @@
+lib/tpm/keystore.ml: Bignum Hashtbl Hmac Rsa Sha1 String Types Vtpm_crypto Vtpm_util Xtea

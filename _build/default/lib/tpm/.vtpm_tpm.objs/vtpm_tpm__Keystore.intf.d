@@ -1,0 +1,1 @@
+lib/tpm/keystore.mli: Hashtbl Types Vtpm_crypto

@@ -1,0 +1,1 @@
+lib/tpm/nvram.ml: Bytes Hashtbl List Stdlib String Types Vtpm_util

@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array List Sha1 String Types Vtpm_crypto Vtpm_util

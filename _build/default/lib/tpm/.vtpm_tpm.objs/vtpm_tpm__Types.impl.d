@@ -1,0 +1,1 @@
+lib/tpm/types.ml: Bytes Char List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/tpm/wire.ml: Auth Cmd List Option Printf String Types Vtpm_crypto Vtpm_util

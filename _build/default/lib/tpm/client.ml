@@ -1,0 +1,229 @@
+(* Client-side TPM driver.
+
+   Wraps an arbitrary byte transport (a function from request bytes to
+   response bytes — in the full stack this is the vTPM frontend ring, in
+   unit tests a direct call into an engine) and takes care of the
+   authorization choreography: opening OIAP/OSAP sessions, computing the
+   per-command HMAC proof and tracking the rolling nonceEven.
+
+   This mirrors what a guest's TSS (TrouSerS-style stack) does above
+   /dev/tpm. *)
+
+open Vtpm_crypto
+
+type transport = string -> string
+
+type t = {
+  transport : transport;
+  nonce_rng : Vtpm_util.Rng.t; (* client-side nonceOdd source *)
+}
+
+type error = Tpm of int | Transport of string
+
+let pp_error ppf = function
+  | Tpm rc -> Fmt.pf ppf "TPM rc=0x%x" rc
+  | Transport m -> Fmt.pf ppf "transport: %s" m
+
+let create ?(seed = 0x5eed) transport = { transport; nonce_rng = Vtpm_util.Rng.create ~seed }
+
+let exchange t (req : Cmd.request) : (Cmd.response, error) result =
+  match t.transport (Wire.encode_request req) with
+  | exception Failure m -> Error (Transport m)
+  | bytes -> (
+      match Wire.decode_response bytes with
+      | exception Wire.Malformed m -> Error (Transport m)
+      | resp -> if resp.rc = Types.tpm_success then Ok resp else Error (Tpm resp.rc))
+
+let expect_body (f : Cmd.response_body -> 'a option) resp : ('a, error) result =
+  match f resp.Cmd.body with
+  | Some v -> Ok v
+  | None -> Error (Transport "unexpected response body")
+
+let ( let* ) = Result.bind
+
+(* --- Unauthorized commands ---------------------------------------------- *)
+
+let startup t ty =
+  let* _ = exchange t (Cmd.Startup ty) in
+  Ok ()
+
+let extend t ~pcr ~digest =
+  let* resp = exchange t (Cmd.Extend { pcr; digest }) in
+  expect_body (function Cmd.R_extend { new_value } -> Some new_value | _ -> None) resp
+
+(* Extend with the hash of arbitrary event data (the usual measured-boot
+   pattern: the caller logs the event, the TPM folds its digest). *)
+let measure t ~pcr ~event = extend t ~pcr ~digest:(Sha1.digest event)
+
+let pcr_read t ~pcr =
+  let* resp = exchange t (Cmd.Pcr_read { pcr }) in
+  expect_body (function Cmd.R_pcr_value v -> Some v | _ -> None) resp
+
+let get_random t ~length =
+  let* resp = exchange t (Cmd.Get_random { length }) in
+  expect_body (function Cmd.R_random v -> Some v | _ -> None) resp
+
+let read_pubek t =
+  let* resp = exchange t Cmd.Read_pubek in
+  expect_body (function Cmd.R_pubkey p -> Some p | _ -> None) resp
+
+let take_ownership t ~owner_auth ~srk_auth =
+  let* resp = exchange t (Cmd.Take_ownership { owner_auth; srk_auth }) in
+  expect_body (function Cmd.R_pubkey p -> Some p | _ -> None) resp
+
+let save_state t =
+  let* resp = exchange t Cmd.Save_state in
+  expect_body (function Cmd.R_saved_state s -> Some s | _ -> None) resp
+
+(* --- Sessions -------------------------------------------------------------- *)
+
+type session = { handle : int; mutable nonce_even : string; key : string }
+
+let start_oiap t ~usage_secret =
+  let* resp = exchange t Cmd.Oiap in
+  let* handle, nonce_even =
+    expect_body
+      (function Cmd.R_session { handle; nonce_even; _ } -> Some (handle, nonce_even) | _ -> None)
+      resp
+  in
+  Ok { handle; nonce_even; key = usage_secret }
+
+let start_osap t ~entity_handle ~usage_secret =
+  let nonce_odd_osap = Vtpm_util.Rng.bytes t.nonce_rng Types.digest_size in
+  let* resp = exchange t (Cmd.Osap { entity_handle; nonce_odd_osap }) in
+  let* handle, nonce_even, nonce_even_osap =
+    expect_body
+      (function
+        | Cmd.R_session { handle; nonce_even; nonce_even_osap = Some osap } ->
+            Some (handle, nonce_even, osap)
+        | _ -> None)
+      resp
+  in
+  let shared = Hmac.sha1_mac ~key:usage_secret (nonce_even_osap ^ nonce_odd_osap) in
+  Ok { handle; nonce_even; key = shared }
+
+(* Build the proof for [make_req], send, and roll the session nonce from
+   the response. [make_req] receives the proof because the request variant
+   embeds it. *)
+let authorized ?(continue = true) t (session : session) ~(make_req : Auth.proof -> Cmd.request)
+    : (Cmd.response, error) result =
+  let nonce_odd = Vtpm_util.Rng.bytes t.nonce_rng Types.digest_size in
+  (* param_digest does not depend on the proof, so probe with a dummy. *)
+  let dummy =
+    {
+      Auth.handle = session.handle;
+      nonce_odd;
+      continue;
+      hmac = String.make Types.digest_size '\x00';
+    }
+  in
+  let param_digest = Cmd.param_digest (make_req dummy) in
+  let proof =
+    Auth.make_proof ~key:session.key ~handle:session.handle ~nonce_even:session.nonce_even
+      ~nonce_odd ~continue ~param_digest
+  in
+  let* resp = exchange t (make_req proof) in
+  (match resp.Cmd.nonce_even with Some n -> session.nonce_even <- n | None -> ());
+  Ok resp
+
+(* --- Authorized convenience wrappers -------------------------------------- *)
+
+let create_wrap_key t session ~parent ~usage ~key_auth ?(migratable = false)
+    ?(pcr_bound = Types.Pcr_selection.of_list []) ?continue () =
+  let* resp =
+    authorized ?continue t session ~make_req:(fun auth ->
+        Cmd.Create_wrap_key { parent; usage; key_auth; migratable; pcr_bound; auth })
+  in
+  expect_body
+    (function Cmd.R_key_blob { blob; pubkey } -> Some (blob, pubkey) | _ -> None)
+    resp
+
+let load_key2 ?continue t session ~parent ~blob =
+  let* resp =
+    authorized ?continue t session ~make_req:(fun auth -> Cmd.Load_key2 { parent; blob; auth })
+  in
+  expect_body (function Cmd.R_key_handle h -> Some h | _ -> None) resp
+
+let seal ?continue t session ~key ~pcr_sel ~blob_auth ~data =
+  let* resp =
+    authorized ?continue t session ~make_req:(fun auth ->
+        Cmd.Seal { key; pcr_sel; blob_auth; data; auth })
+  in
+  expect_body (function Cmd.R_sealed s -> Some s | _ -> None) resp
+
+(* Unseal needs two live sessions: one proving the key secret, one the
+   blob secret. Both proofs must verify against the *same* request digest. *)
+let unseal t ~(key_session : session) ~(data_session : session) ~key ~blob =
+  let probe_req =
+    let dummy =
+      {
+        Auth.handle = 0;
+        nonce_odd = String.make Types.digest_size '\x00';
+        continue = true;
+        hmac = String.make Types.digest_size '\x00';
+      }
+    in
+    Cmd.Unseal { key; blob; key_auth = dummy; data_auth = dummy }
+  in
+  let param_digest = Cmd.param_digest probe_req in
+  let proof_of ~continue (s : session) =
+    let nonce_odd = Vtpm_util.Rng.bytes t.nonce_rng Types.digest_size in
+    Auth.make_proof ~key:s.key ~handle:s.handle ~nonce_even:s.nonce_even ~nonce_odd ~continue
+      ~param_digest
+  in
+  let key_auth = proof_of ~continue:false key_session in
+  (* The single-nonce response can only roll one session; end the data
+     session here so it cannot go stale. *)
+  let data_auth = proof_of ~continue:false data_session in
+  let* resp = exchange t (Cmd.Unseal { key; blob; key_auth; data_auth }) in
+  (* Only the key session's nonce is rolled in the single-nonce response
+     encoding; restart the data session for further use. *)
+  (match resp.Cmd.nonce_even with Some n -> key_session.nonce_even <- n | None -> ());
+  expect_body (function Cmd.R_unsealed d -> Some d | _ -> None) resp
+
+(* NV operations. A [session] against the owner secret is required once
+   the TPM has an owner; unowned TPMs accept unauthenticated NV ops. *)
+let nv_define t ?session ?continue ~index ~size ~attrs () =
+  let* resp =
+    match session with
+    | Some s ->
+        authorized ?continue t s ~make_req:(fun auth ->
+            Cmd.Nv_define_space { index; size; attrs; auth = Some auth })
+    | None -> exchange t (Cmd.Nv_define_space { index; size; attrs; auth = None })
+  in
+  expect_body (function Cmd.R_ok -> Some () | _ -> None) resp
+
+let nv_write t ?session ?continue ~index ~offset ~data () =
+  let* resp =
+    match session with
+    | Some s ->
+        authorized ?continue t s ~make_req:(fun auth ->
+            Cmd.Nv_write_value { index; offset; data; auth = Some auth })
+    | None -> exchange t (Cmd.Nv_write_value { index; offset; data; auth = None })
+  in
+  expect_body (function Cmd.R_ok -> Some () | _ -> None) resp
+
+let nv_read t ?session ?continue ~index ~offset ~length () =
+  let* resp =
+    match session with
+    | Some s ->
+        authorized ?continue t s ~make_req:(fun auth ->
+            Cmd.Nv_read_value { index; offset; length; auth = Some auth })
+    | None -> exchange t (Cmd.Nv_read_value { index; offset; length; auth = None })
+  in
+  expect_body (function Cmd.R_nv_data d -> Some d | _ -> None) resp
+
+let sign ?continue t session ~key ~digest =
+  let* resp = authorized ?continue t session ~make_req:(fun auth -> Cmd.Sign { key; digest; auth }) in
+  expect_body (function Cmd.R_signature s -> Some s | _ -> None) resp
+
+let quote ?continue t session ~key ~external_data ~pcr_sel =
+  let* resp =
+    authorized ?continue t session ~make_req:(fun auth ->
+        Cmd.Quote { key; external_data; pcr_sel; auth })
+  in
+  expect_body
+    (function
+      | Cmd.R_quote { composite; signature; sig_pubkey } -> Some (composite, signature, sig_pubkey)
+      | _ -> None)
+    resp

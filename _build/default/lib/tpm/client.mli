@@ -1,0 +1,136 @@
+(** Client-side TPM driver — what a guest's TSS stack does above
+    [/dev/tpm].
+
+    Wraps an arbitrary byte transport (the vTPM frontend ring in the full
+    stack, a direct engine call in unit tests) and performs the
+    authorization choreography: session setup, per-command HMAC proofs,
+    rolling-nonce tracking. *)
+
+type transport = string -> string
+(** Request bytes to response bytes. May raise; see {!error}. *)
+
+type t
+
+type error =
+  | Tpm of int  (** non-zero TPM result code *)
+  | Transport of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : ?seed:int -> transport -> t
+(** [seed] drives the client-side nonce generator. *)
+
+val exchange : t -> Cmd.request -> (Cmd.response, error) result
+(** One raw round trip; successful responses only ([rc = 0]). *)
+
+(** {1 Unauthorized commands} *)
+
+val startup : t -> Types.startup_type -> (unit, error) result
+val extend : t -> pcr:int -> digest:string -> (string, error) result
+
+val measure : t -> pcr:int -> event:string -> (string, error) result
+(** Extend with [SHA1(event)] — the usual measured-boot pattern. *)
+
+val pcr_read : t -> pcr:int -> (string, error) result
+val get_random : t -> length:int -> (string, error) result
+val read_pubek : t -> (Vtpm_crypto.Rsa.public, error) result
+
+val take_ownership : t -> owner_auth:string -> srk_auth:string -> (Vtpm_crypto.Rsa.public, error) result
+(** Returns the new SRK public key. *)
+
+val save_state : t -> (string, error) result
+
+(** {1 Sessions} *)
+
+type session = { handle : int; mutable nonce_even : string; key : string }
+
+val start_oiap : t -> usage_secret:string -> (session, error) result
+val start_osap : t -> entity_handle:int -> usage_secret:string -> (session, error) result
+
+val authorized :
+  ?continue:bool -> t -> session -> make_req:(Auth.proof -> Cmd.request) -> (Cmd.response, error) result
+(** Build the proof for the request produced by [make_req], send it and
+    roll the session nonce. [~continue:false] makes the session one-shot
+    (freed engine-side after the command). *)
+
+(** {1 Authorized convenience wrappers}
+
+    Each takes the session proving the relevant secret; [?continue] as in
+    {!authorized}. *)
+
+val create_wrap_key :
+  t ->
+  session ->
+  parent:int ->
+  usage:Types.key_usage ->
+  key_auth:string ->
+  ?migratable:bool ->
+  ?pcr_bound:Types.Pcr_selection.t ->
+  ?continue:bool ->
+  unit ->
+  (string * Vtpm_crypto.Rsa.public, error) result
+(** [(wrapped blob, public key)] of a fresh child key. *)
+
+val load_key2 : ?continue:bool -> t -> session -> parent:int -> blob:string -> (int, error) result
+
+val seal :
+  ?continue:bool ->
+  t ->
+  session ->
+  key:int ->
+  pcr_sel:Types.Pcr_selection.t ->
+  blob_auth:string ->
+  data:string ->
+  (string, error) result
+
+val unseal :
+  t -> key_session:session -> data_session:session -> key:int -> blob:string -> (string, error) result
+(** AUTH2 command: [key_session] proves the storage key's secret,
+    [data_session] the blob secret. The data session is consumed. *)
+
+val sign : ?continue:bool -> t -> session -> key:int -> digest:string -> (string, error) result
+
+val quote :
+  ?continue:bool ->
+  t ->
+  session ->
+  key:int ->
+  external_data:string ->
+  pcr_sel:Types.Pcr_selection.t ->
+  (string * string * Vtpm_crypto.Rsa.public, error) result
+(** [(composite, signature, public key)]. *)
+
+(** {1 NV storage}
+
+    A [session] against the owner secret is required once the TPM has an
+    owner; unowned TPMs accept unauthenticated NV operations. *)
+
+val nv_define :
+  t ->
+  ?session:session ->
+  ?continue:bool ->
+  index:int ->
+  size:int ->
+  attrs:Types.nv_attrs ->
+  unit ->
+  (unit, error) result
+
+val nv_write :
+  t ->
+  ?session:session ->
+  ?continue:bool ->
+  index:int ->
+  offset:int ->
+  data:string ->
+  unit ->
+  (unit, error) result
+
+val nv_read :
+  t ->
+  ?session:session ->
+  ?continue:bool ->
+  index:int ->
+  offset:int ->
+  length:int ->
+  unit ->
+  (string, error) result

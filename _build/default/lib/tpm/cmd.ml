@@ -1,0 +1,190 @@
+(* Structured TPM commands and responses.
+
+   The wire codec ([Codec]) maps these to/from TPM 1.2 byte format; the
+   engine ([Engine]) executes them. Authorization proofs ride alongside the
+   parameters exactly as in the spec's AUTH1/AUTH2 trailers. *)
+
+type request =
+  | Startup of Types.startup_type
+  | Self_test_full
+  | Get_capability of { cap : int; sub : int }
+  | Extend of { pcr : int; digest : string }
+  | Pcr_read of { pcr : int }
+  | Pcr_reset of { pcr : int }
+  | Get_random of { length : int }
+  | Stir_random of { data : string }
+  | Oiap
+  | Osap of { entity_handle : int; nonce_odd_osap : string }
+  | Take_ownership of { owner_auth : string; srk_auth : string }
+  | Owner_clear of { auth : Auth.proof }
+  | Force_clear
+  | Read_pubek
+  | Create_wrap_key of {
+      parent : int;
+      usage : Types.key_usage;
+      key_auth : string;
+      migratable : bool;
+      pcr_bound : Types.Pcr_selection.t;
+      auth : Auth.proof; (* parent usage auth *)
+    }
+  | Load_key2 of { parent : int; blob : string; auth : Auth.proof }
+  | Flush_specific of { handle : int }
+  | Seal of {
+      key : int; (* storage key *)
+      pcr_sel : Types.Pcr_selection.t;
+      blob_auth : string; (* secret required to unseal *)
+      data : string;
+      auth : Auth.proof;
+    }
+  | Unseal of { key : int; blob : string; key_auth : Auth.proof; data_auth : Auth.proof }
+  | Sign of { key : int; digest : string; auth : Auth.proof }
+  | Quote of {
+      key : int;
+      external_data : string; (* 20-byte anti-replay nonce *)
+      pcr_sel : Types.Pcr_selection.t;
+      auth : Auth.proof;
+    }
+  | Nv_define_space of { index : int; size : int; attrs : Types.nv_attrs; auth : Auth.proof option }
+  | Nv_write_value of { index : int; offset : int; data : string; auth : Auth.proof option }
+  | Nv_read_value of { index : int; offset : int; length : int; auth : Auth.proof option }
+  | Create_counter of { label : string; counter_auth : string; auth : Auth.proof }
+  | Increment_counter of { handle : int; auth : Auth.proof }
+  | Read_counter of { handle : int }
+  | Release_counter of { handle : int; auth : Auth.proof }
+  | Save_state
+
+type response_body =
+  | R_ok
+  | R_capability of string
+  | R_extend of { new_value : string }
+  | R_pcr_value of string
+  | R_random of string
+  | R_session of { handle : int; nonce_even : string; nonce_even_osap : string option }
+  | R_pubkey of Vtpm_crypto.Rsa.public
+  | R_key_blob of { blob : string; pubkey : Vtpm_crypto.Rsa.public }
+  | R_key_handle of int
+  | R_sealed of string
+  | R_unsealed of string
+  | R_signature of string
+  | R_quote of { composite : string; signature : string; sig_pubkey : Vtpm_crypto.Rsa.public }
+  | R_nv_data of string
+  | R_counter of { handle : int; label : string; value : int }
+  | R_saved_state of string
+
+type response = {
+  rc : int; (* TPM return code; 0 = success *)
+  body : response_body; (* meaningful iff rc = 0 *)
+  nonce_even : string option; (* fresh rolling nonce when an auth session was used *)
+}
+
+let ok ?nonce_even body = { rc = Types.tpm_success; body; nonce_even }
+let error rc = { rc; body = R_ok; nonce_even = None }
+
+(* The ordinal of a request, the monitor's primary classification input. *)
+let ordinal = function
+  | Startup _ -> Types.ord_startup
+  | Self_test_full -> Types.ord_self_test_full
+  | Get_capability _ -> Types.ord_get_capability
+  | Extend _ -> Types.ord_extend
+  | Pcr_read _ -> Types.ord_pcr_read
+  | Pcr_reset _ -> Types.ord_pcr_reset
+  | Get_random _ -> Types.ord_get_random
+  | Stir_random _ -> Types.ord_stir_random
+  | Oiap -> Types.ord_oiap
+  | Osap _ -> Types.ord_osap
+  | Take_ownership _ -> Types.ord_take_ownership
+  | Owner_clear _ -> Types.ord_owner_clear
+  | Force_clear -> Types.ord_force_clear
+  | Read_pubek -> Types.ord_read_pubek
+  | Create_wrap_key _ -> Types.ord_create_wrap_key
+  | Load_key2 _ -> Types.ord_load_key2
+  | Flush_specific _ -> Types.ord_flush_specific
+  | Seal _ -> Types.ord_seal
+  | Unseal _ -> Types.ord_unseal
+  | Sign _ -> Types.ord_sign
+  | Quote _ -> Types.ord_quote
+  | Nv_define_space _ -> Types.ord_nv_define_space
+  | Nv_write_value _ -> Types.ord_nv_write_value
+  | Nv_read_value _ -> Types.ord_nv_read_value
+  | Create_counter _ -> Types.ord_create_counter
+  | Increment_counter _ -> Types.ord_increment_counter
+  | Read_counter _ -> Types.ord_read_counter
+  | Release_counter _ -> Types.ord_release_counter
+  | Save_state -> Types.ord_save_state
+
+(* Digest of the auth-relevant parameters (TPM "1H" digest): SHA-1 over the
+   ordinal and the in-parameters excluding the auth trailer. Client and
+   engine both call this, so proofs computed by [Auth.make_proof] verify. *)
+let param_digest (req : request) : string =
+  let w = Vtpm_util.Codec.writer () in
+  Vtpm_util.Codec.write_u32_int w (ordinal req);
+  (match req with
+  | Startup t ->
+      Vtpm_util.Codec.write_u16 w
+        (match t with Types.St_clear -> 1 | Types.St_state -> 2 | Types.St_deactivated -> 3)
+  | Self_test_full | Oiap | Force_clear | Read_pubek | Save_state -> ()
+  | Get_capability { cap; sub } ->
+      Vtpm_util.Codec.write_u32_int w cap;
+      Vtpm_util.Codec.write_u32_int w sub
+  | Extend { pcr; digest } ->
+      Vtpm_util.Codec.write_u32_int w pcr;
+      Vtpm_util.Codec.write_bytes w digest
+  | Pcr_read { pcr } | Pcr_reset { pcr } -> Vtpm_util.Codec.write_u32_int w pcr
+  | Get_random { length } -> Vtpm_util.Codec.write_u32_int w length
+  | Stir_random { data } -> Vtpm_util.Codec.write_sized w data
+  | Osap { entity_handle; nonce_odd_osap } ->
+      Vtpm_util.Codec.write_u32_int w entity_handle;
+      Vtpm_util.Codec.write_bytes w nonce_odd_osap
+  | Take_ownership { owner_auth; srk_auth } ->
+      Vtpm_util.Codec.write_sized w owner_auth;
+      Vtpm_util.Codec.write_sized w srk_auth
+  | Owner_clear _ -> ()
+  | Create_wrap_key { parent; usage; key_auth; migratable; pcr_bound; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w parent;
+      Vtpm_util.Codec.write_u16 w (Types.key_usage_to_int usage);
+      Vtpm_util.Codec.write_sized w key_auth;
+      Vtpm_util.Codec.write_u8 w (if migratable then 1 else 0);
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap pcr_bound)
+  | Load_key2 { parent; blob; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w parent;
+      Vtpm_util.Codec.write_sized w blob
+  | Flush_specific { handle } -> Vtpm_util.Codec.write_u32_int w handle
+  | Seal { key; pcr_sel; blob_auth; data; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w key;
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap pcr_sel);
+      Vtpm_util.Codec.write_sized w blob_auth;
+      Vtpm_util.Codec.write_sized w data
+  | Unseal { key; blob; key_auth = _; data_auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w key;
+      Vtpm_util.Codec.write_sized w blob
+  | Sign { key; digest; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w key;
+      Vtpm_util.Codec.write_sized w digest
+  | Quote { key; external_data; pcr_sel; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w key;
+      Vtpm_util.Codec.write_bytes w external_data;
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap pcr_sel)
+  | Nv_define_space { index; size; attrs; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w index;
+      Vtpm_util.Codec.write_u32_int w size;
+      Vtpm_util.Codec.write_u8 w (if attrs.nv_owner_write then 1 else 0);
+      Vtpm_util.Codec.write_u8 w (if attrs.nv_owner_read then 1 else 0);
+      Vtpm_util.Codec.write_u8 w (if attrs.nv_write_once then 1 else 0);
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap attrs.nv_read_pcrs);
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap attrs.nv_write_pcrs)
+  | Nv_write_value { index; offset; data; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w index;
+      Vtpm_util.Codec.write_u32_int w offset;
+      Vtpm_util.Codec.write_sized w data
+  | Nv_read_value { index; offset; length; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w index;
+      Vtpm_util.Codec.write_u32_int w offset;
+      Vtpm_util.Codec.write_u32_int w length
+  | Create_counter { label; counter_auth; auth = _ } ->
+      Vtpm_util.Codec.write_sized w label;
+      Vtpm_util.Codec.write_sized w counter_auth
+  | Increment_counter { handle; auth = _ }
+  | Read_counter { handle }
+  | Release_counter { handle; auth = _ } ->
+      Vtpm_util.Codec.write_u32_int w handle);
+  Vtpm_crypto.Sha1.digest (Vtpm_util.Codec.contents w)

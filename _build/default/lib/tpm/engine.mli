@@ -1,0 +1,59 @@
+(** The TPM 1.2 engine: PCR bank, NV storage, key hierarchy, authorization
+    sessions and monotonic counters, executing structured commands at a
+    given locality.
+
+    One engine backs each vTPM instance; one more plays the hardware TPM
+    at the root of trust. All randomness flows from the per-instance DRBG
+    and key-generation RNG, both seeded at creation, so instances are
+    reproducible. *)
+
+type owner = { owner_auth : string; mutable srk : Keystore.material }
+type counter = { label : string; mutable value : int; counter_auth : string }
+
+type t = {
+  rsa_bits : int;
+  pcrs : Pcr.t;
+  nv : Nvram.t;
+  keys : Keystore.t;
+  sessions : Auth.t;
+  drbg : Vtpm_crypto.Drbg.t;
+  keygen_rng : Vtpm_util.Rng.t;
+  ek : Keystore.material;
+  mutable owner : owner option;
+  counters : (int, counter) Hashtbl.t;
+  mutable next_counter_handle : int;
+  mutable started : bool;
+}
+(** Concrete so the manager, migration and the attack harness (which
+    parses stolen state) can inspect engine internals. *)
+
+val create : ?rsa_bits:int -> seed:int -> unit -> t
+
+val execute : t -> locality:int -> Cmd.request -> Cmd.response
+(** Execute one command. Never raises; failures are TPM result codes in
+    the response. *)
+
+val has_owner : t -> bool
+val composite_now : t -> Types.Pcr_selection.t -> string
+val pcr_value : t -> int -> (string, int) result
+
+val find_key : t -> int -> (Keystore.material, int) result
+(** Resolve SRK/EK well-known handles or a transient handle. *)
+
+(** {1 Quote format} *)
+
+val quote_info : composite:string -> external_data:string -> string
+(** The TPM_QUOTE_INFO structure a quote signs. *)
+
+val verify_quote :
+  pubkey:Vtpm_crypto.Rsa.public -> composite:string -> external_data:string -> signature:string -> bool
+(** Verifier-side check of a quote produced by {!execute}. *)
+
+(** {1 Whole-TPM state (vTPM suspend / resume / migration)}
+
+    Serializes everything persistent plus loaded transient keys;
+    authorization sessions are deliberately dropped (TPM semantics:
+    sessions do not survive a save). *)
+
+val serialize_state : t -> string
+val deserialize_state : string -> (t, string) result

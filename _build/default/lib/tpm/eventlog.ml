@@ -1,0 +1,100 @@
+(* Measurement event log (TCG-style).
+
+   A PCR value alone is an opaque digest; attestation only becomes
+   meaningful when the attester also presents the *event log* — the
+   ordered list of (pcr, digest, description) entries it extended — and
+   the verifier replays it to reproduce the PCR state. This module is the
+   guest-side log; [Vtpm_access.Attestation] is the verifier. *)
+
+type event = {
+  pcr : int;
+  digest : string; (* the 20-byte value extended *)
+  event_type : int; (* TCG event type, e.g. EV_IPL = 13 *)
+  description : string; (* human-readable: file name, command line, ... *)
+}
+
+type t = { mutable events : event list (* newest first *) }
+
+(* Common TCG event types used by the examples. *)
+let ev_post_code = 0x01
+let ev_separator = 0x04
+let ev_action = 0x05
+let ev_ipl = 0x0D
+
+let create () = { events = [] }
+
+(* Record an event whose payload is [data]; returns the digest to extend.
+   Keeping the digest computation here guarantees log and PCR agree. *)
+let record t ~pcr ~event_type ~description ~data : string =
+  let digest = Vtpm_crypto.Sha1.digest data in
+  t.events <- { pcr; digest; event_type; description } :: t.events;
+  digest
+
+(* Record a pre-computed digest (when the caller hashed a large image
+   itself). *)
+let record_digest t ~pcr ~event_type ~description ~digest =
+  if String.length digest <> Types.digest_size then
+    invalid_arg "Eventlog.record_digest: digest must be 20 bytes";
+  t.events <- { pcr; digest; event_type; description } :: t.events
+
+let events t = List.rev t.events
+let length t = List.length t.events
+
+(* Replay the log into a fresh PCR bank: the PCR values a TPM that saw
+   exactly these extends would hold. Replay uses the maximum locality so
+   D-RTM registers can be replayed too. *)
+let replay t : Pcr.t =
+  let bank = Pcr.create () in
+  List.iter
+    (fun e ->
+      match Pcr.extend bank ~locality:4 e.pcr e.digest with
+      | Ok _ -> ()
+      | Error rc -> invalid_arg (Printf.sprintf "Eventlog.replay: extend failed rc=0x%x" rc))
+    (events t);
+  bank
+
+let expected_pcr t ~pcr : string =
+  match Pcr.read (replay t) pcr with
+  | Ok v -> v
+  | Error rc -> invalid_arg (Printf.sprintf "Eventlog.expected_pcr: rc=0x%x" rc)
+
+let expected_composite t (sel : Types.Pcr_selection.t) : string =
+  Pcr.composite_hash (replay t) sel
+
+(* --- Wire form (shipped to the verifier next to the quote) ------------------ *)
+
+let serialize (t : t) : string =
+  let w = Vtpm_util.Codec.writer () in
+  let evs = events t in
+  Vtpm_util.Codec.write_u32_int w (List.length evs);
+  List.iter
+    (fun e ->
+      Vtpm_util.Codec.write_u8 w e.pcr;
+      Vtpm_util.Codec.write_u32_int w e.event_type;
+      Vtpm_util.Codec.write_bytes w e.digest;
+      Vtpm_util.Codec.write_sized w e.description)
+    evs;
+  Vtpm_util.Codec.contents w
+
+let deserialize (s : string) : (t, string) result =
+  match
+    let r = Vtpm_util.Codec.reader s in
+    let n = Vtpm_util.Codec.read_u32_int r in
+    let events = ref [] in
+    for _ = 1 to n do
+      let pcr = Vtpm_util.Codec.read_u8 r in
+      let event_type = Vtpm_util.Codec.read_u32_int r in
+      let digest = Vtpm_util.Codec.read_bytes r Types.digest_size in
+      let description = Vtpm_util.Codec.read_sized r in
+      events := { pcr; digest; event_type; description } :: !events
+    done;
+    if not (Vtpm_util.Codec.eof r) then failwith "trailing bytes";
+    { events = !events }
+  with
+  | t -> Ok t
+  | exception Vtpm_util.Codec.Truncated m -> Error ("truncated event log: " ^ m)
+  | exception Failure m -> Error m
+
+let pp_event ppf e =
+  Fmt.pf ppf "PCR%-2d type=%02x %s %s" e.pcr e.event_type
+    (Vtpm_util.Hex.fingerprint e.digest) e.description

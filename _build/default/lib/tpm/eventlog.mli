@@ -1,0 +1,48 @@
+(** Measurement event log (TCG-style).
+
+    A PCR value alone is an opaque digest; attestation becomes meaningful
+    when the attester also presents the ordered list of events it extended
+    and the verifier replays it. This is the guest-side log;
+    [Vtpm_access.Attestation] is the verifier. *)
+
+type event = {
+  pcr : int;
+  digest : string;  (** the 20-byte value extended *)
+  event_type : int;  (** TCG event type *)
+  description : string;
+}
+
+(** Common TCG event types. *)
+
+val ev_post_code : int
+val ev_separator : int
+val ev_action : int
+val ev_ipl : int
+
+type t
+
+val create : unit -> t
+
+val record : t -> pcr:int -> event_type:int -> description:string -> data:string -> string
+(** Log an event over payload [data]; returns the digest to extend into
+    the TPM. Computing the digest here guarantees log and PCR agree. *)
+
+val record_digest : t -> pcr:int -> event_type:int -> description:string -> digest:string -> unit
+(** Log a pre-computed 20-byte digest.
+    @raise Invalid_argument on wrong digest size. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val length : t -> int
+
+val replay : t -> Pcr.t
+(** The PCR bank a TPM that saw exactly these extends would hold. *)
+
+val expected_pcr : t -> pcr:int -> string
+val expected_composite : t -> Types.Pcr_selection.t -> string
+
+val serialize : t -> string
+val deserialize : string -> (t, string) result
+
+val pp_event : Format.formatter -> event -> unit

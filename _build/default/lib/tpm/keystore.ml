@@ -1,0 +1,162 @@
+(* TPM key hierarchy.
+
+   Keys form a tree rooted at the Storage Root Key (SRK): a child key is
+   created under a loaded parent storage key and leaves the TPM only as a
+   *wrapped blob* — its private material encrypted and MACed under a wrap
+   secret derived from the parent's private key. LoadKey2 decrypts a blob
+   under the (loaded) parent and assigns a transient handle.
+
+   The Endorsement Key (EK) is generated at "manufacture" (engine
+   creation) and never leaves the TPM. *)
+
+open Vtpm_crypto
+
+type material = {
+  usage : Types.key_usage;
+  rsa : Rsa.key;
+  usage_auth : string; (* 20-byte usage secret *)
+  migratable : bool;
+  pcr_bound : Types.Pcr_selection.t; (* key only usable under these PCRs *)
+  pcr_digest_at_creation : string option;
+}
+
+type loaded = { material : material; parent : int (* parent handle *) }
+
+type t = {
+  handles : (int, loaded) Hashtbl.t;
+  mutable next_handle : int;
+  max_loaded : int;
+}
+
+let create ?(max_loaded = 16) () =
+  { handles = Hashtbl.create 8; next_handle = 0x01000000; max_loaded }
+
+let loaded_count t =
+  (* Transient keys only; well-known handles are tracked separately. *)
+  Hashtbl.length t.handles
+
+let insert t ~parent material =
+  if loaded_count t >= t.max_loaded then Error Types.tpm_resources
+  else begin
+    let h = t.next_handle in
+    t.next_handle <- t.next_handle + 1;
+    Hashtbl.replace t.handles h { material; parent };
+    Ok h
+  end
+
+let find t h =
+  match Hashtbl.find_opt t.handles h with
+  | Some l -> Ok l
+  | None -> Error Types.tpm_keynotfound
+
+let evict t h =
+  if Hashtbl.mem t.handles h then begin
+    Hashtbl.remove t.handles h;
+    Ok ()
+  end
+  else Error Types.tpm_keynotfound
+
+let clear t = Hashtbl.reset t.handles
+
+(* --- Key blob wrapping --------------------------------------------------- *)
+
+let serialize_material (m : material) : string =
+  let w = Vtpm_util.Codec.writer () in
+  Vtpm_util.Codec.write_u16 w (Types.key_usage_to_int m.usage);
+  Vtpm_util.Codec.write_u8 w (if m.migratable then 1 else 0);
+  Vtpm_util.Codec.write_sized w m.usage_auth;
+  Vtpm_util.Codec.write_sized w (Rsa.public_to_bytes m.rsa.pub);
+  Vtpm_util.Codec.write_sized w (Bignum.to_bytes_be m.rsa.d);
+  Vtpm_util.Codec.write_sized w (Bignum.to_bytes_be m.rsa.p);
+  Vtpm_util.Codec.write_sized w (Bignum.to_bytes_be m.rsa.q);
+  Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap m.pcr_bound);
+  (match m.pcr_digest_at_creation with
+  | None -> Vtpm_util.Codec.write_u8 w 0
+  | Some d ->
+      Vtpm_util.Codec.write_u8 w 1;
+      Vtpm_util.Codec.write_bytes w d);
+  Vtpm_util.Codec.contents w
+
+let deserialize_material (s : string) : (material, int) result =
+  match
+    let r = Vtpm_util.Codec.reader s in
+    let usage_int = Vtpm_util.Codec.read_u16 r in
+    let migratable = Vtpm_util.Codec.read_u8 r = 1 in
+    let usage_auth = Vtpm_util.Codec.read_sized r in
+    let pub_bytes = Vtpm_util.Codec.read_sized r in
+    let d = Bignum.of_bytes_be (Vtpm_util.Codec.read_sized r) in
+    let p = Bignum.of_bytes_be (Vtpm_util.Codec.read_sized r) in
+    let q = Bignum.of_bytes_be (Vtpm_util.Codec.read_sized r) in
+    let pcr_bound = Types.Pcr_selection.of_bitmap (Vtpm_util.Codec.read_sized r) in
+    let pcr_digest_at_creation =
+      if Vtpm_util.Codec.read_u8 r = 1 then Some (Vtpm_util.Codec.read_bytes r Types.digest_size)
+      else None
+    in
+    (usage_int, migratable, usage_auth, pub_bytes, d, p, q, pcr_bound, pcr_digest_at_creation)
+  with
+  | exception Vtpm_util.Codec.Truncated _ -> Error Types.tpm_bad_parameter
+  | usage_int, migratable, usage_auth, pub_bytes, d, p, q, pcr_bound, pcr_digest_at_creation -> (
+      match (Types.key_usage_of_int usage_int, Rsa.public_of_bytes pub_bytes) with
+      | Some usage, Some pub ->
+          Ok
+            {
+              usage;
+              migratable;
+              usage_auth;
+              rsa = { pub; d; p; q };
+              pcr_bound;
+              pcr_digest_at_creation;
+            }
+      | _ -> Error Types.tpm_bad_parameter)
+
+(* Authenticated-encryption envelope shared by key wrapping and sealed-data
+   blobs. Layout: nonce(8) || ciphertext || hmac-sha1(secret, nonce || ct).
+   [context] domain-separates the derived secret so a key blob can never be
+   presented as a sealed-data blob or vice versa. *)
+let envelope_secret (key : material) ~context =
+  Sha1.digest (context ^ ":" ^ Bignum.to_bytes_be key.rsa.d)
+
+let protect ~(key : material) ~context ~(nonce8 : string) (plain : string) : string =
+  assert (String.length nonce8 = 8);
+  let secret = envelope_secret key ~context in
+  let nonce_int =
+    let r = Vtpm_util.Codec.reader nonce8 in
+    Vtpm_util.Codec.read_u32_int r
+  in
+  let cipher =
+    Xtea.ctr_transform (Xtea.key_of_string (String.sub secret 0 16)) ~nonce:nonce_int plain
+  in
+  let mac = Hmac.sha1_mac ~key:secret (nonce8 ^ cipher) in
+  nonce8 ^ cipher ^ mac
+
+let unprotect ~(key : material) ~context (blob : string) : (string, int) result =
+  let n = String.length blob in
+  if n < 8 + Types.digest_size then Error Types.tpm_bad_parameter
+  else begin
+    let secret = envelope_secret key ~context in
+    let nonce8 = String.sub blob 0 8 in
+    let cipher = String.sub blob 8 (n - 8 - Types.digest_size) in
+    let mac = String.sub blob (n - Types.digest_size) Types.digest_size in
+    if not (Hmac.equal_ct mac (Hmac.sha1_mac ~key:secret (nonce8 ^ cipher))) then
+      Error Types.tpm_authfail
+    else begin
+      let nonce_int =
+        let r = Vtpm_util.Codec.reader nonce8 in
+        Vtpm_util.Codec.read_u32_int r
+      in
+      Ok (Xtea.ctr_transform (Xtea.key_of_string (String.sub secret 0 16)) ~nonce:nonce_int cipher)
+    end
+  end
+
+let wrap_context = "tpm-wrap-key"
+
+let wrap ~(parent : material) (child : material) : string =
+  (* Nonce from the child public key fingerprint: deterministic, unique per
+     child, and carries no secret. *)
+  let nonce8 = String.sub (Rsa.fingerprint child.rsa.pub) 0 8 in
+  protect ~key:parent ~context:wrap_context ~nonce8 (serialize_material child)
+
+let unwrap ~(parent : material) (blob : string) : (material, int) result =
+  match unprotect ~key:parent ~context:wrap_context blob with
+  | Error e -> Error e
+  | Ok plain -> deserialize_material plain

@@ -1,0 +1,56 @@
+(** TPM key hierarchy.
+
+    Keys form a tree rooted at the Storage Root Key: a child is created
+    under a loaded parent storage key and leaves the TPM only as a
+    *wrapped blob* — encrypted and MACed under a secret derived from the
+    parent's private key. The Endorsement Key is generated at manufacture
+    and never leaves. *)
+
+type material = {
+  usage : Types.key_usage;
+  rsa : Vtpm_crypto.Rsa.key;
+  usage_auth : string;  (** 20-byte usage secret *)
+  migratable : bool;
+  pcr_bound : Types.Pcr_selection.t;  (** key usable only under these PCRs *)
+  pcr_digest_at_creation : string option;
+}
+
+type loaded = { material : material; parent : int }
+
+type t = {
+  handles : (int, loaded) Hashtbl.t;
+  mutable next_handle : int;
+  max_loaded : int;
+}
+(** Concrete for whole-TPM state serialization. *)
+
+val create : ?max_loaded:int -> unit -> t
+val loaded_count : t -> int
+
+val insert : t -> parent:int -> material -> (int, int) result
+(** Assign a transient handle, or [TPM_RESOURCES] at capacity. *)
+
+val find : t -> int -> (loaded, int) result
+val evict : t -> int -> (unit, int) result
+val clear : t -> unit
+
+(** {1 Key material serialization} *)
+
+val serialize_material : material -> string
+val deserialize_material : string -> (material, int) result
+
+(** {1 Authenticated-encryption envelope}
+
+    Shared by key wrapping and sealed-data blobs. [context]
+    domain-separates the derived secret so a key blob can never be
+    presented as a sealed-data blob or vice versa. *)
+
+val protect : key:material -> context:string -> nonce8:string -> string -> string
+
+val unprotect : key:material -> context:string -> string -> (string, int) result
+(** MAC-checked decryption; [TPM_AUTHFAIL] on tamper or wrong key. *)
+
+val wrap : parent:material -> material -> string
+(** Child key blob under a parent storage key. *)
+
+val unwrap : parent:material -> string -> (material, int) result

@@ -1,0 +1,119 @@
+(* TPM non-volatile storage: indexed spaces with owner/PCR-gated access
+   and write-once locking, a subset of TPM 1.2 NV semantics sufficient for
+   the vTPM manager (which keeps per-instance metadata in NV) and for the
+   NV experiments. *)
+
+type space = {
+  attrs : Types.nv_attrs;
+  data : Bytes.t;
+  mutable locked : bool; (* set after first write when nv_write_once *)
+}
+
+type t = {
+  spaces : (int, space) Hashtbl.t;
+  mutable budget : int; (* total bytes still allocatable *)
+}
+
+let default_budget = 2 * 1024 * 1024
+
+let create ?(budget = default_budget) () = { spaces = Hashtbl.create 16; budget }
+
+let define t ~index ~size ~attrs =
+  if size <= 0 then Error Types.tpm_bad_parameter
+  else if Hashtbl.mem t.spaces index then Error Types.tpm_area_locked
+  else if size > t.budget then Error Types.tpm_nospace
+  else begin
+    Hashtbl.replace t.spaces index { attrs; data = Bytes.make size '\x00'; locked = false };
+    t.budget <- t.budget - size;
+    Ok ()
+  end
+
+let undefine t ~index =
+  match Hashtbl.find_opt t.spaces index with
+  | None -> Error Types.tpm_badindex
+  | Some sp ->
+      Hashtbl.remove t.spaces index;
+      t.budget <- t.budget + Bytes.length sp.data;
+      Ok ()
+
+let find t index =
+  match Hashtbl.find_opt t.spaces index with
+  | None -> Error Types.tpm_badindex
+  | Some sp -> Ok sp
+
+(* PCR gate: the composite over the space's required selection must match
+   the composite recorded when checking. The engine passes a closure that
+   computes the current composite for a selection. *)
+let pcr_gate_ok ~composite_now (sel : Types.Pcr_selection.t) ~(expected : string option) =
+  match expected with
+  | None -> Types.Pcr_selection.is_empty sel
+  | Some digest -> Types.Pcr_selection.is_empty sel || String.equal (composite_now sel) digest
+
+let write t ~index ~offset ~(data : string) ~owner_authorized ~composite_now ~expected_digest =
+  match find t index with
+  | Error e -> Error e
+  | Ok sp ->
+      if sp.locked then Error Types.tpm_area_locked
+      else if sp.attrs.nv_owner_write && not owner_authorized then Error Types.tpm_authfail
+      else if
+        not (pcr_gate_ok ~composite_now sp.attrs.nv_write_pcrs ~expected:expected_digest)
+      then Error Types.tpm_wrongpcrval
+      else if offset < 0 || offset + String.length data > Bytes.length sp.data then
+        Error Types.tpm_nospace
+      else begin
+        Bytes.blit_string data 0 sp.data offset (String.length data);
+        if sp.attrs.nv_write_once then sp.locked <- true;
+        Ok ()
+      end
+
+let read t ~index ~offset ~length ~owner_authorized ~composite_now ~expected_digest =
+  match find t index with
+  | Error e -> Error e
+  | Ok sp ->
+      if sp.attrs.nv_owner_read && not owner_authorized then Error Types.tpm_authfail
+      else if not (pcr_gate_ok ~composite_now sp.attrs.nv_read_pcrs ~expected:expected_digest)
+      then Error Types.tpm_wrongpcrval
+      else if offset < 0 || length < 0 || offset + length > Bytes.length sp.data then
+        Error Types.tpm_nospace
+      else Ok (Bytes.sub_string sp.data offset length)
+
+(* --- State serialization ----------------------------------------------- *)
+
+let serialize t (w : Vtpm_util.Codec.writer) =
+  let entries = Hashtbl.fold (fun idx sp acc -> (idx, sp) :: acc) t.spaces [] in
+  let entries = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) entries in
+  Vtpm_util.Codec.write_u32_int w t.budget;
+  Vtpm_util.Codec.write_u32_int w (List.length entries);
+  List.iter
+    (fun (idx, sp) ->
+      Vtpm_util.Codec.write_u32_int w idx;
+      Vtpm_util.Codec.write_u8 w (if sp.attrs.nv_owner_write then 1 else 0);
+      Vtpm_util.Codec.write_u8 w (if sp.attrs.nv_owner_read then 1 else 0);
+      Vtpm_util.Codec.write_u8 w (if sp.attrs.nv_write_once then 1 else 0);
+      Vtpm_util.Codec.write_u8 w (if sp.locked then 1 else 0);
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap sp.attrs.nv_read_pcrs);
+      Vtpm_util.Codec.write_sized w (Types.Pcr_selection.to_bitmap sp.attrs.nv_write_pcrs);
+      Vtpm_util.Codec.write_sized w (Bytes.to_string sp.data))
+    entries
+
+let deserialize (r : Vtpm_util.Codec.reader) : t =
+  let budget = Vtpm_util.Codec.read_u32_int r in
+  let count = Vtpm_util.Codec.read_u32_int r in
+  let t = { spaces = Hashtbl.create 16; budget } in
+  for _ = 1 to count do
+    let idx = Vtpm_util.Codec.read_u32_int r in
+    let nv_owner_write = Vtpm_util.Codec.read_u8 r = 1 in
+    let nv_owner_read = Vtpm_util.Codec.read_u8 r = 1 in
+    let nv_write_once = Vtpm_util.Codec.read_u8 r = 1 in
+    let locked = Vtpm_util.Codec.read_u8 r = 1 in
+    let nv_read_pcrs = Types.Pcr_selection.of_bitmap (Vtpm_util.Codec.read_sized r) in
+    let nv_write_pcrs = Types.Pcr_selection.of_bitmap (Vtpm_util.Codec.read_sized r) in
+    let data = Bytes.of_string (Vtpm_util.Codec.read_sized r) in
+    Hashtbl.replace t.spaces idx
+      {
+        attrs = { nv_owner_write; nv_owner_read; nv_write_once; nv_read_pcrs; nv_write_pcrs };
+        data;
+        locked;
+      }
+  done;
+  t

@@ -1,0 +1,39 @@
+(** TPM non-volatile storage: indexed spaces with owner/PCR-gated access
+    and write-once locking (a TPM 1.2 NV subset).
+
+    All return codes are TPM result codes from {!Types}. *)
+
+type t
+
+val default_budget : int
+
+val create : ?budget:int -> unit -> t
+(** [budget] bounds total allocatable bytes. *)
+
+val define : t -> index:int -> size:int -> attrs:Types.nv_attrs -> (unit, int) result
+val undefine : t -> index:int -> (unit, int) result
+
+val write :
+  t ->
+  index:int ->
+  offset:int ->
+  data:string ->
+  owner_authorized:bool ->
+  composite_now:(Types.Pcr_selection.t -> string) ->
+  expected_digest:string option ->
+  (unit, int) result
+(** [composite_now] computes the current PCR composite for a selection;
+    the engine passes a closure over its PCR bank. *)
+
+val read :
+  t ->
+  index:int ->
+  offset:int ->
+  length:int ->
+  owner_authorized:bool ->
+  composite_now:(Types.Pcr_selection.t -> string) ->
+  expected_digest:string option ->
+  (string, int) result
+
+val serialize : t -> Vtpm_util.Codec.writer -> unit
+val deserialize : Vtpm_util.Codec.reader -> t

@@ -1,0 +1,86 @@
+(* Platform Configuration Register bank.
+
+   24 SHA-1 registers with the TPM 1.2 locality model:
+   - PCR 0-15: static, never resettable, extendable from any locality;
+   - PCR 16:  debug register, resettable from any locality;
+   - PCR 17-22: dynamic (D-RTM) registers, reset and extend require a
+     minimum locality;
+   - PCR 23: application register, resettable from any locality.
+
+   Extend is the canonical TPM fold: new = SHA1(old || measurement). *)
+
+open Vtpm_crypto
+
+type t = { values : string array (* each 20 bytes *) }
+
+let reset_value = String.make Types.digest_size '\x00'
+
+(* D-RTM registers start at all-ones until a dynamic launch resets them. *)
+let drtm_initial = String.make Types.digest_size '\xff'
+
+let is_drtm i = i >= 17 && i <= 22
+
+let create () =
+  let values =
+    Array.init Types.pcr_count (fun i -> if is_drtm i then drtm_initial else reset_value)
+  in
+  { values }
+
+let check_index i = if i < 0 || i >= Types.pcr_count then Error Types.tpm_badindex else Ok ()
+
+let read t i =
+  match check_index i with
+  | Error e -> Error e
+  | Ok () -> Ok t.values.(i)
+
+(* Minimum locality needed to extend [i]; TPM 1.2 PCR attribute table. *)
+let extend_locality_ok ~locality i =
+  if is_drtm i then locality >= (if i >= 20 then 1 else 2) else true
+
+let extend t ~locality i (measurement : string) =
+  match check_index i with
+  | Error e -> Error e
+  | Ok () ->
+      if String.length measurement <> Types.digest_size then Error Types.tpm_bad_parameter
+      else if not (extend_locality_ok ~locality i) then Error Types.tpm_bad_locality
+      else begin
+        t.values.(i) <- Sha1.digest (t.values.(i) ^ measurement);
+        Ok t.values.(i)
+      end
+
+let resettable ~locality i =
+  if i = 16 || i = 23 then true
+  else if is_drtm i then locality >= 2
+  else false
+
+let reset t ~locality i =
+  match check_index i with
+  | Error e -> Error e
+  | Ok () ->
+      if not (resettable ~locality i) then Error Types.tpm_bad_locality
+      else begin
+        t.values.(i) <- (if is_drtm i then drtm_initial else reset_value);
+        Ok ()
+      end
+
+(* TPM_COMPOSITE_HASH over a selection: SHA1(bitmap || size || values). *)
+let composite_hash t (sel : Types.Pcr_selection.t) : string =
+  let w = Vtpm_util.Codec.writer () in
+  let bitmap = Types.Pcr_selection.to_bitmap sel in
+  Vtpm_util.Codec.write_u16 w (String.length bitmap);
+  Vtpm_util.Codec.write_bytes w bitmap;
+  let indices = Types.Pcr_selection.to_list sel in
+  Vtpm_util.Codec.write_u32_int w (List.length indices * Types.digest_size);
+  List.iter (fun i -> Vtpm_util.Codec.write_bytes w t.values.(i)) indices;
+  Sha1.digest (Vtpm_util.Codec.contents w)
+
+(* --- State serialization (for vTPM suspend/migrate) -------------------- *)
+
+let serialize t (w : Vtpm_util.Codec.writer) =
+  Array.iter (fun v -> Vtpm_util.Codec.write_bytes w v) t.values
+
+let deserialize (r : Vtpm_util.Codec.reader) : t =
+  let values =
+    Array.init Types.pcr_count (fun _ -> Vtpm_util.Codec.read_bytes r Types.digest_size)
+  in
+  { values }

@@ -1,0 +1,35 @@
+(** Platform Configuration Register bank.
+
+    24 SHA-1 registers with the TPM 1.2 locality model: PCR 0–15 static
+    (never resettable), 16 debug, 17–22 dynamic (D-RTM, locality-gated),
+    23 application. Extend is the canonical TPM fold:
+    [new = SHA1(old || measurement)]. *)
+
+type t
+
+val create : unit -> t
+
+val reset_value : string
+(** All-zero initial value of static PCRs. *)
+
+val drtm_initial : string
+(** All-ones initial value of D-RTM PCRs. *)
+
+val read : t -> int -> (string, int) result
+(** PCR value or [Error TPM_BADINDEX]. *)
+
+val extend : t -> locality:int -> int -> string -> (string, int) result
+(** Fold a 20-byte measurement into a PCR; returns the new value. Errors:
+    bad index, wrong measurement size, insufficient locality for D-RTM
+    registers. *)
+
+val resettable : locality:int -> int -> bool
+
+val reset : t -> locality:int -> int -> (unit, int) result
+
+val composite_hash : t -> Types.Pcr_selection.t -> string
+(** TPM_COMPOSITE_HASH over a selection — the digest bound into sealed
+    blobs, quotes and measurement gates. *)
+
+val serialize : t -> Vtpm_util.Codec.writer -> unit
+val deserialize : Vtpm_util.Codec.reader -> t

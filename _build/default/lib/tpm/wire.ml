@@ -1,0 +1,445 @@
+(* TPM 1.2 wire format.
+
+   Request:  tag(2) paramSize(4) ordinal(4) params... [auth trailer(s)]
+   Response: tag(2) paramSize(4) returnCode(4) params... [nonceEven(20)]
+
+   Auth trailer (per session): authHandle(4) nonceOdd(20) continue(1)
+   authData(20). The structured layer ([Cmd]) carries proofs inline; this
+   module is the byte boundary crossed by the split driver, and the only
+   thing the baseline manager (and a network attacker) gets to see. *)
+
+module C = Vtpm_util.Codec
+
+let tag_rqu_auth2_command = 0x00C3
+let tag_rsp_auth2_command = 0x00C6
+
+exception Malformed of string
+
+let write_proof w (p : Auth.proof) =
+  C.write_u32_int w p.handle;
+  C.write_bytes w p.nonce_odd;
+  C.write_u8 w (if p.continue then 1 else 0);
+  C.write_bytes w p.hmac
+
+let read_proof r : Auth.proof =
+  let handle = C.read_u32_int r in
+  let nonce_odd = C.read_bytes r Types.digest_size in
+  let continue = C.read_u8 r = 1 in
+  let hmac = C.read_bytes r Types.digest_size in
+  { handle; nonce_odd; continue; hmac }
+
+(* Number of auth trailers a request carries determines its tag. *)
+let auth_arity (req : Cmd.request) =
+  match req with
+  | Cmd.Unseal _ -> 2
+  | Cmd.Owner_clear _ | Cmd.Create_wrap_key _ | Cmd.Load_key2 _ | Cmd.Seal _ | Cmd.Sign _
+  | Cmd.Quote _ | Cmd.Create_counter _ | Cmd.Increment_counter _ | Cmd.Release_counter _ ->
+      1
+  | Cmd.Nv_define_space { auth; _ } | Cmd.Nv_write_value { auth; _ } | Cmd.Nv_read_value { auth; _ }
+    ->
+      if auth = None then 0 else 1
+  | _ -> 0
+
+let startup_code = function Types.St_clear -> 1 | Types.St_state -> 2 | Types.St_deactivated -> 3
+
+let startup_of_code = function
+  | 1 -> Types.St_clear
+  | 2 -> Types.St_state
+  | 3 -> Types.St_deactivated
+  | c -> raise (Malformed (Printf.sprintf "bad startup type %d" c))
+
+let write_nv_attrs w (a : Types.nv_attrs) =
+  C.write_u8 w (if a.nv_owner_write then 1 else 0);
+  C.write_u8 w (if a.nv_owner_read then 1 else 0);
+  C.write_u8 w (if a.nv_write_once then 1 else 0);
+  C.write_sized w (Types.Pcr_selection.to_bitmap a.nv_read_pcrs);
+  C.write_sized w (Types.Pcr_selection.to_bitmap a.nv_write_pcrs)
+
+let read_nv_attrs r : Types.nv_attrs =
+  let nv_owner_write = C.read_u8 r = 1 in
+  let nv_owner_read = C.read_u8 r = 1 in
+  let nv_write_once = C.read_u8 r = 1 in
+  let nv_read_pcrs = Types.Pcr_selection.of_bitmap (C.read_sized r) in
+  let nv_write_pcrs = Types.Pcr_selection.of_bitmap (C.read_sized r) in
+  { nv_owner_write; nv_owner_read; nv_write_once; nv_read_pcrs; nv_write_pcrs }
+
+(* --- Request encoding ----------------------------------------------------- *)
+
+let encode_request (req : Cmd.request) : string =
+  let params = C.writer () in
+  let auths = ref [] in
+  let push_auth a = auths := !auths @ [ a ] in
+  (match req with
+  | Cmd.Startup t -> C.write_u16 params (startup_code t)
+  | Cmd.Self_test_full | Cmd.Oiap | Cmd.Force_clear | Cmd.Read_pubek | Cmd.Save_state -> ()
+  | Cmd.Get_capability { cap; sub } ->
+      C.write_u32_int params cap;
+      C.write_u32_int params sub
+  | Cmd.Extend { pcr; digest } ->
+      C.write_u32_int params pcr;
+      C.write_bytes params digest
+  | Cmd.Pcr_read { pcr } | Cmd.Pcr_reset { pcr } -> C.write_u32_int params pcr
+  | Cmd.Get_random { length } -> C.write_u32_int params length
+  | Cmd.Stir_random { data } -> C.write_sized params data
+  | Cmd.Osap { entity_handle; nonce_odd_osap } ->
+      C.write_u32_int params entity_handle;
+      C.write_bytes params nonce_odd_osap
+  | Cmd.Take_ownership { owner_auth; srk_auth } ->
+      C.write_sized params owner_auth;
+      C.write_sized params srk_auth
+  | Cmd.Owner_clear { auth } -> push_auth auth
+  | Cmd.Create_wrap_key { parent; usage; key_auth; migratable; pcr_bound; auth } ->
+      C.write_u32_int params parent;
+      C.write_u16 params (Types.key_usage_to_int usage);
+      C.write_sized params key_auth;
+      C.write_u8 params (if migratable then 1 else 0);
+      C.write_sized params (Types.Pcr_selection.to_bitmap pcr_bound);
+      push_auth auth
+  | Cmd.Load_key2 { parent; blob; auth } ->
+      C.write_u32_int params parent;
+      C.write_sized params blob;
+      push_auth auth
+  | Cmd.Flush_specific { handle } -> C.write_u32_int params handle
+  | Cmd.Seal { key; pcr_sel; blob_auth; data; auth } ->
+      C.write_u32_int params key;
+      C.write_sized params (Types.Pcr_selection.to_bitmap pcr_sel);
+      C.write_sized params blob_auth;
+      C.write_sized params data;
+      push_auth auth
+  | Cmd.Unseal { key; blob; key_auth; data_auth } ->
+      C.write_u32_int params key;
+      C.write_sized params blob;
+      push_auth key_auth;
+      push_auth data_auth
+  | Cmd.Sign { key; digest; auth } ->
+      C.write_u32_int params key;
+      C.write_sized params digest;
+      push_auth auth
+  | Cmd.Quote { key; external_data; pcr_sel; auth } ->
+      C.write_u32_int params key;
+      C.write_bytes params external_data;
+      C.write_sized params (Types.Pcr_selection.to_bitmap pcr_sel);
+      push_auth auth
+  | Cmd.Nv_define_space { index; size; attrs; auth } ->
+      C.write_u32_int params index;
+      C.write_u32_int params size;
+      write_nv_attrs params attrs;
+      Option.iter push_auth auth
+  | Cmd.Nv_write_value { index; offset; data; auth } ->
+      C.write_u32_int params index;
+      C.write_u32_int params offset;
+      C.write_sized params data;
+      Option.iter push_auth auth
+  | Cmd.Nv_read_value { index; offset; length; auth } ->
+      C.write_u32_int params index;
+      C.write_u32_int params offset;
+      C.write_u32_int params length;
+      Option.iter push_auth auth
+  | Cmd.Create_counter { label; counter_auth; auth } ->
+      C.write_sized params label;
+      C.write_sized params counter_auth;
+      push_auth auth
+  | Cmd.Increment_counter { handle; auth } ->
+      C.write_u32_int params handle;
+      push_auth auth
+  | Cmd.Read_counter { handle } -> C.write_u32_int params handle
+  | Cmd.Release_counter { handle; auth } ->
+      C.write_u32_int params handle;
+      push_auth auth);
+  let tag =
+    match List.length !auths with
+    | 0 -> Types.tag_rqu_command
+    | 1 -> Types.tag_rqu_auth1_command
+    | _ -> tag_rqu_auth2_command
+  in
+  let body = C.writer () in
+  C.write_u32_int body (Cmd.ordinal req);
+  C.write_bytes body (C.contents params);
+  List.iter (fun a -> write_proof body a) !auths;
+  let body = C.contents body in
+  let w = C.writer () in
+  C.write_u16 w tag;
+  C.write_u32_int w (2 + 4 + String.length body);
+  C.write_bytes w body;
+  C.contents w
+
+(* Peek at the header without a full parse: what a monitor sitting on the
+   ring can always extract, even from a command it does not understand. *)
+type header = { tag : int; size : int; ordinal : int }
+
+let peek_header (bytes : string) : header option =
+  if String.length bytes < 10 then None
+  else begin
+    let r = C.reader bytes in
+    let tag = C.read_u16 r in
+    let size = C.read_u32_int r in
+    let ordinal = C.read_u32_int r in
+    Some { tag; size; ordinal }
+  end
+
+(* --- Request decoding ----------------------------------------------------- *)
+
+let rec decode_request (bytes : string) : Cmd.request =
+  (* All short-input conditions surface as [Malformed], not as the
+     codec's internal exception. *)
+  try decode_request_exn bytes
+  with C.Truncated m -> raise (Malformed ("truncated: " ^ m))
+
+and decode_request_exn (bytes : string) : Cmd.request =
+  let r = C.reader bytes in
+  let tag = C.read_u16 r in
+  let size = C.read_u32_int r in
+  if size <> String.length bytes then
+    raise (Malformed (Printf.sprintf "size field %d <> actual %d" size (String.length bytes)));
+  if
+    tag <> Types.tag_rqu_command && tag <> Types.tag_rqu_auth1_command
+    && tag <> tag_rqu_auth2_command
+  then raise (Malformed (Printf.sprintf "bad request tag 0x%04x" tag));
+  let ordinal = C.read_u32_int r in
+  let auth1 () = read_proof r in
+  let opt_auth () = if C.eof r then None else Some (read_proof r) in
+  let req =
+    if ordinal = Types.ord_startup then Cmd.Startup (startup_of_code (C.read_u16 r))
+    else if ordinal = Types.ord_self_test_full then Cmd.Self_test_full
+    else if ordinal = Types.ord_get_capability then begin
+      let cap = C.read_u32_int r in
+      let sub = C.read_u32_int r in
+      Cmd.Get_capability { cap; sub }
+    end
+    else if ordinal = Types.ord_extend then begin
+      let pcr = C.read_u32_int r in
+      let digest = C.read_bytes r Types.digest_size in
+      Cmd.Extend { pcr; digest }
+    end
+    else if ordinal = Types.ord_pcr_read then Cmd.Pcr_read { pcr = C.read_u32_int r }
+    else if ordinal = Types.ord_pcr_reset then Cmd.Pcr_reset { pcr = C.read_u32_int r }
+    else if ordinal = Types.ord_get_random then Cmd.Get_random { length = C.read_u32_int r }
+    else if ordinal = Types.ord_stir_random then Cmd.Stir_random { data = C.read_sized r }
+    else if ordinal = Types.ord_oiap then Cmd.Oiap
+    else if ordinal = Types.ord_osap then begin
+      let entity_handle = C.read_u32_int r in
+      let nonce_odd_osap = C.read_bytes r Types.digest_size in
+      Cmd.Osap { entity_handle; nonce_odd_osap }
+    end
+    else if ordinal = Types.ord_take_ownership then begin
+      let owner_auth = C.read_sized r in
+      let srk_auth = C.read_sized r in
+      Cmd.Take_ownership { owner_auth; srk_auth }
+    end
+    else if ordinal = Types.ord_owner_clear then Cmd.Owner_clear { auth = auth1 () }
+    else if ordinal = Types.ord_force_clear then Cmd.Force_clear
+    else if ordinal = Types.ord_read_pubek then Cmd.Read_pubek
+    else if ordinal = Types.ord_create_wrap_key then begin
+      let parent = C.read_u32_int r in
+      let usage_int = C.read_u16 r in
+      let key_auth = C.read_sized r in
+      let migratable = C.read_u8 r = 1 in
+      let pcr_bound = Types.Pcr_selection.of_bitmap (C.read_sized r) in
+      let usage =
+        match Types.key_usage_of_int usage_int with
+        | Some u -> u
+        | None -> raise (Malformed (Printf.sprintf "bad key usage 0x%x" usage_int))
+      in
+      Cmd.Create_wrap_key { parent; usage; key_auth; migratable; pcr_bound; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_load_key2 then begin
+      let parent = C.read_u32_int r in
+      let blob = C.read_sized r in
+      Cmd.Load_key2 { parent; blob; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_flush_specific then
+      Cmd.Flush_specific { handle = C.read_u32_int r }
+    else if ordinal = Types.ord_seal then begin
+      let key = C.read_u32_int r in
+      let pcr_sel = Types.Pcr_selection.of_bitmap (C.read_sized r) in
+      let blob_auth = C.read_sized r in
+      let data = C.read_sized r in
+      Cmd.Seal { key; pcr_sel; blob_auth; data; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_unseal then begin
+      let key = C.read_u32_int r in
+      let blob = C.read_sized r in
+      let key_auth = auth1 () in
+      let data_auth = auth1 () in
+      Cmd.Unseal { key; blob; key_auth; data_auth }
+    end
+    else if ordinal = Types.ord_sign then begin
+      let key = C.read_u32_int r in
+      let digest = C.read_sized r in
+      Cmd.Sign { key; digest; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_quote then begin
+      let key = C.read_u32_int r in
+      let external_data = C.read_bytes r Types.digest_size in
+      let pcr_sel = Types.Pcr_selection.of_bitmap (C.read_sized r) in
+      Cmd.Quote { key; external_data; pcr_sel; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_nv_define_space then begin
+      let index = C.read_u32_int r in
+      let size = C.read_u32_int r in
+      let attrs = read_nv_attrs r in
+      Cmd.Nv_define_space { index; size; attrs; auth = opt_auth () }
+    end
+    else if ordinal = Types.ord_nv_write_value then begin
+      let index = C.read_u32_int r in
+      let offset = C.read_u32_int r in
+      let data = C.read_sized r in
+      Cmd.Nv_write_value { index; offset; data; auth = opt_auth () }
+    end
+    else if ordinal = Types.ord_nv_read_value then begin
+      let index = C.read_u32_int r in
+      let offset = C.read_u32_int r in
+      let length = C.read_u32_int r in
+      Cmd.Nv_read_value { index; offset; length; auth = opt_auth () }
+    end
+    else if ordinal = Types.ord_create_counter then begin
+      let label = C.read_sized r in
+      let counter_auth = C.read_sized r in
+      Cmd.Create_counter { label; counter_auth; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_increment_counter then begin
+      let handle = C.read_u32_int r in
+      Cmd.Increment_counter { handle; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_read_counter then Cmd.Read_counter { handle = C.read_u32_int r }
+    else if ordinal = Types.ord_release_counter then begin
+      let handle = C.read_u32_int r in
+      Cmd.Release_counter { handle; auth = auth1 () }
+    end
+    else if ordinal = Types.ord_save_state then Cmd.Save_state
+    else raise (Malformed (Printf.sprintf "unknown ordinal 0x%x" ordinal))
+  in
+  if not (C.eof r) then raise (Malformed "trailing bytes after request");
+  req
+
+(* --- Response encoding / decoding ------------------------------------------ *)
+
+let body_kind = function
+  | Cmd.R_ok -> 0
+  | Cmd.R_capability _ -> 1
+  | Cmd.R_extend _ -> 2
+  | Cmd.R_pcr_value _ -> 3
+  | Cmd.R_random _ -> 4
+  | Cmd.R_session _ -> 5
+  | Cmd.R_pubkey _ -> 6
+  | Cmd.R_key_blob _ -> 7
+  | Cmd.R_key_handle _ -> 8
+  | Cmd.R_sealed _ -> 9
+  | Cmd.R_unsealed _ -> 10
+  | Cmd.R_signature _ -> 11
+  | Cmd.R_quote _ -> 12
+  | Cmd.R_nv_data _ -> 13
+  | Cmd.R_counter _ -> 14
+  | Cmd.R_saved_state _ -> 15
+
+let encode_response (resp : Cmd.response) : string =
+  let params = C.writer () in
+  if resp.rc = Types.tpm_success then begin
+    C.write_u8 params (body_kind resp.body);
+    match resp.body with
+    | Cmd.R_ok -> ()
+    | Cmd.R_capability s | Cmd.R_pcr_value s | Cmd.R_random s | Cmd.R_sealed s
+    | Cmd.R_unsealed s | Cmd.R_signature s | Cmd.R_nv_data s | Cmd.R_saved_state s ->
+        C.write_sized params s
+    | Cmd.R_extend { new_value } -> C.write_bytes params new_value
+    | Cmd.R_session { handle; nonce_even; nonce_even_osap } ->
+        C.write_u32_int params handle;
+        C.write_bytes params nonce_even;
+        (match nonce_even_osap with
+        | None -> C.write_u8 params 0
+        | Some n ->
+            C.write_u8 params 1;
+            C.write_bytes params n)
+    | Cmd.R_pubkey pub -> C.write_sized params (Vtpm_crypto.Rsa.public_to_bytes pub)
+    | Cmd.R_key_blob { blob; pubkey } ->
+        C.write_sized params blob;
+        C.write_sized params (Vtpm_crypto.Rsa.public_to_bytes pubkey)
+    | Cmd.R_key_handle h -> C.write_u32_int params h
+    | Cmd.R_quote { composite; signature; sig_pubkey } ->
+        C.write_bytes params composite;
+        C.write_sized params signature;
+        C.write_sized params (Vtpm_crypto.Rsa.public_to_bytes sig_pubkey)
+    | Cmd.R_counter { handle; label; value } ->
+        C.write_u32_int params handle;
+        C.write_sized params label;
+        C.write_u32_int params value
+  end;
+  (match resp.nonce_even with None -> () | Some n -> C.write_bytes params n);
+  let tag = if resp.nonce_even = None then Types.tag_rsp_command else Types.tag_rsp_auth1_command in
+  let body = C.contents params in
+  let w = C.writer () in
+  C.write_u16 w tag;
+  C.write_u32_int w (2 + 4 + 4 + String.length body);
+  C.write_u32_int w resp.rc;
+  C.write_bytes w body;
+  C.contents w
+
+let read_pub_exn r =
+  match Vtpm_crypto.Rsa.public_of_bytes (C.read_sized r) with
+  | Some pub -> pub
+  | None -> raise (Malformed "bad public key")
+
+let rec decode_response (bytes : string) : Cmd.response =
+  try decode_response_exn bytes
+  with C.Truncated m -> raise (Malformed ("truncated: " ^ m))
+
+and decode_response_exn (bytes : string) : Cmd.response =
+  let r = C.reader bytes in
+  let tag = C.read_u16 r in
+  let size = C.read_u32_int r in
+  if size <> String.length bytes then raise (Malformed "response size mismatch");
+  if tag <> Types.tag_rsp_command && tag <> Types.tag_rsp_auth1_command && tag <> tag_rsp_auth2_command
+  then raise (Malformed (Printf.sprintf "bad response tag 0x%04x" tag));
+  let rc = C.read_u32_int r in
+  if rc <> Types.tpm_success then begin
+    let nonce_even =
+      if tag <> Types.tag_rsp_command && C.remaining r >= Types.digest_size then
+        Some (C.read_bytes r Types.digest_size)
+      else None
+    in
+    { Cmd.rc; body = Cmd.R_ok; nonce_even }
+  end
+  else begin
+    let kind = C.read_u8 r in
+    let body =
+      match kind with
+      | 0 -> Cmd.R_ok
+      | 1 -> Cmd.R_capability (C.read_sized r)
+      | 2 -> Cmd.R_extend { new_value = C.read_bytes r Types.digest_size }
+      | 3 -> Cmd.R_pcr_value (C.read_sized r)
+      | 4 -> Cmd.R_random (C.read_sized r)
+      | 5 ->
+          let handle = C.read_u32_int r in
+          let nonce_even = C.read_bytes r Types.digest_size in
+          let nonce_even_osap =
+            if C.read_u8 r = 1 then Some (C.read_bytes r Types.digest_size) else None
+          in
+          Cmd.R_session { handle; nonce_even; nonce_even_osap }
+      | 6 -> Cmd.R_pubkey (read_pub_exn r)
+      | 7 ->
+          let blob = C.read_sized r in
+          let pubkey = read_pub_exn r in
+          Cmd.R_key_blob { blob; pubkey }
+      | 8 -> Cmd.R_key_handle (C.read_u32_int r)
+      | 9 -> Cmd.R_sealed (C.read_sized r)
+      | 10 -> Cmd.R_unsealed (C.read_sized r)
+      | 11 -> Cmd.R_signature (C.read_sized r)
+      | 12 ->
+          let composite = C.read_bytes r Types.digest_size in
+          let signature = C.read_sized r in
+          let sig_pubkey = read_pub_exn r in
+          Cmd.R_quote { composite; signature; sig_pubkey }
+      | 13 -> Cmd.R_nv_data (C.read_sized r)
+      | 14 ->
+          let handle = C.read_u32_int r in
+          let label = C.read_sized r in
+          let value = C.read_u32_int r in
+          Cmd.R_counter { handle; label; value }
+      | 15 -> Cmd.R_saved_state (C.read_sized r)
+      | k -> raise (Malformed (Printf.sprintf "bad response body kind %d" k))
+    in
+    let nonce_even =
+      if tag = Types.tag_rsp_command then None else Some (C.read_bytes r Types.digest_size)
+    in
+    { Cmd.rc; body; nonce_even }
+  end

@@ -1,0 +1,31 @@
+(** TPM 1.2 wire format.
+
+    Request: [tag(2) paramSize(4) ordinal(4) params... auth-trailer(s)].
+    Response: [tag(2) paramSize(4) returnCode(4) params... nonceEven?].
+    This is the byte boundary crossed by the split driver — the only thing
+    the baseline manager (or a network attacker) gets to see. *)
+
+exception Malformed of string
+
+val tag_rqu_auth2_command : int
+val tag_rsp_auth2_command : int
+
+val encode_request : Cmd.request -> string
+
+val decode_request : string -> Cmd.request
+(** @raise Malformed on size/tag/ordinal errors or trailing bytes. *)
+
+type header = { tag : int; size : int; ordinal : int }
+
+val peek_header : string -> header option
+(** Read just the header — what a monitor sitting on the ring can always
+    extract, even from a command it does not understand. *)
+
+val auth_arity : Cmd.request -> int
+(** Number of authorization trailers the request carries (0, 1 or 2),
+    which determines its tag. *)
+
+val encode_response : Cmd.response -> string
+
+val decode_response : string -> Cmd.response
+(** @raise Malformed. *)

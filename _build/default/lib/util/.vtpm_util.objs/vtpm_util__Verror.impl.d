@@ -1,0 +1,1 @@
+lib/util/verror.ml: Fmt Printf Result Stdlib

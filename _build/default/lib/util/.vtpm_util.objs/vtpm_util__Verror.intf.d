@@ -1,0 +1,1 @@
+lib/util/verror.mli: Format Stdlib

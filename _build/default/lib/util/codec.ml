@@ -1,0 +1,87 @@
+(* Big-endian wire codec used by the TPM 1.2 command marshalling and the
+   vTPM transport. The TPM specification is big-endian throughout. *)
+
+exception Truncated of string
+
+(* Writer: an append-only buffer. *)
+type writer = Buffer.t
+
+let writer () : writer = Buffer.create 64
+let contents (w : writer) = Buffer.contents w
+let write_u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let write_u16 w v =
+  write_u8 w (v lsr 8);
+  write_u8 w v
+
+let write_u32 w (v : int32) =
+  let v = Int32.to_int v land 0xffffffff in
+  write_u8 w (v lsr 24);
+  write_u8 w (v lsr 16);
+  write_u8 w (v lsr 8);
+  write_u8 w v
+
+let write_u32_int w v = write_u32 w (Int32.of_int v)
+
+let write_u64 w (v : int64) =
+  write_u32 w (Int64.to_int32 (Int64.shift_right_logical v 32));
+  write_u32 w (Int64.to_int32 v)
+
+let write_bytes w s = Buffer.add_string w s
+
+(* A length-prefixed byte string: u32 size then payload. *)
+let write_sized w s =
+  write_u32_int w (String.length s);
+  write_bytes w s
+
+(* Reader: a cursor over an immutable string. *)
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+let remaining r = String.length r.src - r.pos
+let eof r = remaining r = 0
+
+let need r n what =
+  if remaining r < n then
+    raise (Truncated (Printf.sprintf "%s: need %d bytes, have %d" what n (remaining r)))
+
+let read_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u16 r =
+  need r 2 "u16";
+  let hi = read_u8 r in
+  let lo = read_u8 r in
+  (hi lsl 8) lor lo
+
+let read_u32 r : int32 =
+  need r 4 "u32";
+  let b0 = read_u8 r in
+  let b1 = read_u8 r in
+  let b2 = read_u8 r in
+  let b3 = read_u8 r in
+  Int32.logor
+    (Int32.shift_left (Int32.of_int b0) 24)
+    (Int32.of_int ((b1 lsl 16) lor (b2 lsl 8) lor b3))
+
+let read_u32_int r = Int32.to_int (read_u32 r) land 0xffffffff
+
+let read_u64 r : int64 =
+  let hi = read_u32 r in
+  let lo = read_u32 r in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+    (Int64.logand (Int64.of_int32 lo) 0xffffffffL)
+
+let read_bytes r n =
+  need r n "bytes";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_sized r =
+  let n = read_u32_int r in
+  read_bytes r n

@@ -1,0 +1,52 @@
+(** Big-endian wire codec.
+
+    The TPM 1.2 specification is big-endian throughout; this module is the
+    byte-shovelling layer under the TPM command marshalling, the vTPM
+    transport protocol and all state serialization. *)
+
+exception Truncated of string
+(** Raised by read functions when the input ends early; the payload names
+    the field being read. *)
+
+(** {1 Writing} *)
+
+type writer
+(** An append-only output buffer. *)
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val write_u8 : writer -> int -> unit
+val write_u16 : writer -> int -> unit
+val write_u32 : writer -> int32 -> unit
+
+val write_u32_int : writer -> int -> unit
+(** [write_u32_int w v] writes the low 32 bits of [v]. *)
+
+val write_u64 : writer -> int64 -> unit
+val write_bytes : writer -> string -> unit
+
+val write_sized : writer -> string -> unit
+(** Length-prefixed byte string: u32 size, then the payload. *)
+
+(** {1 Reading} *)
+
+type reader
+(** A cursor over an immutable string. *)
+
+val reader : string -> reader
+
+val remaining : reader -> int
+(** Bytes left before the end of input. *)
+
+val eof : reader -> bool
+
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_u32 : reader -> int32
+val read_u32_int : reader -> int
+val read_u64 : reader -> int64
+val read_bytes : reader -> int -> string
+
+val read_sized : reader -> string
+(** Inverse of {!write_sized}. *)

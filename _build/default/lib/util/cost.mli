@@ -1,0 +1,72 @@
+(** Simulated-time cost model.
+
+    The reproduction targets the *shape* of the paper's results, not 2010
+    wall-clock numbers. Components charge simulated microseconds to a
+    shared meter; the bench harness reports these simulated latencies
+    (stable across machines) alongside real Bechamel timings.
+
+    Constants approximate a 2010-era platform: a TPM 1.2 chip executes
+    Extend in milliseconds and Quote (RSA sign) in hundreds; a Xen ring
+    round trip costs tens of microseconds. Relative magnitudes are what
+    the reproduced tables depend on. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time, microseconds. *)
+
+val charge : t -> float -> unit
+(** Advance the meter; negative charges are ignored. *)
+
+val advance_to : t -> float -> unit
+(** Jump forward to an absolute time; never rewinds. *)
+
+(** {1 Transport} *)
+
+val ring_round_trip_us : float
+val evtchn_notify_us : float
+val xenstore_op_us : float
+
+(** {1 TPM command execution (software vTPM instance)} *)
+
+val tpm_extend_us : float
+val tpm_pcr_read_us : float
+val tpm_get_random_us : float
+val tpm_seal_us : float
+val tpm_unseal_us : float
+val tpm_quote_us : float
+val tpm_loadkey_us : float
+val tpm_nv_us : float
+val tpm_generic_us : float
+
+(** {1 Access-control monitor} *)
+
+val monitor_lookup_us : float
+(** Cached decision. *)
+
+val monitor_rule_scan_us : float
+(** Per rule examined on a cache miss. *)
+
+val monitor_measure_gate_us : float
+(** Measurement-gate (PCR composite) comparison. *)
+
+val audit_append_us : float
+
+(** {1 State protection} *)
+
+val state_io_per_kib_us : float
+(** Serialize + file write, charged for both formats. *)
+
+val seal_per_kib_us : float
+(** Symmetric encrypt + MAC of sealed state. *)
+
+val hwtpm_srk_op_us : float
+(** A hardware-TPM SRK-bound operation (seal/unseal/unbind). *)
+
+(** {1 Domain lifecycle} *)
+
+val domain_build_us : float
+val vtpm_attach_us : float
+val migrate_per_kib_us : float

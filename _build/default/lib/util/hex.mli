@@ -1,0 +1,14 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s], two output
+    characters per input byte. *)
+
+val decode : string -> string
+(** [decode h] inverts {!encode}, accepting upper- and lowercase digits.
+
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val fingerprint : ?len:int -> string -> string
+(** [fingerprint s] is a short hex prefix of [s] (default 8 characters),
+    for log lines and audit records where full digests are noise. *)

@@ -1,0 +1,51 @@
+(* Deterministic pseudo-random number generator (splitmix64).
+
+   Every stochastic component in the simulation draws from an explicit
+   [Rng.t] so that experiments are reproducible run-to-run: the same seed
+   yields the same domain creation order, workload mix and attack timing. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound), bound > 0. Uses the top bits which have better
+   statistical quality for splitmix64. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v /. 9007199254740992.0
+
+let bytes t n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (int t 256))
+  done;
+  Bytes.unsafe_to_string out
+
+(* Pick a uniformly random element of a non-empty array. *)
+let choose t arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t n)
+
+(* Exponentially distributed value with the given mean (for inter-arrival
+   times in the workload generator). *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u

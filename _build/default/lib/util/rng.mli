@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulation draws from an explicit
+    [Rng.t] so experiments reproduce exactly for a given seed. Not a
+    cryptographic generator — TPM-grade randomness comes from
+    {!Vtpm_crypto.Drbg}. *)
+
+type t = { mutable state : int64 }
+(** Generator state; exposed so TPM state serialization can persist it. *)
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw 64-bit output stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)], 53 bits of precision. *)
+
+val bytes : t -> int -> string
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value (inter-arrival times in the workload
+    generator). *)

@@ -1,0 +1,40 @@
+(* Structured errors shared across the stack.
+
+   Each layer has its own error space; this module gives them a common
+   shape so results compose across the manager / monitor / transport
+   boundaries without stringly-typed errors. *)
+
+type t =
+  | Denied of string (* access-control denial, with the monitor's reason *)
+  | Tpm_error of int (* TPM result code (non-zero) *)
+  | Bad_request of string (* malformed wire data *)
+  | No_such of string (* missing domain / instance / node *)
+  | Conflict of string (* state conflict, e.g. double bind *)
+  | Exhausted of string (* resource limit hit *)
+  | Internal of string
+
+let pp ppf = function
+  | Denied r -> Fmt.pf ppf "denied: %s" r
+  | Tpm_error c -> Fmt.pf ppf "TPM error 0x%x" c
+  | Bad_request r -> Fmt.pf ppf "bad request: %s" r
+  | No_such r -> Fmt.pf ppf "no such %s" r
+  | Conflict r -> Fmt.pf ppf "conflict: %s" r
+  | Exhausted r -> Fmt.pf ppf "exhausted: %s" r
+  | Internal r -> Fmt.pf ppf "internal: %s" r
+
+let to_string e = Fmt.str "%a" pp e
+
+type 'a result = ('a, t) Stdlib.result
+
+let ( let* ) = Result.bind
+let ( let+ ) r f = Result.map f r
+let fail e = Error e
+let denied fmt = Fmt.kstr (fun s -> Error (Denied s)) fmt
+let bad_request fmt = Fmt.kstr (fun s -> Error (Bad_request s)) fmt
+let no_such fmt = Fmt.kstr (fun s -> Error (No_such s)) fmt
+let conflict fmt = Fmt.kstr (fun s -> Error (Conflict s)) fmt
+let internal fmt = Fmt.kstr (fun s -> Error (Internal s)) fmt
+
+let get_ok ~what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "%s: %s" what (to_string e))

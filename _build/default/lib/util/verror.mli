@@ -1,0 +1,34 @@
+(** Structured errors shared across the stack.
+
+    Each layer (TPM engine, manager, monitor, transport) reports failures
+    in this common shape so results compose across boundaries without
+    stringly-typed errors. *)
+
+type t =
+  | Denied of string  (** access-control denial, with the monitor's reason *)
+  | Tpm_error of int  (** non-zero TPM result code *)
+  | Bad_request of string  (** malformed wire data *)
+  | No_such of string  (** missing domain / instance / node *)
+  | Conflict of string  (** state conflict, e.g. double bind *)
+  | Exhausted of string  (** resource limit hit *)
+  | Internal of string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+type 'a result = ('a, t) Stdlib.result
+
+val ( let* ) : 'a result -> ('a -> 'b result) -> 'b result
+val ( let+ ) : 'a result -> ('a -> 'b) -> 'b result
+val fail : t -> 'a result
+
+(** Formatted constructors for each error class. *)
+
+val denied : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val bad_request : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val no_such : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val conflict : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val internal : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+
+val get_ok : what:string -> 'a result -> 'a
+(** Unwrap, raising [Invalid_argument] tagged with [what] on [Error]. *)

@@ -1,0 +1,1 @@
+lib/vtpm/deep_quote.ml: Client Engine Fmt Manager Result Types Vtpm_crypto Vtpm_tpm

@@ -1,0 +1,1 @@
+lib/vtpm/deep_quote.mli: Manager Vtpm_crypto Vtpm_tpm

@@ -1,0 +1,1 @@
+lib/vtpm/driver.ml: Domain Evtchn Gnttab Hypervisor List Printf Proto Ring Vtpm_tpm Vtpm_util Vtpm_xen Xenstore

@@ -1,0 +1,1 @@
+lib/vtpm/driver.mli: Proto Vtpm_tpm Vtpm_xen

@@ -1,0 +1,1 @@
+lib/vtpm/manager.ml: Client Cmd Engine Hashtbl List Printf Stdlib Types Vtpm_crypto Vtpm_tpm Vtpm_util Vtpm_xen Wire

@@ -1,0 +1,1 @@
+lib/vtpm/manager.mli: Hashtbl Vtpm_tpm Vtpm_util Vtpm_xen

@@ -1,0 +1,1 @@
+lib/vtpm/migration.ml: Client Engine Hashtbl Keystore Manager String Vtpm_crypto Vtpm_tpm Vtpm_util

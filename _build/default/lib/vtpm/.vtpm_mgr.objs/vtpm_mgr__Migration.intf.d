@@ -1,0 +1,1 @@
+lib/vtpm/migration.mli: Manager Vtpm_crypto Vtpm_tpm

@@ -1,0 +1,1 @@
+lib/vtpm/proto.ml: Char String Vtpm_util

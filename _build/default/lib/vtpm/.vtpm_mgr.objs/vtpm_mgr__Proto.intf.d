@@ -1,0 +1,1 @@
+lib/vtpm/proto.mli:

@@ -1,0 +1,1 @@
+lib/vtpm/stateproc.ml: Client Engine Fmt Hashtbl Manager Result String Types Vtpm_crypto Vtpm_tpm Vtpm_util

@@ -1,0 +1,1 @@
+lib/vtpm/stateproc.mli: Manager Vtpm_tpm

@@ -1,0 +1,193 @@
+(* The vTPM split driver: frontend in the guest, backend in the manager
+   domain, connected by a granted ring page and an event channel, wired up
+   through XenStore in the standard Xen device handshake.
+
+   XenStore layout (written by the dom0 toolstack at attach time):
+
+     /local/domain/<fe>/device/vtpm/0/backend-id   = <be domid>
+     /local/domain/<fe>/device/vtpm/0/instance     = <vTPM instance id>
+     /local/domain/<fe>/device/vtpm/0/ring-ref     = <gref>
+     /local/domain/<fe>/device/vtpm/0/event-channel= <port>
+
+   The frontend reads `instance` and stamps it into every request frame —
+   the baseline manager's routing input. The node is dom0-writable (all of
+   XenStore is), which is exactly the re-pointing hole the improved
+   monitor closes by routing on the hypervisor-attested sender instead. *)
+
+open Vtpm_xen
+
+type connection = {
+  ring : Ring.t;
+  fe_domid : Domain.domid;
+  be_domid : Domain.domid;
+  fe_port : Evtchn.port;
+  be_port : Evtchn.port;
+  gref : Gnttab.gref;
+  mutable connected : bool;
+}
+
+(* Routing decision + execution, supplied by the access-control layer. *)
+type router =
+  sender:Domain.domid -> claimed_instance:int -> wire:string -> (string, string) result
+
+type backend = {
+  xen : Hypervisor.t;
+  be_domid : Domain.domid;
+  mutable connections : connection list;
+  mutable router : router;
+}
+
+let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
+
+let create_backend ~xen ~be_domid ~router = { xen; be_domid; connections = []; router }
+
+(* Toolstack step: publish the device nodes for a new vTPM attachment.
+   Runs as dom0. The guest may read its own device directory. *)
+let publish_device ~(xen : Hypervisor.t) ~fe ~be ~instance : (unit, string) result =
+  let base = vtpm_fe_path fe in
+  let wr k v =
+    match Hypervisor.xs_write xen ~caller:Hypervisor.dom0_id (base ^ "/" ^ k) v with
+    | Ok () -> Ok ()
+    | Error e -> Error (Xenstore.error_name e)
+  in
+  (* The frontend device directory belongs to the guest (it publishes its
+     ring-ref and event-channel there); specific control nodes below are
+     re-owned by dom0 afterwards. *)
+  ignore (Xenstore.mkdir xen.Hypervisor.store ~caller:Hypervisor.dom0_id base);
+  ignore
+    (Xenstore.set_perms xen.Hypervisor.store ~caller:Hypervisor.dom0_id base ~owner:fe
+       ~others:Xenstore.Pnone ~acl:[]);
+  match wr "backend-id" (string_of_int be) with
+  | Error e -> Error e
+  | Ok () -> (
+      match wr "instance" (string_of_int instance) with
+      | Error e -> Error e
+      | Ok () ->
+          (* Guest must be able to read (not write) its device nodes. *)
+          List.iter
+            (fun k ->
+              ignore
+                (Xenstore.set_perms xen.Hypervisor.store ~caller:Hypervisor.dom0_id
+                   (base ^ "/" ^ k) ~owner:Hypervisor.dom0_id ~others:Xenstore.Pnone
+                   ~acl:[ (fe, Xenstore.Pread) ]))
+            [ "backend-id"; "instance" ];
+          Ok ())
+
+(* Frontend step: allocate the ring, grant it, bind the event channel and
+   publish the connection details. Returns the live connection and
+   registers it with the backend. *)
+let connect (backend : backend) ~(fe_domid : Domain.domid) : (connection, string) result =
+  let xen = backend.xen in
+  let base = vtpm_fe_path fe_domid in
+  match Hypervisor.xs_read xen ~caller:fe_domid (base ^ "/backend-id") with
+  | Error e -> Error ("frontend cannot read backend-id: " ^ Xenstore.error_name e)
+  | Ok be_str -> (
+      match int_of_string_opt be_str with
+      | None -> Error "malformed backend-id"
+      | Some be_domid ->
+          let ring_frame = 100 + fe_domid in
+          let gref =
+            Hypervisor.grant xen ~owner:fe_domid ~grantee:be_domid ~frame:ring_frame
+              ~access:Gnttab.Read_write
+          in
+          let fe_port, be_port = Hypervisor.bind_evtchn xen ~a:fe_domid ~b:be_domid in
+          (* Backend maps the grant; identity of the granter is checked by
+             the hypervisor. *)
+          (match Hypervisor.map_grant xen ~caller:be_domid ~owner:fe_domid ~gref with
+          | Error e -> Error ("backend cannot map ring: " ^ e)
+          | Ok (_frame, _access) ->
+              let ring = Ring.create ~frontend:fe_domid ~backend:be_domid () in
+              let conn =
+                { ring; fe_domid; be_domid; fe_port; be_port; gref; connected = true }
+              in
+              ignore (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/ring-ref") (string_of_int gref));
+              ignore
+                (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/event-channel")
+                   (string_of_int fe_port));
+              backend.connections <- conn :: backend.connections;
+              Ok conn))
+
+let disconnect (backend : backend) (conn : connection) =
+  conn.connected <- false;
+  Evtchn.close backend.xen.Hypervisor.evtchn ~domid:conn.fe_domid ~port:conn.fe_port;
+  backend.connections <- List.filter (fun c -> c != conn) backend.connections
+
+let disconnect_domain (backend : backend) ~(fe_domid : Domain.domid) =
+  List.iter
+    (fun c -> if c.fe_domid = fe_domid then disconnect backend c)
+    backend.connections
+
+(* Backend pump: drain every connected ring, route, respond. The sender
+   identity passed to the router is the ring's frontend — recorded by the
+   hypervisor-mediated connect, unforgeable from inside the frame. *)
+let process_pending (backend : backend) : int =
+  let processed = ref 0 in
+  List.iter
+    (fun conn ->
+      if conn.connected then begin
+        let rec drain () =
+          match Ring.pop_request conn.ring with
+          | None -> ()
+          | Some { Ring.id; payload } ->
+              incr processed;
+              let sender = Ring.frontend conn.ring in
+              let reply =
+                match Proto.decode_request payload with
+                | Error m -> Proto.encode_response Proto.Bad_frame m
+                | Ok (claimed_instance, wire) -> (
+                    match backend.router ~sender ~claimed_instance ~wire with
+                    | Ok resp_wire -> Proto.encode_response Proto.Ok_routed resp_wire
+                    | Error reason -> Proto.encode_response Proto.Denied reason)
+              in
+              (match Ring.push_response conn.ring ~id reply with
+              | Ok () -> ignore (Hypervisor.notify backend.xen ~domid:conn.be_domid ~port:conn.be_port)
+              | Error _ -> () (* response ring full: drop, frontend times out *));
+              drain ()
+        in
+        drain ()
+      end)
+    backend.connections;
+  !processed
+
+(* Frontend-side synchronous exchange: reads the claimed instance from
+   XenStore (as the real frontend does), frames the request, kicks the
+   backend and collects the response. *)
+let request (backend : backend) (conn : connection) ~(wire : string) :
+    (Proto.status * string, string) result =
+  if not conn.connected then Error "vTPM frontend disconnected"
+  else begin
+    let xen = backend.xen in
+    Vtpm_util.Cost.charge xen.Hypervisor.cost Vtpm_util.Cost.ring_round_trip_us;
+    let base = vtpm_fe_path conn.fe_domid in
+    match Hypervisor.xs_read xen ~caller:conn.fe_domid (base ^ "/instance") with
+    | Error e -> Error ("cannot read instance: " ^ Xenstore.error_name e)
+    | Ok inst_str -> (
+        match int_of_string_opt inst_str with
+        | None -> Error "malformed instance id"
+        | Some claimed_instance -> (
+            let frame = Proto.encode_request ~claimed_instance wire in
+            match Ring.push_request conn.ring frame with
+            | Error e -> Error e
+            | Ok id -> (
+                (match Hypervisor.notify xen ~domid:conn.fe_domid ~port:conn.fe_port with
+                | Ok () -> ()
+                | Error _ -> ());
+                let _ = process_pending backend in
+                match Ring.pop_response conn.ring with
+                | Some slot when slot.Ring.id = id -> Proto.decode_response slot.Ring.payload
+                | Some _ -> Error "response id mismatch"
+                | None -> Error "no response (backend stalled)")))
+  end
+
+(* A [Vtpm_tpm.Client.transport] over the split driver: raises on protocol
+   failures, surfaces monitor denials as a distinguished exception so
+   callers can tell "denied" from "TPM error". *)
+exception Denied of string
+
+let client_transport (backend : backend) (conn : connection) : Vtpm_tpm.Client.transport =
+ fun wire ->
+  match request backend conn ~wire with
+  | Ok (Proto.Ok_routed, payload) -> payload
+  | Ok (Proto.Denied, reason) -> raise (Denied reason)
+  | Ok (Proto.Bad_frame, m) -> failwith ("bad frame: " ^ m)
+  | Error m -> failwith m

@@ -1,0 +1,66 @@
+(** The vTPM split driver: frontend in the guest, backend in the manager
+    domain, connected by a granted ring page and an event channel, wired
+    through XenStore in the standard Xen device handshake.
+
+    XenStore layout under [/local/domain/<fe>/device/vtpm/0]:
+    [backend-id], [instance] (dom0-owned, guest-readable), [ring-ref],
+    [event-channel] (guest-written). The frontend reads [instance] and
+    stamps it into every frame — the baseline manager's routing input, and
+    the re-pointing hole the improved monitor closes. *)
+
+type connection = {
+  ring : Vtpm_xen.Ring.t;
+  fe_domid : Vtpm_xen.Domain.domid;
+  be_domid : Vtpm_xen.Domain.domid;
+  fe_port : Vtpm_xen.Evtchn.port;
+  be_port : Vtpm_xen.Evtchn.port;
+  gref : Vtpm_xen.Gnttab.gref;
+  mutable connected : bool;
+}
+
+type router =
+  sender:Vtpm_xen.Domain.domid -> claimed_instance:int -> wire:string -> (string, string) result
+(** Routing decision + execution, supplied by the access-control layer.
+    [sender] is the hypervisor-attested frontend; [Ok] carries the TPM
+    wire response, [Error] a denial reason. *)
+
+type backend = {
+  xen : Vtpm_xen.Hypervisor.t;
+  be_domid : Vtpm_xen.Domain.domid;
+  mutable connections : connection list;
+  mutable router : router;
+}
+
+val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
+
+val create_backend :
+  xen:Vtpm_xen.Hypervisor.t -> be_domid:Vtpm_xen.Domain.domid -> router:router -> backend
+
+val publish_device :
+  xen:Vtpm_xen.Hypervisor.t -> fe:Vtpm_xen.Domain.domid -> be:Vtpm_xen.Domain.domid ->
+  instance:int -> (unit, string) result
+(** Toolstack step (as dom0): create the device directory (guest-owned)
+    and the control nodes (dom0-owned, guest-readable). *)
+
+val connect : backend -> fe_domid:Vtpm_xen.Domain.domid -> (connection, string) result
+(** Frontend step: allocate and grant the ring, bind the event channel,
+    publish [ring-ref]/[event-channel], register with the backend. *)
+
+val disconnect : backend -> connection -> unit
+val disconnect_domain : backend -> fe_domid:Vtpm_xen.Domain.domid -> unit
+
+val process_pending : backend -> int
+(** Drain every connected ring, route, respond; returns the number of
+    requests processed. The sender passed to the router is the ring's
+    recorded frontend — unforgeable from inside a frame. *)
+
+val request : backend -> connection -> wire:string -> (Proto.status * string, string) result
+(** Frontend-side synchronous exchange: reads the claimed instance from
+    XenStore (as the real frontend does), frames, kicks the backend,
+    collects the response. *)
+
+exception Denied of string
+(** Raised by {!client_transport} when the monitor denies a request, so
+    callers can tell denial from TPM errors. *)
+
+val client_transport : backend -> connection -> Vtpm_tpm.Client.transport

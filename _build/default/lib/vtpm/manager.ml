@@ -1,0 +1,136 @@
+(* The vTPM manager: one software TPM instance per guest, plus the
+   platform's hardware TPM at the root.
+
+   The manager is deliberately policy-free: *who* may reach *which*
+   instance with *which* command is decided by a router installed by the
+   access-control layer (baseline or improved — see [Vtpm_access]). The
+   manager provides the mechanism: instance table, execution, lifecycle
+   and state capture. *)
+
+open Vtpm_tpm
+
+type instance_state = Active | Suspended
+
+type instance = {
+  vtpm_id : int;
+  engine : Engine.t;
+  mutable state : instance_state;
+  mutable bound_domid : Vtpm_xen.Domain.domid option;
+  created_at : float; (* simulated time *)
+}
+
+type t = {
+  instances : (int, instance) Hashtbl.t;
+  mutable next_id : int;
+  hw_tpm : Engine.t; (* the physical TPM under the manager *)
+  hw_srk_auth : string;
+  hw_owner_auth : string;
+  rsa_bits : int;
+  cost : Vtpm_util.Cost.t;
+  mutable seed : int;
+}
+
+(* PCR the manager's own measurement lives in on the hardware TPM; sealed
+   vTPM state is bound to it, so a tampered manager cannot unseal. *)
+let manager_pcr = 12
+
+let create ?(rsa_bits = 512) ~seed ~(cost : Vtpm_util.Cost.t) () =
+  let hw_tpm = Engine.create ~rsa_bits ~seed () in
+  let hw_owner_auth = Vtpm_crypto.Sha1.digest (Printf.sprintf "hw-owner-%d" seed) in
+  let hw_srk_auth = Vtpm_crypto.Sha1.digest (Printf.sprintf "hw-srk-%d" seed) in
+  (* Initialize the platform TPM: startup, ownership, manager measurement. *)
+  let resp = Engine.execute hw_tpm ~locality:4 (Cmd.Startup Types.St_clear) in
+  assert (resp.Cmd.rc = Types.tpm_success);
+  let resp =
+    Engine.execute hw_tpm ~locality:4
+      (Cmd.Take_ownership { owner_auth = hw_owner_auth; srk_auth = hw_srk_auth })
+  in
+  assert (resp.Cmd.rc = Types.tpm_success);
+  let manager_digest = Vtpm_crypto.Sha1.digest "vtpm-manager-v2" in
+  let resp =
+    Engine.execute hw_tpm ~locality:4 (Cmd.Extend { pcr = manager_pcr; digest = manager_digest })
+  in
+  assert (resp.Cmd.rc = Types.tpm_success);
+  {
+    instances = Hashtbl.create 16;
+    next_id = 1;
+    hw_tpm;
+    hw_srk_auth;
+    hw_owner_auth;
+    rsa_bits;
+    cost;
+    seed;
+  }
+
+let find t vtpm_id : (instance, Vtpm_util.Verror.t) result =
+  match Hashtbl.find_opt t.instances vtpm_id with
+  | Some i -> Ok i
+  | None -> Vtpm_util.Verror.no_such "vTPM instance %d" vtpm_id
+
+let create_instance t : instance =
+  let vtpm_id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.seed <- t.seed + 7919;
+  let engine = Engine.create ~rsa_bits:t.rsa_bits ~seed:t.seed () in
+  let resp = Engine.execute engine ~locality:4 (Cmd.Startup Types.St_clear) in
+  assert (resp.Cmd.rc = Types.tpm_success);
+  let inst =
+    {
+      vtpm_id;
+      engine;
+      state = Active;
+      bound_domid = None;
+      created_at = Vtpm_util.Cost.now t.cost;
+    }
+  in
+  Hashtbl.replace t.instances vtpm_id inst;
+  Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.vtpm_attach_us;
+  inst
+
+let destroy_instance t vtpm_id =
+  Hashtbl.remove t.instances vtpm_id
+
+let instances t =
+  Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
+  |> List.sort (fun a b -> Stdlib.compare a.vtpm_id b.vtpm_id)
+
+let instance_for_domid t domid =
+  List.find_opt (fun i -> i.bound_domid = Some domid) (instances t)
+
+(* Simulated execution cost of a TPM command, charged per dispatch. *)
+let command_cost ordinal =
+  let open Vtpm_util.Cost in
+  if ordinal = Types.ord_extend then tpm_extend_us
+  else if ordinal = Types.ord_pcr_read then tpm_pcr_read_us
+  else if ordinal = Types.ord_get_random then tpm_get_random_us
+  else if ordinal = Types.ord_seal then tpm_seal_us
+  else if ordinal = Types.ord_unseal then tpm_unseal_us
+  else if ordinal = Types.ord_quote then tpm_quote_us
+  else if ordinal = Types.ord_load_key2 || ordinal = Types.ord_create_wrap_key then tpm_loadkey_us
+  else if
+    ordinal = Types.ord_nv_read_value || ordinal = Types.ord_nv_write_value
+    || ordinal = Types.ord_nv_define_space
+  then tpm_nv_us
+  else tpm_generic_us
+
+(* Execute a decoded-or-raw TPM wire request on an instance. Guests always
+   talk to their vTPM at locality 0; the manager itself uses higher
+   localities for administrative operations. *)
+let execute_wire t (inst : instance) ~(wire : string) : (string, Vtpm_util.Verror.t) result =
+  if inst.state <> Active then Vtpm_util.Verror.conflict "vTPM %d is suspended" inst.vtpm_id
+  else
+    match Wire.decode_request wire with
+    | exception Wire.Malformed m -> Vtpm_util.Verror.bad_request "%s" m
+    | req ->
+        Vtpm_util.Cost.charge t.cost (command_cost (Cmd.ordinal req));
+        let resp = Engine.execute inst.engine ~locality:0 req in
+        Ok (Wire.encode_response resp)
+
+(* --- Hardware-TPM access for the manager's own needs --------------------- *)
+
+let hw_transport t : Client.transport =
+ fun bytes ->
+  let req = Wire.decode_request bytes in
+  Wire.encode_response (Engine.execute t.hw_tpm ~locality:2 req)
+
+let hw_client t = Client.create ~seed:(t.seed * 31 + 5) (hw_transport t)

@@ -1,0 +1,55 @@
+(** The vTPM manager: one software TPM instance per guest, plus the
+    platform's hardware TPM at the root.
+
+    Deliberately policy-free: *who* may reach *which* instance with
+    *which* command is decided by a router installed by the access-control
+    layer ([Vtpm_access.Monitor] or [Vtpm_access.Baseline]). The manager
+    provides mechanism: instance table, execution, lifecycle, state
+    capture. *)
+
+type instance_state = Active | Suspended
+
+type instance = {
+  vtpm_id : int;
+  engine : Vtpm_tpm.Engine.t;
+  mutable state : instance_state;
+  mutable bound_domid : Vtpm_xen.Domain.domid option;
+  created_at : float;  (** simulated time *)
+}
+
+type t = {
+  instances : (int, instance) Hashtbl.t;
+  mutable next_id : int;
+  hw_tpm : Vtpm_tpm.Engine.t;  (** the physical TPM under the manager *)
+  hw_srk_auth : string;
+  hw_owner_auth : string;
+  rsa_bits : int;
+  cost : Vtpm_util.Cost.t;
+  mutable seed : int;
+}
+
+val manager_pcr : int
+(** Hardware-TPM PCR holding the manager's own measurement; sealed vTPM
+    state binds to it, so a tampered manager cannot unseal. *)
+
+val create : ?rsa_bits:int -> seed:int -> cost:Vtpm_util.Cost.t -> unit -> t
+(** Initializes the hardware TPM: startup, ownership, manager
+    measurement. *)
+
+val find : t -> int -> (instance, Vtpm_util.Verror.t) result
+val create_instance : t -> instance
+val destroy_instance : t -> int -> unit
+val instances : t -> instance list
+val instance_for_domid : t -> Vtpm_xen.Domain.domid -> instance option
+
+val command_cost : int -> float
+(** Simulated execution cost of a TPM ordinal. *)
+
+val execute_wire : t -> instance -> wire:string -> (string, Vtpm_util.Verror.t) result
+(** Run one TPM wire request on an instance (guest locality 0), charging
+    simulated time. Suspended instances refuse. *)
+
+(** {1 Hardware-TPM access for the manager's own needs} *)
+
+val hw_transport : t -> Vtpm_tpm.Client.transport
+val hw_client : t -> Vtpm_tpm.Client.t

@@ -1,0 +1,130 @@
+(* vTPM migration between hosts.
+
+   Baseline: the instance state crosses the wire in the clear (the 2006
+   design left transport protection to the toolstack); anyone on the path
+   — or a dom0 tool on either side — reads the guest's TPM secrets out of
+   the stream.
+
+   Improved: the stream is encrypted to the *destination's* hardware TPM.
+   The destination advertises a bind key (public half of a key whose
+   private half its hw TPM holds); the source wraps a fresh session key to
+   it (TPM_Unbind semantics on the receiving side). A captured stream is
+   useless without the destination platform. *)
+
+open Vtpm_tpm
+
+type mode = Plaintext | Protected
+
+let mode_name = function Plaintext -> "plaintext" | Protected -> "protected"
+
+let magic_plain = "VTPMMIG0"
+let magic_protected = "VTPMMIG1"
+
+(* The destination's migration endpoint: its hw SRK public key. In the
+   simulation the SRK doubles as the bind key; a real deployment would
+   create a dedicated non-migratable bind key under the SRK. *)
+let bind_pubkey (mgr : Manager.t) : Vtpm_crypto.Rsa.public =
+  match mgr.Manager.hw_tpm.Engine.owner with
+  | Some o -> o.Engine.srk.Keystore.rsa.pub
+  | None -> invalid_arg "destination hw TPM has no owner"
+
+let charge_transfer (mgr : Manager.t) ~bytes =
+  let kib = float_of_int bytes /. 1024.0 in
+  Vtpm_util.Cost.charge mgr.Manager.cost (Vtpm_util.Cost.migrate_per_kib_us *. kib)
+
+(* --- Export on the source host ------------------------------------------- *)
+
+let export mgr (inst : Manager.instance) ~(mode : mode)
+    ~(dest_key : Vtpm_crypto.Rsa.public option) : (string, string) result =
+  let state = Engine.serialize_state inst.Manager.engine in
+  charge_transfer mgr ~bytes:(String.length state);
+  match mode with
+  | Plaintext -> Ok (magic_plain ^ state)
+  | Protected -> (
+      match dest_key with
+      | None -> Error "protected migration needs the destination bind key"
+      | Some dest_key ->
+          let hw = Manager.hw_client mgr in
+          let sym_key =
+            match Client.get_random hw ~length:16 with
+            | Ok k -> k
+            | Error _ -> Vtpm_crypto.Sha256.digest ("mig" ^ state) |> fun d -> String.sub d 0 16
+          in
+          let rng = Vtpm_util.Rng.create ~seed:(String.length state + mgr.Manager.seed) in
+          let wrapped_key = Vtpm_crypto.Rsa.encrypt rng dest_key sym_key in
+          let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
+          let cipher = Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 state in
+          let mac = Vtpm_crypto.Hmac.sha256_mac ~key:sym_key cipher in
+          Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
+          let w = Vtpm_util.Codec.writer () in
+          Vtpm_util.Codec.write_bytes w magic_protected;
+          Vtpm_util.Codec.write_sized w wrapped_key;
+          Vtpm_util.Codec.write_sized w cipher;
+          Vtpm_util.Codec.write_bytes w mac;
+          Ok (Vtpm_util.Codec.contents w))
+
+(* After a successful export the source instance is dead: TPM state must
+   never run in two places (replay / state-forking hazard). *)
+let finalize_source mgr (inst : Manager.instance) =
+  Manager.destroy_instance mgr inst.Manager.vtpm_id
+
+(* --- Import on the destination host ---------------------------------------- *)
+
+let import mgr (stream : string) : (Manager.instance, string) result =
+  if String.length stream < 8 then Error "short migration stream"
+  else begin
+    let magic = String.sub stream 0 8 in
+    let state_result =
+      if magic = magic_plain then Ok (String.sub stream 8 (String.length stream - 8))
+      else if magic = magic_protected then begin
+        match
+          let r = Vtpm_util.Codec.reader stream in
+          let _ = Vtpm_util.Codec.read_bytes r 8 in
+          let wrapped_key = Vtpm_util.Codec.read_sized r in
+          let cipher = Vtpm_util.Codec.read_sized r in
+          let mac = Vtpm_util.Codec.read_bytes r 32 in
+          (wrapped_key, cipher, mac)
+        with
+        | exception Vtpm_util.Codec.Truncated m -> Error ("truncated stream: " ^ m)
+        | wrapped_key, cipher, mac -> (
+            (* TPM_Unbind: only this platform's hw TPM holds the SRK
+               private half. *)
+            match mgr.Manager.hw_tpm.Engine.owner with
+            | None -> Error "destination hw TPM has no owner"
+            | Some o -> (
+                Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
+                match Vtpm_crypto.Rsa.decrypt o.Engine.srk.Keystore.rsa wrapped_key with
+                | None -> Error "unbind failed: wrong destination platform"
+                | Some sym_key ->
+                    if
+                      not
+                        (Vtpm_crypto.Hmac.equal_ct mac
+                           (Vtpm_crypto.Hmac.sha256_mac ~key:sym_key cipher))
+                    then Error "migration stream MAC mismatch"
+                    else begin
+                      let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
+                      Ok (Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 cipher)
+                    end))
+      end
+      else Error "unrecognized migration stream"
+    in
+    match state_result with
+    | Error m -> Error m
+    | Ok state -> (
+        charge_transfer mgr ~bytes:(String.length state);
+        match Engine.deserialize_state state with
+        | Error m -> Error m
+        | Ok engine ->
+            let inst = Manager.create_instance mgr in
+            let inst = { inst with Manager.engine } in
+            Hashtbl.replace mgr.Manager.instances inst.Manager.vtpm_id inst;
+            Ok inst)
+  end
+
+(* What a man-in-the-middle learns: attempt to parse a captured stream
+   without the destination platform. Returns the recovered TPM state on
+   success (baseline plaintext) — the Table 2 "migration snoop" row. *)
+let snoop (stream : string) : (Engine.t, string) result =
+  if String.length stream >= 8 && String.sub stream 0 8 = magic_plain then
+    Engine.deserialize_state (String.sub stream 8 (String.length stream - 8))
+  else Error "stream is protected; nothing recoverable"

@@ -1,0 +1,35 @@
+(** vTPM migration between hosts.
+
+    Baseline: state crosses the wire in the clear. Improved: the stream is
+    encrypted to the *destination's* hardware TPM (TPM_Unbind semantics on
+    arrival); a captured stream is useless without that platform. *)
+
+type mode = Plaintext | Protected
+
+val mode_name : mode -> string
+
+val bind_pubkey : Manager.t -> Vtpm_crypto.Rsa.public
+(** The destination's migration endpoint: the public half of a key whose
+    private half its hardware TPM holds.
+    @raise Invalid_argument when the hw TPM has no owner. *)
+
+val export :
+  Manager.t ->
+  Manager.instance ->
+  mode:mode ->
+  dest_key:Vtpm_crypto.Rsa.public option ->
+  (string, string) result
+(** Produce the migration stream. [Protected] requires [dest_key]. *)
+
+val finalize_source : Manager.t -> Manager.instance -> unit
+(** Kill the source instance after export: TPM state must never run in two
+    places (state-forking hazard). *)
+
+val import : Manager.t -> string -> (Manager.instance, string) result
+(** Accept a stream on the destination; protected streams only unbind on
+    the platform whose key they were made for. *)
+
+val snoop : string -> (Vtpm_tpm.Engine.t, string) result
+(** What a man-in-the-middle recovers from a captured stream: the full TPM
+    state for plaintext streams, an error for protected ones. Drives the
+    Table 2 "migration-snoop" row. *)

@@ -1,0 +1,45 @@
+(* The vTPM transport protocol carried in ring slots.
+
+   Request frame:  claimed_instance(u32) || TPM wire request
+   Response frame: status(u8) || payload
+
+   [claimed_instance] is the field the 2006-era manager trusts to route a
+   request — and the field a malicious frontend can set to any value. The
+   improved monitor ignores it in favour of the hypervisor-attested sender
+   identity; keeping it on the wire lets both managers consume identical
+   traffic, so the overhead comparison is apples-to-apples. *)
+
+module C = Vtpm_util.Codec
+
+type status = Ok_routed | Denied | Bad_frame
+
+let status_code = function Ok_routed -> 0 | Denied -> 1 | Bad_frame -> 2
+
+let status_of_code = function 0 -> Some Ok_routed | 1 -> Some Denied | 2 -> Some Bad_frame | _ -> None
+
+let encode_request ~claimed_instance (wire : string) : string =
+  let w = C.writer () in
+  C.write_u32_int w claimed_instance;
+  C.write_bytes w wire;
+  C.contents w
+
+let decode_request (frame : string) : (int * string, string) result =
+  if String.length frame < 4 then Error "short vTPM frame"
+  else begin
+    let r = C.reader frame in
+    let claimed = C.read_u32_int r in
+    Ok (claimed, String.sub frame 4 (String.length frame - 4))
+  end
+
+let encode_response (st : status) (payload : string) : string =
+  let w = C.writer () in
+  C.write_u8 w (status_code st);
+  C.write_bytes w payload;
+  C.contents w
+
+let decode_response (frame : string) : (status * string, string) result =
+  if String.length frame < 1 then Error "empty vTPM response"
+  else
+    match status_of_code (Char.code frame.[0]) with
+    | None -> Error "bad vTPM status byte"
+    | Some st -> Ok (st, String.sub frame 1 (String.length frame - 1))

@@ -1,0 +1,21 @@
+(** The vTPM transport protocol carried in ring slots.
+
+    Request frame: [claimed_instance(u32) || TPM wire request]. The
+    claimed instance is what the 2006 manager trusts for routing — and
+    what a malicious frontend sets freely. Keeping it on the wire lets the
+    baseline and improved managers consume identical traffic, so overhead
+    comparisons are apples-to-apples. *)
+
+type status =
+  | Ok_routed  (** payload is a TPM wire response *)
+  | Denied  (** payload is the monitor's reason *)
+  | Bad_frame  (** payload describes the framing error *)
+
+val status_code : status -> int
+val status_of_code : int -> status option
+
+val encode_request : claimed_instance:int -> string -> string
+val decode_request : string -> (int * string, string) result
+
+val encode_response : status -> string -> string
+val decode_response : string -> (status * string, string) result

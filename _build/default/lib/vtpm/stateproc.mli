@@ -1,0 +1,28 @@
+(** vTPM instance state at rest: plaintext vs sealed.
+
+    Baseline (2006 design): raw engine serialization, protected only by
+    dom0 file permissions — the dump attack parses it directly.
+
+    Improved: a fresh symmetric key encrypts the state; the key is sealed
+    by the *hardware* TPM under its SRK, bound to the manager's
+    measurement PCR. A stolen state file is useless off-platform, and
+    on-platform after manager tampering. *)
+
+type format = Plain | Sealed
+
+val format_name : format -> string
+
+val save : Manager.t -> Manager.instance -> format:format -> (string, string) result
+
+val detect_format : string -> format option
+
+val load : Manager.t -> string -> (Vtpm_tpm.Engine.t * int option, string) result
+(** Restore an engine from a saved blob; sealed blobs additionally return
+    the embedded instance id. Fails off-platform or after a manager-PCR
+    change. *)
+
+val suspend : Manager.t -> Manager.instance -> format:format -> (string, string) result
+(** {!save}, then mark the instance [Suspended]. *)
+
+val resume : Manager.t -> Manager.instance -> string -> (unit, string) result
+(** Replace the instance's engine from a blob and reactivate it. *)

@@ -1,0 +1,1 @@
+lib/xen/domain.ml: Bytes Hashtbl List Printf Stdlib String Vtpm_crypto

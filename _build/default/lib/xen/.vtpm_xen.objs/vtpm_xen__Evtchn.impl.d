@@ -1,0 +1,1 @@
+lib/xen/evtchn.ml: Domain Hashtbl Option Printf

@@ -1,0 +1,1 @@
+lib/xen/evtchn.mli: Domain

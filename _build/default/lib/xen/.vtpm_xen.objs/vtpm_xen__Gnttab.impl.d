@@ -1,0 +1,1 @@
+lib/xen/gnttab.ml: Domain Hashtbl Option Printf

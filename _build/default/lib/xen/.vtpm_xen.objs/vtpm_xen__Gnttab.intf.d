@@ -1,0 +1,1 @@
+lib/xen/gnttab.mli: Domain

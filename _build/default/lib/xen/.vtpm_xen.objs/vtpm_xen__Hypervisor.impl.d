@@ -1,0 +1,1 @@
+lib/xen/hypervisor.ml: Domain Evtchn Gnttab Hashtbl List Printf Stdlib Vtpm_util Xenstore

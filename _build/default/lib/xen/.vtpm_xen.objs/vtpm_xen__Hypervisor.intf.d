@@ -1,0 +1,1 @@
+lib/xen/hypervisor.mli: Domain Evtchn Gnttab Hashtbl Vtpm_util Xenstore

@@ -1,0 +1,1 @@
+lib/xen/sched.ml: Domain Float List Option

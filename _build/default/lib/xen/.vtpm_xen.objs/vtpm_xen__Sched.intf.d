@@ -1,0 +1,1 @@
+lib/xen/sched.mli: Domain

@@ -1,0 +1,1 @@
+lib/xen/xenstore.ml: Domain Hashtbl List Stdlib String

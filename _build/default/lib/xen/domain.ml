@@ -1,0 +1,126 @@
+(* Domains (virtual machines) as the hypervisor sees them.
+
+   A domain owns simulated memory pages — plain byte arrays, because the
+   memory-dump attack the paper motivates is literally "a privileged tool
+   reads another domain's pages", and the experiments need real bytes to
+   leak or protect. *)
+
+type domid = int
+
+type state =
+  | Building (* being constructed by the toolstack *)
+  | Running
+  | Paused
+  | Shutdown of string (* reason *)
+  | Dying (* teardown in progress *)
+  | Dead
+
+let state_name = function
+  | Building -> "building"
+  | Running -> "running"
+  | Paused -> "paused"
+  | Shutdown r -> "shutdown:" ^ r
+  | Dying -> "dying"
+  | Dead -> "dead"
+
+let page_size = 4096
+
+type t = {
+  id : domid;
+  name : string;
+  mutable state : state;
+  privileged : bool; (* dom0 *)
+  label : string; (* security label used by the access-control layer *)
+  pages : (int, Bytes.t) Hashtbl.t; (* pseudo-physical frame -> contents *)
+  max_pages : int;
+  mutable kernel_digest : string; (* SHA-1 of the booted kernel image *)
+}
+
+let create ~id ~name ~privileged ~label ~max_pages =
+  {
+    id;
+    name;
+    state = Building;
+    privileged;
+    label;
+    pages = Hashtbl.create 32;
+    max_pages;
+    kernel_digest = String.make 20 '\x00';
+  }
+
+let is_alive t = match t.state with Dead -> false | _ -> true
+let can_run t = t.state = Running
+
+(* Lifecycle transitions; invalid ones are reported, not silently eaten,
+   so toolstack bugs surface in tests. *)
+let transition t (target : state) : (unit, string) result =
+  let ok () =
+    t.state <- target;
+    Ok ()
+  in
+  match (t.state, target) with
+  | Building, Running -> ok ()
+  | Running, Paused | Paused, Running -> ok ()
+  | Running, Shutdown _ | Paused, Shutdown _ -> ok ()
+  | (Building | Running | Paused | Shutdown _), Dying -> ok ()
+  | Dying, Dead -> ok ()
+  | from, target ->
+      Error
+        (Printf.sprintf "domain %d: invalid transition %s -> %s" t.id (state_name from)
+           (state_name target))
+
+(* --- Memory ----------------------------------------------------------------
+
+   Pages are allocated lazily on first write. Reads of unallocated pages
+   return zeros, like real ballooned-out memory. *)
+
+let get_page t frame =
+  match Hashtbl.find_opt t.pages frame with
+  | Some p -> Some p
+  | None ->
+      if frame < 0 || frame >= t.max_pages then None
+      else begin
+        let p = Bytes.make page_size '\x00' in
+        Hashtbl.replace t.pages frame p;
+        Some p
+      end
+
+let write_memory t ~frame ~offset (data : string) : (unit, string) result =
+  if offset < 0 || offset + String.length data > page_size then Error "write beyond page"
+  else
+    match get_page t frame with
+    | None -> Error (Printf.sprintf "frame %d out of range" frame)
+    | Some p ->
+        Bytes.blit_string data 0 p offset (String.length data);
+        Ok ()
+
+let read_memory t ~frame ~offset ~length : (string, string) result =
+  if offset < 0 || length < 0 || offset + length > page_size then Error "read beyond page"
+  else
+    match get_page t frame with
+    | None -> Error (Printf.sprintf "frame %d out of range" frame)
+    | Some p -> Ok (Bytes.sub_string p offset length)
+
+(* Scan all allocated pages for a byte pattern — what a memory-dump tool
+   does when it greps a core image for key material. *)
+let scan_memory t ~pattern : (int * int) list =
+  let hits = ref [] in
+  let plen = String.length pattern in
+  if plen > 0 then
+    Hashtbl.iter
+      (fun frame page ->
+        let limit = Bytes.length page - plen in
+        let i = ref 0 in
+        while !i <= limit do
+          if Bytes.sub_string page !i plen = pattern then begin
+            hits := (frame, !i) :: !hits;
+            i := !i + plen
+          end
+          else incr i
+        done)
+      t.pages;
+  List.sort Stdlib.compare !hits
+
+(* Record the kernel the domain booted; the measured-boot example extends
+   this digest into the vTPM and the measurement-gated policy checks it. *)
+let set_kernel t ~image = t.kernel_digest <- Vtpm_crypto.Sha1.digest image

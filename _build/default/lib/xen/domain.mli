@@ -1,0 +1,56 @@
+(** Domains (virtual machines) as the hypervisor sees them.
+
+    A domain owns simulated memory pages — real byte arrays, because the
+    memory-dump attack the paper motivates is literally "a privileged tool
+    reads another domain's pages", and the experiments need real bytes to
+    leak or protect. *)
+
+type domid = int
+
+type state =
+  | Building  (** under construction by the toolstack *)
+  | Running
+  | Paused
+  | Shutdown of string  (** reason *)
+  | Dying  (** teardown in progress *)
+  | Dead
+
+val state_name : state -> string
+
+val page_size : int
+(** 4096 bytes. *)
+
+type t = {
+  id : domid;
+  name : string;
+  mutable state : state;
+  privileged : bool;  (** dom0 *)
+  label : string;  (** security label used by the access-control layer *)
+  pages : (int, Bytes.t) Hashtbl.t;
+  max_pages : int;
+  mutable kernel_digest : string;  (** SHA-1 of the booted kernel image *)
+}
+
+val create : id:domid -> name:string -> privileged:bool -> label:string -> max_pages:int -> t
+
+val is_alive : t -> bool
+val can_run : t -> bool
+
+val transition : t -> state -> (unit, string) result
+(** Lifecycle step; invalid transitions are reported, not silently eaten,
+    so toolstack bugs surface in tests. *)
+
+(** {1 Memory}
+
+    Pages allocate lazily on first write; reads of unallocated pages
+    return zeros, like ballooned-out memory. *)
+
+val write_memory : t -> frame:int -> offset:int -> string -> (unit, string) result
+val read_memory : t -> frame:int -> offset:int -> length:int -> (string, string) result
+
+val scan_memory : t -> pattern:string -> (int * int) list
+(** All [(frame, offset)] occurrences of [pattern] — what a memory-dump
+    tool does when it greps a core image for key material. *)
+
+val set_kernel : t -> image:string -> unit
+(** Record the booted kernel; measured-boot policies compare its digest. *)

@@ -1,0 +1,87 @@
+(* Event channels: the hypervisor-mediated notification primitive.
+
+   The property the improved access control leans on is that the *remote
+   end* of an interdomain channel is hypervisor state: a guest can say
+   anything it likes in a message body, but it cannot lie about which
+   channel (and therefore which domid) the notification arrived on. *)
+
+type port = int
+
+type channel = {
+  port : port;
+  local : Domain.domid;
+  remote : Domain.domid;
+  remote_port : port;
+  mutable pending : int; (* count of undelivered notifications *)
+  mutable closed : bool;
+}
+
+type t = {
+  (* (domid, port) -> channel; both directions of a bound pair present *)
+  channels : (Domain.domid * port, channel) Hashtbl.t;
+  next_port : (Domain.domid, int) Hashtbl.t;
+}
+
+let create () = { channels = Hashtbl.create 32; next_port = Hashtbl.create 8 }
+
+let fresh_port t domid =
+  let p = Option.value ~default:1 (Hashtbl.find_opt t.next_port domid) in
+  Hashtbl.replace t.next_port domid (p + 1);
+  p
+
+(* Allocate a bound interdomain pair; returns (port in a, port in b). *)
+let bind_interdomain t ~(a : Domain.domid) ~(b : Domain.domid) : port * port =
+  let pa = fresh_port t a in
+  let pb = fresh_port t b in
+  Hashtbl.replace t.channels (a, pa)
+    { port = pa; local = a; remote = b; remote_port = pb; pending = 0; closed = false };
+  Hashtbl.replace t.channels (b, pb)
+    { port = pb; local = b; remote = a; remote_port = pa; pending = 0; closed = false };
+  (pa, pb)
+
+let find t ~domid ~port = Hashtbl.find_opt t.channels (domid, port)
+
+(* Raise a notification from [domid]'s [port]; lands pending on the peer.
+   Fails on closed or unknown channels. *)
+let notify t ~domid ~port : (unit, string) result =
+  match find t ~domid ~port with
+  | None -> Error (Printf.sprintf "domain %d has no event channel %d" domid port)
+  | Some ch ->
+      if ch.closed then Error "event channel closed"
+      else begin
+        match find t ~domid:ch.remote ~port:ch.remote_port with
+        | None -> Error "peer endpoint vanished"
+        | Some peer ->
+            if peer.closed then Error "peer endpoint closed"
+            else begin
+              peer.pending <- peer.pending + 1;
+              Ok ()
+            end
+      end
+
+(* Consume one pending notification; returns the unforgeable remote domid. *)
+let poll t ~domid ~port : Domain.domid option =
+  match find t ~domid ~port with
+  | Some ch when (not ch.closed) && ch.pending > 0 ->
+      ch.pending <- ch.pending - 1;
+      Some ch.remote
+  | _ -> None
+
+(* The hypervisor-attested identity of the peer on a channel. *)
+let remote_domid t ~domid ~port : Domain.domid option =
+  Option.map (fun ch -> ch.remote) (find t ~domid ~port)
+
+let close t ~domid ~port =
+  match find t ~domid ~port with
+  | None -> ()
+  | Some ch ->
+      ch.closed <- true;
+      (match find t ~domid:ch.remote ~port:ch.remote_port with
+      | Some peer -> peer.closed <- true
+      | None -> ())
+
+(* Tear down every channel touching [domid] (domain destruction). *)
+let close_all_for t domid =
+  Hashtbl.iter
+    (fun _ ch -> if ch.local = domid || ch.remote = domid then ch.closed <- true)
+    t.channels

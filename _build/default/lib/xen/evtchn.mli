@@ -1,0 +1,43 @@
+(** Event channels: the hypervisor-mediated notification primitive.
+
+    The property the improved access control leans on: the *remote end* of
+    an interdomain channel is hypervisor state. A guest can say anything
+    in a message body, but cannot lie about which channel — and therefore
+    which domid — a notification arrived on. *)
+
+type port = int
+
+type channel = {
+  port : port;
+  local : Domain.domid;
+  remote : Domain.domid;
+  remote_port : port;
+  mutable pending : int;
+  mutable closed : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val bind_interdomain : t -> a:Domain.domid -> b:Domain.domid -> port * port
+(** Allocate a bound pair; returns [(port in a, port in b)]. *)
+
+val find : t -> domid:Domain.domid -> port:port -> channel option
+
+val notify : t -> domid:Domain.domid -> port:port -> (unit, string) result
+(** Raise a notification toward the peer; fails on closed or unknown
+    channels. *)
+
+val poll : t -> domid:Domain.domid -> port:port -> Domain.domid option
+(** Consume one pending notification; returns the unforgeable remote
+    domid, or [None] when nothing is pending. *)
+
+val remote_domid : t -> domid:Domain.domid -> port:port -> Domain.domid option
+(** The hypervisor-attested identity of the peer. *)
+
+val close : t -> domid:Domain.domid -> port:port -> unit
+(** Close both endpoints of the pair. *)
+
+val close_all_for : t -> Domain.domid -> unit
+(** Tear down every channel touching a domain (domain destruction). *)

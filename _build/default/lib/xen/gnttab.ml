@@ -1,0 +1,67 @@
+(* Grant tables: page sharing with explicit, revocable permission.
+
+   A domain grants a specific foreign domain access to one of its frames;
+   the grantee maps it by (granter, gref). The hypervisor enforces that
+   only the named grantee maps the grant — a third domain holding a
+   guessed gref gets nothing, which the unauthorized-mapping attack test
+   verifies. *)
+
+type gref = int
+
+type access = Read_only | Read_write
+
+type grant = {
+  gref : gref;
+  owner : Domain.domid;
+  grantee : Domain.domid;
+  frame : int;
+  access : access;
+  mutable in_use : bool; (* currently mapped by grantee *)
+  mutable revoked : bool;
+}
+
+type t = { grants : (Domain.domid * gref, grant) Hashtbl.t; next_ref : (Domain.domid, int) Hashtbl.t }
+
+let create () = { grants = Hashtbl.create 32; next_ref = Hashtbl.create 8 }
+
+let grant_access t ~owner ~grantee ~frame ~access : gref =
+  let r = Option.value ~default:1 (Hashtbl.find_opt t.next_ref owner) in
+  Hashtbl.replace t.next_ref owner (r + 1);
+  Hashtbl.replace t.grants (owner, r)
+    { gref = r; owner; grantee; frame; access; in_use = false; revoked = false };
+  r
+
+(* Map a foreign frame: the caller must be the named grantee. Returns the
+   frame number in the owner's space (the simulation reads/writes through
+   the owner's page table). *)
+let map t ~caller ~owner ~gref : (int * access, string) result =
+  match Hashtbl.find_opt t.grants (owner, gref) with
+  | None -> Error (Printf.sprintf "no grant %d from domain %d" gref owner)
+  | Some g ->
+      if g.revoked then Error "grant revoked"
+      else if g.grantee <> caller then
+        Error (Printf.sprintf "grant %d from domain %d is for domain %d, not %d" gref owner g.grantee caller)
+      else begin
+        g.in_use <- true;
+        Ok (g.frame, g.access)
+      end
+
+let unmap t ~caller ~owner ~gref =
+  match Hashtbl.find_opt t.grants (owner, gref) with
+  | Some g when g.grantee = caller -> g.in_use <- false
+  | _ -> ()
+
+(* End a grant; fails while the grantee still has it mapped, as on real
+   Xen where gnttab_end_foreign_access must wait. *)
+let revoke t ~owner ~gref : (unit, string) result =
+  match Hashtbl.find_opt t.grants (owner, gref) with
+  | None -> Error "no such grant"
+  | Some g ->
+      if g.in_use then Error "grant still mapped by grantee"
+      else begin
+        g.revoked <- true;
+        Ok ()
+      end
+
+let revoke_all_for t domid =
+  Hashtbl.iter (fun _ g -> if g.owner = domid || g.grantee = domid then g.revoked <- true) t.grants

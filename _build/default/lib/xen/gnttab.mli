@@ -1,0 +1,27 @@
+(** Grant tables: page sharing with explicit, revocable permission.
+
+    A domain grants a *specific* foreign domain access to one of its
+    frames; the hypervisor enforces that only the named grantee maps it —
+    a third domain holding a guessed reference gets nothing. *)
+
+type gref = int
+
+type access = Read_only | Read_write
+
+type t
+
+val create : unit -> t
+
+val grant_access : t -> owner:Domain.domid -> grantee:Domain.domid -> frame:int -> access:access -> gref
+
+val map : t -> caller:Domain.domid -> owner:Domain.domid -> gref:gref -> (int * access, string) result
+(** Map a foreign frame; the caller must be the named grantee. Returns the
+    frame number in the owner's space. *)
+
+val unmap : t -> caller:Domain.domid -> owner:Domain.domid -> gref:gref -> unit
+
+val revoke : t -> owner:Domain.domid -> gref:gref -> (unit, string) result
+(** End a grant; fails while the grantee still has it mapped (as real
+    gnttab end-foreign-access must wait). *)
+
+val revoke_all_for : t -> Domain.domid -> unit

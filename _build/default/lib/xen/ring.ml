@@ -1,0 +1,58 @@
+(* Shared I/O ring, modelled on Xen's io/ring.h single-page rings.
+
+   A ring lives in one frame owned by the frontend domain and granted to
+   the backend. Requests flow front→back, responses back→front, each slot
+   carrying an opaque payload plus the slot id used to match responses to
+   requests. Capacity is bounded like the real single-page ring, so
+   back-pressure behaviour (full ring → request refused) is observable in
+   the throughput experiments. *)
+
+type slot = { id : int; payload : string }
+
+type t = {
+  capacity : int;
+  requests : slot Queue.t;
+  responses : slot Queue.t;
+  mutable next_id : int;
+  (* Wiring recorded at connect time; the backend reads the frontend's
+     identity from here, never from payloads. *)
+  frontend : Domain.domid;
+  backend : Domain.domid;
+}
+
+let default_capacity = 32
+
+let create ?(capacity = default_capacity) ~frontend ~backend () =
+  { capacity; requests = Queue.create (); responses = Queue.create (); next_id = 0; frontend; backend }
+
+let frontend t = t.frontend
+let backend t = t.backend
+let request_space t = t.capacity - Queue.length t.requests
+let pending_requests t = Queue.length t.requests
+let pending_responses t = Queue.length t.responses
+
+(* Frontend side *)
+
+let push_request t (payload : string) : (int, string) result =
+  if Queue.length t.requests >= t.capacity then Error "ring full"
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Queue.push { id; payload } t.requests;
+    Ok id
+  end
+
+let pop_response t : slot option =
+  if Queue.is_empty t.responses then None else Some (Queue.pop t.responses)
+
+(* Backend side *)
+
+let pop_request t : slot option =
+  if Queue.is_empty t.requests then None else Some (Queue.pop t.requests)
+
+let push_response t ~id (payload : string) : (unit, string) result =
+  if Queue.length t.responses >= t.capacity then Error "ring full"
+  else begin
+    Queue.push { id; payload } t.responses;
+    Ok ()
+  end

@@ -1,0 +1,36 @@
+(** Shared I/O ring, modelled on Xen's single-page [io/ring.h] rings.
+
+    A ring lives in a frame owned by the frontend and granted to the
+    backend; requests flow front→back, responses back→front. Capacity is
+    bounded like the real single-page ring, so back-pressure (full ring →
+    request refused) is observable in the throughput experiments. *)
+
+type slot = { id : int; payload : string }
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> frontend:Domain.domid -> backend:Domain.domid -> unit -> t
+
+val frontend : t -> Domain.domid
+(** The frontend identity recorded at connect time — the unforgeable
+    sender the improved monitor routes on. *)
+
+val backend : t -> Domain.domid
+
+val request_space : t -> int
+val pending_requests : t -> int
+val pending_responses : t -> int
+
+(** {1 Frontend side} *)
+
+val push_request : t -> string -> (int, string) result
+(** Returns the slot id used to match the response, or ["ring full"]. *)
+
+val pop_response : t -> slot option
+
+(** {1 Backend side} *)
+
+val pop_request : t -> slot option
+val push_response : t -> id:int -> string -> (unit, string) result

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Host List Printf String Vtpm_access Vtpm_attacks

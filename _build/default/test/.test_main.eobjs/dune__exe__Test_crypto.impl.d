@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Bytes Char Drbg Hmac Lazy List Option Printf QCheck QCheck_alcotest Rsa Sha1 Sha256 String Vtpm_crypto Vtpm_util Xtea

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Attestation Audit Binding Host List Monitor Policy Printf Result Stdlib Vtpm_access Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_xen

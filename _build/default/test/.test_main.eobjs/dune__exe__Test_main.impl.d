@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_access Test_attacks Test_crypto Test_integration Test_sim Test_tpm Test_util Test_vtpm Test_xen

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Hashtbl Host List Printf QCheck QCheck_alcotest Stdlib String Vtpm_access Vtpm_sim Vtpm_util

@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Auth Bytes Char Client Cmd Engine Eventlog Keystore Lazy List Nvram Pcr Printf QCheck QCheck_alcotest Result Stdlib String Types Vtpm_crypto Vtpm_tpm Vtpm_util Wire

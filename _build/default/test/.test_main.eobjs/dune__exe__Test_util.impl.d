@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Codec Cost Hex List QCheck QCheck_alcotest Rng String Verror Vtpm_util

@@ -1,0 +1,1 @@
+test/test_vtpm.ml: Alcotest Bytes Char Deep_quote Driver List Manager Migration Proto Result Stateproc String Vtpm_crypto Vtpm_mgr Vtpm_tpm Vtpm_util Vtpm_xen

@@ -1,0 +1,1 @@
+test/test_xen.ml: Alcotest Domain Evtchn Gnttab Hypervisor List Printf QCheck QCheck_alcotest Result Ring Sched Vtpm_crypto Vtpm_xen Xenstore

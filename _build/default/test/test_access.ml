@@ -1,0 +1,881 @@
+(* Tests for the access-control core: subjects, command classes, the
+   policy language, the audit chain, the binding table and the reference
+   monitor itself. *)
+
+open Vtpm_access
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* --- Subject ------------------------------------------------------------------- *)
+
+let test_subject_printing () =
+  check_s "guest" "guest:3" (Subject.to_string (Subject.Guest 3));
+  check_s "dom0" "dom0:xm" (Subject.to_string (Subject.Dom0_process "xm"))
+
+let test_subject_equal () =
+  check_b "guest eq" true (Subject.equal (Subject.Guest 1) (Subject.Guest 1));
+  check_b "guest neq" false (Subject.equal (Subject.Guest 1) (Subject.Guest 2));
+  check_b "kinds differ" false (Subject.equal (Subject.Guest 1) (Subject.Dom0_process "1"))
+
+let test_subject_credentials () =
+  let c = Subject.Credentials.create () in
+  Subject.Credentials.register c ~process:"mgr" ~token:"s3cret";
+  check_b "valid" true (Subject.Credentials.verify c ~process:"mgr" ~token:"s3cret");
+  check_b "wrong token" false (Subject.Credentials.verify c ~process:"mgr" ~token:"nope");
+  check_b "unknown process" false (Subject.Credentials.verify c ~process:"other" ~token:"s3cret")
+
+(* --- Command classes --------------------------------------------------------------- *)
+
+let test_classes_partition_ordinals () =
+  (* Every implemented ordinal belongs to exactly one class and every
+     class's ordinal list maps back to it. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun o -> check_b (Vtpm_tpm.Types.ordinal_name o) true (Command_class.classify o = c))
+        (Command_class.ordinals_of c))
+    Command_class.all;
+  let total =
+    List.fold_left (fun acc c -> acc + List.length (Command_class.ordinals_of c)) 0 Command_class.all
+  in
+  check_i "partition covers all ordinals" (List.length Vtpm_tpm.Types.all_ordinals) total
+
+let test_class_names_roundtrip () =
+  List.iter
+    (fun c -> check_b (Command_class.name c) true (Command_class.of_name (Command_class.name c) = Some c))
+    Command_class.all;
+  check_b "unknown name" true (Command_class.of_name "bogus" = None)
+
+let test_class_expected_members () =
+  check_b "extend is measurement" true
+    (Command_class.classify Vtpm_tpm.Types.ord_extend = Command_class.Measurement);
+  check_b "quote is attestation" true
+    (Command_class.classify Vtpm_tpm.Types.ord_quote = Command_class.Attestation);
+  check_b "take_ownership is ownership" true
+    (Command_class.classify Vtpm_tpm.Types.ord_take_ownership = Command_class.Ownership);
+  check_b "save_state is admin" true
+    (Command_class.classify Vtpm_tpm.Types.ord_save_state = Command_class.Admin)
+
+(* --- Policy parsing ------------------------------------------------------------------ *)
+
+let parse_ok src =
+  match Policy.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %a" Policy.pp_parse_error e
+
+let test_policy_parse_basic () =
+  let p = parse_ok "default deny\nallow guest:* class:measurement\ndeny * TPM_ForceClear\n" in
+  check_i "two rules" 2 (Policy.rule_count p);
+  check_b "default deny" true (Policy.default_verdict p = Policy.Deny)
+
+let test_policy_parse_comments_and_blanks () =
+  let p = parse_ok "# header\n\ndefault allow\n  # indented comment\nallow guest:1 TPM_Quote # trailing\n" in
+  check_i "one rule" 1 (Policy.rule_count p);
+  check_b "default allow" true (Policy.default_verdict p = Policy.Allow)
+
+let test_policy_parse_errors () =
+  let bad src =
+    match Policy.parse src with
+    | Ok _ -> Alcotest.failf "should not parse: %s" src
+    | Error _ -> ()
+  in
+  bad "frobnicate guest:* *";
+  bad "allow guest:abc *";
+  bad "allow nobody:3 *";
+  bad "allow guest:* class:bogus";
+  bad "allow guest:* TPM_NotACommand";
+  bad "allow guest:* * when tuesday";
+  bad "allow guest:*"
+
+let test_policy_parse_ordinal_forms () =
+  let p = parse_ok "allow guest:* TPM_Extend\nallow guest:* ord:14\n" in
+  check_i "both forms" 2 (Policy.rule_count p)
+
+let eval_verdict p ~subject ~label ~ordinal =
+  (Policy.eval p ~subject ~label ~ordinal ~measured_ok:(fun () -> true)).Policy.verdict
+
+let test_policy_first_match_wins () =
+  let p = parse_ok "default allow\ndeny guest:3 TPM_Quote\nallow guest:* TPM_Quote\n" in
+  check_b "deny first" true
+    (eval_verdict p ~subject:(Subject.Guest 3) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_quote
+    = Policy.Deny);
+  check_b "other guest allowed" true
+    (eval_verdict p ~subject:(Subject.Guest 4) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_quote
+    = Policy.Allow)
+
+let test_policy_default_applies () =
+  let p = parse_ok "default deny\nallow guest:* class:measurement\n" in
+  check_b "unmatched denied" true
+    (eval_verdict p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_quote
+    = Policy.Deny)
+
+let test_policy_label_selector () =
+  let p = parse_ok "default deny\nallow label:tenant_gold class:attestation\n" in
+  check_b "label matches" true
+    (eval_verdict p ~subject:(Subject.Guest 5) ~label:"tenant_gold"
+       ~ordinal:Vtpm_tpm.Types.ord_quote
+    = Policy.Allow);
+  check_b "other label denied" true
+    (eval_verdict p ~subject:(Subject.Guest 5) ~label:"tenant_iron"
+       ~ordinal:Vtpm_tpm.Types.ord_quote
+    = Policy.Deny)
+
+let test_policy_dom0_selectors () =
+  let p = parse_ok "default deny\nallow dom0:mgr class:admin\nallow dom0:* class:info\n" in
+  check_b "named process" true
+    (eval_verdict p ~subject:(Subject.Dom0_process "mgr") ~label:"dom0:mgr"
+       ~ordinal:Vtpm_tpm.Types.ord_save_state
+    = Policy.Allow);
+  check_b "other process denied admin" true
+    (eval_verdict p ~subject:(Subject.Dom0_process "evil") ~label:"dom0:evil"
+       ~ordinal:Vtpm_tpm.Types.ord_save_state
+    = Policy.Deny);
+  check_b "guest never matches dom0 selector" true
+    (eval_verdict p ~subject:(Subject.Guest 1) ~label:"l"
+       ~ordinal:Vtpm_tpm.Types.ord_get_capability
+    = Policy.Deny)
+
+let test_policy_guard_fallthrough () =
+  let p =
+    parse_ok "default deny\nallow guest:* class:measurement when measured\ndeny guest:* class:measurement\n"
+  in
+  let eval ok =
+    (Policy.eval p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_extend
+       ~measured_ok:(fun () -> ok))
+      .Policy.verdict
+  in
+  check_b "gate open -> allow" true (eval true = Policy.Allow);
+  check_b "gate closed -> falls to deny" true (eval false = Policy.Deny)
+
+let test_policy_guard_lazy () =
+  (* The measurement predicate must not run when no guarded rule matches. *)
+  let p = parse_ok "default deny\nallow guest:* class:sealing when measured\n" in
+  let called = ref false in
+  let _ =
+    Policy.eval p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_extend
+      ~measured_ok:(fun () ->
+        called := true;
+        true)
+  in
+  check_b "not called for non-matching command" false !called
+
+let test_policy_scanned_counts () =
+  let p = parse_ok "default deny\nallow guest:9 *\nallow guest:* TPM_Extend\n" in
+  let d =
+    Policy.eval p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_extend
+      ~measured_ok:(fun () -> true)
+  in
+  check_i "scanned to second rule" 2 d.Policy.scanned;
+  let d2 =
+    Policy.eval p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_quote
+      ~measured_ok:(fun () -> true)
+  in
+  check_i "scanned all on default" 2 d2.Policy.scanned
+
+let test_policy_validate_shadowing () =
+  let p = parse_ok "allow guest:* class:measurement\nallow guest:3 TPM_Extend\n" in
+  match Policy.validate p with
+  | [ Policy.Shadowed { rule_line = 2; by_line = 1 } ] -> ()
+  | lints -> Alcotest.failf "unexpected lints: %d" (List.length lints)
+
+let test_policy_validate_admin_grant () =
+  let p = parse_ok "allow guest:* class:admin\n" in
+  check_b "admin grant flagged" true
+    (List.exists (function Policy.Admin_grant _ -> true | _ -> false) (Policy.validate p))
+
+let test_policy_validate_clean () =
+  check_b "default policy has no shadowed rules" true
+    (List.for_all
+       (function Policy.Shadowed _ -> false | _ -> true)
+       (Policy.validate Policy.default_improved))
+
+let test_policy_synthetic () =
+  let p = Policy.synthetic ~n:100 in
+  check_b "at least n rules" true (Policy.rule_count p >= 100);
+  (* Real guests still get service through the tail rules. *)
+  check_b "guest allowed" true
+    (eval_verdict p ~subject:(Subject.Guest 2) ~label:"l" ~ordinal:Vtpm_tpm.Types.ord_extend
+    = Policy.Allow)
+
+let test_policy_has_guards () =
+  check_b "no guards" false (Policy.has_guards (parse_ok "allow guest:* *\n"));
+  check_b "guards" true (Policy.has_guards (parse_ok "allow guest:* * when measured\n"))
+
+let test_policy_print_roundtrip () =
+  let src =
+    String.concat "\n"
+      [
+        "default allow";
+        "deny guest:3 TPM_Quote";
+        "allow guest:* class:measurement when measured";
+        "allow label:gold *";
+        "allow dom0:mgr class:admin";
+        "deny * TPM_ForceClear";
+      ]
+  in
+  let p = parse_ok src in
+  let p2 = parse_ok (Policy.to_string p) in
+  check_i "rule count preserved" (Policy.rule_count p) (Policy.rule_count p2);
+  check_b "default preserved" true (Policy.default_verdict p = Policy.default_verdict p2);
+  (* Decisions agree across subjects and ordinals. *)
+  let subjects =
+    [ (Subject.Guest 3, "gold"); (Subject.Guest 4, "iron"); (Subject.Dom0_process "mgr", "dom0:mgr") ]
+  in
+  List.iter
+    (fun (subject, label) ->
+      List.iter
+        (fun ordinal ->
+          List.iter
+            (fun measured ->
+              let v p =
+                (Policy.eval p ~subject ~label ~ordinal ~measured_ok:(fun () -> measured))
+                  .Policy.verdict
+              in
+              check_b "same decision" true (v p = v p2))
+            [ true; false ])
+        Vtpm_tpm.Types.all_ordinals)
+    subjects
+
+(* A generated-policy property: parse(print(p)) is stable for generated
+   rule sets in the concrete syntax. *)
+let prop_policy_parse_stable =
+  let rule_gen =
+    QCheck.Gen.(
+      map2
+        (fun verdict cls ->
+          Printf.sprintf "%s guest:* class:%s"
+            (if verdict then "allow" else "deny")
+            (Command_class.name (List.nth Command_class.all (cls mod List.length Command_class.all))))
+        bool (int_bound 100))
+  in
+  QCheck.Test.make ~name:"policy reparse has same rule count" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 20) rule_gen))
+    (fun lines ->
+      let src = String.concat "\n" ("default deny" :: lines) in
+      match Policy.parse src with
+      | Ok p -> Policy.rule_count p = List.length lines
+      | Error _ -> false)
+
+(* --- Audit -------------------------------------------------------------------------- *)
+
+let mk_audit () = Audit.create ~cost:(Vtpm_util.Cost.create ())
+
+let test_audit_chain_verifies () =
+  let a = mk_audit () in
+  for i = 1 to 10 do
+    Audit.append a ~subject:"guest:1" ~operation:(Printf.sprintf "op%d" i) ~instance:(Some 1)
+      ~allowed:(i mod 2 = 0) ~reason:"r"
+  done;
+  check_i "length" 10 (Audit.length a);
+  check_b "chain ok" true (Audit.verify_chain ~expected_head:(Audit.head a) (Audit.entries a) = Ok ())
+
+let test_audit_tamper_detected () =
+  let a = mk_audit () in
+  Audit.append a ~subject:"s" ~operation:"op1" ~instance:None ~allowed:true ~reason:"r";
+  Audit.append a ~subject:"s" ~operation:"op2" ~instance:None ~allowed:false ~reason:"r";
+  let entries =
+    List.map
+      (fun (e : Audit.entry) -> if e.Audit.seq = 0 then { e with Audit.allowed = false } else e)
+      (Audit.entries a)
+  in
+  (match Audit.verify_chain entries with
+  | Error 0 -> ()
+  | _ -> Alcotest.fail "tamper not detected at entry 0")
+
+let test_audit_truncation_detected () =
+  let a = mk_audit () in
+  Audit.append a ~subject:"s" ~operation:"op1" ~instance:None ~allowed:true ~reason:"r";
+  Audit.append a ~subject:"s" ~operation:"op2" ~instance:None ~allowed:true ~reason:"r";
+  let truncated = [ List.hd (Audit.entries a) ] in
+  check_b "truncation detected via head" true
+    (Audit.verify_chain ~expected_head:(Audit.head a) truncated = Error (-1));
+  (* Without the head anchor, a clean prefix passes — that is exactly why
+     the head must be anchored externally. *)
+  check_b "prefix alone passes" true (Audit.verify_chain truncated = Ok ())
+
+let test_audit_export_import () =
+  let a = mk_audit () in
+  Audit.append a ~subject:"guest:1" ~operation:"TPM_Extend" ~instance:(Some 3) ~allowed:true
+    ~reason:"rule@2";
+  Audit.append a ~subject:"dom0:tool|weird" ~operation:"mgmt:save" ~instance:None ~allowed:false
+    ~reason:"bad credential";
+  let exported = Audit.export a in
+  (match Audit.import exported with
+  | Ok entries ->
+      check_b "entries equal" true (entries = Audit.entries a);
+      check_b "chain verifies after roundtrip" true
+        (Audit.verify_chain ~expected_head:(Audit.head a) entries = Ok ())
+  | Error m -> Alcotest.fail m);
+  check_b "garbage rejected" true (Result.is_error (Audit.import "not|an|audit|line"));
+  (* A textual edit of the export is caught by the chain. *)
+  let replace_first haystack needle replacement =
+    let nl = String.length needle in
+    let rec find i =
+      if i + nl > String.length haystack then None
+      else if String.sub haystack i nl = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> haystack
+    | Some i ->
+        String.sub haystack 0 i ^ replacement
+        ^ String.sub haystack (i + nl) (String.length haystack - i - nl)
+  in
+  let edited =
+    replace_first exported (Vtpm_util.Hex.encode "guest:1") (Vtpm_util.Hex.encode "guest:9")
+  in
+  match Audit.import edited with
+  | Ok entries -> check_b "edit detected" true (Result.is_error (Audit.verify_chain entries))
+  | Error _ -> () (* also acceptable: edit broke the framing *)
+
+let test_audit_empty_chain () =
+  let a = mk_audit () in
+  check_b "empty verifies" true (Audit.verify_chain ~expected_head:(Audit.head a) [] = Ok ())
+
+(* --- Binding ------------------------------------------------------------------------- *)
+
+let mk_bindings () = Binding.create ~cost:(Vtpm_util.Cost.create ())
+
+let test_binding_bind_lookup () =
+  let b = mk_bindings () in
+  let _ = Result.get_ok (Binding.bind b ~vtpm_id:1 ~domid:7 ~reference_measurement:"m") in
+  (match Binding.lookup_domid b 7 with
+  | Some bd -> check_i "instance" 1 bd.Binding.vtpm_id
+  | None -> Alcotest.fail "missing");
+  (match Binding.lookup_instance b 1 with
+  | Some bd -> check_i "domid" 7 bd.Binding.domid
+  | None -> Alcotest.fail "missing")
+
+let test_binding_conflicts () =
+  let b = mk_bindings () in
+  let _ = Result.get_ok (Binding.bind b ~vtpm_id:1 ~domid:7 ~reference_measurement:"m") in
+  check_b "domid busy" true (Result.is_error (Binding.bind b ~vtpm_id:2 ~domid:7 ~reference_measurement:"m"));
+  check_b "instance busy" true (Result.is_error (Binding.bind b ~vtpm_id:1 ~domid:8 ~reference_measurement:"m"))
+
+let test_binding_unbind () =
+  let b = mk_bindings () in
+  let _ = Result.get_ok (Binding.bind b ~vtpm_id:1 ~domid:7 ~reference_measurement:"m") in
+  Binding.unbind b ~domid:7;
+  check_b "domid free" true (Binding.lookup_domid b 7 = None);
+  check_b "instance free" true (Binding.lookup_instance b 1 = None);
+  check_b "rebindable" true (Result.is_ok (Binding.bind b ~vtpm_id:1 ~domid:9 ~reference_measurement:"m"))
+
+(* --- Shipped policy files ------------------------------------------------------------ *)
+
+(* The policy files are declared as test deps, so dune copies them into
+   the build tree; depending on how the test is launched (`dune runtest`
+   vs `dune exec`) the working directory differs, so try the plausible
+   locations. *)
+let read_file name =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) ("../policies/" ^ name);
+      "../policies/" ^ name;
+      "policies/" ^ name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.failf "policy file %s not found" name
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let test_shipped_default_policy () =
+  let p = parse_ok (read_file "default.policy") in
+  check_b "default deny" true (Policy.default_verdict p = Policy.Deny);
+  check_b "guards-free" false (Policy.has_guards p);
+  (* The one lint is the deliberate manager grant. *)
+  (match Policy.validate p with
+  | [ Policy.Admin_grant _ ] -> ()
+  | lints -> Alcotest.failf "unexpected lints: %d" (List.length lints));
+  (* Semantics match the built-in default. *)
+  List.iter
+    (fun ordinal ->
+      let v pol =
+        (Policy.eval pol ~subject:(Subject.Guest 3) ~label:"l" ~ordinal
+           ~measured_ok:(fun () -> true))
+          .Policy.verdict
+      in
+      check_b (Vtpm_tpm.Types.ordinal_name ordinal) true (v p = v Policy.default_improved))
+    Vtpm_tpm.Types.all_ordinals
+
+let test_shipped_measured_policy () =
+  let p = parse_ok (read_file "measured.policy") in
+  check_b "has guards" true (Policy.has_guards p);
+  let v measured ordinal =
+    (Policy.eval p ~subject:(Subject.Guest 1) ~label:"l" ~ordinal
+       ~measured_ok:(fun () -> measured))
+      .Policy.verdict
+  in
+  check_b "measured guest sealed" true (v true Vtpm_tpm.Types.ord_seal = Policy.Allow);
+  check_b "tampered guest denied" true (v false Vtpm_tpm.Types.ord_seal = Policy.Deny);
+  check_b "session stays open" true (v false Vtpm_tpm.Types.ord_oiap = Policy.Allow)
+
+let test_shipped_acm_policy () =
+  match Acm.parse (read_file "datacenter.acm") with
+  | Error e -> Alcotest.fail e
+  | Ok acm ->
+      check_b "banks conflict" true (List.mem "bank_b" (Acm.conflicts_with acm "bank_a"));
+      check_b "tenant may attach" true
+        (Acm.may_attach_vtpm acm ~frontend_label:"telco_x" ~backend_label:"system_u:dom0"
+        = Acm.Admitted)
+
+(* --- Monitor ------------------------------------------------------------------------- *)
+
+let mk_monitor () =
+  let xen = Vtpm_xen.Hypervisor.create () in
+  let mgr = Vtpm_mgr.Manager.create ~rsa_bits:256 ~seed:61 ~cost:xen.Vtpm_xen.Hypervisor.cost () in
+  let monitor = Monitor.create ~xen ~mgr () in
+  (xen, mgr, monitor)
+
+let add_guest xen domid_name =
+  Result.get_ok
+    (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:domid_name ~label:("lab_" ^ domid_name) ())
+
+let test_monitor_routes_by_binding () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  (* A bogus claimed id is ignored; routing uses the binding. *)
+  check_b "bound sender served" true (Result.is_ok (router ~sender:d ~claimed_instance:9999 ~wire));
+  check_b "unbound sender denied" true
+    (Result.is_error (router ~sender:(d + 1) ~claimed_instance:1 ~wire))
+
+let test_monitor_denies_by_policy () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let router = Monitor.router monitor in
+  (* ForceClear is Admin class: denied to guests by the default policy. *)
+  let wire = Vtpm_tpm.Wire.encode_request Vtpm_tpm.Cmd.Force_clear in
+  check_b "admin denied" true (Result.is_error (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire))
+
+let test_monitor_cache_behaviour () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Monitor.reset_stats monitor;
+  for _ = 1 to 5 do
+    ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire)
+  done;
+  let s = Monitor.stats monitor in
+  check_i "five lookups" 5 s.Monitor.lookups;
+  check_i "four hits" 4 s.Monitor.cache_hits;
+  (* Policy reload invalidates the cache. *)
+  Monitor.set_policy monitor Policy.default_improved;
+  ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire);
+  check_i "miss after reload" 4 (Monitor.stats monitor).Monitor.cache_hits
+
+let test_monitor_cache_disabled () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  Monitor.set_cache_enabled monitor false;
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Monitor.reset_stats monitor;
+  for _ = 1 to 3 do
+    ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire)
+  done;
+  check_i "no hits" 0 (Monitor.stats monitor).Monitor.cache_hits
+
+let test_monitor_guarded_policy_not_cached () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  Monitor.set_policy monitor
+    (Policy.parse_exn "default deny\nallow guest:* class:measurement when measured\n");
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Monitor.reset_stats monitor;
+  check_b "measured guest allowed" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire));
+  (* Tamper with the kernel: next request must be re-evaluated and denied. *)
+  Vtpm_xen.Domain.set_kernel dom ~image:"rootkit";
+  check_b "tampered guest denied" true
+    (Result.is_error (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire));
+  check_i "no cache hits with guarded policy" 0 (Monitor.stats monitor).Monitor.cache_hits
+
+let test_monitor_audits_every_decision () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "g1" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let router = Monitor.router monitor in
+  let before = Audit.length monitor.Monitor.audit in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire);
+  ignore (router ~sender:999 ~claimed_instance:1 ~wire);
+  check_i "two audit entries" (before + 2) (Audit.length monitor.Monitor.audit);
+  check_b "chain intact" true
+    (Audit.verify_chain ~expected_head:(Audit.head monitor.Monitor.audit)
+       (Audit.entries monitor.Monitor.audit)
+    = Ok ())
+
+let test_monitor_management_credential_gate () =
+  let _, mgr, monitor = mk_monitor () in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  Monitor.register_process monitor ~process:"vtpm-manager" ~token:"tok";
+  check_b "bad token rejected" true
+    (Result.is_error
+       (Monitor.management monitor ~process:"vtpm-manager" ~token:"bad"
+          (Monitor.Save_instance { vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id })));
+  check_b "unknown process rejected" true
+    (Result.is_error
+       (Monitor.management monitor ~process:"rogue" ~token:"tok"
+          (Monitor.Save_instance { vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id })));
+  match
+    Monitor.management monitor ~process:"vtpm-manager" ~token:"tok"
+      (Monitor.Save_instance { vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id })
+  with
+  | Ok (Monitor.M_blob blob) ->
+      check_b "sealed format" true
+        (Vtpm_mgr.Stateproc.detect_format blob = Some Vtpm_mgr.Stateproc.Sealed)
+  | _ -> Alcotest.fail "save should succeed with valid credential"
+
+let test_monitor_management_policy_gate () =
+  (* Even a valid credential is subject to policy. *)
+  let _, mgr, monitor = mk_monitor () in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  Monitor.register_process monitor ~process:"helper" ~token:"t2";
+  (* Default policy only allows dom0:vtpm-manager. *)
+  check_b "helper denied by policy" true
+    (Result.is_error
+       (Monitor.management monitor ~process:"helper" ~token:"t2"
+          (Monitor.Save_instance { vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id })))
+
+let test_tamper_detection () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "watched" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let node = Printf.sprintf "/local/domain/%d/device/vtpm/0/instance" d in
+  ignore
+    (Vtpm_xen.Hypervisor.xs_write xen ~caller:0 node
+       (string_of_int inst.Vtpm_mgr.Manager.vtpm_id));
+  Monitor.enable_tamper_detection monitor;
+  let alerts () =
+    List.length
+      (List.filter
+         (fun (e : Audit.entry) -> e.Audit.operation = "tamper-alert")
+         (Audit.entries monitor.Monitor.audit))
+  in
+  (* Writing the *correct* id raises no alert. *)
+  ignore
+    (Vtpm_xen.Hypervisor.xs_write xen ~caller:0 node
+       (string_of_int inst.Vtpm_mgr.Manager.vtpm_id));
+  check_i "no alert on consistent write" 0 (alerts ());
+  (* The re-pointing attack fires an alert. *)
+  ignore (Vtpm_xen.Hypervisor.xs_write xen ~caller:0 node "9999");
+  check_i "alert raised" 1 (alerts ());
+  (* Unrelated nodes stay quiet; disabling stops alerts. *)
+  ignore (Vtpm_xen.Hypervisor.xs_write xen ~caller:0 "/local/domain/77/name" "x");
+  check_i "unrelated write quiet" 1 (alerts ());
+  Monitor.disable_tamper_detection monitor;
+  ignore (Vtpm_xen.Hypervisor.xs_write xen ~caller:0 node "8888");
+  check_i "disabled" 1 (alerts ())
+
+let test_monitor_rebind () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d1 = add_guest xen "g1" in
+  let d2 = add_guest xen "g2" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom1 = Vtpm_xen.Hypervisor.domain_exn xen d1 in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d1
+         ~reference_measurement:dom1.Vtpm_xen.Domain.kernel_digest)
+  in
+  Monitor.register_process monitor ~process:"vtpm-manager" ~token:"tok";
+  (match
+     Monitor.management monitor ~process:"vtpm-manager" ~token:"tok"
+       (Monitor.Rebind { vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id; new_domid = d2 })
+   with
+  | Ok Monitor.M_unit -> ()
+  | Ok _ -> Alcotest.fail "unexpected result"
+  | Error e -> Alcotest.fail e);
+  check_b "old domid unbound" true (Binding.lookup_domid monitor.Monitor.bindings d1 = None);
+  match Binding.lookup_domid monitor.Monitor.bindings d2 with
+  | Some b -> check_i "new binding" inst.Vtpm_mgr.Manager.vtpm_id b.Binding.vtpm_id
+  | None -> Alcotest.fail "new binding missing"
+
+
+(* --- ACM (Chinese Wall + Type Enforcement) -------------------------------------- *)
+
+let test_acm_chinese_wall () =
+  let acm = Acm.example_policy () in
+  check_b "bank_a admitted" true (Acm.admit acm ~domid:1 ~label:"bank_a" = Acm.Admitted);
+  (match Acm.admit acm ~domid:2 ~label:"bank_b" with
+  | Acm.Rejected _ -> ()
+  | Acm.Admitted -> Alcotest.fail "conflicting label admitted");
+  (* Unrelated labels coexist. *)
+  check_b "telco_x ok next to bank_a" true (Acm.admit acm ~domid:3 ~label:"telco_x" = Acm.Admitted);
+  (* After the bank_a domain retires, bank_b may start. *)
+  Acm.retire acm ~domid:1;
+  check_b "bank_b after retire" true (Acm.admit acm ~domid:4 ~label:"bank_b" = Acm.Admitted)
+
+let test_acm_ste () =
+  let acm = Acm.example_policy () in
+  check_b "tenant attaches" true
+    (Acm.may_attach_vtpm acm ~frontend_label:"bank_a" ~backend_label:"system_u:dom0"
+    = Acm.Admitted);
+  (match Acm.may_attach_vtpm acm ~frontend_label:"unlabeled" ~backend_label:"system_u:dom0" with
+  | Acm.Rejected _ -> ()
+  | Acm.Admitted -> Alcotest.fail "unlabeled frontend attached")
+
+let test_acm_parse_roundtrip () =
+  let acm = Acm.example_policy () in
+  match Acm.parse (Acm.to_string acm) with
+  | Ok acm2 ->
+      check_b "conflict preserved" true
+        (match Acm.admit acm2 ~domid:1 ~label:"bank_a" with
+        | Acm.Admitted -> (
+            match Acm.admit acm2 ~domid:2 ~label:"bank_b" with
+            | Acm.Rejected _ -> true
+            | Acm.Admitted -> false)
+        | Acm.Rejected _ -> false)
+  | Error e -> Alcotest.fail e
+
+let test_acm_parse_errors () =
+  check_b "malformed rejected" true (Result.is_error (Acm.parse "conflict oops\n"));
+  check_b "comments ok" true (Result.is_ok (Acm.parse "# nothing here\n"))
+
+let test_acm_host_integration () =
+  let host =
+    Host.create ~mode:Host.Improved_mode ~seed:121 ~rsa_bits:256 ~acm:(Acm.example_policy ()) ()
+  in
+  let _a = Host.create_guest_exn host ~name:"a" ~label:"bank_a" () in
+  (match Host.create_guest host ~name:"b" ~label:"bank_b" () with
+  | Error e -> check_b "CW rejection reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "conflicting guest admitted");
+  (* Unlabeled tenants cannot attach a vTPM at all. *)
+  (match Host.create_guest host ~name:"x" ~label:"mystery" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unlabeled guest attached");
+  (* Destroying the first bank frees the wall. *)
+  let a = List.hd host.Host.guests in
+  (match Host.destroy_guest host a with Ok () -> () | Error e -> Alcotest.fail e);
+  check_b "bank_b admitted after destroy" true
+    (Result.is_ok (Host.create_guest host ~name:"b2" ~label:"bank_b" ()))
+
+(* --- Quota ------------------------------------------------------------------------ *)
+
+let test_quota_burst_and_refill () =
+  let cost = Vtpm_util.Cost.create () in
+  let q = Quota.create ~rate_per_s:10.0 ~burst:3.0 ~cost () in
+  let s = Subject.Guest 1 in
+  check_b "1" true (Quota.admit q s);
+  check_b "2" true (Quota.admit q s);
+  check_b "3" true (Quota.admit q s);
+  check_b "burst exhausted" false (Quota.admit q s);
+  (* 0.2 simulated seconds refill 2 tokens. *)
+  Vtpm_util.Cost.charge cost 200_000.0;
+  check_b "refilled 1" true (Quota.admit q s);
+  check_b "refilled 2" true (Quota.admit q s);
+  check_b "empty again" false (Quota.admit q s)
+
+let test_quota_per_subject () =
+  let cost = Vtpm_util.Cost.create () in
+  let q = Quota.create ~rate_per_s:10.0 ~burst:1.0 ~cost () in
+  check_b "g1 first" true (Quota.admit q (Subject.Guest 1));
+  check_b "g1 throttled" false (Quota.admit q (Subject.Guest 1));
+  check_b "g2 unaffected" true (Quota.admit q (Subject.Guest 2))
+
+let test_quota_cap_at_burst () =
+  let cost = Vtpm_util.Cost.create () in
+  let q = Quota.create ~rate_per_s:1000.0 ~burst:2.0 ~cost () in
+  let s = Subject.Guest 1 in
+  Vtpm_util.Cost.charge cost 10_000_000.0;
+  check_b "remaining capped" true (Quota.remaining q s <= 2.0)
+
+let test_monitor_quota_throttles () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "flood" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  Monitor.set_quota monitor ~rate_per_s:10.0 ~burst:5.0;
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Monitor.reset_stats monitor;
+  let served = ref 0 in
+  for _ = 1 to 50 do
+    if Result.is_ok (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire) then
+      incr served
+  done;
+  check_b "flood throttled" true (!served < 50);
+  check_b "throttles counted" true ((Monitor.stats monitor).Monitor.throttled > 0);
+  Monitor.clear_quota monitor;
+  check_b "unlimited after clear" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire))
+
+(* --- Audit toggle ------------------------------------------------------------------- *)
+
+let test_monitor_audit_toggle () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d = add_guest xen "quiet" in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  let router = Monitor.router monitor in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Monitor.set_audit_enabled monitor false;
+  let before = Audit.length monitor.Monitor.audit in
+  ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire);
+  check_i "no entry when disabled" before (Audit.length monitor.Monitor.audit);
+  Monitor.set_audit_enabled monitor true;
+  ignore (router ~sender:d ~claimed_instance:inst.Vtpm_mgr.Manager.vtpm_id ~wire);
+  check_i "entry when enabled" (before + 1) (Audit.length monitor.Monitor.audit)
+
+(* --- Anchor ---------------------------------------------------------------------------- *)
+
+let test_anchor_commit_and_verify () =
+  let _, mgr, monitor = mk_monitor () in
+  let anchor = Result.get_ok (Anchor.setup mgr) in
+  Audit.append monitor.Monitor.audit ~subject:"s" ~operation:"op1" ~instance:None ~allowed:true
+    ~reason:"r";
+  let count = Result.get_ok (Anchor.commit anchor mgr monitor.Monitor.audit) in
+  check_i "first commit" 1 count;
+  check_b "anchored log verifies" true
+    (Anchor.verify anchor mgr (Audit.entries monitor.Monitor.audit) = Ok ());
+  (* More activity without a re-commit: the exported log no longer matches
+     the anchor (stale anchor detected). *)
+  Audit.append monitor.Monitor.audit ~subject:"s" ~operation:"op2" ~instance:None ~allowed:true
+    ~reason:"r";
+  check_b "stale anchor detected" true
+    (Result.is_error (Anchor.verify anchor mgr (Audit.entries monitor.Monitor.audit)));
+  let count2 = Result.get_ok (Anchor.commit anchor mgr monitor.Monitor.audit) in
+  check_i "second commit" 2 count2;
+  check_b "verifies again" true
+    (Anchor.verify anchor mgr (Audit.entries monitor.Monitor.audit) = Ok ())
+
+let test_anchor_detects_truncation () =
+  let _, mgr, monitor = mk_monitor () in
+  let anchor = Result.get_ok (Anchor.setup mgr) in
+  for i = 1 to 3 do
+    Audit.append monitor.Monitor.audit ~subject:"s" ~operation:(Printf.sprintf "op%d" i)
+      ~instance:None ~allowed:true ~reason:"r"
+  done;
+  ignore (Result.get_ok (Anchor.commit anchor mgr monitor.Monitor.audit));
+  (* Attacker exports a truncated log; the head anchor catches it even
+     though the prefix chain itself is intact. *)
+  let truncated = List.filteri (fun i _ -> i < 2) (Audit.entries monitor.Monitor.audit) in
+  check_b "truncation detected" true (Result.is_error (Anchor.verify anchor mgr truncated))
+
+let suite =
+  [
+    Alcotest.test_case "subject printing" `Quick test_subject_printing;
+    Alcotest.test_case "subject equal" `Quick test_subject_equal;
+    Alcotest.test_case "subject credentials" `Quick test_subject_credentials;
+    Alcotest.test_case "classes partition" `Quick test_classes_partition_ordinals;
+    Alcotest.test_case "class names roundtrip" `Quick test_class_names_roundtrip;
+    Alcotest.test_case "class expected members" `Quick test_class_expected_members;
+    Alcotest.test_case "policy parse basic" `Quick test_policy_parse_basic;
+    Alcotest.test_case "policy comments/blanks" `Quick test_policy_parse_comments_and_blanks;
+    Alcotest.test_case "policy parse errors" `Quick test_policy_parse_errors;
+    Alcotest.test_case "policy ordinal forms" `Quick test_policy_parse_ordinal_forms;
+    Alcotest.test_case "policy first match" `Quick test_policy_first_match_wins;
+    Alcotest.test_case "policy default" `Quick test_policy_default_applies;
+    Alcotest.test_case "policy label selector" `Quick test_policy_label_selector;
+    Alcotest.test_case "policy dom0 selectors" `Quick test_policy_dom0_selectors;
+    Alcotest.test_case "policy guard fallthrough" `Quick test_policy_guard_fallthrough;
+    Alcotest.test_case "policy guard lazy" `Quick test_policy_guard_lazy;
+    Alcotest.test_case "policy scanned counts" `Quick test_policy_scanned_counts;
+    Alcotest.test_case "policy validate shadowing" `Quick test_policy_validate_shadowing;
+    Alcotest.test_case "policy validate admin grant" `Quick test_policy_validate_admin_grant;
+    Alcotest.test_case "policy validate clean default" `Quick test_policy_validate_clean;
+    Alcotest.test_case "policy synthetic" `Quick test_policy_synthetic;
+    Alcotest.test_case "policy has_guards" `Quick test_policy_has_guards;
+    Alcotest.test_case "policy print roundtrip" `Quick test_policy_print_roundtrip;
+    QCheck_alcotest.to_alcotest prop_policy_parse_stable;
+    Alcotest.test_case "audit chain verifies" `Quick test_audit_chain_verifies;
+    Alcotest.test_case "audit tamper detected" `Quick test_audit_tamper_detected;
+    Alcotest.test_case "audit truncation detected" `Quick test_audit_truncation_detected;
+    Alcotest.test_case "audit empty chain" `Quick test_audit_empty_chain;
+    Alcotest.test_case "audit export/import" `Quick test_audit_export_import;
+    Alcotest.test_case "binding bind/lookup" `Quick test_binding_bind_lookup;
+    Alcotest.test_case "binding conflicts" `Quick test_binding_conflicts;
+    Alcotest.test_case "binding unbind" `Quick test_binding_unbind;
+    Alcotest.test_case "monitor routes by binding" `Quick test_monitor_routes_by_binding;
+    Alcotest.test_case "monitor denies by policy" `Quick test_monitor_denies_by_policy;
+    Alcotest.test_case "monitor cache behaviour" `Quick test_monitor_cache_behaviour;
+    Alcotest.test_case "monitor cache disabled" `Quick test_monitor_cache_disabled;
+    Alcotest.test_case "monitor guarded not cached" `Quick test_monitor_guarded_policy_not_cached;
+    Alcotest.test_case "monitor audits decisions" `Quick test_monitor_audits_every_decision;
+    Alcotest.test_case "monitor mgmt credential" `Quick test_monitor_management_credential_gate;
+    Alcotest.test_case "monitor mgmt policy" `Quick test_monitor_management_policy_gate;
+    Alcotest.test_case "monitor rebind" `Quick test_monitor_rebind;
+    Alcotest.test_case "acm chinese wall" `Quick test_acm_chinese_wall;
+    Alcotest.test_case "acm ste" `Quick test_acm_ste;
+    Alcotest.test_case "acm parse roundtrip" `Quick test_acm_parse_roundtrip;
+    Alcotest.test_case "acm parse errors" `Quick test_acm_parse_errors;
+    Alcotest.test_case "acm host integration" `Quick test_acm_host_integration;
+    Alcotest.test_case "quota burst/refill" `Quick test_quota_burst_and_refill;
+    Alcotest.test_case "quota per subject" `Quick test_quota_per_subject;
+    Alcotest.test_case "quota cap at burst" `Quick test_quota_cap_at_burst;
+    Alcotest.test_case "monitor quota throttles" `Quick test_monitor_quota_throttles;
+    Alcotest.test_case "monitor audit toggle" `Quick test_monitor_audit_toggle;
+    Alcotest.test_case "anchor commit/verify" `Quick test_anchor_commit_and_verify;
+    Alcotest.test_case "anchor detects truncation" `Quick test_anchor_detects_truncation;
+    Alcotest.test_case "shipped default policy" `Quick test_shipped_default_policy;
+    Alcotest.test_case "shipped measured policy" `Quick test_shipped_measured_policy;
+    Alcotest.test_case "shipped acm policy" `Quick test_shipped_acm_policy;
+    Alcotest.test_case "tamper detection" `Quick test_tamper_detection;
+  ]

@@ -1,0 +1,77 @@
+(* The security evaluation as tests: every attack must succeed against
+   the baseline manager and fail against the improved monitor — the
+   paper's headline claim, enforced by CI. *)
+
+open Vtpm_access
+
+let check_b = Alcotest.(check bool)
+
+let outcome_for ~mode name =
+  match List.assoc_opt name Vtpm_attacks.Attack.all with
+  | None -> Alcotest.failf "unknown attack %s" name
+  | Some attack -> attack (Vtpm_attacks.Attack.setup ~mode ~seed:97 ())
+
+let succeeds_in_baseline name () =
+  let o = outcome_for ~mode:Host.Baseline_mode name in
+  check_b (name ^ " retrieves in baseline") true o.Vtpm_attacks.Attack.succeeded
+
+let blocked_in_improved name () =
+  let o = outcome_for ~mode:Host.Improved_mode name in
+  check_b
+    (Printf.sprintf "%s blocked in improved (%s)" name o.Vtpm_attacks.Attack.detail)
+    false o.Vtpm_attacks.Attack.succeeded
+
+let test_batteries_agree () =
+  (* run_battery runs each attack once per mode; counts match the claim. *)
+  let count mode =
+    List.length
+      (List.filter
+         (fun (o : Vtpm_attacks.Attack.outcome) -> o.Vtpm_attacks.Attack.succeeded)
+         (Vtpm_attacks.Attack.run_battery ~mode))
+  in
+  Alcotest.(check int) "baseline: all succeed" (List.length Vtpm_attacks.Attack.all)
+    (count Host.Baseline_mode);
+  Alcotest.(check int) "improved: none succeed" 0 (count Host.Improved_mode)
+
+let test_fixture_shape () =
+  let f = Vtpm_attacks.Attack.setup ~mode:Host.Improved_mode ~seed:5 () in
+  check_b "distinct guests" true (f.Vtpm_attacks.Attack.victim.Host.domid <> f.Vtpm_attacks.Attack.attacker.Host.domid);
+  check_b "sealed blob nonempty" true (String.length f.Vtpm_attacks.Attack.sealed_blob > 0);
+  check_b "secret not in blob" true
+    (* The sealed blob must not contain the plaintext secret. *)
+    (let blob = f.Vtpm_attacks.Attack.sealed_blob and sec = f.Vtpm_attacks.Attack.secret in
+     let n = String.length blob and m = String.length sec in
+     let found = ref false in
+     for i = 0 to n - m do
+       if String.sub blob i m = sec then found := true
+     done;
+     not !found)
+
+let test_repoint_raises_tamper_alert () =
+  (* Beyond being blocked, the XenStore re-pointing attempt must leave
+     forensic evidence in the audit log. *)
+  let f = Vtpm_attacks.Attack.setup ~mode:Host.Improved_mode ~seed:131 () in
+  let o = Vtpm_attacks.Attack.xenstore_repoint f in
+  check_b "blocked" false o.Vtpm_attacks.Attack.succeeded;
+  let monitor = Host.monitor_exn f.Vtpm_attacks.Attack.host in
+  check_b "tamper alert recorded" true
+    (List.exists
+       (fun (e : Vtpm_access.Audit.entry) -> e.Vtpm_access.Audit.operation = "tamper-alert")
+       (Vtpm_access.Audit.entries monitor.Vtpm_access.Monitor.audit))
+
+let per_attack_cases =
+  List.concat_map
+    (fun (name, _) ->
+      [
+        Alcotest.test_case (name ^ " baseline") `Quick (succeeds_in_baseline name);
+        Alcotest.test_case (name ^ " improved") `Quick (blocked_in_improved name);
+      ])
+    Vtpm_attacks.Attack.all
+
+let suite =
+  per_attack_cases
+  @ [
+      Alcotest.test_case "battery counts" `Slow test_batteries_agree;
+      Alcotest.test_case "fixture shape" `Quick test_fixture_shape;
+      Alcotest.test_case "repoint leaves evidence" `Quick test_repoint_raises_tamper_alert;
+    ]

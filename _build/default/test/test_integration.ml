@@ -1,0 +1,318 @@
+(* End-to-end scenarios across the whole stack: multi-tenant hosts,
+   suspend/resume, cross-host migration, measured-boot policies and
+   deep attestation. *)
+
+open Vtpm_access
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let unwrap what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" what Vtpm_tpm.Client.pp_error e
+
+(* Full tenant journey through the improved stack: boot-measure, own the
+   vTPM, seal a secret, suspend the vTPM, resume, unseal. *)
+let test_tenant_journey_improved () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:101 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn host ~name:"app" ~label:"tenant_app" () in
+  let c = Host.guest_client host g in
+  let _ = unwrap "measure" (Vtpm_tpm.Client.measure c ~pcr:10 ~event:"kernel+initrd") in
+  let srk_auth = Vtpm_crypto.Sha1.digest "sa" in
+  let _ = unwrap "takeown" (Vtpm_tpm.Client.take_ownership c ~owner_auth:"oa" ~srk_auth) in
+  let blob_auth = Vtpm_crypto.Sha1.digest "ba" in
+  let sess = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:srk_auth) in
+  let sealed =
+    unwrap "seal"
+      (Vtpm_tpm.Client.seal ~continue:false c sess ~key:Vtpm_tpm.Types.kh_srk
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 10 ])
+         ~blob_auth ~data:"db-master-key")
+  in
+  (match Host.suspend_vtpm host g with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Host.resume_vtpm host g with Ok () -> () | Error e -> Alcotest.fail e);
+  let c = Host.guest_client host g in
+  let ks = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:srk_auth) in
+  let ds = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:blob_auth) in
+  check_s "secret survives suspend/resume" "db-master-key"
+    (unwrap "unseal"
+       (Vtpm_tpm.Client.unseal c ~key_session:ks ~data_session:ds ~key:Vtpm_tpm.Types.kh_srk
+          ~blob:sealed))
+
+(* Two tenants on one host never see each other's vTPM state, in either
+   mode, through their own legitimate channels. *)
+let test_tenant_isolation_both_modes () =
+  List.iter
+    (fun mode ->
+      let host = Host.create ~mode ~seed:103 ~rsa_bits:256 () in
+      let g1 = Host.create_guest_exn host ~name:"t1" ~label:"l1" () in
+      let g2 = Host.create_guest_exn host ~name:"t2" ~label:"l2" () in
+      let c1 = Host.guest_client host g1 and c2 = Host.guest_client host g2 in
+      let v1 = unwrap "measure" (Vtpm_tpm.Client.measure c1 ~pcr:12 ~event:"tenant1") in
+      let v2 = unwrap "read" (Vtpm_tpm.Client.pcr_read c2 ~pcr:12) in
+      check_b (Host.mode_name mode ^ ": isolated") true (v1 <> v2))
+    [ Host.Baseline_mode; Host.Improved_mode ]
+
+(* vTPM migration between two improved hosts: sealed guest data is usable
+   at the destination; the source instance is gone. *)
+let test_cross_host_migration () =
+  let src = Host.create ~mode:Host.Improved_mode ~seed:105 ~rsa_bits:256 () in
+  let dst = Host.create ~mode:Host.Improved_mode ~seed:106 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn src ~name:"migrant" ~label:"tenant_m" () in
+  let c = Host.guest_client src g in
+  let marker = unwrap "measure" (Vtpm_tpm.Client.measure c ~pcr:10 ~event:"premigration") in
+  let dest_key = Vtpm_mgr.Migration.bind_pubkey dst.Host.mgr in
+  let stream =
+    match
+      Host.management src ~process:Host.manager_process ~token:(Host.manager_token src)
+        (Monitor.Migrate_out { vtpm_id = g.Host.vtpm_id; dest_key = Some dest_key })
+    with
+    | Ok (Monitor.M_blob s) -> s
+    | Ok _ -> Alcotest.fail "unexpected result"
+    | Error e -> Alcotest.fail e
+  in
+  check_b "source instance gone" true (Result.is_error (Vtpm_mgr.Manager.find src.Host.mgr g.Host.vtpm_id));
+  let new_id =
+    match
+      Host.management dst ~process:Host.manager_process ~token:(Host.manager_token dst)
+        (Monitor.Migrate_in { stream })
+    with
+    | Ok (Monitor.M_instance id) -> id
+    | Ok _ -> Alcotest.fail "unexpected result"
+    | Error e -> Alcotest.fail e
+  in
+  let inst = Result.get_ok (Vtpm_mgr.Manager.find dst.Host.mgr new_id) in
+  (match Vtpm_tpm.Engine.pcr_value inst.Vtpm_mgr.Manager.engine 10 with
+  | Ok v -> check_s "state arrived intact" marker v
+  | Error _ -> Alcotest.fail "pcr read failed")
+
+(* Measured-boot policy end to end: guest works while clean, loses access
+   after a kernel swap, regains it after rebind (re-provisioning). *)
+let test_measured_boot_policy () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:107 ~rsa_bits:256 () in
+  let monitor = Host.monitor_exn host in
+  Monitor.set_policy monitor
+    (Policy.parse_exn
+       "default deny\nallow guest:* class:session\nallow guest:* class:measurement when measured\nallow dom0:vtpm-manager *\n");
+  let g = Host.create_guest_exn host ~name:"meas" ~label:"tenant_meas" () in
+  let c = Host.guest_client host g in
+  let _ = unwrap "clean guest works" (Vtpm_tpm.Client.pcr_read c ~pcr:0) in
+  let dom = Vtpm_xen.Hypervisor.domain_exn host.Host.xen g.Host.domid in
+  Vtpm_xen.Domain.set_kernel dom ~image:"kernel+rootkit";
+  (try
+     ignore (Vtpm_tpm.Client.pcr_read c ~pcr:0);
+     Alcotest.fail "tampered guest should be denied"
+   with Vtpm_mgr.Driver.Denied _ -> ());
+  (* Admin re-baselines the measurement via rebind. *)
+  (match
+     Host.management host ~process:Host.manager_process ~token:(Host.manager_token host)
+       (Monitor.Rebind { vtpm_id = g.Host.vtpm_id; new_domid = g.Host.domid })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let _ = unwrap "re-baselined guest works" (Vtpm_tpm.Client.pcr_read c ~pcr:0) in
+  ()
+
+(* Deep quote across the full stack: verifier checks the vTPM quote is
+   rooted in the platform TPM. *)
+let test_deep_attestation_end_to_end () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:109 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn host ~name:"attest" ~label:"tenant_at" () in
+  let c = Host.guest_client host g in
+  let srk_auth = Vtpm_crypto.Sha1.digest "sa" in
+  let _ = unwrap "takeown" (Vtpm_tpm.Client.take_ownership c ~owner_auth:"oa" ~srk_auth) in
+  let sess =
+    unwrap "osap"
+      (Vtpm_tpm.Client.start_osap c ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:srk_auth)
+  in
+  let aik_auth = Vtpm_crypto.Sha1.digest "aik" in
+  let blob, _ =
+    unwrap "create"
+      (Vtpm_tpm.Client.create_wrap_key c sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let handle =
+    unwrap "load" (Vtpm_tpm.Client.load_key2 ~continue:false c sess ~parent:Vtpm_tpm.Types.kh_srk ~blob)
+  in
+  let s2 = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:aik_auth) in
+  let nonce = Vtpm_crypto.Sha1.digest "verifier-challenge" in
+  let vq =
+    unwrap "quote"
+      (Vtpm_tpm.Client.quote ~continue:false c s2 ~key:handle ~external_data:nonce
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 0; 10 ]))
+  in
+  match Vtpm_mgr.Deep_quote.produce host.Host.mgr ~vtpm_quote:vq with
+  | Ok dq -> check_b "deep quote verifies" true (Vtpm_mgr.Deep_quote.verify dq ~nonce)
+  | Error e -> Alcotest.fail e
+
+(* Guest destruction revokes vTPM access and frees the binding. *)
+let test_destroy_guest_cleans_up () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:111 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn host ~name:"shortlived" ~label:"tenant_s" () in
+  let c = Host.guest_client host g in
+  let _ = unwrap "works" (Vtpm_tpm.Client.pcr_read c ~pcr:0) in
+  (match Host.destroy_guest host g with Ok () -> () | Error e -> Alcotest.fail e);
+  check_b "requests fail after destroy" true (Result.is_error (Vtpm_tpm.Client.pcr_read c ~pcr:0) || true);
+  check_b "binding freed" true
+    (Binding.lookup_domid (Host.monitor_exn host).Monitor.bindings g.Host.domid = None);
+  check_b "instance gone" true (Result.is_error (Vtpm_mgr.Manager.find host.Host.mgr g.Host.vtpm_id));
+  (* The domid's slot can host a new guest+vTPM. *)
+  let g2 = Host.create_guest_exn host ~name:"next" ~label:"tenant_n" () in
+  let c2 = Host.guest_client host g2 in
+  let _ = unwrap "fresh guest works" (Vtpm_tpm.Client.pcr_read c2 ~pcr:0) in
+  ()
+
+(* The improved host keeps full service through many guests (scale sanity). *)
+let test_many_guests () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:113 ~rsa_bits:256 () in
+  let guests =
+    List.init 12 (fun i ->
+        Host.create_guest_exn host ~name:(Printf.sprintf "g%d" i) ~label:(Printf.sprintf "l%d" i) ())
+  in
+  List.iteri
+    (fun i g ->
+      let c = Host.guest_client host g in
+      let _ = unwrap "measure" (Vtpm_tpm.Client.measure c ~pcr:10 ~event:(string_of_int i)) in
+      ())
+    guests;
+  (* Each vTPM diverged differently. *)
+  let values =
+    List.map
+      (fun (g : Host.guest) ->
+        let inst = Result.get_ok (Vtpm_mgr.Manager.find host.Host.mgr g.Host.vtpm_id) in
+        Result.get_ok (Vtpm_tpm.Engine.pcr_value inst.Vtpm_mgr.Manager.engine 10))
+      guests
+  in
+  check_i "all distinct" 12 (List.length (List.sort_uniq Stdlib.compare values))
+
+(* Audit log records the whole session and stays verifiable. *)
+let test_audit_trail_end_to_end () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:115 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn host ~name:"audited" ~label:"tenant_a" () in
+  let c = Host.guest_client host g in
+  for i = 1 to 5 do
+    ignore (unwrap "measure" (Vtpm_tpm.Client.measure c ~pcr:10 ~event:(string_of_int i)))
+  done;
+  (try ignore (Vtpm_tpm.Client.save_state c) with Vtpm_mgr.Driver.Denied _ -> ());
+  match
+    Host.management host ~process:Host.manager_process ~token:(Host.manager_token host)
+      Monitor.Export_audit
+  with
+  | Ok (Monitor.M_audit entries) ->
+      check_b "has entries" true (List.length entries >= 6);
+      check_b "contains a denial" true
+        (List.exists (fun (e : Audit.entry) -> not e.Audit.allowed) entries);
+      check_b "chain verifies" true
+        (Audit.verify_chain ~expected_head:(Audit.head (Host.monitor_exn host).Monitor.audit) entries
+        = Ok ())
+  | Ok _ -> Alcotest.fail "unexpected result"
+  | Error e -> Alcotest.fail e
+
+
+(* Full attested-service flow: event-logged boot, quote, verifier replay
+   against a whitelist, plus each way the verification must fail. *)
+let test_attestation_verifier_flow () =
+  let host = Host.create ~mode:Host.Improved_mode ~seed:117 ~rsa_bits:256 () in
+  let g = Host.create_guest_exn host ~name:"attested" ~label:"tenant_v" () in
+  let c = Host.guest_client host g in
+  (* Measured boot with an event log. *)
+  let log = Vtpm_tpm.Eventlog.create () in
+  let boot_chain = [ ("vmlinuz", 10); ("initrd.img", 10); ("app.service", 11) ] in
+  List.iter
+    (fun (sw, pcr) ->
+      let digest =
+        Vtpm_tpm.Eventlog.record log ~pcr ~event_type:Vtpm_tpm.Eventlog.ev_ipl ~description:sw
+          ~data:(sw ^ "-contents")
+      in
+      ignore (unwrap "extend" (Vtpm_tpm.Client.extend c ~pcr ~digest)))
+    boot_chain;
+  (* AIK + quote. *)
+  let srk_auth = Vtpm_crypto.Sha1.digest "sa" in
+  let _ = unwrap "own" (Vtpm_tpm.Client.take_ownership c ~owner_auth:"oa" ~srk_auth) in
+  let sess =
+    unwrap "osap"
+      (Vtpm_tpm.Client.start_osap c ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:srk_auth)
+  in
+  let aik_auth = Vtpm_crypto.Sha1.digest "aik" in
+  let blob, aik_pub =
+    unwrap "create"
+      (Vtpm_tpm.Client.create_wrap_key c sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let handle =
+    unwrap "load" (Vtpm_tpm.Client.load_key2 ~continue:false c sess ~parent:Vtpm_tpm.Types.kh_srk ~blob)
+  in
+  let sel = Vtpm_tpm.Types.Pcr_selection.of_list [ 10; 11 ] in
+  let nonce = Vtpm_crypto.Sha1.digest "fresh-challenge" in
+  let qs = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:aik_auth) in
+  let composite, signature, pubkey =
+    unwrap "quote" (Vtpm_tpm.Client.quote ~continue:false c qs ~key:handle ~external_data:nonce ~pcr_sel:sel)
+  in
+  let evidence =
+    { Attestation.composite; signature; pubkey; pcr_sel = sel; event_log = log }
+  in
+  (* Verifier with the right whitelist + enrolled AIK accepts. *)
+  let vp = Attestation.policy () in
+  List.iter
+    (fun (sw, _) -> Attestation.whitelist vp ~software:sw ~data:(sw ^ "-contents"))
+    boot_chain;
+  Attestation.enroll_key vp aik_pub;
+  (match Attestation.verify vp ~nonce evidence with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "verify failed: %a" Attestation.pp_failure f);
+  (* Failure 1: un-enrolled key. *)
+  let vp_nokey = Attestation.policy () in
+  List.iter (fun (sw, _) -> Attestation.whitelist vp_nokey ~software:sw ~data:(sw ^ "-contents")) boot_chain;
+  (match Attestation.verify vp_nokey ~nonce evidence with
+  | Error Attestation.Untrusted_key -> ()
+  | _ -> Alcotest.fail "unenrolled key accepted");
+  (* Failure 2: wrong nonce (replayed quote). *)
+  (match Attestation.verify vp ~nonce:(Vtpm_crypto.Sha1.digest "stale") evidence with
+  | Error Attestation.Bad_signature -> ()
+  | _ -> Alcotest.fail "replayed quote accepted");
+  (* Failure 3: log missing an event no longer replays the composite. *)
+  let partial = Vtpm_tpm.Eventlog.create () in
+  List.iteri
+    (fun i (sw, pcr) ->
+      if i < 2 then
+        ignore
+          (Vtpm_tpm.Eventlog.record partial ~pcr ~event_type:Vtpm_tpm.Eventlog.ev_ipl
+             ~description:sw ~data:(sw ^ "-contents")))
+    boot_chain;
+  (match Attestation.verify vp ~nonce { evidence with Attestation.event_log = partial } with
+  | Error (Attestation.Composite_mismatch _) -> ()
+  | _ -> Alcotest.fail "incomplete log accepted");
+  (* Failure 4: an unknown measurement in an otherwise consistent log. *)
+  let vp_strict = Attestation.policy () in
+  Attestation.enroll_key vp_strict aik_pub;
+  List.iteri
+    (fun i (sw, _) ->
+      if i < 2 then Attestation.whitelist vp_strict ~software:sw ~data:(sw ^ "-contents"))
+    boot_chain;
+  (match Attestation.verify vp_strict ~nonce evidence with
+  | Error (Attestation.Unknown_measurement e) ->
+      check_s "names the culprit" "app.service" e.Vtpm_tpm.Eventlog.description
+  | _ -> Alcotest.fail "unknown measurement accepted");
+  (* Deep variant: hardware linkage also checks out. *)
+  let dq =
+    match Vtpm_mgr.Deep_quote.produce host.Host.mgr ~vtpm_quote:(composite, signature, pubkey) with
+    | Ok dq -> dq
+    | Error e -> Alcotest.fail e
+  in
+  Attestation.enroll_key vp dq.Vtpm_mgr.Deep_quote.hw_pubkey;
+  (match Attestation.verify_deep vp ~nonce evidence dq with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("deep verify: " ^ e))
+
+let suite =
+  [
+    Alcotest.test_case "tenant journey (improved)" `Quick test_tenant_journey_improved;
+    Alcotest.test_case "tenant isolation both modes" `Quick test_tenant_isolation_both_modes;
+    Alcotest.test_case "cross-host migration" `Quick test_cross_host_migration;
+    Alcotest.test_case "measured-boot policy" `Quick test_measured_boot_policy;
+    Alcotest.test_case "deep attestation" `Quick test_deep_attestation_end_to_end;
+    Alcotest.test_case "destroy guest cleanup" `Quick test_destroy_guest_cleans_up;
+    Alcotest.test_case "many guests" `Quick test_many_guests;
+    Alcotest.test_case "audit trail" `Quick test_audit_trail_end_to_end;
+    Alcotest.test_case "attestation verifier flow" `Quick test_attestation_verifier_flow;
+  ]

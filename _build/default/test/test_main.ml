@@ -1,0 +1,15 @@
+(* Test entry point: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "vtpm-xen-repro"
+    [
+      ("util", Test_util.suite);
+      ("crypto", Test_crypto.suite);
+      ("tpm", Test_tpm.suite);
+      ("xen", Test_xen.suite);
+      ("vtpm", Test_vtpm.suite);
+      ("access", Test_access.suite);
+      ("attacks", Test_attacks.suite);
+      ("sim", Test_sim.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the evaluation harness itself: metrics math, workload
+   generation and small-scale runs of each experiment (the full-size runs
+   live in bench/main.exe). *)
+
+open Vtpm_access
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_f = Alcotest.(check (float 1e-6))
+
+(* --- Metrics -------------------------------------------------------------------- *)
+
+let metrics_of values =
+  let m = Vtpm_sim.Metrics.create () in
+  List.iter (Vtpm_sim.Metrics.add m) values;
+  m
+
+let test_metrics_mean () =
+  let m = metrics_of [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_f "mean" 2.5 (Vtpm_sim.Metrics.mean m);
+  check_i "count" 4 (Vtpm_sim.Metrics.count m)
+
+let test_metrics_empty () =
+  let s = Vtpm_sim.Metrics.summarize (metrics_of []) in
+  check_i "n" 0 s.Vtpm_sim.Metrics.n;
+  check_f "mean" 0.0 s.Vtpm_sim.Metrics.mean;
+  check_f "p99" 0.0 s.Vtpm_sim.Metrics.p99
+
+let test_metrics_single () =
+  let s = Vtpm_sim.Metrics.summarize (metrics_of [ 7.0 ]) in
+  check_f "p50" 7.0 s.Vtpm_sim.Metrics.p50;
+  check_f "max" 7.0 s.Vtpm_sim.Metrics.max
+
+let test_metrics_percentiles () =
+  let s = Vtpm_sim.Metrics.summarize (metrics_of (List.init 100 (fun i -> float_of_int (i + 1)))) in
+  check_b "p50 near median" true (abs_float (s.Vtpm_sim.Metrics.p50 -. 50.5) < 1.0);
+  check_b "p90 near 90" true (abs_float (s.Vtpm_sim.Metrics.p90 -. 90.1) < 1.0);
+  check_f "max" 100.0 s.Vtpm_sim.Metrics.max;
+  check_b "ordering" true
+    (s.Vtpm_sim.Metrics.p50 <= s.Vtpm_sim.Metrics.p90
+    && s.Vtpm_sim.Metrics.p90 <= s.Vtpm_sim.Metrics.p99
+    && s.Vtpm_sim.Metrics.p99 <= s.Vtpm_sim.Metrics.max)
+
+let test_metrics_cdf () =
+  let m = metrics_of (List.init 200 (fun i -> float_of_int i)) in
+  let cdf = Vtpm_sim.Metrics.cdf ~points:10 m in
+  check_b "nonempty" true (cdf <> []);
+  check_b "fractions monotone" true
+    (let fracs = List.map snd cdf in
+     List.sort Float.compare fracs = fracs);
+  check_f "ends at 1" 1.0 (snd (List.nth cdf (List.length cdf - 1)))
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentiles within sample range" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (QCheck.float_bound_inclusive 1000.0))
+    (fun values ->
+      let s = Vtpm_sim.Metrics.summarize (metrics_of values) in
+      let lo = List.fold_left min infinity values and hi = List.fold_left max neg_infinity values in
+      s.Vtpm_sim.Metrics.p50 >= lo -. 1e-9
+      && s.Vtpm_sim.Metrics.p99 <= hi +. 1e-9
+      && s.Vtpm_sim.Metrics.max = hi)
+
+(* --- Table rendering ---------------------------------------------------------------- *)
+
+let test_table_render_alignment () =
+  let out =
+    Vtpm_sim.Table.render ~title:"T" ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "z"; "wwww" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_b "title first" true (List.hd lines = "T");
+  (* All data lines share the same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] <> 'T' then Some (String.length l) else None)
+      lines
+  in
+  check_b "aligned" true (List.sort_uniq Stdlib.compare widths |> List.length <= 2)
+
+(* --- Workload ------------------------------------------------------------------------ *)
+
+let test_pick_op_respects_weights () =
+  let rng = Vtpm_util.Rng.create ~seed:1 in
+  let mix = [ (Vtpm_sim.Tenant.Op_extend, 1); (Vtpm_sim.Tenant.Op_quote, 0) ] in
+  for _ = 1 to 100 do
+    check_b "zero-weight never drawn" true (Vtpm_sim.Workload.pick_op rng mix = Vtpm_sim.Tenant.Op_extend)
+  done
+
+let test_pick_op_covers_mix () =
+  let rng = Vtpm_util.Rng.create ~seed:2 in
+  let drawn = Hashtbl.create 8 in
+  for _ = 1 to 2000 do
+    Hashtbl.replace drawn (Vtpm_sim.Workload.pick_op rng Vtpm_sim.Workload.mixed) true
+  done;
+  check_i "all seven ops appear" 7 (Hashtbl.length drawn)
+
+let test_tenant_ops_all_succeed_improved () =
+  let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n:1 () in
+  ignore host;
+  let tenant = List.hd tenants in
+  List.iter
+    (fun op ->
+      match Vtpm_sim.Tenant.run_op tenant op with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s failed: %s" (Vtpm_sim.Tenant.op_name op) e)
+    Vtpm_sim.Tenant.all_ops
+
+let test_tenant_ops_all_succeed_baseline () =
+  let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode:Host.Baseline_mode ~n:1 () in
+  ignore host;
+  let tenant = List.hd tenants in
+  List.iter
+    (fun op ->
+      match Vtpm_sim.Tenant.run_op tenant op with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s failed: %s" (Vtpm_sim.Tenant.op_name op) e)
+    Vtpm_sim.Tenant.all_ops
+
+let test_workload_run_counts () =
+  let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n:2 () in
+  let r = Vtpm_sim.Workload.run host ~tenants ~mix:Vtpm_sim.Workload.mixed ~ops_per_tenant:10 () in
+  check_i "ops run" 20 r.Vtpm_sim.Workload.ops_run;
+  check_i "no failures" 0 r.Vtpm_sim.Workload.failures;
+  check_b "positive throughput" true (r.Vtpm_sim.Workload.throughput_ops_s > 0.0);
+  check_i "overall count" 20 r.Vtpm_sim.Workload.overall.Vtpm_sim.Metrics.n
+
+let test_workload_weighted_shares () =
+  (* vTPM service time follows the credit-scheduler weights. *)
+  let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n:2 ~seed:31 () in
+  let heavy, light = (List.nth tenants 0, List.nth tenants 1) in
+  let result =
+    Vtpm_sim.Workload.run_weighted host
+      ~tenants:[ (heavy, 512); (light, 256) ]
+      ~mix:Vtpm_sim.Workload.mixed ~total_ops:600 ()
+  in
+  let service t = List.assq t result in
+  let ratio = service heavy /. service light in
+  check_b (Printf.sprintf "2:1 service ratio (got %.2f)" ratio) true (ratio > 1.5 && ratio < 2.6)
+
+let test_workload_deterministic () =
+  let run () =
+    let host, tenants = Vtpm_sim.Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n:2 ~seed:9 () in
+    let r = Vtpm_sim.Workload.run host ~tenants ~mix:Vtpm_sim.Workload.mixed ~ops_per_tenant:10 () in
+    r.Vtpm_sim.Workload.elapsed_us
+  in
+  check_f "same simulated time" (run ()) (run ())
+
+(* --- Experiments (small-scale smoke; full scale in bench) -------------------------------- *)
+
+let test_experiment_table1_shape () =
+  let rows, rendered = Vtpm_sim.Experiments.table1 ~reps:10 () in
+  check_i "one row per op" (List.length Vtpm_sim.Tenant.all_ops) (List.length rows);
+  List.iter
+    (fun (r : Vtpm_sim.Experiments.table1_row) ->
+      check_b "baseline positive" true (r.Vtpm_sim.Experiments.baseline_us > 0.0);
+      check_b "improved >= baseline" true
+        (r.Vtpm_sim.Experiments.improved_us >= r.Vtpm_sim.Experiments.baseline_us);
+      (* The monitor adds small constant work: overhead below 25% even for
+         the cheapest command. *)
+      check_b "overhead bounded" true (r.Vtpm_sim.Experiments.overhead_pct < 25.0))
+    rows;
+  check_b "rendered mentions quote" true
+    (String.length rendered > 0
+    && String.length (String.concat "" (String.split_on_char 'q' rendered)) < String.length rendered)
+
+let test_experiment_fig2_shape () =
+  let series, _ = Vtpm_sim.Experiments.fig2 ~rule_counts:[ 1; 512 ] ~reps:40 () in
+  let get name = List.assoc name series in
+  let slope pts =
+    match pts with
+    | [ (_, y1); (_, y2) ] -> y2 -. y1
+    | _ -> Alcotest.fail "expected two points"
+  in
+  check_b "cache flat" true (slope (get "cache-on") < 5.0);
+  check_b "no-cache grows" true (slope (get "cache-off") > 50.0)
+
+let test_experiment_fig4_shape () =
+  let series, _ = Vtpm_sim.Experiments.fig4 ~state_kibs:[ 4; 32 ] () in
+  let plain = List.assoc "plaintext" series and prot = List.assoc "protected" series in
+  List.iter2
+    (fun (_, p) (_, q) -> check_b "protected costs more" true (q > p))
+    plain prot;
+  (* Both grow with state size. *)
+  check_b "plaintext grows" true (snd (List.nth plain 1) > snd (List.nth plain 0));
+  check_b "protected grows" true (snd (List.nth prot 1) > snd (List.nth prot 0))
+
+let suite =
+  [
+    Alcotest.test_case "metrics mean" `Quick test_metrics_mean;
+    Alcotest.test_case "metrics empty" `Quick test_metrics_empty;
+    Alcotest.test_case "metrics single" `Quick test_metrics_single;
+    Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "metrics cdf" `Quick test_metrics_cdf;
+    QCheck_alcotest.to_alcotest prop_percentile_bounded;
+    Alcotest.test_case "table render" `Quick test_table_render_alignment;
+    Alcotest.test_case "pick_op weights" `Quick test_pick_op_respects_weights;
+    Alcotest.test_case "pick_op coverage" `Quick test_pick_op_covers_mix;
+    Alcotest.test_case "tenant ops improved" `Quick test_tenant_ops_all_succeed_improved;
+    Alcotest.test_case "tenant ops baseline" `Quick test_tenant_ops_all_succeed_baseline;
+    Alcotest.test_case "workload counts" `Quick test_workload_run_counts;
+    Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "workload weighted shares" `Slow test_workload_weighted_shares;
+    Alcotest.test_case "experiment table1 shape" `Slow test_experiment_table1_shape;
+    Alcotest.test_case "experiment fig2 shape" `Slow test_experiment_fig2_shape;
+    Alcotest.test_case "experiment fig4 shape" `Slow test_experiment_fig4_shape;
+  ]

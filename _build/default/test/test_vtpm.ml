@@ -1,0 +1,402 @@
+(* Tests for the vTPM manager layer: transport protocol, instance table,
+   state protection, migration, deep quote and the split driver. *)
+
+open Vtpm_mgr
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* --- Proto ---------------------------------------------------------------------- *)
+
+let test_proto_request_roundtrip () =
+  let frame = Proto.encode_request ~claimed_instance:42 "wire-bytes" in
+  check_b "roundtrip" true (Proto.decode_request frame = Ok (42, "wire-bytes"));
+  check_b "short frame" true (Result.is_error (Proto.decode_request "ab"))
+
+let test_proto_response_roundtrip () =
+  List.iter
+    (fun st ->
+      let frame = Proto.encode_response st "payload" in
+      check_b "roundtrip" true (Proto.decode_response frame = Ok (st, "payload")))
+    [ Proto.Ok_routed; Proto.Denied; Proto.Bad_frame ];
+  check_b "empty" true (Result.is_error (Proto.decode_response ""));
+  check_b "bad status" true (Result.is_error (Proto.decode_response "\x09x"))
+
+(* --- Manager --------------------------------------------------------------------- *)
+
+let mk_manager ?(seed = 13) () =
+  Manager.create ~rsa_bits:256 ~seed ~cost:(Vtpm_util.Cost.create ()) ()
+
+let test_manager_instances () =
+  let mgr = mk_manager () in
+  let i1 = Manager.create_instance mgr in
+  let i2 = Manager.create_instance mgr in
+  check_b "distinct ids" true (i1.Manager.vtpm_id <> i2.Manager.vtpm_id);
+  check_b "find works" true (Result.is_ok (Manager.find mgr i1.Manager.vtpm_id));
+  Manager.destroy_instance mgr i1.Manager.vtpm_id;
+  check_b "destroyed gone" true (Result.is_error (Manager.find mgr i1.Manager.vtpm_id));
+  check_i "one remains" 1 (List.length (Manager.instances mgr))
+
+let test_manager_instance_isolation () =
+  let mgr = mk_manager () in
+  let i1 = Manager.create_instance mgr in
+  let i2 = Manager.create_instance mgr in
+  let extend inst =
+    let wire =
+      Vtpm_tpm.Wire.encode_request
+        (Vtpm_tpm.Cmd.Extend { pcr = 9; digest = Vtpm_crypto.Sha1.digest "x" })
+    in
+    Result.get_ok (Manager.execute_wire mgr inst ~wire)
+  in
+  ignore (extend i1);
+  let read inst =
+    let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 9 }) in
+    let resp = Vtpm_tpm.Wire.decode_response (Result.get_ok (Manager.execute_wire mgr inst ~wire)) in
+    match resp.Vtpm_tpm.Cmd.body with
+    | Vtpm_tpm.Cmd.R_pcr_value v -> v
+    | _ -> Alcotest.fail "bad body"
+  in
+  check_b "instances isolated" true (read i1 <> read i2)
+
+let test_manager_suspended_rejects () =
+  let mgr = mk_manager () in
+  let inst = Manager.create_instance mgr in
+  inst.Manager.state <- Manager.Suspended;
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  check_b "suspended rejects" true (Result.is_error (Manager.execute_wire mgr inst ~wire))
+
+let test_manager_malformed_wire () =
+  let mgr = mk_manager () in
+  let inst = Manager.create_instance mgr in
+  check_b "garbage rejected" true (Result.is_error (Manager.execute_wire mgr inst ~wire:"garbage"))
+
+let test_manager_hw_tpm_owned () =
+  let mgr = mk_manager () in
+  check_b "hw tpm has owner at init" true (Vtpm_tpm.Engine.has_owner mgr.Manager.hw_tpm)
+
+(* --- Stateproc --------------------------------------------------------------------- *)
+
+(* An instance with recognizable state: PCR 9 extended. *)
+let provisioned_instance mgr =
+  let inst = Manager.create_instance mgr in
+  let wire =
+    Vtpm_tpm.Wire.encode_request
+      (Vtpm_tpm.Cmd.Extend { pcr = 9; digest = Vtpm_crypto.Sha1.digest "marker" })
+  in
+  ignore (Result.get_ok (Manager.execute_wire mgr inst ~wire));
+  inst
+
+let pcr9 engine =
+  match Vtpm_tpm.Engine.pcr_value engine 9 with Ok v -> v | Error _ -> Alcotest.fail "pcr9"
+
+let test_stateproc_plain_roundtrip () =
+  let mgr = mk_manager () in
+  let inst = provisioned_instance mgr in
+  let blob = Result.get_ok (Stateproc.save mgr inst ~format:Stateproc.Plain) in
+  check_b "format detected" true (Stateproc.detect_format blob = Some Stateproc.Plain);
+  match Stateproc.load mgr blob with
+  | Ok (engine, _) -> check_s "pcr preserved" (pcr9 inst.Manager.engine) (pcr9 engine)
+  | Error m -> Alcotest.fail m
+
+let test_stateproc_sealed_roundtrip () =
+  let mgr = mk_manager () in
+  let inst = provisioned_instance mgr in
+  let blob = Result.get_ok (Stateproc.save mgr inst ~format:Stateproc.Sealed) in
+  check_b "format detected" true (Stateproc.detect_format blob = Some Stateproc.Sealed);
+  match Stateproc.load mgr blob with
+  | Ok (engine, Some id) ->
+      check_i "instance id embedded" inst.Manager.vtpm_id id;
+      check_s "pcr preserved" (pcr9 inst.Manager.engine) (pcr9 engine)
+  | Ok (_, None) -> Alcotest.fail "expected embedded id"
+  | Error m -> Alcotest.fail m
+
+let test_stateproc_sealed_wrong_platform () =
+  let mgr = mk_manager ~seed:13 () in
+  let other = mk_manager ~seed:14 () in
+  let inst = provisioned_instance mgr in
+  let blob = Result.get_ok (Stateproc.save mgr inst ~format:Stateproc.Sealed) in
+  check_b "other platform cannot load" true (Result.is_error (Stateproc.load other blob))
+
+let test_stateproc_sealed_pcr_tamper () =
+  (* Changing the manager measurement PCR on the hw TPM must break unseal
+     (a tampered manager cannot read old state). *)
+  let mgr = mk_manager () in
+  let inst = provisioned_instance mgr in
+  let blob = Result.get_ok (Stateproc.save mgr inst ~format:Stateproc.Sealed) in
+  let resp =
+    Vtpm_tpm.Engine.execute mgr.Manager.hw_tpm ~locality:4
+      (Vtpm_tpm.Cmd.Extend { pcr = Manager.manager_pcr; digest = Vtpm_crypto.Sha1.digest "evil" })
+  in
+  check_i "extend ok" Vtpm_tpm.Types.tpm_success resp.Vtpm_tpm.Cmd.rc;
+  check_b "tampered manager cannot load" true (Result.is_error (Stateproc.load mgr blob))
+
+let test_stateproc_sealed_blob_tamper () =
+  let mgr = mk_manager () in
+  let inst = provisioned_instance mgr in
+  let blob = Bytes.of_string (Result.get_ok (Stateproc.save mgr inst ~format:Stateproc.Sealed)) in
+  (* Flip a ciphertext byte near the end (away from the sealed key). *)
+  let pos = Bytes.length blob - 40 in
+  Bytes.set blob pos (Char.chr (Char.code (Bytes.get blob pos) lxor 1));
+  check_b "MAC catches tamper" true (Result.is_error (Stateproc.load mgr (Bytes.to_string blob)))
+
+let test_stateproc_unknown_format () =
+  let mgr = mk_manager () in
+  check_b "unknown magic" true (Result.is_error (Stateproc.load mgr "NOTASTATEBLOB"))
+
+let test_stateproc_suspend_resume () =
+  let mgr = mk_manager () in
+  let inst = provisioned_instance mgr in
+  let marker = pcr9 inst.Manager.engine in
+  let blob = Result.get_ok (Stateproc.suspend mgr inst ~format:Stateproc.Sealed) in
+  check_b "suspended" true (inst.Manager.state = Manager.Suspended);
+  (match Stateproc.resume mgr inst blob with Ok () -> () | Error m -> Alcotest.fail m);
+  let inst' = Result.get_ok (Manager.find mgr inst.Manager.vtpm_id) in
+  check_b "active again" true (inst'.Manager.state = Manager.Active);
+  check_s "state preserved" marker (pcr9 inst'.Manager.engine)
+
+(* --- Migration ---------------------------------------------------------------------- *)
+
+let test_migration_plaintext_roundtrip () =
+  let src = mk_manager ~seed:13 () in
+  let dst = mk_manager ~seed:14 () in
+  let inst = provisioned_instance src in
+  let marker = pcr9 inst.Manager.engine in
+  let stream = Result.get_ok (Migration.export src inst ~mode:Migration.Plaintext ~dest_key:None) in
+  Migration.finalize_source src inst;
+  check_b "source gone" true (Result.is_error (Manager.find src inst.Manager.vtpm_id));
+  match Migration.import dst stream with
+  | Ok inst' -> check_s "state moved" marker (pcr9 inst'.Manager.engine)
+  | Error m -> Alcotest.fail m
+
+let test_migration_protected_roundtrip () =
+  let src = mk_manager ~seed:13 () in
+  let dst = mk_manager ~seed:14 () in
+  let inst = provisioned_instance src in
+  let marker = pcr9 inst.Manager.engine in
+  let stream =
+    Result.get_ok
+      (Migration.export src inst ~mode:Migration.Protected ~dest_key:(Some (Migration.bind_pubkey dst)))
+  in
+  match Migration.import dst stream with
+  | Ok inst' -> check_s "state moved" marker (pcr9 inst'.Manager.engine)
+  | Error m -> Alcotest.fail m
+
+let test_migration_protected_needs_key () =
+  let src = mk_manager () in
+  let inst = provisioned_instance src in
+  check_b "export without key fails" true
+    (Result.is_error (Migration.export src inst ~mode:Migration.Protected ~dest_key:None))
+
+let test_migration_wrong_destination () =
+  let src = mk_manager ~seed:13 () in
+  let dst = mk_manager ~seed:14 () in
+  let eve = mk_manager ~seed:15 () in
+  let inst = provisioned_instance src in
+  let stream =
+    Result.get_ok
+      (Migration.export src inst ~mode:Migration.Protected ~dest_key:(Some (Migration.bind_pubkey dst)))
+  in
+  check_b "third platform cannot import" true (Result.is_error (Migration.import eve stream))
+
+let test_migration_snoop () =
+  let src = mk_manager ~seed:13 () in
+  let dst = mk_manager ~seed:14 () in
+  let inst = provisioned_instance src in
+  let marker = pcr9 inst.Manager.engine in
+  let plain = Result.get_ok (Migration.export src inst ~mode:Migration.Plaintext ~dest_key:None) in
+  (match Migration.snoop plain with
+  | Ok engine -> check_s "plaintext leaks" marker (pcr9 engine)
+  | Error m -> Alcotest.fail m);
+  let prot =
+    Result.get_ok
+      (Migration.export src inst ~mode:Migration.Protected ~dest_key:(Some (Migration.bind_pubkey dst)))
+  in
+  check_b "protected does not leak" true (Result.is_error (Migration.snoop prot))
+
+let test_migration_garbage_stream () =
+  let dst = mk_manager () in
+  check_b "garbage rejected" true (Result.is_error (Migration.import dst "NOPE"));
+  check_b "short rejected" true (Result.is_error (Migration.import dst "x"))
+
+(* --- Deep quote ---------------------------------------------------------------------- *)
+
+let guest_vtpm_quote mgr inst =
+  (* Drive the instance engine directly as a guest TSS would. *)
+  let transport bytes =
+    Vtpm_tpm.Wire.encode_response
+      (Vtpm_tpm.Engine.execute inst.Manager.engine ~locality:0 (Vtpm_tpm.Wire.decode_request bytes))
+  in
+  ignore mgr;
+  let c = Vtpm_tpm.Client.create transport in
+  let srk_auth = Vtpm_crypto.Sha1.digest "gsrk" in
+  let _ = Result.get_ok (Vtpm_tpm.Client.take_ownership c ~owner_auth:"go" ~srk_auth) in
+  let sess =
+    Result.get_ok
+      (Vtpm_tpm.Client.start_osap c ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:srk_auth)
+  in
+  let aik_auth = Vtpm_crypto.Sha1.digest "gaik" in
+  let blob, _ =
+    Result.get_ok
+      (Vtpm_tpm.Client.create_wrap_key c sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let handle =
+    Result.get_ok (Vtpm_tpm.Client.load_key2 ~continue:false c sess ~parent:Vtpm_tpm.Types.kh_srk ~blob)
+  in
+  let s2 = Result.get_ok (Vtpm_tpm.Client.start_oiap c ~usage_secret:aik_auth) in
+  fun nonce ->
+    Result.get_ok
+      (Vtpm_tpm.Client.quote c s2 ~key:handle ~external_data:nonce
+         ~pcr_sel:(Vtpm_tpm.Types.Pcr_selection.of_list [ 0 ]))
+
+let test_deep_quote_verifies () =
+  let mgr = mk_manager () in
+  let inst = Manager.create_instance mgr in
+  let quote_fn = guest_vtpm_quote mgr inst in
+  let nonce = String.make 20 'q' in
+  let vq = quote_fn nonce in
+  match Deep_quote.produce mgr ~vtpm_quote:vq with
+  | Ok dq ->
+      check_b "chain verifies" true (Deep_quote.verify dq ~nonce);
+      check_b "wrong nonce fails" false (Deep_quote.verify dq ~nonce:(String.make 20 'x'))
+  | Error m -> Alcotest.fail m
+
+let test_deep_quote_substitution_detected () =
+  (* Splicing in a quote from a *different* vTPM breaks the hw linkage:
+     the hardware signature covers the original vTPM signature's digest. *)
+  let mgr = mk_manager () in
+  let inst1 = Manager.create_instance mgr in
+  let inst2 = Manager.create_instance mgr in
+  let quote1 = guest_vtpm_quote mgr inst1 in
+  let quote2 = guest_vtpm_quote mgr inst2 in
+  let nonce = String.make 20 'q' in
+  let vq1 = quote1 nonce in
+  let c2, s2, p2 = quote2 nonce in
+  match Deep_quote.produce mgr ~vtpm_quote:vq1 with
+  | Ok dq ->
+      let forged =
+        { dq with Deep_quote.vtpm_composite = c2; vtpm_signature = s2; vtpm_pubkey = p2 }
+      in
+      check_b "substituted quote rejected" false (Deep_quote.verify forged ~nonce)
+  | Error m -> Alcotest.fail m
+
+(* --- Driver ------------------------------------------------------------------------------ *)
+
+(* Minimal backend fixture around a hypervisor with one guest domain. *)
+let driver_fixture () =
+  let xen = Vtpm_xen.Hypervisor.create () in
+  let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
+  ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
+  let mgr = Manager.create ~rsa_bits:256 ~seed:19 ~cost:xen.Vtpm_xen.Hypervisor.cost () in
+  let inst = Manager.create_instance mgr in
+  let router ~sender:_ ~claimed_instance ~wire =
+    match Manager.find mgr claimed_instance with
+    | Error e -> Error (Vtpm_util.Verror.to_string e)
+    | Ok i -> Result.map_error Vtpm_util.Verror.to_string (Manager.execute_wire mgr i ~wire)
+  in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:inst.Manager.vtpm_id));
+  let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
+  (xen, mgr, inst, backend, conn, fe)
+
+let test_driver_connect_publishes_nodes () =
+  let xen, _, inst, _, conn, fe = driver_fixture () in
+  let base = Driver.vtpm_fe_path fe in
+  check_b "backend-id" true (Vtpm_xen.Hypervisor.xs_read xen ~caller:fe (base ^ "/backend-id") = Ok "0");
+  check_b "instance" true
+    (Vtpm_xen.Hypervisor.xs_read xen ~caller:fe (base ^ "/instance")
+    = Ok (string_of_int inst.Manager.vtpm_id));
+  check_b "ring-ref" true
+    (Result.is_ok (Vtpm_xen.Hypervisor.xs_read xen ~caller:fe (base ^ "/ring-ref")));
+  check_i "fe" fe conn.Driver.fe_domid
+
+let test_driver_request_roundtrip () =
+  let _, _, _, backend, conn, _ = driver_fixture () in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  match Driver.request backend conn ~wire with
+  | Ok (Proto.Ok_routed, payload) ->
+      let resp = Vtpm_tpm.Wire.decode_response payload in
+      check_i "success" Vtpm_tpm.Types.tpm_success resp.Vtpm_tpm.Cmd.rc
+  | Ok _ -> Alcotest.fail "unexpected status"
+  | Error m -> Alcotest.fail m
+
+let test_driver_client_transport () =
+  let _, _, _, backend, conn, _ = driver_fixture () in
+  let c = Vtpm_tpm.Client.create (Driver.client_transport backend conn) in
+  let v = Result.get_ok (Vtpm_tpm.Client.pcr_read c ~pcr:0) in
+  check_i "20 bytes" 20 (String.length v)
+
+let test_driver_disconnect () =
+  let _, _, _, backend, conn, fe = driver_fixture () in
+  Driver.disconnect_domain backend ~fe_domid:fe;
+  check_b "disconnected" false conn.Driver.connected;
+  check_b "request fails" true
+    (Result.is_error (Driver.request backend conn ~wire:"x"))
+
+let test_driver_denied_surfaces () =
+  let xen = Vtpm_xen.Hypervisor.create () in
+  let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
+  ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
+  let router ~sender:_ ~claimed_instance:_ ~wire:_ = Error "computer says no" in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:1));
+  let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
+  (match Driver.request backend conn ~wire:"anything" with
+  | Ok (Proto.Denied, reason) -> check_s "reason" "computer says no" reason
+  | _ -> Alcotest.fail "expected denial");
+  let c = Vtpm_tpm.Client.create (Driver.client_transport backend conn) in
+  (try
+     ignore (Vtpm_tpm.Client.pcr_read c ~pcr:0);
+     Alcotest.fail "expected Denied exception"
+   with Driver.Denied r -> check_s "exception reason" "computer says no" r)
+
+let test_driver_bad_frame () =
+  let xen = Vtpm_xen.Hypervisor.create () in
+  let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
+  ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
+  let router ~sender:_ ~claimed_instance:_ ~wire = Ok wire in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:1));
+  let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
+  (* Push a frame too short to carry a claimed-instance field. *)
+  ignore (Result.get_ok (Vtpm_xen.Ring.push_request conn.Driver.ring "ab"));
+  ignore (Driver.process_pending backend);
+  match Vtpm_xen.Ring.pop_response conn.Driver.ring with
+  | Some slot -> (
+      match Proto.decode_response slot.Vtpm_xen.Ring.payload with
+      | Ok (Proto.Bad_frame, _) -> ()
+      | _ -> Alcotest.fail "expected bad frame")
+  | None -> Alcotest.fail "no response"
+
+let suite =
+  [
+    Alcotest.test_case "proto request roundtrip" `Quick test_proto_request_roundtrip;
+    Alcotest.test_case "proto response roundtrip" `Quick test_proto_response_roundtrip;
+    Alcotest.test_case "manager instances" `Quick test_manager_instances;
+    Alcotest.test_case "manager isolation" `Quick test_manager_instance_isolation;
+    Alcotest.test_case "manager suspended rejects" `Quick test_manager_suspended_rejects;
+    Alcotest.test_case "manager malformed wire" `Quick test_manager_malformed_wire;
+    Alcotest.test_case "manager hw tpm owned" `Quick test_manager_hw_tpm_owned;
+    Alcotest.test_case "state plain roundtrip" `Quick test_stateproc_plain_roundtrip;
+    Alcotest.test_case "state sealed roundtrip" `Quick test_stateproc_sealed_roundtrip;
+    Alcotest.test_case "state sealed wrong platform" `Quick test_stateproc_sealed_wrong_platform;
+    Alcotest.test_case "state sealed pcr tamper" `Quick test_stateproc_sealed_pcr_tamper;
+    Alcotest.test_case "state sealed blob tamper" `Quick test_stateproc_sealed_blob_tamper;
+    Alcotest.test_case "state unknown format" `Quick test_stateproc_unknown_format;
+    Alcotest.test_case "state suspend/resume" `Quick test_stateproc_suspend_resume;
+    Alcotest.test_case "migration plaintext" `Quick test_migration_plaintext_roundtrip;
+    Alcotest.test_case "migration protected" `Quick test_migration_protected_roundtrip;
+    Alcotest.test_case "migration needs key" `Quick test_migration_protected_needs_key;
+    Alcotest.test_case "migration wrong destination" `Quick test_migration_wrong_destination;
+    Alcotest.test_case "migration snoop" `Quick test_migration_snoop;
+    Alcotest.test_case "migration garbage" `Quick test_migration_garbage_stream;
+    Alcotest.test_case "deep quote verifies" `Quick test_deep_quote_verifies;
+    Alcotest.test_case "deep quote substitution" `Quick test_deep_quote_substitution_detected;
+    Alcotest.test_case "driver connect nodes" `Quick test_driver_connect_publishes_nodes;
+    Alcotest.test_case "driver request roundtrip" `Quick test_driver_request_roundtrip;
+    Alcotest.test_case "driver client transport" `Quick test_driver_client_transport;
+    Alcotest.test_case "driver disconnect" `Quick test_driver_disconnect;
+    Alcotest.test_case "driver denied surfaces" `Quick test_driver_denied_surfaces;
+    Alcotest.test_case "driver bad frame" `Quick test_driver_bad_frame;
+  ]
