@@ -71,6 +71,16 @@ let run_fig5 () =
   print_string rendered;
   print_newline ()
 
+let run_table4 () =
+  let _, rendered = Vtpm_sim.Experiments.table4 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig6 () =
+  let _, rendered = Vtpm_sim.Experiments.fig6 () in
+  print_string rendered;
+  print_newline ()
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------- *)
 
 (* One test per table/figure, benchmarking the code path that dominates it. *)
@@ -119,6 +129,16 @@ let bench_sealed_save () =
   Test.make ~name:"table3/sealed-state-save"
     (Staged.stage (fun () ->
          match Vtpm_mgr.Stateproc.save mgr inst ~format:Vtpm_mgr.Stateproc.Sealed with
+         | Ok _ -> ()
+         | Error e -> invalid_arg e))
+
+(* table4: v2 frame integrity (version byte + CRC) on the request hot path. *)
+let bench_frame_crc () =
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  Test.make ~name:"table4/frame-encode-decode"
+    (Staged.stage (fun () ->
+         let f = Vtpm_mgr.Proto.encode_request ~claimed_instance:1 wire in
+         match Vtpm_mgr.Proto.decode_request f with
          | Ok _ -> ()
          | Error e -> invalid_arg e))
 
@@ -205,6 +225,7 @@ let run_micro () =
       bench_roundtrip ();
       bench_denial ();
       bench_sealed_save ();
+      bench_frame_crc ();
       bench_mixed_op ();
       bench_policy_eval ();
       bench_audit ();
@@ -244,11 +265,13 @@ let sections : (string * (unit -> unit)) list =
     ("table1", run_table1);
     ("table2", run_table2);
     ("table3", run_table3);
+    ("table4", run_table4);
     ("fig1", run_fig1);
     ("fig2", run_fig2);
     ("fig3", run_fig3);
     ("fig4", run_fig4);
     ("fig5", run_fig5);
+    ("fig6", run_fig6);
     ("micro", run_micro);
   ]
 

@@ -48,7 +48,7 @@ let create ?(mode = Improved_mode) ?(seed = 1) ?(rsa_bits = 512) ?policy ?acm ()
         let b = Baseline.create ~xen ~mgr in
         (None, Some b, Baseline.router b)
   in
-  let backend = Vtpm_mgr.Driver.create_backend ~xen ~be_domid:Hypervisor.dom0_id ~router in
+  let backend = Vtpm_mgr.Driver.create_backend ~xen ~be_domid:Hypervisor.dom0_id ~router () in
   let acm = match mode with Improved_mode -> acm | Baseline_mode -> None in
   {
     xen;

@@ -41,3 +41,49 @@ val fig4 : ?state_kibs:int list -> unit -> (string * (float * float) list) list 
 val fig5 : ?reps:int -> unit -> (string * float) list * string
 (** Ablation: which monitor feature (cache, audit) costs what on a cheap
     command, against the no-monitor baseline. *)
+
+(** {1 Recovery evaluation (fault injection; no counterpart in the paper)} *)
+
+type table4_row = {
+  mode : string;
+  fault_rate : float;  (** per-decision rate, every fault class *)
+  requests : int;
+  succeeded : int;
+  success_pct : float;
+  mean_attempts : float;
+  recovered : int;  (** successes that needed at least one retry *)
+  rec_p50_us : float;  (** end-to-end latency of recovered requests *)
+  rec_p99_us : float;
+  restarts : int;  (** manager-domain restarts *)
+  reconnects : int;  (** frontend reconnection handshakes *)
+  injected : int;  (** faults actually fired *)
+}
+
+val run_fault_workload :
+  self_heal:bool -> fault_rate:float -> requests:int -> seed:int -> table4_row
+(** One workload run under uniform per-class fault injection: fail-fast
+    ([self_heal:false]) or retry + reconnect + checkpointed restart. *)
+
+type crash_drill = {
+  extends_acked : int;
+  drill_restarts : int;
+  drill_reconnects : int;
+  state_preserved : bool;  (** post-recovery PCR equals last acknowledged *)
+}
+
+val crash_drill : ?extends:int -> ?crash_rate:float -> seed:int -> unit -> crash_drill
+(** Crash-consistency drill: only [Manager_crash] injected, PCR-extend
+    traffic, checkpoint/restore across each crash; [state_preserved]
+    compares the recovered PCR against the last acknowledged value. *)
+
+val table4 :
+  ?fault_rates:float list -> ?requests:int -> unit ->
+  (table4_row list * crash_drill) * string
+(** Request survival, retry cost and recovery latency vs fault rate, both
+    transport modes, plus the crash drill. *)
+
+val fig6 :
+  ?fault_rates:float list -> ?requests:int -> unit ->
+  (string * (float * float) list) list * string
+(** Success-rate curves vs fault rate, fail-fast vs self-healing. (The
+    monitor ablation already occupies Figure 5, so recovery is Figure 6.) *)

@@ -45,6 +45,11 @@ let state_io_per_kib_us = 25.0 (* serialize + file write, both formats *)
 let seal_per_kib_us = 210.0 (* XTEA-CTR + HMAC per KiB *)
 let hwtpm_srk_op_us = 12_000.0 (* hardware-TPM bound key operation *)
 
+(* Self-healing transport (fault recovery) *)
+let retry_backoff_us = 100.0 (* base; doubles per attempt, capped *)
+let driver_reconnect_us = 600.0 (* re-grant + evtchn rebind + XenStore rewire *)
+let backend_restart_us = 150_000.0 (* manager domain respawn + checkpoint reload *)
+
 (* Domain lifecycle *)
 let domain_build_us = 180_000.0
 let vtpm_attach_us = 9_000.0

@@ -65,6 +65,18 @@ val seal_per_kib_us : float
 val hwtpm_srk_op_us : float
 (** A hardware-TPM SRK-bound operation (seal/unseal/unbind). *)
 
+(** {1 Self-healing transport (fault recovery)} *)
+
+val retry_backoff_us : float
+(** Base retry backoff; the driver doubles it per attempt (capped). *)
+
+val driver_reconnect_us : float
+(** Frontend reconnection handshake: re-grant, evtchn rebind, XenStore
+    rewire. *)
+
+val backend_restart_us : float
+(** Manager-domain respawn plus checkpoint reload after a crash. *)
+
 (** {1 Domain lifecycle} *)
 
 val domain_build_us : float

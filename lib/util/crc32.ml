@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+   Frame-integrity checksum for the vTPM transport protocol: cheap enough
+   to charge on every ring slot, strong enough to catch the byte flips and
+   truncations the fault injector produces. Not a MAC — an adversary can
+   forge it; adversarial integrity is the sealed-state layer's job. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let digest (s : string) : int32 =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl) in
+      crc := Int32.logxor t.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl

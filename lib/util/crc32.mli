@@ -1,0 +1,5 @@
+(** CRC-32 (IEEE 802.3), the frame-integrity checksum of the vTPM
+    transport protocol. Catches accidental corruption (bit flips,
+    truncation); it is not a MAC and offers no adversarial integrity. *)
+
+val digest : string -> int32

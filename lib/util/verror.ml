@@ -11,6 +11,8 @@ type t =
   | No_such of string (* missing domain / instance / node *)
   | Conflict of string (* state conflict, e.g. double bind *)
   | Exhausted of string (* resource limit hit *)
+  | Timeout of string (* request deadline passed on the simulated clock *)
+  | Retries_exhausted of string (* self-healing transport gave up *)
   | Internal of string
 
 let pp ppf = function
@@ -20,6 +22,8 @@ let pp ppf = function
   | No_such r -> Fmt.pf ppf "no such %s" r
   | Conflict r -> Fmt.pf ppf "conflict: %s" r
   | Exhausted r -> Fmt.pf ppf "exhausted: %s" r
+  | Timeout r -> Fmt.pf ppf "timeout: %s" r
+  | Retries_exhausted r -> Fmt.pf ppf "retries exhausted: %s" r
   | Internal r -> Fmt.pf ppf "internal: %s" r
 
 let to_string e = Fmt.str "%a" pp e
@@ -33,6 +37,8 @@ let denied fmt = Fmt.kstr (fun s -> Error (Denied s)) fmt
 let bad_request fmt = Fmt.kstr (fun s -> Error (Bad_request s)) fmt
 let no_such fmt = Fmt.kstr (fun s -> Error (No_such s)) fmt
 let conflict fmt = Fmt.kstr (fun s -> Error (Conflict s)) fmt
+let timeout fmt = Fmt.kstr (fun s -> Error (Timeout s)) fmt
+let retries_exhausted fmt = Fmt.kstr (fun s -> Error (Retries_exhausted s)) fmt
 let internal fmt = Fmt.kstr (fun s -> Error (Internal s)) fmt
 
 let get_ok ~what = function

@@ -11,6 +11,8 @@ type t =
   | No_such of string  (** missing domain / instance / node *)
   | Conflict of string  (** state conflict, e.g. double bind *)
   | Exhausted of string  (** resource limit hit *)
+  | Timeout of string  (** request deadline passed on the simulated clock *)
+  | Retries_exhausted of string  (** self-healing transport gave up *)
   | Internal of string
 
 val pp : Format.formatter -> t -> unit
@@ -28,6 +30,8 @@ val denied : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val bad_request : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val no_such : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val conflict : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val timeout : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val retries_exhausted : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val internal : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 
 val get_ok : what:string -> 'a result -> 'a

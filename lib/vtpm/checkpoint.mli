@@ -1,0 +1,37 @@
+(** Write-through checkpointing of manager state over {!Stateproc}.
+
+    The store stands in for the manager's state directory on dom0 disk —
+    it survives a manager-domain crash ({!Manager.crash} wipes only
+    in-memory state). Checkpointing after every successful request gives
+    crash-consistency under the injected [Manager_crash] fault: the crash
+    fires before a popped request is routed, so the latest checkpoint
+    always sits on a request boundary and {!restore_all} loses no
+    acknowledged work — NV state, PCRs and domain bindings included. *)
+
+type t
+
+val create : ?format:Stateproc.format -> Manager.t -> t
+(** [format] defaults to [Plain]; pass [Sealed] to bind checkpoints to
+    the hardware TPM and manager measurement. *)
+
+val format : t -> Stateproc.format
+
+val checkpoint : t -> Manager.instance -> (unit, string) result
+(** Save one instance, replacing its previous checkpoint. Also records
+    the manager's id counter and the instance's [bound_domid]. *)
+
+val checkpoint_all : t -> (unit, string) result
+
+val forget : t -> vtpm_id:int -> unit
+(** Drop an instance's checkpoint (after [destroy_instance]). *)
+
+val restore_all : t -> (int, string) result
+(** Rebuild the manager's instance table from the latest checkpoints;
+    returns the number of instances restored. Restored instances are
+    [Active], keep their [vtpm_id] and [bound_domid], and the manager's
+    id counter never moves backwards. Sealed blobs re-verify platform and
+    manager-PCR binding on load. *)
+
+val saves : t -> int
+val restores : t -> int
+val entries : t -> int

@@ -12,34 +12,80 @@
    The frontend reads `instance` and stamps it into every request frame —
    the baseline manager's routing input. The node is dom0-writable (all of
    XenStore is), which is exactly the re-pointing hole the improved
-   monitor closes by routing on the hypervisor-attested sender instead. *)
+   monitor closes by routing on the hypervisor-attested sender instead.
+
+   Two transport modes, compared by the recovery experiments:
+
+   - fail-fast (resilience = None): one attempt per request, gated on the
+     event channel like a naive frontend — a dropped kick, corrupted slot
+     or crashed backend loses the request outright;
+
+   - self-healing (resilience = Some r): bounded retries with exponential
+     backoff and a per-request deadline on the simulated clock. A lost
+     kick is re-raised (the request is still queued, so it is not
+     re-pushed); a corrupted or truncated frame is detected by the v2 CRC
+     and re-sent; a dead backend is restarted (its checkpoint hook
+     restores manager state) and the frontend runs the reconnection
+     handshake — fresh ring grant, fresh event-channel pair, XenStore
+     rewire. Semantics are at-least-once: a response corrupted after
+     execution causes a re-send of an already-executed command. *)
 
 open Vtpm_xen
 
 type connection = {
-  ring : Ring.t;
+  mutable ring : Ring.t;
   fe_domid : Domain.domid;
   be_domid : Domain.domid;
-  fe_port : Evtchn.port;
-  be_port : Evtchn.port;
-  gref : Gnttab.gref;
+  mutable fe_port : Evtchn.port;
+  mutable be_port : Evtchn.port;
+  mutable gref : Gnttab.gref;
   mutable connected : bool;
+  mutable reconnects : int;
 }
 
 (* Routing decision + execution, supplied by the access-control layer. *)
 type router =
   sender:Domain.domid -> claimed_instance:int -> wire:string -> (string, string) result
 
+type resilience = {
+  max_retries : int;
+  backoff_us : float; (* base; doubles per attempt, capped at 64x *)
+  timeout_us : float; (* per-request deadline on the simulated clock *)
+}
+
+let default_resilience =
+  {
+    max_retries = 12;
+    backoff_us = Vtpm_util.Cost.retry_backoff_us;
+    timeout_us = 2_000_000.0;
+  }
+
 type backend = {
   xen : Hypervisor.t;
   be_domid : Domain.domid;
   mutable connections : connection list;
   mutable router : router;
+  mutable alive : bool;
+  mutable resilience : resilience option;
+  mutable restarts : int;
+  mutable on_crash : unit -> unit;
+  mutable on_restart : unit -> unit;
 }
 
 let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
 
-let create_backend ~xen ~be_domid ~router = { xen; be_domid; connections = []; router }
+let create_backend ?resilience ~xen ~be_domid ~router () =
+  {
+    xen;
+    be_domid;
+    connections = [];
+    router;
+    alive = true;
+    resilience;
+    restarts = 0;
+    on_crash = (fun () -> ());
+    on_restart = (fun () -> ());
+  }
 
 (* Toolstack step: publish the device nodes for a new vTPM attachment.
    Runs as dom0. The guest may read its own device directory. *)
@@ -73,6 +119,35 @@ let publish_device ~(xen : Hypervisor.t) ~fe ~be ~instance : (unit, string) resu
             [ "backend-id"; "instance" ];
           Ok ())
 
+(* Shared grant/evtchn/XenStore plumbing for connect and reconnect: grant
+   the ring frame, bind a fresh event-channel pair, have the backend map
+   the grant, publish ring-ref/event-channel. XenStore publication is
+   best-effort under injected transients — the recorded connection state,
+   not the store, is authoritative for an established link. *)
+let establish (backend : backend) ~(fe_domid : Domain.domid) :
+    (Ring.t * Evtchn.port * Evtchn.port * Gnttab.gref, string) result =
+  let xen = backend.xen in
+  let base = vtpm_fe_path fe_domid in
+  let ring_frame = 100 + fe_domid in
+  let gref =
+    Hypervisor.grant xen ~owner:fe_domid ~grantee:backend.be_domid ~frame:ring_frame
+      ~access:Gnttab.Read_write
+  in
+  let fe_port, be_port = Hypervisor.bind_evtchn xen ~a:fe_domid ~b:backend.be_domid in
+  (* Backend maps the grant; identity of the granter is checked by the
+     hypervisor. *)
+  match Hypervisor.map_grant xen ~caller:backend.be_domid ~owner:fe_domid ~gref with
+  | Error e ->
+      Evtchn.close xen.Hypervisor.evtchn ~domid:fe_domid ~port:fe_port;
+      Error ("backend cannot map ring: " ^ e)
+  | Ok (_frame, _access) ->
+      let ring = Ring.create ~frontend:fe_domid ~backend:backend.be_domid () in
+      ignore (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/ring-ref") (string_of_int gref));
+      ignore
+        (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/event-channel")
+           (string_of_int fe_port));
+      Ok (ring, fe_port, be_port, gref)
+
 (* Frontend step: allocate the ring, grant it, bind the event channel and
    publish the connection details. Returns the live connection and
    registers it with the backend. *)
@@ -85,27 +160,51 @@ let connect (backend : backend) ~(fe_domid : Domain.domid) : (connection, string
       match int_of_string_opt be_str with
       | None -> Error "malformed backend-id"
       | Some be_domid ->
-          let ring_frame = 100 + fe_domid in
-          let gref =
-            Hypervisor.grant xen ~owner:fe_domid ~grantee:be_domid ~frame:ring_frame
-              ~access:Gnttab.Read_write
-          in
-          let fe_port, be_port = Hypervisor.bind_evtchn xen ~a:fe_domid ~b:be_domid in
-          (* Backend maps the grant; identity of the granter is checked by
-             the hypervisor. *)
-          (match Hypervisor.map_grant xen ~caller:be_domid ~owner:fe_domid ~gref with
-          | Error e -> Error ("backend cannot map ring: " ^ e)
-          | Ok (_frame, _access) ->
-              let ring = Ring.create ~frontend:fe_domid ~backend:be_domid () in
-              let conn =
-                { ring; fe_domid; be_domid; fe_port; be_port; gref; connected = true }
-              in
-              ignore (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/ring-ref") (string_of_int gref));
-              ignore
-                (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/event-channel")
-                   (string_of_int fe_port));
-              backend.connections <- conn :: backend.connections;
-              Ok conn))
+          if be_domid <> backend.be_domid then Error "backend-id does not match backend"
+          else
+            match establish backend ~fe_domid with
+            | Error e -> Error e
+            | Ok (ring, fe_port, be_port, gref) ->
+                let conn =
+                  {
+                    ring;
+                    fe_domid;
+                    be_domid;
+                    fe_port;
+                    be_port;
+                    gref;
+                    connected = true;
+                    reconnects = 0;
+                  }
+                in
+                backend.connections <- conn :: backend.connections;
+                Ok conn)
+
+(* Reconnection handshake after a backend crash (or torn link): drop the
+   old grant mapping and event channel, then re-run the connect plumbing
+   in place. Requests queued in the old ring are gone — that is the
+   crash; recovery is the retry loop's job. *)
+let reconnect (backend : backend) (conn : connection) : (unit, string) result =
+  let xen = backend.xen in
+  if not backend.alive then Error "backend not running"
+  else begin
+    Vtpm_util.Cost.charge xen.Hypervisor.cost Vtpm_util.Cost.driver_reconnect_us;
+    Evtchn.close xen.Hypervisor.evtchn ~domid:conn.fe_domid ~port:conn.fe_port;
+    ignore
+      (Hypervisor.unmap_grant xen ~caller:conn.be_domid ~owner:conn.fe_domid ~gref:conn.gref);
+    match establish backend ~fe_domid:conn.fe_domid with
+    | Error e -> Error e
+    | Ok (ring, fe_port, be_port, gref) ->
+        conn.ring <- ring;
+        conn.fe_port <- fe_port;
+        conn.be_port <- be_port;
+        conn.gref <- gref;
+        conn.connected <- true;
+        conn.reconnects <- conn.reconnects + 1;
+        if not (List.memq conn backend.connections) then
+          backend.connections <- conn :: backend.connections;
+        Ok ()
+  end
 
 let disconnect (backend : backend) (conn : connection) =
   conn.connected <- false;
@@ -117,67 +216,238 @@ let disconnect_domain (backend : backend) ~(fe_domid : Domain.domid) =
     (fun c -> if c.fe_domid = fe_domid then disconnect backend c)
     backend.connections
 
+(* The manager domain dies mid-service: every link is severed, queued work
+   is lost, and nothing processes until a restart. *)
+let crash_backend (backend : backend) =
+  if backend.alive then begin
+    backend.alive <- false;
+    List.iter
+      (fun c ->
+        c.connected <- false;
+        Evtchn.close backend.xen.Hypervisor.evtchn ~domid:c.fe_domid ~port:c.fe_port)
+      backend.connections;
+    backend.on_crash ()
+  end
+
+(* Respawn the manager domain. [on_restart] runs after the domain is back
+   up — the checkpoint layer hooks it to restore manager state. Frontends
+   must still reconnect individually. *)
+let restart_backend (backend : backend) =
+  if not backend.alive then begin
+    Vtpm_util.Cost.charge backend.xen.Hypervisor.cost Vtpm_util.Cost.backend_restart_us;
+    backend.alive <- true;
+    backend.restarts <- backend.restarts + 1;
+    backend.on_restart ()
+  end
+
 (* Backend pump: drain every connected ring, route, respond. The sender
    identity passed to the router is the ring's frontend — recorded by the
-   hypervisor-mediated connect, unforgeable from inside the frame. *)
+   hypervisor-mediated connect, unforgeable from inside the frame.
+
+   Fault surface: each popped slot passes through the injector (corruption
+   and truncation land here, and are caught by the v2 frame CRC), and the
+   manager can crash under us — the popped request dies with it,
+   unexecuted, which is what makes crash recovery crash-consistent. *)
 let process_pending (backend : backend) : int =
   let processed = ref 0 in
-  List.iter
-    (fun conn ->
-      if conn.connected then begin
-        let rec drain () =
-          match Ring.pop_request conn.ring with
-          | None -> ()
-          | Some { Ring.id; payload } ->
-              incr processed;
-              let sender = Ring.frontend conn.ring in
-              let reply =
-                match Proto.decode_request payload with
-                | Error m -> Proto.encode_response Proto.Bad_frame m
-                | Ok (claimed_instance, wire) -> (
-                    match backend.router ~sender ~claimed_instance ~wire with
-                    | Ok resp_wire -> Proto.encode_response Proto.Ok_routed resp_wire
-                    | Error reason -> Proto.encode_response Proto.Denied reason)
-              in
-              (match Ring.push_response conn.ring ~id reply with
-              | Ok () -> ignore (Hypervisor.notify backend.xen ~domid:conn.be_domid ~port:conn.be_port)
-              | Error _ -> () (* response ring full: drop, frontend times out *));
-              drain ()
-        in
-        drain ()
-      end)
-    backend.connections;
+  let faults = backend.xen.Hypervisor.faults in
+  (try
+     List.iter
+       (fun conn ->
+         if conn.connected && backend.alive then begin
+           let rec drain () =
+             match Ring.pop_request conn.ring with
+             | None -> ()
+             | Some { Ring.id; payload } ->
+                 if Faults.fire faults Faults.Manager_crash then begin
+                   crash_backend backend;
+                   raise Exit
+                 end;
+                 incr processed;
+                 let payload = Faults.maybe_mutate faults payload in
+                 let sender = Ring.frontend conn.ring in
+                 let reply =
+                   match Proto.decode_request payload with
+                   | Error m -> Proto.encode_response Proto.Bad_frame m
+                   | Ok (claimed_instance, wire) -> (
+                       match backend.router ~sender ~claimed_instance ~wire with
+                       | Ok resp_wire -> Proto.encode_response Proto.Ok_routed resp_wire
+                       | Error reason -> Proto.encode_response Proto.Denied reason)
+                 in
+                 (match Ring.push_response conn.ring ~id reply with
+                 | Ok () ->
+                     ignore (Hypervisor.notify backend.xen ~domid:conn.be_domid ~port:conn.be_port)
+                 | Error _ -> () (* response ring full: drop, frontend times out *));
+                 drain ()
+           in
+           drain ()
+         end)
+       backend.connections
+   with Exit -> ());
   !processed
 
-(* Frontend-side synchronous exchange: reads the claimed instance from
-   XenStore (as the real frontend does), frames the request, kicks the
-   backend and collects the response. *)
+(* --- Frontend-side synchronous exchange --------------------------------- *)
+
+type outcome = {
+  status : Proto.status;
+  payload : string;
+  attempts : int; (* send attempts, >= 1 *)
+  recovered : bool; (* at least one retry or reconnect was needed *)
+}
+
+(* One look at the response ring. [gated] is the naive-frontend behaviour:
+   only check the ring when the event channel actually fired. Retry
+   attempts pass [gated:false] — the timeout path of a real driver, which
+   inspects the ring regardless. Stale responses (abandoned earlier
+   attempts) are discarded. *)
+let check_response (backend : backend) (conn : connection) ~id ~gated =
+  let xen = backend.xen in
+  let kicked =
+    Evtchn.poll xen.Hypervisor.evtchn ~domid:conn.fe_domid ~port:conn.fe_port <> None
+  in
+  if gated && not kicked then `No_response
+  else begin
+    let rec scan () =
+      match Ring.pop_response conn.ring with
+      | None -> `No_response
+      | Some slot when slot.Ring.id = id -> (
+          let payload = Faults.maybe_mutate xen.Hypervisor.faults slot.Ring.payload in
+          match Proto.decode_response payload with
+          | Ok (st, body) -> `Response (st, body)
+          | Error m -> `Corrupt m)
+      | Some _ -> scan ()
+    in
+    scan ()
+  end
+
+(* Frame and push one request; kick the backend; let it run if the kick
+   landed. Returns the slot id actually in flight. [prev] is the id of a
+   still-queued earlier attempt: if the backend never popped it, the
+   request is merely un-kicked — re-raise the event instead of queueing a
+   duplicate. *)
+let send_attempt (backend : backend) (conn : connection) ~frame ~prev =
+  let xen = backend.xen in
+  let id_r =
+    match prev with
+    | Some id when Ring.request_pending conn.ring ~id -> Ok id
+    | _ -> Ring.push_request conn.ring frame
+  in
+  match id_r with
+  | Error e -> Error e
+  | Ok id ->
+      ignore (Hypervisor.notify xen ~domid:conn.fe_domid ~port:conn.fe_port);
+      let kicked =
+        Evtchn.poll xen.Hypervisor.evtchn ~domid:conn.be_domid ~port:conn.be_port <> None
+      in
+      if kicked then ignore (process_pending backend);
+      Ok id
+
+let read_claimed_instance (backend : backend) (conn : connection) =
+  let xen = backend.xen in
+  let base = vtpm_fe_path conn.fe_domid in
+  match Hypervisor.xs_read xen ~caller:conn.fe_domid (base ^ "/instance") with
+  | Error e -> Error ("cannot read instance: " ^ Xenstore.error_name e)
+  | Ok inst_str -> (
+      match int_of_string_opt inst_str with
+      | None -> Error "malformed instance id"
+      | Some claimed_instance -> Ok claimed_instance)
+
+(* Fail-fast exchange: one attempt, event-gated at both ends, any failure
+   surfaces immediately. This is the naive 2006-era frontend the recovery
+   experiments use as the baseline. *)
+let request_failfast (backend : backend) (conn : connection) ~wire :
+    (outcome, Vtpm_util.Verror.t) result =
+  let fail fmt = Vtpm_util.Verror.internal fmt in
+  if not conn.connected then fail "vTPM frontend disconnected"
+  else if not backend.alive then fail "vTPM backend dead"
+  else
+    match read_claimed_instance backend conn with
+    | Error m -> fail "%s" m
+    | Ok claimed_instance -> (
+        let frame = Proto.encode_request ~claimed_instance wire in
+        match send_attempt backend conn ~frame ~prev:None with
+        | Error e -> fail "%s" e
+        | Ok id -> (
+            match check_response backend conn ~id ~gated:true with
+            | `Response (status, payload) ->
+                Ok { status; payload; attempts = 1; recovered = false }
+            | `Corrupt m -> fail "corrupt response: %s" m
+            | `No_response -> fail "no response (backend stalled)"))
+
+(* Self-healing exchange: bounded retries with exponential backoff and a
+   per-request deadline, all on the simulated clock. *)
+let request_resilient (backend : backend) (conn : connection) ~wire ~(r : resilience) :
+    (outcome, Vtpm_util.Verror.t) result =
+  let xen = backend.xen in
+  let cost = xen.Hypervisor.cost in
+  let deadline = Vtpm_util.Cost.now cost +. r.timeout_us in
+  let backoff attempt =
+    Vtpm_util.Cost.charge cost (r.backoff_us *. (2.0 ** float_of_int (min attempt 6)))
+  in
+  let rec go ~attempt ~prev =
+    if Vtpm_util.Cost.now cost > deadline then
+      Vtpm_util.Verror.timeout "request deadline passed after %d attempts" attempt
+    else if attempt > r.max_retries then
+      Vtpm_util.Verror.retries_exhausted "gave up after %d attempts" attempt
+    else begin
+      (* Recovery first: restart a dead backend, re-run the handshake on a
+         severed link. Either step can itself fail under injected faults —
+         back off and try again. *)
+      if not backend.alive then restart_backend backend;
+      if not conn.connected then begin
+        match reconnect backend conn with
+        | Ok () -> ()
+        | Error _ -> ()
+      end;
+      if not conn.connected then begin
+        backoff attempt;
+        go ~attempt:(attempt + 1) ~prev:None
+      end
+      else
+        match read_claimed_instance backend conn with
+        | Error _ ->
+            (* XenStore transient: retriable. *)
+            backoff attempt;
+            go ~attempt:(attempt + 1) ~prev
+        | Ok claimed_instance -> (
+            let frame = Proto.encode_request ~claimed_instance wire in
+            match send_attempt backend conn ~frame ~prev with
+            | Error _ ->
+                (* Ring full — drain pressure is the backend's job; back
+                   off and re-offer. *)
+                backoff attempt;
+                go ~attempt:(attempt + 1) ~prev:None
+            | Ok id -> (
+                (* Retry attempts look at the ring even without a kick —
+                   the timeout path of a real frontend. *)
+                match check_response backend conn ~id ~gated:(attempt = 1) with
+                | `Response (Proto.Bad_frame, _) ->
+                    (* The backend saw a corrupted frame: the request was
+                       consumed but never executed — re-send it. *)
+                    backoff attempt;
+                    go ~attempt:(attempt + 1) ~prev:None
+                | `Response (status, payload) ->
+                    Ok { status; payload; attempts = attempt; recovered = attempt > 1 }
+                | `Corrupt _ | `No_response ->
+                    backoff attempt;
+                    let prev = if conn.connected then Some id else None in
+                    go ~attempt:(attempt + 1) ~prev))
+    end
+  in
+  go ~attempt:1 ~prev:None
+
+let request_with_info (backend : backend) (conn : connection) ~(wire : string) :
+    (outcome, Vtpm_util.Verror.t) result =
+  Vtpm_util.Cost.charge backend.xen.Hypervisor.cost Vtpm_util.Cost.ring_round_trip_us;
+  match backend.resilience with
+  | None -> request_failfast backend conn ~wire
+  | Some r -> request_resilient backend conn ~wire ~r
+
 let request (backend : backend) (conn : connection) ~(wire : string) :
     (Proto.status * string, string) result =
-  if not conn.connected then Error "vTPM frontend disconnected"
-  else begin
-    let xen = backend.xen in
-    Vtpm_util.Cost.charge xen.Hypervisor.cost Vtpm_util.Cost.ring_round_trip_us;
-    let base = vtpm_fe_path conn.fe_domid in
-    match Hypervisor.xs_read xen ~caller:conn.fe_domid (base ^ "/instance") with
-    | Error e -> Error ("cannot read instance: " ^ Xenstore.error_name e)
-    | Ok inst_str -> (
-        match int_of_string_opt inst_str with
-        | None -> Error "malformed instance id"
-        | Some claimed_instance -> (
-            let frame = Proto.encode_request ~claimed_instance wire in
-            match Ring.push_request conn.ring frame with
-            | Error e -> Error e
-            | Ok id -> (
-                (match Hypervisor.notify xen ~domid:conn.fe_domid ~port:conn.fe_port with
-                | Ok () -> ()
-                | Error _ -> ());
-                let _ = process_pending backend in
-                match Ring.pop_response conn.ring with
-                | Some slot when slot.Ring.id = id -> Proto.decode_response slot.Ring.payload
-                | Some _ -> Error "response id mismatch"
-                | None -> Error "no response (backend stalled)")))
-  end
+  match request_with_info backend conn ~wire with
+  | Ok o -> Ok (o.status, o.payload)
+  | Error e -> Error (Vtpm_util.Verror.to_string e)
 
 (* A [Vtpm_tpm.Client.transport] over the split driver: raises on protocol
    failures, surfaces monitor denials as a distinguished exception so

@@ -6,16 +6,24 @@
     [backend-id], [instance] (dom0-owned, guest-readable), [ring-ref],
     [event-channel] (guest-written). The frontend reads [instance] and
     stamps it into every frame — the baseline manager's routing input, and
-    the re-pointing hole the improved monitor closes. *)
+    the re-pointing hole the improved monitor closes.
+
+    Two transport modes: fail-fast (one event-gated attempt; faults lose
+    the request) and self-healing (bounded retries with exponential
+    backoff and a simulated-clock deadline; lost kicks are re-raised,
+    corrupt frames re-sent, a crashed backend restarted and reconnected).
+    Self-healing gives at-least-once semantics: a response corrupted after
+    execution causes a re-send of an already-executed command. *)
 
 type connection = {
-  ring : Vtpm_xen.Ring.t;
+  mutable ring : Vtpm_xen.Ring.t;
   fe_domid : Vtpm_xen.Domain.domid;
   be_domid : Vtpm_xen.Domain.domid;
-  fe_port : Vtpm_xen.Evtchn.port;
-  be_port : Vtpm_xen.Evtchn.port;
-  gref : Vtpm_xen.Gnttab.gref;
+  mutable fe_port : Vtpm_xen.Evtchn.port;
+  mutable be_port : Vtpm_xen.Evtchn.port;
+  mutable gref : Vtpm_xen.Gnttab.gref;
   mutable connected : bool;
+  mutable reconnects : int;  (** reconnection handshakes run on this link *)
 }
 
 type router =
@@ -24,17 +32,33 @@ type router =
     [sender] is the hypervisor-attested frontend; [Ok] carries the TPM
     wire response, [Error] a denial reason. *)
 
+type resilience = {
+  max_retries : int;
+  backoff_us : float;  (** base backoff; doubles per attempt, capped at 64x *)
+  timeout_us : float;  (** per-request deadline on the simulated clock *)
+}
+
+val default_resilience : resilience
+(** 12 retries, {!Vtpm_util.Cost.retry_backoff_us} base, 2 s deadline. *)
+
 type backend = {
   xen : Vtpm_xen.Hypervisor.t;
   be_domid : Vtpm_xen.Domain.domid;
   mutable connections : connection list;
   mutable router : router;
+  mutable alive : bool;  (** manager domain up? *)
+  mutable resilience : resilience option;  (** [None] = fail-fast baseline *)
+  mutable restarts : int;  (** completed {!restart_backend} cycles *)
+  mutable on_crash : unit -> unit;
+  mutable on_restart : unit -> unit;
+      (** checkpoint layer hook: restore manager state after a respawn *)
 }
 
 val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
 
 val create_backend :
-  xen:Vtpm_xen.Hypervisor.t -> be_domid:Vtpm_xen.Domain.domid -> router:router -> backend
+  ?resilience:resilience ->
+  xen:Vtpm_xen.Hypervisor.t -> be_domid:Vtpm_xen.Domain.domid -> router:router -> unit -> backend
 
 val publish_device :
   xen:Vtpm_xen.Hypervisor.t -> fe:Vtpm_xen.Domain.domid -> be:Vtpm_xen.Domain.domid ->
@@ -46,18 +70,51 @@ val connect : backend -> fe_domid:Vtpm_xen.Domain.domid -> (connection, string) 
 (** Frontend step: allocate and grant the ring, bind the event channel,
     publish [ring-ref]/[event-channel], register with the backend. *)
 
+val reconnect : backend -> connection -> (unit, string) result
+(** Frontend reconnection handshake after a crash or torn link: drop the
+    old grant and event channel, re-grant a fresh ring, rebind, republish.
+    Requests queued in the old ring are lost. Fails while the backend is
+    down or when injected faults hit the handshake itself. *)
+
 val disconnect : backend -> connection -> unit
 val disconnect_domain : backend -> fe_domid:Vtpm_xen.Domain.domid -> unit
+
+val crash_backend : backend -> unit
+(** The manager domain dies: all links sever, queued work is lost, and
+    nothing processes until {!restart_backend}. Runs [on_crash]. *)
+
+val restart_backend : backend -> unit
+(** Respawn the manager domain (charging
+    {!Vtpm_util.Cost.backend_restart_us}) and run [on_restart] — the
+    checkpoint layer's restore hook. Frontends must still {!reconnect}. *)
 
 val process_pending : backend -> int
 (** Drain every connected ring, route, respond; returns the number of
     requests processed. The sender passed to the router is the ring's
-    recorded frontend — unforgeable from inside a frame. *)
+    recorded frontend — unforgeable from inside a frame. Popped slots pass
+    through the fault injector (corruption lands here); an injected
+    manager crash kills the backend mid-drain, dropping the popped request
+    unexecuted. *)
 
-val request : backend -> connection -> wire:string -> (Proto.status * string, string) result
+type outcome = {
+  status : Proto.status;
+  payload : string;
+  attempts : int;  (** send attempts, >= 1 *)
+  recovered : bool;  (** at least one retry or reconnect was needed *)
+}
+
+val request_with_info :
+  backend -> connection -> wire:string -> (outcome, Vtpm_util.Verror.t) result
 (** Frontend-side synchronous exchange: reads the claimed instance from
     XenStore (as the real frontend does), frames, kicks the backend,
-    collects the response. *)
+    collects the response. Fail-fast mode makes one event-gated attempt;
+    self-healing mode retries per the backend's {!resilience}, failing
+    with [Verror.Timeout] past the deadline or [Verror.Retries_exhausted]
+    past the attempt cap. *)
+
+val request : backend -> connection -> wire:string -> (Proto.status * string, string) result
+(** {!request_with_info} with the outcome flattened and errors rendered
+    as strings. *)
 
 exception Denied of string
 (** Raised by {!client_transport} when the monitor denies a request, so

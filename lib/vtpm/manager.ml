@@ -90,6 +90,11 @@ let create_instance t : instance =
 let destroy_instance t vtpm_id =
   Hashtbl.remove t.instances vtpm_id
 
+(* Simulated manager-domain crash: all in-memory instance state is gone.
+   The hardware TPM is a physical chip — it survives, which is exactly
+   what lets sealed checkpoints restore afterwards. *)
+let crash t = Hashtbl.reset t.instances
+
 let instances t =
   Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
   |> List.sort (fun a b -> Stdlib.compare a.vtpm_id b.vtpm_id)

@@ -39,6 +39,12 @@ val create : ?rsa_bits:int -> seed:int -> cost:Vtpm_util.Cost.t -> unit -> t
 val find : t -> int -> (instance, Vtpm_util.Verror.t) result
 val create_instance : t -> instance
 val destroy_instance : t -> int -> unit
+
+val crash : t -> unit
+(** Simulated manager-domain crash: drops every in-memory instance. The
+    hardware TPM (a physical chip) survives, so sealed checkpoints still
+    load — see {!Checkpoint}. *)
+
 val instances : t -> instance list
 val instance_for_domid : t -> Vtpm_xen.Domain.domid -> instance option
 

@@ -1,7 +1,15 @@
 (* The vTPM transport protocol carried in ring slots.
 
-   Request frame:  claimed_instance(u32) || TPM wire request
-   Response frame: status(u8) || payload
+   Version 2 framing (version 1 had no integrity protection and is no
+   longer emitted; its frames are rejected as [`Bad_version]):
+
+   Request frame:  version(u8=2) || crc32(u32) || claimed_instance(u32) || TPM wire request
+   Response frame: version(u8=2) || crc32(u32) || status(u8) || payload
+
+   The CRC covers everything after the 5-byte header, so a flipped or
+   truncated slot is detected rather than mis-parsed — the property the
+   fault-injection experiments lean on: corruption must surface as a
+   retriable transport error, never as a wrong answer.
 
    [claimed_instance] is the field the 2006-era manager trusts to route a
    request — and the field a malicious frontend can set to any value. The
@@ -11,35 +19,68 @@
 
 module C = Vtpm_util.Codec
 
+let version = 2
+let header_len = 5 (* version(u8) || crc32(u32) *)
+
 type status = Ok_routed | Denied | Bad_frame
 
 let status_code = function Ok_routed -> 0 | Denied -> 1 | Bad_frame -> 2
 
 let status_of_code = function 0 -> Some Ok_routed | 1 -> Some Denied | 2 -> Some Bad_frame | _ -> None
 
+let checksum body = Vtpm_util.Crc32.digest body
+
+let frame body =
+  let w = C.writer () in
+  C.write_u8 w version;
+  C.write_u32 w (checksum body);
+  C.write_bytes w body;
+  C.contents w
+
+(* Header check shared by both directions. Returns the verified body. *)
+let unframe (frame : string) : (string, string) result =
+  let len = String.length frame in
+  if len < header_len then Error "short vTPM frame"
+  else if Char.code frame.[0] <> version then
+    Error (Printf.sprintf "unsupported vTPM protocol version %d" (Char.code frame.[0]))
+  else begin
+    let r = C.reader frame in
+    let _v = C.read_u8 r in
+    let crc = C.read_u32 r in
+    let body = String.sub frame header_len (len - header_len) in
+    if Int32.equal crc (checksum body) then Ok body
+    else Error "vTPM frame checksum mismatch"
+  end
+
 let encode_request ~claimed_instance (wire : string) : string =
   let w = C.writer () in
   C.write_u32_int w claimed_instance;
   C.write_bytes w wire;
-  C.contents w
+  frame (C.contents w)
 
-let decode_request (frame : string) : (int * string, string) result =
-  if String.length frame < 4 then Error "short vTPM frame"
-  else begin
-    let r = C.reader frame in
-    let claimed = C.read_u32_int r in
-    Ok (claimed, String.sub frame 4 (String.length frame - 4))
-  end
+let decode_request (fr : string) : (int * string, string) result =
+  match unframe fr with
+  | Error e -> Error e
+  | Ok body ->
+      if String.length body < 4 then Error "short vTPM request body"
+      else begin
+        let r = C.reader body in
+        let claimed = C.read_u32_int r in
+        Ok (claimed, String.sub body 4 (String.length body - 4))
+      end
 
 let encode_response (st : status) (payload : string) : string =
   let w = C.writer () in
   C.write_u8 w (status_code st);
   C.write_bytes w payload;
-  C.contents w
+  frame (C.contents w)
 
-let decode_response (frame : string) : (status * string, string) result =
-  if String.length frame < 1 then Error "empty vTPM response"
-  else
-    match status_of_code (Char.code frame.[0]) with
-    | None -> Error "bad vTPM status byte"
-    | Some st -> Ok (st, String.sub frame 1 (String.length frame - 1))
+let decode_response (fr : string) : (status * string, string) result =
+  match unframe fr with
+  | Error e -> Error e
+  | Ok body ->
+      if String.length body < 1 then Error "empty vTPM response body"
+      else
+        match status_of_code (Char.code body.[0]) with
+        | None -> Error "bad vTPM status byte"
+        | Some st -> Ok (st, String.sub body 1 (String.length body - 1))

@@ -1,10 +1,22 @@
 (** The vTPM transport protocol carried in ring slots.
 
-    Request frame: [claimed_instance(u32) || TPM wire request]. The
+    Version 2 framing: every frame is
+    [version(u8=2) || crc32(u32) || body], where the CRC (IEEE 802.3)
+    covers the body. A corrupted or truncated slot is detected and
+    rejected rather than mis-parsed, which is what lets the self-healing
+    driver treat corruption as a retriable transport error.
+
+    Request body: [claimed_instance(u32) || TPM wire request]. The
     claimed instance is what the 2006 manager trusts for routing — and
     what a malicious frontend sets freely. Keeping it on the wire lets the
     baseline and improved managers consume identical traffic, so overhead
     comparisons are apples-to-apples. *)
+
+val version : int
+(** Current protocol version byte (2). *)
+
+val header_len : int
+(** Bytes of framing before the body: version + CRC. *)
 
 type status =
   | Ok_routed  (** payload is a TPM wire response *)

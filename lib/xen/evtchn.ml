@@ -71,14 +71,22 @@ let poll t ~domid ~port : Domain.domid option =
 let remote_domid t ~domid ~port : Domain.domid option =
   Option.map (fun ch -> ch.remote) (find t ~domid ~port)
 
+(* Close both ends and drop undelivered notifications — a reopened pair
+   must not see stale kicks from a previous connection. Idempotent:
+   closing an already-closed (or unknown) channel is a no-op. *)
 let close t ~domid ~port =
   match find t ~domid ~port with
   | None -> ()
   | Some ch ->
-      ch.closed <- true;
-      (match find t ~domid:ch.remote ~port:ch.remote_port with
-      | Some peer -> peer.closed <- true
-      | None -> ())
+      if not ch.closed then begin
+        ch.closed <- true;
+        ch.pending <- 0;
+        match find t ~domid:ch.remote ~port:ch.remote_port with
+        | Some peer ->
+            peer.closed <- true;
+            peer.pending <- 0
+        | None -> ()
+      end
 
 (* Tear down every channel touching [domid] (domain destruction). *)
 let close_all_for t domid =

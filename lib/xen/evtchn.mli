@@ -37,7 +37,8 @@ val remote_domid : t -> domid:Domain.domid -> port:port -> Domain.domid option
 (** The hypervisor-attested identity of the peer. *)
 
 val close : t -> domid:Domain.domid -> port:port -> unit
-(** Close both endpoints of the pair. *)
+(** Close both endpoints of the pair and drop undelivered notifications.
+    Idempotent: closing a closed or unknown channel is a no-op. *)
 
 val close_all_for : t -> Domain.domid -> unit
 (** Tear down every channel touching a domain (domain destruction). *)

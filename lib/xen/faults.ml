@@ -1,0 +1,140 @@
+(* Deterministic, seeded fault injection for the interdomain transport.
+
+   The injector models the platform misbehaviour an attacker (or plain bad
+   luck) can induce on the vTPM request path: lost / duplicated / delayed
+   event-channel notifications, corrupted or truncated ring slots,
+   transient grant-table and XenStore failures, and outright crashes of
+   the vTPM manager domain.
+
+   Every decision draws from one splitmix64 stream, so a whole fault plan
+   is replayable from a single seed: the same seed, rates and call
+   sequence yield byte-identical injections. Per-class rates govern how
+   often each class fires; classes at rate 0 never touch the stream, so a
+   configuration's plan does not shift when an unrelated class is turned
+   off. *)
+
+type clazz =
+  | Drop_notify (* notification silently lost; sender sees success *)
+  | Dup_notify (* notification delivered twice *)
+  | Delay_notify (* notification delivered after a simulated delay *)
+  | Corrupt_slot (* ring slot payload byte flips *)
+  | Truncate_slot (* ring slot payload cut short *)
+  | Grant_map_fail (* transient grant map failure *)
+  | Grant_unmap_fail (* transient grant unmap failure *)
+  | Xenstore_transient (* XenStore op returns EAGAIN *)
+  | Manager_crash (* vTPM manager domain dies mid-service *)
+
+let all_classes =
+  [
+    Drop_notify;
+    Dup_notify;
+    Delay_notify;
+    Corrupt_slot;
+    Truncate_slot;
+    Grant_map_fail;
+    Grant_unmap_fail;
+    Xenstore_transient;
+    Manager_crash;
+  ]
+
+let class_name = function
+  | Drop_notify -> "drop-notify"
+  | Dup_notify -> "dup-notify"
+  | Delay_notify -> "delay-notify"
+  | Corrupt_slot -> "corrupt-slot"
+  | Truncate_slot -> "truncate-slot"
+  | Grant_map_fail -> "grant-map-fail"
+  | Grant_unmap_fail -> "grant-unmap-fail"
+  | Xenstore_transient -> "xenstore-transient"
+  | Manager_crash -> "manager-crash"
+
+type t = {
+  seed : int;
+  rng : Vtpm_util.Rng.t;
+  mutable rates : (clazz * float) list;
+  mutable armed : bool;
+  counts : (clazz, int ref) Hashtbl.t;
+}
+
+let make ~seed ~rates ~armed =
+  { seed; rng = Vtpm_util.Rng.create ~seed; rates; armed; counts = Hashtbl.create 9 }
+
+let none () = make ~seed:0 ~rates:[] ~armed:false
+let create ?(seed = 1) ?(rates = []) () = make ~seed ~rates ~armed:true
+
+let uniform ~seed ~rate =
+  make ~seed ~rates:(List.map (fun c -> (c, rate)) all_classes) ~armed:true
+
+let seed t = t.seed
+let armed t = t.armed
+let arm t = t.armed <- true
+let disarm t = t.armed <- false
+
+let rate t clazz = Option.value ~default:0.0 (List.assoc_opt clazz t.rates)
+
+let set_rate t clazz r =
+  t.rates <- (clazz, r) :: List.remove_assoc clazz t.rates
+
+(* Fresh injector with the same seed and rates: replays the plan from the
+   start (given the same call sequence from the stack above). *)
+let replay t = make ~seed:t.seed ~rates:t.rates ~armed:t.armed
+
+let record t clazz =
+  match Hashtbl.find_opt t.counts clazz with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts clazz (ref 1)
+
+(* One injection decision. Classes at rate 0 (and disarmed injectors)
+   return false without drawing, so they leave the plan untouched. *)
+let fire t clazz =
+  if not t.armed then false
+  else
+    let r = rate t clazz in
+    if r <= 0.0 then false
+    else if Vtpm_util.Rng.float t.rng < r then begin
+      record t clazz;
+      true
+    end
+    else false
+
+(* Simulated delivery delay for a Delay_notify injection: 50..500 us,
+   drawn from the plan stream. *)
+let delay_us t = 50.0 +. (Vtpm_util.Rng.float t.rng *. 450.0)
+
+(* Flip 1..3 bytes of the payload; each flip xors a non-zero mask, so at
+   least one byte is guaranteed to change. *)
+let corrupt t s =
+  let len = String.length s in
+  if len = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let flips = 1 + Vtpm_util.Rng.int t.rng 3 in
+    for _ = 1 to flips do
+      let pos = Vtpm_util.Rng.int t.rng len in
+      let mask = 1 + Vtpm_util.Rng.int t.rng 255 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask))
+    done;
+    Bytes.to_string b
+  end
+
+(* Cut the payload to a strictly shorter prefix. *)
+let truncate t s =
+  let len = String.length s in
+  if len <= 1 then "" else String.sub s 0 (Vtpm_util.Rng.int t.rng len)
+
+(* The slot-mutation decision point the driver calls on every payload that
+   crosses the ring: corrupt, truncate, or pass through unchanged. *)
+let maybe_mutate t s =
+  if fire t Corrupt_slot then corrupt t s
+  else if fire t Truncate_slot then truncate t s
+  else s
+
+let injected t =
+  List.filter_map
+    (fun c ->
+      match Hashtbl.find_opt t.counts c with
+      | Some r when !r > 0 -> Some (c, !r)
+      | _ -> None)
+    all_classes
+
+let total_injected t = List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)

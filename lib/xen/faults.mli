@@ -1,0 +1,64 @@
+(** Deterministic, seeded fault injection for the interdomain transport.
+
+    Models the platform misbehaviour an attacker or plain bad luck can
+    induce on the vTPM request path. All decisions draw from a single
+    splitmix64 stream, so a whole fault plan replays from one seed: the
+    same seed, rates and call sequence yield byte-identical injections.
+    Classes at rate 0 never touch the stream. *)
+
+type clazz =
+  | Drop_notify  (** notification silently lost; the sender sees success *)
+  | Dup_notify  (** notification delivered twice *)
+  | Delay_notify  (** notification delivered after a simulated delay *)
+  | Corrupt_slot  (** ring slot payload byte flips *)
+  | Truncate_slot  (** ring slot payload cut short *)
+  | Grant_map_fail  (** transient grant map failure *)
+  | Grant_unmap_fail  (** transient grant unmap failure *)
+  | Xenstore_transient  (** XenStore op returns EAGAIN *)
+  | Manager_crash  (** vTPM manager domain dies mid-service *)
+
+val all_classes : clazz list
+val class_name : clazz -> string
+
+type t
+
+val none : unit -> t
+(** Disarmed injector with all rates at zero — the default wired into a
+    fresh hypervisor; {!fire} never draws, so it costs nothing. *)
+
+val create : ?seed:int -> ?rates:(clazz * float) list -> unit -> t
+val uniform : seed:int -> rate:float -> t
+(** Every class at the same per-decision rate. *)
+
+val seed : t -> int
+val armed : t -> bool
+val arm : t -> unit
+val disarm : t -> unit
+
+val rate : t -> clazz -> float
+val set_rate : t -> clazz -> float -> unit
+
+val replay : t -> t
+(** Fresh injector with the same seed and rates: replays the plan from
+    the start given the same call sequence. *)
+
+val fire : t -> clazz -> bool
+(** One injection decision; records it when it fires. *)
+
+val delay_us : t -> float
+(** Simulated delivery delay for a [Delay_notify] injection (50–500 us). *)
+
+val corrupt : t -> string -> string
+(** Flip 1–3 bytes; at least one byte is guaranteed to change. *)
+
+val truncate : t -> string -> string
+(** Strictly shorter prefix ([""] for inputs of length <= 1). *)
+
+val maybe_mutate : t -> string -> string
+(** The slot-mutation decision point: corrupt, truncate, or pass through,
+    per the plan. *)
+
+val injected : t -> (clazz * int) list
+(** Classes that fired, with counts. *)
+
+val total_injected : t -> int

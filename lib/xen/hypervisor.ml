@@ -15,6 +15,7 @@ type t = {
   gnttab : Gnttab.t;
   store : Xenstore.t;
   cost : Vtpm_util.Cost.t; (* simulated-time meter shared by the stack *)
+  mutable faults : Faults.t; (* fault-injection plan; Faults.none by default *)
 }
 
 let dom0_id = 0
@@ -22,7 +23,7 @@ let dom0_id = 0
 let is_privileged t domid =
   match Hashtbl.find_opt t.domains domid with Some d -> d.Domain.privileged | None -> false
 
-let create () =
+let create ?(faults = Faults.none ()) () =
   let t =
     {
       domains = Hashtbl.create 16;
@@ -31,6 +32,7 @@ let create () =
       gnttab = Gnttab.create ();
       store = Xenstore.create ();
       cost = Vtpm_util.Cost.create ();
+      faults;
     }
   in
   let dom0 =
@@ -44,6 +46,8 @@ let create () =
     Xenstore.create ~is_privileged:(fun d -> is_privileged t d) ()
   in
   { t with store }
+
+let set_faults t faults = t.faults <- faults
 
 let find_domain t domid : (Domain.t, string) result =
   match Hashtbl.find_opt t.domains domid with
@@ -149,23 +153,51 @@ let scan_foreign_memory t ~caller ~target ~pattern : ((int * int) list, string) 
 
 let bind_evtchn t ~a ~b = Evtchn.bind_interdomain t.evtchn ~a ~b
 
+(* Notification delivery is where the injector models a lossy platform: a
+   dropped kick looks like success to the sender (exactly the failure a
+   guest cannot observe), a delayed one charges extra simulated time, a
+   duplicated one lands twice on the peer. *)
 let notify t ~domid ~port =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.evtchn_notify_us;
-  Evtchn.notify t.evtchn ~domid ~port
+  if Faults.fire t.faults Faults.Drop_notify then Ok ()
+  else begin
+    if Faults.fire t.faults Faults.Delay_notify then
+      Vtpm_util.Cost.charge t.cost (Faults.delay_us t.faults);
+    let r = Evtchn.notify t.evtchn ~domid ~port in
+    (if Result.is_ok r && Faults.fire t.faults Faults.Dup_notify then
+       ignore (Evtchn.notify t.evtchn ~domid ~port));
+    r
+  end
 
 let evtchn_remote t ~domid ~port = Evtchn.remote_domid t.evtchn ~domid ~port
 
 let grant t ~owner ~grantee ~frame ~access = Gnttab.grant_access t.gnttab ~owner ~grantee ~frame ~access
-let map_grant t ~caller ~owner ~gref = Gnttab.map t.gnttab ~caller ~owner ~gref
 
-(* XenStore access, charged to the simulated clock. *)
+let map_grant t ~caller ~owner ~gref =
+  if Faults.fire t.faults Faults.Grant_map_fail then
+    Error "transient grant map failure (injected)"
+  else Gnttab.map t.gnttab ~caller ~owner ~gref
+
+let unmap_grant t ~caller ~owner ~gref =
+  if Faults.fire t.faults Faults.Grant_unmap_fail then
+    Error "transient grant unmap failure (injected)"
+  else begin
+    Gnttab.unmap t.gnttab ~caller ~owner ~gref;
+    Ok ()
+  end
+
+(* XenStore access, charged to the simulated clock. Transient injected
+   failures surface as EAGAIN — the error real xenstore clients already
+   retry on. *)
 let xs_read t ~caller path =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.xenstore_op_us;
-  Xenstore.read t.store ~caller path
+  if Faults.fire t.faults Faults.Xenstore_transient then Error Xenstore.Eagain
+  else Xenstore.read t.store ~caller path
 
 let xs_write t ~caller path value =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.xenstore_op_us;
-  Xenstore.write t.store ~caller path value
+  if Faults.fire t.faults Faults.Xenstore_transient then Error Xenstore.Eagain
+  else Xenstore.write t.store ~caller path value
 
 let xs_rm t ~caller path =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.xenstore_op_us;

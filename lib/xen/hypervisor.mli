@@ -15,12 +15,17 @@ type t = {
   gnttab : Gnttab.t;
   store : Xenstore.t;
   cost : Vtpm_util.Cost.t;  (** simulated-time meter shared by the stack *)
+  mutable faults : Faults.t;  (** fault-injection plan; {!Faults.none} by default *)
 }
 
 val dom0_id : Domain.domid
 
-val create : unit -> t
-(** Fresh host with a running dom0. *)
+val create : ?faults:Faults.t -> unit -> t
+(** Fresh host with a running dom0. [faults] defaults to a disarmed
+    injector; pass one (or use {!set_faults}) to make the interdomain
+    mechanisms misbehave deterministically. *)
+
+val set_faults : t -> Faults.t -> unit
 
 val is_privileged : t -> Domain.domid -> bool
 val find_domain : t -> Domain.domid -> (Domain.t, string) result
@@ -76,6 +81,10 @@ val grant :
 val map_grant :
   t -> caller:Domain.domid -> owner:Domain.domid -> gref:Gnttab.gref ->
   (int * Gnttab.access, string) result
+
+val unmap_grant :
+  t -> caller:Domain.domid -> owner:Domain.domid -> gref:Gnttab.gref ->
+  (unit, string) result
 
 (** {1 XenStore access (charged to the simulated clock)} *)
 

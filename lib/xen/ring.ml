@@ -14,6 +14,10 @@ type t = {
   requests : slot Queue.t;
   responses : slot Queue.t;
   mutable next_id : int;
+  (* Slot ids with a pushed request and no response yet — a backend
+     answering an id it was never asked about is a protocol violation,
+     not something to silently enqueue. *)
+  outstanding : (int, unit) Hashtbl.t;
   (* Wiring recorded at connect time; the backend reads the frontend's
      identity from here, never from payloads. *)
   frontend : Domain.domid;
@@ -23,11 +27,19 @@ type t = {
 let default_capacity = 32
 
 let create ?(capacity = default_capacity) ~frontend ~backend () =
-  { capacity; requests = Queue.create (); responses = Queue.create (); next_id = 0; frontend; backend }
+  {
+    capacity;
+    requests = Queue.create ();
+    responses = Queue.create ();
+    next_id = 0;
+    outstanding = Hashtbl.create 16;
+    frontend;
+    backend;
+  }
 
 let frontend t = t.frontend
 let backend t = t.backend
-let request_space t = t.capacity - Queue.length t.requests
+let request_space t = max 0 (t.capacity - Queue.length t.requests)
 let pending_requests t = Queue.length t.requests
 let pending_responses t = Queue.length t.responses
 
@@ -39,11 +51,18 @@ let push_request t (payload : string) : (int, string) result =
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     Queue.push { id; payload } t.requests;
+    Hashtbl.replace t.outstanding id ();
     Ok id
   end
 
 let pop_response t : slot option =
   if Queue.is_empty t.responses then None else Some (Queue.pop t.responses)
+
+(* True while the request is still queued, i.e. the backend has not popped
+   it yet. The self-healing frontend uses this to tell "my kick was lost,
+   the request is still there" from "the request is gone, re-push it". *)
+let request_pending t ~id =
+  Queue.fold (fun acc s -> acc || s.id = id) false t.requests
 
 (* Backend side *)
 
@@ -51,8 +70,11 @@ let pop_request t : slot option =
   if Queue.is_empty t.requests then None else Some (Queue.pop t.requests)
 
 let push_response t ~id (payload : string) : (unit, string) result =
-  if Queue.length t.responses >= t.capacity then Error "ring full"
+  if not (Hashtbl.mem t.outstanding id) then
+    Error (Printf.sprintf "unknown slot id %d" id)
+  else if Queue.length t.responses >= t.capacity then Error "ring full"
   else begin
+    Hashtbl.remove t.outstanding id;
     Queue.push { id; payload } t.responses;
     Ok ()
   end

@@ -30,7 +30,14 @@ val push_request : t -> string -> (int, string) result
 
 val pop_response : t -> slot option
 
+val request_pending : t -> id:int -> bool
+(** True while the request with [id] is still queued (not yet popped by
+    the backend) — distinguishes a lost kick from a lost request. *)
+
 (** {1 Backend side} *)
 
 val pop_request : t -> slot option
+
 val push_response : t -> id:int -> string -> (unit, string) result
+(** Fails with ["unknown slot id <n>"] for an id that was never pushed
+    (or already answered), and ["ring full"] on back-pressure. *)

@@ -1,0 +1,166 @@
+(* Tests for the deterministic fault injector: plan determinism and
+   replay, the mutation helpers, the hypervisor threading, and the
+   end-to-end recovery behaviour the injector drives. *)
+
+open Vtpm_xen
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let seq n f = List.init n f
+
+(* --- Injector ------------------------------------------------------------------ *)
+
+let test_disarmed_never_fires () =
+  let f = Faults.none () in
+  check_b "disarmed" false (Faults.armed f);
+  check_b "no fire" false
+    (List.exists (fun b -> b) (seq 100 (fun _ -> Faults.fire f Faults.Drop_notify)));
+  check_i "nothing recorded" 0 (Faults.total_injected f)
+
+let test_rates_and_arming () =
+  let f = Faults.create ~seed:9 ~rates:[ (Faults.Corrupt_slot, 1.0) ] () in
+  check_b "armed" true (Faults.armed f);
+  check_b "rate-1 fires" true (Faults.fire f Faults.Corrupt_slot);
+  check_b "rate-0 never" false (Faults.fire f Faults.Drop_notify);
+  Faults.disarm f;
+  check_b "disarmed quiet" false (Faults.fire f Faults.Corrupt_slot);
+  Faults.arm f;
+  Faults.set_rate f Faults.Corrupt_slot 0.0;
+  check_b "zeroed quiet" false (Faults.fire f Faults.Corrupt_slot)
+
+let test_plan_deterministic () =
+  let plan f = seq 200 (fun _ -> Faults.fire f Faults.Drop_notify) in
+  let a = plan (Faults.uniform ~seed:42 ~rate:0.3) in
+  let b = plan (Faults.uniform ~seed:42 ~rate:0.3) in
+  let c = plan (Faults.uniform ~seed:43 ~rate:0.3) in
+  check_b "some fired" true (List.exists (fun x -> x) a);
+  check_b "same seed same plan" true (a = b);
+  check_b "different seed different plan" true (a <> c)
+
+let test_replay () =
+  let f = Faults.uniform ~seed:7 ~rate:0.25 in
+  let a = seq 100 (fun _ -> Faults.fire f Faults.Dup_notify) in
+  let g = Faults.replay f in
+  check_i "seed carried" (Faults.seed f) (Faults.seed g);
+  let b = seq 100 (fun _ -> Faults.fire g Faults.Dup_notify) in
+  check_b "replay equal" true (a = b)
+
+let test_zero_rate_plan_stable () =
+  (* A rate-0 class never draws from the stream, so adding one does not
+     shift the decisions of the classes that are on. *)
+  let with_extra =
+    Faults.create ~seed:11
+      ~rates:[ (Faults.Drop_notify, 0.2); (Faults.Manager_crash, 0.0) ]
+      ()
+  in
+  let without = Faults.create ~seed:11 ~rates:[ (Faults.Drop_notify, 0.2) ] () in
+  let plan f =
+    seq 300 (fun _ ->
+        ignore (Faults.fire f Faults.Manager_crash);
+        Faults.fire f Faults.Drop_notify)
+  in
+  check_b "plan stable" true (plan with_extra = plan without)
+
+let test_corrupt_and_truncate () =
+  let f = Faults.uniform ~seed:3 ~rate:1.0 in
+  let s = "payload-bytes" in
+  let c = Faults.corrupt f s in
+  check_i "same length" (String.length s) (String.length c);
+  check_b "changed" true (c <> s);
+  let t = Faults.truncate f s in
+  check_b "strictly shorter" true (String.length t < String.length s);
+  check_s "prefix" (String.sub s 0 (String.length t)) t;
+  check_s "tiny to empty" "" (Faults.truncate f "x")
+
+let test_counts_recorded () =
+  let f = Faults.create ~seed:5 ~rates:[ (Faults.Xenstore_transient, 1.0) ] () in
+  ignore (Faults.fire f Faults.Xenstore_transient);
+  ignore (Faults.fire f Faults.Xenstore_transient);
+  check_i "total" 2 (Faults.total_injected f);
+  check_b "per class" true (Faults.injected f = [ (Faults.Xenstore_transient, 2) ])
+
+(* --- Hypervisor threading ------------------------------------------------------- *)
+
+let hv_with rates ~seed = Hypervisor.create ~faults:(Faults.create ~seed ~rates ()) ()
+
+let test_hv_drop_notify () =
+  let xen = hv_with [ (Faults.Drop_notify, 1.0) ] ~seed:2 in
+  let pa, pb = Hypervisor.bind_evtchn xen ~a:1 ~b:2 in
+  check_b "sender sees success" true (Hypervisor.notify xen ~domid:1 ~port:pa = Ok ());
+  check_b "nothing delivered" true (Evtchn.poll xen.Hypervisor.evtchn ~domid:2 ~port:pb = None)
+
+let test_hv_dup_notify () =
+  let xen = hv_with [ (Faults.Dup_notify, 1.0) ] ~seed:2 in
+  let pa, pb = Hypervisor.bind_evtchn xen ~a:1 ~b:2 in
+  ignore (Hypervisor.notify xen ~domid:1 ~port:pa);
+  check_b "first" true (Evtchn.poll xen.Hypervisor.evtchn ~domid:2 ~port:pb <> None);
+  check_b "duplicate" true (Evtchn.poll xen.Hypervisor.evtchn ~domid:2 ~port:pb <> None);
+  check_b "no third" true (Evtchn.poll xen.Hypervisor.evtchn ~domid:2 ~port:pb = None)
+
+let test_hv_xs_transient () =
+  let xen = hv_with [ (Faults.Xenstore_transient, 1.0) ] ~seed:2 in
+  check_b "write eagain" true
+    (Hypervisor.xs_write xen ~caller:0 "/local/faulty" "v" = Error Xenstore.Eagain);
+  Faults.disarm xen.Hypervisor.faults;
+  check_b "write ok" true (Hypervisor.xs_write xen ~caller:0 "/local/faulty" "v" = Ok ());
+  Faults.arm xen.Hypervisor.faults;
+  check_b "read eagain" true
+    (Hypervisor.xs_read xen ~caller:0 "/local/faulty" = Error Xenstore.Eagain)
+
+let test_hv_grant_faults () =
+  let xen = hv_with [ (Faults.Grant_map_fail, 1.0); (Faults.Grant_unmap_fail, 1.0) ] ~seed:2 in
+  let gref = Hypervisor.grant xen ~owner:1 ~grantee:2 ~frame:7 ~access:Gnttab.Read_write in
+  check_b "map fails" true (Result.is_error (Hypervisor.map_grant xen ~caller:2 ~owner:1 ~gref));
+  check_b "unmap fails" true
+    (Result.is_error (Hypervisor.unmap_grant xen ~caller:2 ~owner:1 ~gref));
+  Faults.disarm xen.Hypervisor.faults;
+  check_b "map ok" true (Result.is_ok (Hypervisor.map_grant xen ~caller:2 ~owner:1 ~gref));
+  check_b "unmap ok" true (Hypervisor.unmap_grant xen ~caller:2 ~owner:1 ~gref = Ok ())
+
+(* --- End-to-end recovery (driver + manager + checkpoints) ------------------------ *)
+
+let test_workload_self_heal_beats_failfast () =
+  let ff =
+    Vtpm_sim.Experiments.run_fault_workload ~self_heal:false ~fault_rate:0.05 ~requests:200
+      ~seed:137
+  in
+  let sh =
+    Vtpm_sim.Experiments.run_fault_workload ~self_heal:true ~fault_rate:0.05 ~requests:200
+      ~seed:137
+  in
+  check_i "self-heal completes all" 200 sh.Vtpm_sim.Experiments.succeeded;
+  check_b "baseline loses requests" true (ff.Vtpm_sim.Experiments.succeeded < 200);
+  check_b "faults were injected" true (sh.Vtpm_sim.Experiments.injected > 0);
+  check_b "recoveries happened" true (sh.Vtpm_sim.Experiments.recovered > 0)
+
+let test_workload_deterministic () =
+  let run () =
+    Vtpm_sim.Experiments.run_fault_workload ~self_heal:true ~fault_rate:0.05 ~requests:150
+      ~seed:99
+  in
+  check_b "identical rows" true (run () = run ())
+
+let test_crash_drill_preserves_state () =
+  let d = Vtpm_sim.Experiments.crash_drill ~seed:77 () in
+  check_b "restarts happened" true (d.Vtpm_sim.Experiments.drill_restarts > 0);
+  check_b "state preserved" true d.Vtpm_sim.Experiments.state_preserved;
+  check_i "all extends acked" 60 d.Vtpm_sim.Experiments.extends_acked
+
+let suite =
+  [
+    Alcotest.test_case "disarmed never fires" `Quick test_disarmed_never_fires;
+    Alcotest.test_case "rates and arming" `Quick test_rates_and_arming;
+    Alcotest.test_case "plan deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "replay" `Quick test_replay;
+    Alcotest.test_case "zero-rate plan stable" `Quick test_zero_rate_plan_stable;
+    Alcotest.test_case "corrupt and truncate" `Quick test_corrupt_and_truncate;
+    Alcotest.test_case "counts recorded" `Quick test_counts_recorded;
+    Alcotest.test_case "hv drop notify" `Quick test_hv_drop_notify;
+    Alcotest.test_case "hv dup notify" `Quick test_hv_dup_notify;
+    Alcotest.test_case "hv xenstore transient" `Quick test_hv_xs_transient;
+    Alcotest.test_case "hv grant faults" `Quick test_hv_grant_faults;
+    Alcotest.test_case "workload self-heal vs fail-fast" `Slow test_workload_self_heal_beats_failfast;
+    Alcotest.test_case "workload deterministic" `Slow test_workload_deterministic;
+    Alcotest.test_case "crash drill preserves state" `Slow test_crash_drill_preserves_state;
+  ]

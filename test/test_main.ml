@@ -7,6 +7,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("tpm", Test_tpm.suite);
       ("xen", Test_xen.suite);
+      ("faults", Test_faults.suite);
       ("vtpm", Test_vtpm.suite);
       ("access", Test_access.suite);
       ("attacks", Test_attacks.suite);

@@ -23,6 +23,30 @@ let test_proto_response_roundtrip () =
   check_b "empty" true (Result.is_error (Proto.decode_response ""));
   check_b "bad status" true (Result.is_error (Proto.decode_response "\x09x"))
 
+let test_proto_v2_integrity () =
+  let frame = Proto.encode_request ~claimed_instance:7 "wire" in
+  check_i "version byte" Proto.version (Char.code frame.[0]);
+  (* Flip one body byte: the CRC must catch it. *)
+  let flipped = Bytes.of_string frame in
+  let pos = Proto.header_len + 2 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x40));
+  check_b "corruption detected" true
+    (Result.is_error (Proto.decode_request (Bytes.to_string flipped)));
+  (* A truncated frame fails the CRC too — never mis-parses. *)
+  check_b "truncation detected" true
+    (Result.is_error (Proto.decode_request (String.sub frame 0 (String.length frame - 1))));
+  (* Version-1 frames (no integrity) are rejected, not guessed at. *)
+  let old = Bytes.of_string frame in
+  Bytes.set old 0 '\x01';
+  check_b "old version rejected" true
+    (Result.is_error (Proto.decode_request (Bytes.to_string old)));
+  (* Same properties on the response path. *)
+  let resp = Proto.encode_response Proto.Ok_routed "pay" in
+  let rflip = Bytes.of_string resp in
+  Bytes.set rflip (Proto.header_len) '\xff';
+  check_b "response corruption detected" true
+    (Result.is_error (Proto.decode_response (Bytes.to_string rflip)))
+
 (* --- Manager --------------------------------------------------------------------- *)
 
 let mk_manager ?(seed = 13) () =
@@ -295,7 +319,7 @@ let driver_fixture () =
     | Error e -> Error (Vtpm_util.Verror.to_string e)
     | Ok i -> Result.map_error Vtpm_util.Verror.to_string (Manager.execute_wire mgr i ~wire)
   in
-  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router () in
   ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:inst.Manager.vtpm_id));
   let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
   (xen, mgr, inst, backend, conn, fe)
@@ -339,7 +363,7 @@ let test_driver_denied_surfaces () =
   let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
   ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
   let router ~sender:_ ~claimed_instance:_ ~wire:_ = Error "computer says no" in
-  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router () in
   ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:1));
   let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
   (match Driver.request backend conn ~wire:"anything" with
@@ -356,7 +380,7 @@ let test_driver_bad_frame () =
   let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
   ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
   let router ~sender:_ ~claimed_instance:_ ~wire = Ok wire in
-  let backend = Driver.create_backend ~xen ~be_domid:0 ~router in
+  let backend = Driver.create_backend ~xen ~be_domid:0 ~router () in
   ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:1));
   let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
   (* Push a frame too short to carry a claimed-instance field. *)
@@ -369,10 +393,106 @@ let test_driver_bad_frame () =
       | _ -> Alcotest.fail "expected bad frame")
   | None -> Alcotest.fail "no response"
 
+(* Self-healing fixture: resilient backend, write-through checkpoints,
+   crash/restart hooks wired to the manager. Faults (if any) arm only
+   after the link is up. *)
+let resilient_fixture ?faults () =
+  let xen = Vtpm_xen.Hypervisor.create () in
+  let fe = Result.get_ok (Vtpm_xen.Hypervisor.create_domain xen ~caller:0 ~name:"g" ~label:"l" ()) in
+  ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
+  let mgr = Manager.create ~rsa_bits:256 ~seed:23 ~cost:xen.Vtpm_xen.Hypervisor.cost () in
+  let inst = Manager.create_instance mgr in
+  inst.Manager.bound_domid <- Some fe;
+  let ckpt = Checkpoint.create mgr in
+  let router ~sender:_ ~claimed_instance ~wire =
+    match Manager.find mgr claimed_instance with
+    | Error e -> Error (Vtpm_util.Verror.to_string e)
+    | Ok i -> (
+        match Manager.execute_wire mgr i ~wire with
+        | Error e -> Error (Vtpm_util.Verror.to_string e)
+        | Ok resp ->
+            ignore (Checkpoint.checkpoint ckpt i);
+            Ok resp)
+  in
+  let backend =
+    Driver.create_backend ~resilience:Driver.default_resilience ~xen ~be_domid:0 ~router ()
+  in
+  backend.Driver.on_crash <- (fun () -> Manager.crash mgr);
+  backend.Driver.on_restart <- (fun () -> ignore (Checkpoint.restore_all ckpt));
+  ignore (Result.get_ok (Driver.publish_device ~xen ~fe ~be:0 ~instance:inst.Manager.vtpm_id));
+  let conn = Result.get_ok (Driver.connect backend ~fe_domid:fe) in
+  (match faults with Some f -> Vtpm_xen.Hypervisor.set_faults xen f | None -> ());
+  (xen, mgr, inst, ckpt, backend, conn)
+
+let test_driver_reconnect_roundtrip () =
+  let _, _, _, backend, conn, _ = driver_fixture () in
+  Driver.disconnect backend conn;
+  check_b "disconnected" false conn.Driver.connected;
+  (match Driver.reconnect backend conn with Ok () -> () | Error e -> Alcotest.fail e);
+  check_b "reconnected" true conn.Driver.connected;
+  check_i "one handshake" 1 conn.Driver.reconnects;
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  match Driver.request backend conn ~wire with
+  | Ok (Proto.Ok_routed, _) -> ()
+  | Ok _ -> Alcotest.fail "unexpected status"
+  | Error m -> Alcotest.fail m
+
+let test_driver_crash_restart_checkpoint () =
+  let _, mgr, inst, _, backend, conn = resilient_fixture () in
+  let client = Vtpm_tpm.Client.create (Driver.client_transport backend conn) in
+  let v1 =
+    Result.get_ok
+      (Vtpm_tpm.Client.extend client ~pcr:5 ~digest:(Vtpm_crypto.Sha1.digest "acked"))
+  in
+  Driver.crash_backend backend;
+  check_b "backend dead" false backend.Driver.alive;
+  check_b "link severed" false conn.Driver.connected;
+  check_i "manager state gone" 0 (List.length (Manager.instances mgr));
+  (* The next request self-heals: restart (checkpoint restore) + reconnect. *)
+  let v = Result.get_ok (Vtpm_tpm.Client.pcr_read client ~pcr:5) in
+  check_s "pcr preserved" v1 v;
+  check_i "one restart" 1 backend.Driver.restarts;
+  check_i "one reconnect" 1 conn.Driver.reconnects;
+  let restored = Result.get_ok (Manager.find mgr inst.Manager.vtpm_id) in
+  check_b "binding preserved" true
+    (restored.Manager.bound_domid = inst.Manager.bound_domid)
+
+let test_driver_drop_notify_observable () =
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  (* Fail-fast: a dropped kick silently loses the request. *)
+  let xen, _, _, backend, conn, _ = driver_fixture () in
+  Vtpm_xen.Hypervisor.set_faults xen
+    (Vtpm_xen.Faults.create ~seed:3 ~rates:[ (Vtpm_xen.Faults.Drop_notify, 1.0) ] ());
+  check_b "fail-fast loses request" true (Result.is_error (Driver.request backend conn ~wire));
+  (* Self-healing: the retry re-raises the kick; the request was still
+     queued, so it is not duplicated. *)
+  let faults =
+    Vtpm_xen.Faults.create ~seed:3 ~rates:[ (Vtpm_xen.Faults.Drop_notify, 0.5) ] ()
+  in
+  let _, _, _, _, backend2, conn2 = resilient_fixture ~faults () in
+  match Driver.request_with_info backend2 conn2 ~wire with
+  | Ok o ->
+      check_b "routed" true (o.Driver.status = Proto.Ok_routed);
+      check_b "needed recovery" true (o.Driver.attempts >= 1)
+  | Error e -> Alcotest.fail (Vtpm_util.Verror.to_string e)
+
+let test_driver_resilient_under_faults () =
+  let faults = Vtpm_xen.Faults.uniform ~seed:5 ~rate:0.05 in
+  let _, _, _, _, backend, conn = resilient_fixture ~faults () in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 }) in
+  let ok = ref 0 in
+  for _ = 1 to 100 do
+    match Driver.request backend conn ~wire with
+    | Ok (Proto.Ok_routed, _) -> incr ok
+    | _ -> ()
+  done;
+  check_i "every request survives" 100 !ok
+
 let suite =
   [
     Alcotest.test_case "proto request roundtrip" `Quick test_proto_request_roundtrip;
     Alcotest.test_case "proto response roundtrip" `Quick test_proto_response_roundtrip;
+    Alcotest.test_case "proto v2 integrity" `Quick test_proto_v2_integrity;
     Alcotest.test_case "manager instances" `Quick test_manager_instances;
     Alcotest.test_case "manager isolation" `Quick test_manager_instance_isolation;
     Alcotest.test_case "manager suspended rejects" `Quick test_manager_suspended_rejects;
@@ -399,4 +519,8 @@ let suite =
     Alcotest.test_case "driver disconnect" `Quick test_driver_disconnect;
     Alcotest.test_case "driver denied surfaces" `Quick test_driver_denied_surfaces;
     Alcotest.test_case "driver bad frame" `Quick test_driver_bad_frame;
+    Alcotest.test_case "driver reconnect roundtrip" `Quick test_driver_reconnect_roundtrip;
+    Alcotest.test_case "driver crash/restart checkpoint" `Quick test_driver_crash_restart_checkpoint;
+    Alcotest.test_case "driver drop-notify observable" `Quick test_driver_drop_notify_observable;
+    Alcotest.test_case "driver resilient under faults" `Slow test_driver_resilient_under_faults;
   ]

@@ -103,6 +103,15 @@ let test_evtchn_unknown_port () =
   let e = Evtchn.create () in
   check_b "unknown port" true (Result.is_error (Evtchn.notify e ~domid:1 ~port:42))
 
+let test_evtchn_close_idempotent () =
+  let e = Evtchn.create () in
+  let pa, pb = Evtchn.bind_interdomain e ~a:1 ~b:2 in
+  ignore (Evtchn.notify e ~domid:1 ~port:pa);
+  Evtchn.close e ~domid:1 ~port:pa;
+  Evtchn.close e ~domid:1 ~port:pa;
+  Evtchn.close e ~domid:2 ~port:pb;
+  check_b "pending cleared on close" true (Evtchn.poll e ~domid:2 ~port:pb = None)
+
 (* --- Grant tables ------------------------------------------------------------------ *)
 
 let test_gnttab_grant_and_map () =
@@ -173,6 +182,29 @@ let test_ring_identity_fields () =
   let r = Ring.create ~frontend:5 ~backend:0 () in
   check_i "frontend" 5 (Ring.frontend r);
   check_i "backend" 0 (Ring.backend r)
+
+let test_ring_unknown_slot_id () =
+  let r = Ring.create ~frontend:1 ~backend:0 () in
+  let id = Result.get_ok (Ring.push_request r "req") in
+  check_b "never-issued id refused" true (Result.is_error (Ring.push_response r ~id:(id + 99) "x"));
+  ignore (Ring.pop_request r);
+  check_b "known id accepted" true (Ring.push_response r ~id "resp" = Ok ());
+  check_b "double answer refused" true (Result.is_error (Ring.push_response r ~id "again"))
+
+let test_ring_request_space_floor () =
+  let r = Ring.create ~capacity:1 ~frontend:1 ~backend:0 () in
+  let id = Result.get_ok (Ring.push_request r "req") in
+  ignore (Ring.pop_request r);
+  ignore (Ring.push_response r ~id "resp");
+  check_b "space never negative" true (Ring.request_space r >= 0)
+
+let test_ring_request_pending () =
+  let r = Ring.create ~frontend:1 ~backend:0 () in
+  let id = Result.get_ok (Ring.push_request r "req") in
+  check_b "queued" true (Ring.request_pending r ~id);
+  check_b "other id not pending" false (Ring.request_pending r ~id:(id + 1));
+  ignore (Ring.pop_request r);
+  check_b "consumed" false (Ring.request_pending r ~id)
 
 (* --- XenStore ---------------------------------------------------------------------------- *)
 
@@ -479,6 +511,7 @@ let suite =
     Alcotest.test_case "evtchn close" `Quick test_evtchn_close;
     Alcotest.test_case "evtchn close all" `Quick test_evtchn_close_all_for;
     Alcotest.test_case "evtchn unknown port" `Quick test_evtchn_unknown_port;
+    Alcotest.test_case "evtchn close idempotent" `Quick test_evtchn_close_idempotent;
     Alcotest.test_case "gnttab grant and map" `Quick test_gnttab_grant_and_map;
     Alcotest.test_case "gnttab wrong grantee" `Quick test_gnttab_wrong_grantee;
     Alcotest.test_case "gnttab revoke" `Quick test_gnttab_revoke;
@@ -487,6 +520,9 @@ let suite =
     Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
     Alcotest.test_case "ring response path" `Quick test_ring_response_path;
     Alcotest.test_case "ring identity fields" `Quick test_ring_identity_fields;
+    Alcotest.test_case "ring unknown slot id" `Quick test_ring_unknown_slot_id;
+    Alcotest.test_case "ring request space floor" `Quick test_ring_request_space_floor;
+    Alcotest.test_case "ring request pending" `Quick test_ring_request_pending;
     Alcotest.test_case "xs write/read" `Quick test_xs_write_read;
     Alcotest.test_case "xs directory" `Quick test_xs_directory;
     Alcotest.test_case "xs rm" `Quick test_xs_rm;
