@@ -81,6 +81,19 @@ let run_fig6 () =
   print_string rendered;
   print_newline ()
 
+let run_table5 () =
+  let _, rendered = Vtpm_sim.Experiments.table5 () in
+  print_string rendered;
+  print_newline ();
+  let drill = Vtpm_sim.Experiments.wedge_drill ~seed:97 () in
+  print_string (Vtpm_sim.Experiments.render_wedge_drill drill);
+  print_newline ()
+
+let run_fig7 () =
+  let _, rendered = Vtpm_sim.Experiments.fig7 () in
+  print_string rendered;
+  print_newline ()
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------- *)
 
 (* One test per table/figure, benchmarking the code path that dominates it. *)
@@ -266,12 +279,14 @@ let sections : (string * (unit -> unit)) list =
     ("table2", run_table2);
     ("table3", run_table3);
     ("table4", run_table4);
+    ("table5", run_table5);
     ("fig1", run_fig1);
     ("fig2", run_fig2);
     ("fig3", run_fig3);
     ("fig4", run_fig4);
     ("fig5", run_fig5);
     ("fig6", run_fig6);
+    ("fig7", run_fig7);
     ("micro", run_micro);
   ]
 

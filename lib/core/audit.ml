@@ -22,17 +22,56 @@ type t = {
   mutable head : string;
   mutable seq : int;
   cost : Vtpm_util.Cost.t;
+  mutable max_entries : int option; (* retention cap; None = unbounded *)
+  mutable base : string; (* chain anchor of the oldest retained entry *)
+  mutable rotations : int;
+  mutable dropped : int; (* entries compacted away across all rotations *)
 }
 
 let genesis = Vtpm_crypto.Sha256.digest "vtpm-audit-genesis"
 
-let create ~cost = { entries = []; head = genesis; seq = 0; cost }
+let create ~cost =
+  {
+    entries = [];
+    head = genesis;
+    seq = 0;
+    cost;
+    max_entries = None;
+    base = genesis;
+    rotations = 0;
+    dropped = 0;
+  }
 
 let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash =
   Vtpm_crypto.Sha256.digest
     (Printf.sprintf "%d|%.3f|%s|%s|%s|%b|%s|%s" seq time_us subject operation
        (match instance with Some i -> string_of_int i | None -> "-")
        allowed reason (Vtpm_util.Hex.encode prev_hash))
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let retained t = t.seq - t.dropped
+
+(* Rotation/compaction: once the retained window exceeds the cap, keep the
+   newest half of the cap and record the dropped prefix's chain anchor in
+   [base]. The chain over the retained entries stays verifiable from
+   [base] to [head]; the head itself never changes, so an anchored head
+   (hardware-TPM NV) stays valid across rotation. Compacting to half the
+   cap amortizes the list surgery over many appends. *)
+let rotate_if_needed t =
+  match t.max_entries with
+  | Some m when retained t > m ->
+      let keep = max 1 (m / 2) in
+      let kept = take keep t.entries in
+      t.dropped <- t.dropped + (retained t - List.length kept);
+      t.entries <- kept;
+      t.rotations <- t.rotations + 1;
+      t.base <-
+        (match List.rev kept with oldest :: _ -> oldest.prev_hash | [] -> t.head)
+  | _ -> ()
 
 let append t ~subject ~operation ~instance ~allowed ~reason =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.audit_append_us;
@@ -43,16 +82,28 @@ let append t ~subject ~operation ~instance ~allowed ~reason =
   let e = { seq; time_us; subject; operation; instance; allowed; reason; prev_hash; hash } in
   t.entries <- e :: t.entries;
   t.head <- hash;
-  t.seq <- seq + 1
+  t.seq <- seq + 1;
+  rotate_if_needed t
+
+let set_max_entries t cap =
+  t.max_entries <- cap;
+  rotate_if_needed t
 
 let length t = t.seq
 let head t = t.head
+let base t = t.base
+let retained_entries t = retained t
+let rotations t = t.rotations
+let dropped t = t.dropped
 let entries_newest_first t = t.entries
 let entries t = List.rev t.entries
 
 (* Verify chain integrity of a (possibly exported) entry list against an
-   expected head. Returns the sequence number of the first bad link. *)
-let verify_chain ?(expected_head : string option) (es : entry list) : (unit, int) result =
+   expected head. Returns the sequence number of the first bad link.
+   [base] anchors the verification: genesis for a never-rotated log, the
+   log's recorded {!base} for the retained window after rotation. *)
+let verify_chain ?(expected_head : string option) ?(base = genesis) (es : entry list) :
+    (unit, int) result =
   let rec go prev = function
     | [] -> (
         match expected_head with
@@ -65,7 +116,7 @@ let verify_chain ?(expected_head : string option) (es : entry list) : (unit, int
         in
         if String.equal recomputed e.hash then go e.hash rest else Error e.seq
   in
-  go genesis es
+  go base es
 
 (* --- Export / import ---------------------------------------------------------
 

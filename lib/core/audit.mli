@@ -23,23 +23,43 @@ val genesis : string
 (** Chain anchor of an empty log. *)
 
 val create : cost:Vtpm_util.Cost.t -> t
+(** Unbounded retention until {!set_max_entries}. *)
+
+val set_max_entries : t -> int option -> unit
+(** Cap retention: once exceeded, the log rotates — the newest half of
+    the cap is kept and the dropped prefix's chain anchor is recorded in
+    {!base}, so the retained window remains verifiable and the head
+    unchanged. [None] retains everything. Rotates immediately if already
+    over the cap. *)
 
 val append :
   t -> subject:string -> operation:string -> instance:int option -> allowed:bool -> reason:string ->
   unit
 
 val length : t -> int
+(** Entries ever appended (monotonic across rotation). *)
+
+val retained_entries : t -> int
+(** Entries currently held — bounded by the retention cap. *)
+
+val rotations : t -> int
+val dropped : t -> int
 
 val head : t -> string
 (** Hash of the newest entry ({!genesis} when empty). *)
 
+val base : t -> string
+(** Chain anchor of the oldest retained entry: {!genesis} for a
+    never-rotated log; pass it to {!verify_chain} after rotation. *)
+
 val entries : t -> entry list
-(** Oldest first. *)
+(** Oldest retained first. *)
 
 val entries_newest_first : t -> entry list
 
-val verify_chain : ?expected_head:string -> entry list -> (unit, int) result
-(** Recompute the chain over an exported (oldest-first) list.
+val verify_chain : ?expected_head:string -> ?base:string -> entry list -> (unit, int) result
+(** Recompute the chain over an exported (oldest-first) list, anchored at
+    [base] (default {!genesis}; a rotated log's recorded {!base}).
     [Error seq] marks the first bad link; [Error (-1)] means the chain is
     internally consistent but does not end at [expected_head] (truncated
     or stale). *)

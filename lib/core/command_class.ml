@@ -71,6 +71,24 @@ let classify (ordinal : int) : t =
 let ordinals_of (c : t) : int list =
   List.filter (fun o -> classify o = c) Types.all_ordinals
 
+(* Read-only ordinals: observe state without mutating it. This is the
+   degradation matrix's "still served from the last checkpoint" column —
+   the supervisor serves these from a shadow replica while an instance is
+   quarantined, and rejects everything else. Agrees with
+   [Supervisor.builtin_read_only] (enforced by a test). *)
+let read_only_ordinals =
+  [
+    Types.ord_pcr_read;
+    Types.ord_quote;
+    Types.ord_get_capability;
+    Types.ord_read_pubek;
+    Types.ord_nv_read_value;
+    Types.ord_read_counter;
+    Types.ord_self_test_full;
+  ]
+
+let is_read_only (ordinal : int) = List.mem ordinal read_only_ordinals
+
 (* The classes a well-behaved guest workload needs; used by the default
    tenant policy and by the workload generator. *)
 let guest_default =

@@ -27,6 +27,14 @@ val classify : int -> t
 
 val ordinals_of : t -> int list
 
+val read_only_ordinals : int list
+(** Ordinals that observe state without mutating it: PCR read, quote,
+    GetCapability, ReadPubek, NV read, counter read, selftest. The
+    supervisor's degradation matrix — these are still served from the
+    last checkpoint while an instance is quarantined. *)
+
+val is_read_only : int -> bool
+
 val guest_default : t list
 (** The classes a well-behaved tenant workload needs; everything except
     [Admin]. Used by the default policy and the workload generator. *)

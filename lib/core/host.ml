@@ -143,9 +143,18 @@ let create_guest_exn t ~name ~label ?kernel () =
 let find_guest t domid = List.find_opt (fun g -> g.domid = domid) t.guests
 
 let destroy_guest t (g : guest) : (unit, string) result =
+  (* disconnect_domain also drops the domain's pending request queue *)
   Vtpm_mgr.Driver.disconnect_domain t.backend ~fe_domid:g.domid;
   (match t.acm with Some acm -> Acm.retire acm ~domid:g.domid | None -> ());
-  (match t.monitor with Some m -> Binding.unbind m.Monitor.bindings ~domid:g.domid | None -> ());
+  (match t.monitor with
+  | Some m ->
+      Binding.unbind m.Monitor.bindings ~domid:g.domid;
+      (* quota bucket + cached decisions must not outlive the domain *)
+      Monitor.forget_subject m (Subject.Guest g.domid);
+      (match m.Monitor.supervisor with
+      | Some sup -> Vtpm_mgr.Supervisor.forget sup ~vtpm_id:g.vtpm_id
+      | None -> ())
+  | None -> ());
   Vtpm_mgr.Manager.destroy_instance t.mgr g.vtpm_id;
   t.guests <- List.filter (fun g' -> g'.domid <> g.domid) t.guests;
   Hypervisor.destroy_domain t.xen ~caller:Hypervisor.dom0_id g.domid

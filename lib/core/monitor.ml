@@ -24,6 +24,8 @@ type stats = {
   mutable denied : int;
   mutable gate_checks : int;
   mutable throttled : int;
+  mutable overloaded : int; (* submissions rejected at queue admission *)
+  mutable shed : int; (* queued requests dropped past their deadline *)
 }
 
 type t = {
@@ -38,6 +40,8 @@ type t = {
   mutable cache_enabled : bool;
   mutable audit_enabled : bool;
   mutable quota : Quota.t option; (* None: no rate limiting *)
+  mutable supervisor : Vtpm_mgr.Supervisor.t option;
+      (* None: requests execute directly on the manager *)
   stats : stats;
 }
 
@@ -56,6 +60,7 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
     cache_enabled = true;
     audit_enabled = true;
     quota = None;
+    supervisor = None;
     stats =
       {
         lookups = 0;
@@ -65,6 +70,8 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
         denied = 0;
         gate_checks = 0;
         throttled = 0;
+        overloaded = 0;
+        shed = 0;
       };
   }
 
@@ -85,6 +92,59 @@ let set_quota t ~rate_per_s ~burst =
 
 let clear_quota t = t.quota <- None
 
+(* Route execution through a supervisor (circuit breaker, quarantine,
+   degraded read-only service). Its lifecycle events land in the audit
+   log under their own reasons, the read-only predicate is our command
+   classification, and recovery actions are the "allowed" entries. *)
+let set_supervisor t (sup : Vtpm_mgr.Supervisor.t) =
+  t.supervisor <- Some sup;
+  Vtpm_mgr.Supervisor.set_on_event sup (fun ~vtpm_id ev ->
+      if t.audit_enabled then
+        let allowed =
+          match ev with
+          | Vtpm_mgr.Supervisor.Restart | Vtpm_mgr.Supervisor.Breaker_close
+          | Vtpm_mgr.Supervisor.Degraded_read ->
+              true
+          | _ -> false
+        in
+        Audit.append t.audit ~subject:"supervisor" ~operation:"supervise"
+          ~instance:(Some vtpm_id) ~allowed
+          ~reason:(Vtpm_mgr.Supervisor.event_name ev))
+
+let clear_supervisor t = t.supervisor <- None
+
+let set_audit_cap t cap = Audit.set_max_entries t.audit cap
+
+(* Hook the driver's admission-control events into the audit log, so
+   shedding and overload rejection appear under their own reasons next to
+   policy denials and rate limiting. *)
+let wire_backpressure t (backend : Vtpm_mgr.Driver.backend) =
+  Vtpm_mgr.Driver.set_on_backpressure backend (fun bp domid ->
+      let subject = Subject.Guest domid in
+      let reason, op =
+        match bp with
+        | Vtpm_mgr.Driver.Rejected -> ("overloaded", "queue-admission")
+        | Vtpm_mgr.Driver.Shed -> ("shed-deadline", "queue-service")
+      in
+      (match bp with
+      | Vtpm_mgr.Driver.Rejected -> t.stats.overloaded <- t.stats.overloaded + 1
+      | Vtpm_mgr.Driver.Shed -> t.stats.shed <- t.stats.shed + 1);
+      if t.audit_enabled then
+        Audit.append t.audit ~subject:(Subject.to_string subject) ~operation:op
+          ~instance:None ~allowed:false ~reason)
+
+(* Subject teardown: drop the quota bucket and cached decisions when a
+   domain is destroyed, so per-subject state never outlives its owner. *)
+let forget_subject t (subject : Subject.t) =
+  (match t.quota with Some q -> Quota.forget q subject | None -> ());
+  let kind, skey = Subject.cache_key subject in
+  let stale =
+    Hashtbl.fold
+      (fun ((k, s, _) as key) _ acc -> if k = kind && String.equal s skey then key :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) stale
+
 let stats t = t.stats
 
 let reset_stats t =
@@ -95,7 +155,9 @@ let reset_stats t =
   s.allowed <- 0;
   s.denied <- 0;
   s.gate_checks <- 0;
-  s.throttled <- 0
+  s.throttled <- 0;
+  s.overloaded <- 0;
+  s.shed <- 0
 
 (* The measurement gate: the guest's *current* kernel digest must match
    the reference recorded when the vTPM was bound. *)
@@ -228,12 +290,18 @@ let router t : Vtpm_mgr.Driver.router =
               let reason = if mismatch then reason ^ ";claimed-id-mismatch" else reason in
               audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
                 ~allowed:true ~reason;
-              match Vtpm_mgr.Manager.find t.mgr b.Binding.vtpm_id with
-              | Error e -> Error (Vtpm_util.Verror.to_string e)
-              | Ok inst -> (
-                  match Vtpm_mgr.Manager.execute_wire t.mgr inst ~wire with
+              match t.supervisor with
+              | Some sup -> (
+                  match Vtpm_mgr.Supervisor.execute sup ~vtpm_id:b.Binding.vtpm_id ~wire with
                   | Ok resp -> Ok resp
-                  | Error e -> Error (Vtpm_util.Verror.to_string e)))))
+                  | Error e -> Error (Vtpm_util.Verror.to_string e))
+              | None -> (
+                  match Vtpm_mgr.Manager.find t.mgr b.Binding.vtpm_id with
+                  | Error e -> Error (Vtpm_util.Verror.to_string e)
+                  | Ok inst -> (
+                      match Vtpm_mgr.Manager.execute_wire t.mgr inst ~wire with
+                      | Ok resp -> Ok resp
+                      | Error e -> Error (Vtpm_util.Verror.to_string e))))))
 
 (* --- Management interface -------------------------------------------------- *)
 

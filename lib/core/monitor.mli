@@ -23,6 +23,8 @@ type stats = {
   mutable denied : int;
   mutable gate_checks : int;
   mutable throttled : int;
+  mutable overloaded : int;  (** submissions rejected at queue admission *)
+  mutable shed : int;  (** queued requests dropped past their deadline *)
 }
 
 type t = {
@@ -37,6 +39,7 @@ type t = {
   mutable cache_enabled : bool;
   mutable audit_enabled : bool;
   mutable quota : Quota.t option;
+  mutable supervisor : Vtpm_mgr.Supervisor.t option;
   stats : stats;
 }
 
@@ -56,6 +59,27 @@ val set_quota : t -> rate_per_s:float -> burst:float -> unit
 (** Enable token-bucket rate limiting for all mediated requests. *)
 
 val clear_quota : t -> unit
+
+val set_supervisor : t -> Vtpm_mgr.Supervisor.t -> unit
+(** Route execution through a supervisor: circuit breaker, quarantine +
+    checkpoint restart, degraded read-only service. Supervision events
+    ("quarantine", "breaker-open", "degraded-read", ...) land in the
+    audit log under their own reasons. *)
+
+val clear_supervisor : t -> unit
+
+val set_audit_cap : t -> int option -> unit
+(** Bound the audit log's retention ({!Audit.set_max_entries}) so long
+    flood runs don't grow memory without limit. *)
+
+val wire_backpressure : t -> Vtpm_mgr.Driver.backend -> unit
+(** Hook the driver's admission-control events into the audit log:
+    rejections appear under reason "overloaded", deadline sheds under
+    "shed-deadline", counted in {!stats}. *)
+
+val forget_subject : t -> Subject.t -> unit
+(** Teardown when a domain is destroyed: drop the subject's quota bucket
+    and cached decisions. *)
 
 val enable_tamper_detection : t -> unit
 (** Watch the vTPM device subtree in XenStore: any rewrite of an

@@ -50,3 +50,5 @@ let remaining t (subject : Subject.t) : float =
   b.tokens
 
 let forget t (subject : Subject.t) = Hashtbl.remove t.buckets (Subject.cache_key subject)
+
+let tracked t = Hashtbl.length t.buckets

@@ -18,3 +18,7 @@ val remaining : t -> Subject.t -> float
 
 val forget : t -> Subject.t -> unit
 (** Drop a subject's bucket (e.g. when its domain dies). *)
+
+val tracked : t -> int
+(** Buckets currently held — teardown must keep this from growing with
+    dead subjects. *)

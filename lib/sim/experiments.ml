@@ -554,6 +554,329 @@ let table4 ?(fault_rates = [ 0.0; 0.01; 0.05; 0.10 ]) ?(requests = 1000) () :
   in
   ((rows, drill), rendered)
 
+(* --- Overload evaluation: flood containment and wedge recovery ------------ *)
+
+type flood_config = Naive | Quota_only | Full_stack
+
+let flood_config_name = function
+  | Naive -> "naive"
+  | Quota_only -> "quota-only"
+  | Full_stack -> "full-stack"
+
+type table5_row = {
+  config : string;
+  flood_x : int; (* attacker rate as a multiple of one victim's *)
+  victim_sent : int;
+  victim_good : int; (* served OK within the deadline *)
+  victim_goodput_pct : float;
+  victim_p99_us : float; (* over victim requests actually served *)
+  attacker_served : int; (* attacker commands that executed *)
+  attacker_rejected : int; (* admission rejections + quota denials *)
+  flood_shed : int; (* queued entries dropped past their deadline *)
+}
+
+(* One discrete-event flood run. A full improved-mode host carries
+   [victims] well-behaved guests issuing a steady mixed workload (every
+   fourth op a PCR extend, the rest PCR reads, one op per [period]) and
+   one attacker flooding extends at [flood_x] times a victim's rate. The
+   single simulated clock is the backend's serialization point: requests
+   are admitted into the driver queues when their arrival time passes and
+   the backend pumps them in global arrival order, so a backlog shows up
+   as queueing delay exactly like a saturated manager domain.
+
+   The three configurations share workload, seed and policy:
+   - Naive: unbounded FIFO queues, no rate limiting — every attacker
+     command eventually executes, and victims queue behind all of them.
+   - Quota-only: the token bucket denies most attacker commands, but only
+     at service time — each denial still costs a monitor round, and the
+     bucket's burst executes in full, with no deadline awareness.
+   - Full stack: bounded per-subject queues reject the flood at admission
+     for free, stale entries are shed deadline-aware, quota catches what
+     leaks through, and the supervisor guards the execution path. *)
+let flood_run ~config ~flood_x ?(victims = 3) ?(victim_period_us = 3_000.0)
+    ?(victim_ops = 200) ?(deadline_us = 10_000.0) ~seed () : table5_row =
+  let open Vtpm_mgr in
+  let host = Host.create ~mode:Host.Improved_mode ~seed ~rsa_bits:256 () in
+  let m = Host.monitor_exn host in
+  let cost = Host.cost host in
+  (* Long floods must not grow the audit log without bound. *)
+  Monitor.set_audit_cap m (Some 4096);
+  let victim_guests =
+    List.init victims (fun i ->
+        Host.create_guest_exn host
+          ~name:(Printf.sprintf "victim%d" i)
+          ~label:(Printf.sprintf "tenant_%02d" i) ())
+  in
+  let attacker = Host.create_guest_exn host ~name:"flooder" ~label:"tenant_99" () in
+  (* Per-subject quota sized to the victims' rate (one op per [period] =
+     500/s at the default) with a little headroom — tighter would throttle
+     the victims themselves. The attacker exploits exactly that headroom:
+     the bucket counts requests, not cost, and its requests are the
+     expensive kind. *)
+  let quota_rate = 1.05 *. (1_000_000.0 /. victim_period_us) in
+  (match config with
+  | Naive -> ()
+  | Quota_only -> Monitor.set_quota m ~rate_per_s:quota_rate ~burst:30.0
+  | Full_stack ->
+      Monitor.set_quota m ~rate_per_s:quota_rate ~burst:30.0;
+      Driver.set_overload host.Host.backend
+        (Some { Driver.queue_capacity = 6; deadline_us });
+      Monitor.wire_backpressure m host.Host.backend;
+      let ckpt = Checkpoint.create host.Host.mgr in
+      let sup =
+        Supervisor.create
+          ~cfg:{ Supervisor.default_config with is_read_only = Command_class.is_read_only }
+          ~mgr:host.Host.mgr ~ckpt ~faults:host.Host.xen.Vtpm_xen.Hypervisor.faults ()
+      in
+      (match Checkpoint.checkpoint_all ckpt with Ok () -> () | Error e -> invalid_arg e);
+      Monitor.set_supervisor m sup);
+  let extend_wire i =
+    Vtpm_tpm.Wire.encode_request
+      (Vtpm_tpm.Cmd.Extend { pcr = 10; digest = Vtpm_crypto.Sha1.digest (string_of_int i) })
+  in
+  let read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  (* Arrival schedule, offset past the setup work already charged to the
+     simulated clock (keygen, checkpoint sealing): victims staggered
+     across one period; the attacker floods from the start at [flood_x]
+     times one victim's rate. *)
+  let t0 = Vtpm_util.Cost.now cost in
+  let arrivals =
+    let victim_stream i (g : Host.guest) =
+      List.init victim_ops (fun k ->
+          let at =
+            t0
+            +. (victim_period_us *. float_of_int (i + 1) /. float_of_int (victims + 1))
+            +. (victim_period_us *. float_of_int k)
+          in
+          (at, g, (if k mod 4 = 0 then extend_wire ((i * victim_ops) + k) else read_wire), false))
+    in
+    let attacker_stream =
+      let period = victim_period_us /. float_of_int flood_x in
+      List.init (victim_ops * flood_x) (fun k ->
+          (t0 +. 50.0 +. (period *. float_of_int k), attacker, extend_wire (100_000 + k), true))
+    in
+    List.concat (attacker_stream :: List.mapi victim_stream victim_guests)
+    |> List.stable_sort (fun (a, g1, _, _) (b, g2, _, _) ->
+           match Float.compare a b with
+           | 0 -> Stdlib.compare g1.Host.domid g2.Host.domid
+           | c -> c)
+    |> Array.of_list
+  in
+  let n = Array.length arrivals in
+  let backend = host.Host.backend in
+  let vm = Metrics.create () in
+  let victim_good = ref 0 in
+  let attacker_served = ref 0 and attacker_rejected = ref 0 in
+  let i = ref 0 in
+  let admit_due () =
+    while
+      !i < n
+      &&
+      let at, _, _, _ = arrivals.(!i) in
+      at <= Vtpm_util.Cost.now cost
+    do
+      let at, g, wire, is_attacker = arrivals.(!i) in
+      incr i;
+      match
+        Driver.submit backend g.Host.conn ~wire ~arrival_us:at ~deadline_us ()
+      with
+      | Ok () -> ()
+      | Error (Vtpm_util.Verror.Overloaded _) ->
+          if is_attacker then incr attacker_rejected
+      | Error e -> invalid_arg (Vtpm_util.Verror.to_string e)
+    done
+  in
+  while !i < n || Driver.queued_total backend > 0 do
+    (if Driver.queued_total backend = 0 then
+       let at, _, _, _ = arrivals.(!i) in
+       Vtpm_util.Cost.advance_to cost at);
+    admit_due ();
+    match Driver.pump_one backend with
+    | `Idle -> ()
+    | `Served s ->
+        let latency = Vtpm_util.Cost.now cost -. s.Driver.s_arrival_us in
+        let ok =
+          match s.Driver.s_outcome with
+          | Ok o -> o.Driver.status = Proto.Ok_routed
+          | Error _ -> false
+        in
+        if s.Driver.s_domid = attacker.Host.domid then begin
+          if ok then incr attacker_served else incr attacker_rejected
+        end
+        else begin
+          Metrics.add vm latency;
+          if ok && latency <= deadline_us then incr victim_good
+        end
+  done;
+  let victim_sent = victims * victim_ops in
+  {
+    config = flood_config_name config;
+    flood_x;
+    victim_sent;
+    victim_good = !victim_good;
+    victim_goodput_pct = float_of_int !victim_good /. float_of_int victim_sent *. 100.0;
+    victim_p99_us = (Metrics.summarize vm).Metrics.p99;
+    attacker_served = !attacker_served;
+    attacker_rejected = !attacker_rejected;
+    flood_shed = Driver.shed_count backend;
+  }
+
+let table5 ?(flood_x = 10) ?(victim_ops = 200) () : table5_row list * string =
+  let rows =
+    List.map
+      (fun config -> flood_run ~config ~flood_x ~victim_ops ~seed:61 ())
+      [ Naive; Quota_only; Full_stack ]
+  in
+  let rendered =
+    Table.render
+      ~title:
+        (Printf.sprintf
+           "Table 5: victim goodput under a %dx attacker flood (3 victims, %d ops each, 10 ms \
+            deadline, seed 61)"
+           flood_x victim_ops)
+      ~header:
+        [ "config"; "goodput"; "victim p99"; "atk served"; "atk rejected"; "shed" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               r.config;
+               Printf.sprintf "%.1f%%" r.victim_goodput_pct;
+               Table.us_str r.victim_p99_us;
+               string_of_int r.attacker_served;
+               string_of_int r.attacker_rejected;
+               string_of_int r.flood_shed;
+             ])
+           rows)
+  in
+  (rows, rendered)
+
+let fig7 ?(flood_xs = [ 1; 2; 5; 10; 20 ]) ?(victim_ops = 120) () :
+    (string * (float * float) list) list * string =
+  let series =
+    List.map
+      (fun config ->
+        ( flood_config_name config,
+          List.map
+            (fun x ->
+              let r = flood_run ~config ~flood_x:x ~victim_ops ~seed:61 () in
+              (float_of_int x, r.victim_goodput_pct))
+            flood_xs ))
+      [ Naive; Quota_only; Full_stack ]
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        (Printf.sprintf
+           "Figure 7: victim goodput (%%) vs attacker flood multiple (3 victims, %d ops each)"
+           victim_ops)
+      ~x_label:"flood x" ~series
+  in
+  (series, rendered)
+
+type wedge_drill = {
+  wd_requests : int;
+  wd_wedges : int; (* injected instance hangs *)
+  wd_quarantines : int;
+  wd_restarts : int; (* checkpoint restores of the live instance *)
+  wd_breaker_opens : int;
+  wd_degraded_reads : int; (* reads served from the shadow while degraded *)
+  wd_degraded_rejects : int; (* mutations refused while degraded *)
+  wd_served_ok : int;
+  wd_state_preserved : bool; (* final PCR equals the last acknowledged extend *)
+}
+
+(* Wedged-instance drill: only the Wedged_instance fault is injected, on
+   the supervised monitor path. Traffic mixes extends and reads with
+   think-time between requests so breaker cooldowns elapse. Every
+   acknowledged extend's returned PCR value is ground truth: after the
+   run (and after the supervisor has healed the instance), the live PCR
+   must equal the last acknowledged value — quarantine and restart lost
+   no acknowledged work, thanks to write-through checkpoints. *)
+let wedge_drill ?(requests = 150) ?(wedge_rate = 0.04) ~seed () : wedge_drill =
+  let open Vtpm_mgr in
+  let host = Host.create ~mode:Host.Improved_mode ~seed ~rsa_bits:256 () in
+  let m = Host.monitor_exn host in
+  let cost = Host.cost host in
+  let xen = host.Host.xen in
+  Vtpm_xen.Hypervisor.set_faults xen
+    (Vtpm_xen.Faults.create ~seed
+       ~rates:[ (Vtpm_xen.Faults.Wedged_instance, wedge_rate) ]
+       ());
+  let ckpt = Checkpoint.create host.Host.mgr in
+  let cfg =
+    {
+      Supervisor.failure_threshold = 2;
+      open_cooldown_us = 20_000.0;
+      max_restarts = 1000; (* the drill studies recovery, not escalation *)
+      probe_interval_us = 5_000.0;
+      is_read_only = Command_class.is_read_only;
+    }
+  in
+  let sup =
+    Supervisor.create ~cfg ~mgr:host.Host.mgr ~ckpt
+      ~faults:xen.Vtpm_xen.Hypervisor.faults ()
+  in
+  Monitor.set_supervisor m sup;
+  let g = Host.create_guest_exn host ~name:"drilled" ~label:"tenant_00" () in
+  (match Checkpoint.checkpoint_all ckpt with Ok () -> () | Error e -> invalid_arg e);
+  let client = Host.guest_client host g in
+  let last_acked = ref "" and served = ref 0 in
+  for k = 1 to requests do
+    Vtpm_util.Cost.charge cost 1_000.0 (* guest think time *);
+    Supervisor.tick sup;
+    (if k mod 3 = 0 then
+       match
+         Vtpm_tpm.Client.extend client ~pcr:9 ~digest:(Vtpm_crypto.Sha1.digest (string_of_int k))
+       with
+       | Ok value ->
+           last_acked := value;
+           incr served
+       | Error _ -> ()
+       | exception Driver.Denied _ -> ()
+     else
+       match Vtpm_tpm.Client.pcr_read client ~pcr:9 with
+       | Ok _ -> incr served
+       | Error _ -> ()
+       | exception Driver.Denied _ -> ())
+  done;
+  (* Let the instance heal (disarm further wedges first), then compare
+     the live PCR with the last acknowledged extend. *)
+  Vtpm_xen.Faults.disarm xen.Vtpm_xen.Hypervisor.faults;
+  let healed = ref false in
+  let tries = ref 0 in
+  while (not !healed) && !tries < 100 do
+    incr tries;
+    Vtpm_util.Cost.charge cost 5_000.0;
+    Supervisor.tick sup;
+    healed := Supervisor.health sup g.Host.vtpm_id = Supervisor.Healthy
+  done;
+  let preserved =
+    match Vtpm_tpm.Client.pcr_read client ~pcr:9 with
+    | Ok v -> !last_acked <> "" && v = !last_acked
+    | Error _ | (exception Driver.Denied _) -> false
+  in
+  let e = Supervisor.entry sup g.Host.vtpm_id in
+  {
+    wd_requests = requests;
+    wd_wedges = e.Supervisor.wedges;
+    wd_quarantines = Supervisor.quarantines sup;
+    wd_restarts = e.Supervisor.restarts;
+    wd_breaker_opens = Supervisor.breaker_opens sup;
+    wd_degraded_reads = e.Supervisor.degraded_reads;
+    wd_degraded_rejects = e.Supervisor.degraded_rejects;
+    wd_served_ok = !served;
+    wd_state_preserved = preserved;
+  }
+
+let render_wedge_drill (d : wedge_drill) =
+  Printf.sprintf
+    "wedge drill: %d requests, %d wedges -> %d quarantines, %d restarts, %d breaker opens;\n\
+     degraded service: %d reads from shadow, %d mutations refused; %d served OK; state %s\n"
+    d.wd_requests d.wd_wedges d.wd_quarantines d.wd_restarts d.wd_breaker_opens
+    d.wd_degraded_reads d.wd_degraded_rejects d.wd_served_ok
+    (if d.wd_state_preserved then "PRESERVED" else "LOST")
+
 let fig6 ?(fault_rates = [ 0.0; 0.01; 0.02; 0.05; 0.10; 0.20 ]) ?(requests = 400) () :
     (string * (float * float) list) list * string =
   let series_for self_heal =

@@ -87,3 +87,62 @@ val fig6 :
   (string * (float * float) list) list * string
 (** Success-rate curves vs fault rate, fail-fast vs self-healing. (The
     monitor ablation already occupies Figure 5, so recovery is Figure 6.) *)
+
+(** {1 Overload evaluation (flood containment; no counterpart in the paper)} *)
+
+type flood_config =
+  | Naive  (** unbounded FIFO, no rate limit *)
+  | Quota_only  (** token bucket at service time only *)
+  | Full_stack  (** bounded queues + deadline shed + quota + supervisor *)
+
+val flood_config_name : flood_config -> string
+
+type table5_row = {
+  config : string;
+  flood_x : int;  (** attacker rate as a multiple of one victim's *)
+  victim_sent : int;
+  victim_good : int;  (** served OK within the deadline *)
+  victim_goodput_pct : float;
+  victim_p99_us : float;  (** over victim requests actually served *)
+  attacker_served : int;  (** attacker commands that executed *)
+  attacker_rejected : int;  (** admission rejections + quota denials *)
+  flood_shed : int;  (** queued entries dropped past their deadline *)
+}
+
+val flood_run :
+  config:flood_config -> flood_x:int -> ?victims:int -> ?victim_period_us:float ->
+  ?victim_ops:int -> ?deadline_us:float -> seed:int -> unit -> table5_row
+(** One discrete-event flood run: [victims] well-behaved guests at a
+    steady mixed rate, one attacker flooding extends at [flood_x] times a
+    victim's rate, all multiplexed through the shared backend in global
+    arrival order. *)
+
+val table5 : ?flood_x:int -> ?victim_ops:int -> unit -> table5_row list * string
+(** Victim goodput, tail latency and attacker containment under a fixed
+    flood multiple, all three configurations. *)
+
+val fig7 :
+  ?flood_xs:int list -> ?victim_ops:int -> unit ->
+  (string * (float * float) list) list * string
+(** Victim goodput vs flood multiple per configuration: the naive stack
+    collapses, quota-only degrades, the full stack holds. *)
+
+type wedge_drill = {
+  wd_requests : int;
+  wd_wedges : int;  (** injected instance hangs *)
+  wd_quarantines : int;
+  wd_restarts : int;  (** checkpoint restores of the live instance *)
+  wd_breaker_opens : int;
+  wd_degraded_reads : int;  (** reads served from the shadow while degraded *)
+  wd_degraded_rejects : int;  (** mutations refused while degraded *)
+  wd_served_ok : int;
+  wd_state_preserved : bool;  (** final PCR equals the last acknowledged extend *)
+}
+
+val wedge_drill : ?requests:int -> ?wedge_rate:float -> seed:int -> unit -> wedge_drill
+(** Wedged-instance drill on the supervised monitor path: only
+    [Wedged_instance] injected; checks quarantine + checkpoint restart,
+    degraded read-only service, and that recovery loses no acknowledged
+    extend. *)
+
+val render_wedge_drill : wedge_drill -> string

@@ -57,6 +57,14 @@ let pp_summary ppf s =
   Fmt.pf ppf "n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus" s.n s.mean s.p50
     s.p90 s.p99 s.max
 
+(* Fraction of samples at or under [bound] — the goodput helper: latency
+   samples within their deadline over all samples. *)
+let frac_within t bound =
+  if t.count = 0 then 0.0
+  else
+    let within = List.fold_left (fun n v -> if v <= bound then n + 1 else n) 0 t.samples in
+    float_of_int within /. float_of_int t.count
+
 (* Empirical CDF points (value, cumulative fraction), decimated to at most
    [points] entries for plotting. *)
 let cdf ?(points = 50) t : (float * float) list =

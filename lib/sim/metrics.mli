@@ -19,6 +19,10 @@ type summary = { n : int; mean : float; p50 : float; p90 : float; p99 : float; m
 val summarize : t -> summary
 val pp_summary : Format.formatter -> summary -> unit
 
+val frac_within : t -> float -> float
+(** Fraction of samples at or under a bound (goodput helper); 0 when
+    empty. *)
+
 val cdf : ?points:int -> t -> (float * float) list
 (** Empirical CDF [(value, cumulative fraction)], decimated to at most
     [points] entries. *)

@@ -13,6 +13,8 @@ type t =
   | Exhausted of string (* resource limit hit *)
   | Timeout of string (* request deadline passed on the simulated clock *)
   | Retries_exhausted of string (* self-healing transport gave up *)
+  | Overloaded of { reason : string; retry_after_us : float }
+    (* backpressure: shed or rejected under load, with a retry-after hint *)
   | Internal of string
 
 let pp ppf = function
@@ -24,6 +26,8 @@ let pp ppf = function
   | Exhausted r -> Fmt.pf ppf "exhausted: %s" r
   | Timeout r -> Fmt.pf ppf "timeout: %s" r
   | Retries_exhausted r -> Fmt.pf ppf "retries exhausted: %s" r
+  | Overloaded { reason; retry_after_us } ->
+      Fmt.pf ppf "overloaded: %s (retry after %.0f us)" reason retry_after_us
   | Internal r -> Fmt.pf ppf "internal: %s" r
 
 let to_string e = Fmt.str "%a" pp e
@@ -39,6 +43,9 @@ let no_such fmt = Fmt.kstr (fun s -> Error (No_such s)) fmt
 let conflict fmt = Fmt.kstr (fun s -> Error (Conflict s)) fmt
 let timeout fmt = Fmt.kstr (fun s -> Error (Timeout s)) fmt
 let retries_exhausted fmt = Fmt.kstr (fun s -> Error (Retries_exhausted s)) fmt
+
+let overloaded ~retry_after_us fmt =
+  Fmt.kstr (fun s -> Error (Overloaded { reason = s; retry_after_us })) fmt
 let internal fmt = Fmt.kstr (fun s -> Error (Internal s)) fmt
 
 let get_ok ~what = function

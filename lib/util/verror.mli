@@ -13,6 +13,9 @@ type t =
   | Exhausted of string  (** resource limit hit *)
   | Timeout of string  (** request deadline passed on the simulated clock *)
   | Retries_exhausted of string  (** self-healing transport gave up *)
+  | Overloaded of { reason : string; retry_after_us : float }
+      (** backpressure: the request was shed or rejected under load; the
+          hint says when (simulated us from now) a retry may succeed *)
   | Internal of string
 
 val pp : Format.formatter -> t -> unit
@@ -32,6 +35,9 @@ val no_such : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val conflict : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val timeout : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val retries_exhausted : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+
+val overloaded :
+  retry_after_us:float -> ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val internal : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 
 val get_ok : what:string -> 'a result -> 'a

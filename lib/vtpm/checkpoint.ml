@@ -61,6 +61,44 @@ let checkpoint_all (t : t) : (unit, string) result =
 
 let forget (t : t) ~vtpm_id = Hashtbl.remove t.store vtpm_id
 
+let load_entry (t : t) (e : entry) : (Vtpm_tpm.Engine.t, string) result =
+  match Stateproc.load t.mgr e.blob with
+  | Error m -> Error (Printf.sprintf "vTPM %d: %s" e.vtpm_id m)
+  | Ok (_, Some id) when id <> e.vtpm_id ->
+      Error (Printf.sprintf "vTPM %d: sealed blob names instance %d" e.vtpm_id id)
+  | Ok (engine, _) -> Ok engine
+
+(* Restore one instance in place from its latest checkpoint — the
+   supervisor's recovery step for a wedged instance. The rest of the
+   manager's table is untouched. *)
+let restore_instance (t : t) ~vtpm_id : (unit, string) result =
+  match Hashtbl.find_opt t.store vtpm_id with
+  | None -> Error (Printf.sprintf "vTPM %d: no checkpoint" vtpm_id)
+  | Some e -> (
+      match load_entry t e with
+      | Error m -> Error m
+      | Ok engine ->
+          let inst =
+            {
+              Manager.vtpm_id = e.vtpm_id;
+              engine;
+              state = Manager.Active;
+              bound_domid = e.bound_domid;
+              created_at = Vtpm_util.Cost.now t.mgr.Manager.cost;
+            }
+          in
+          Hashtbl.replace t.mgr.Manager.instances e.vtpm_id inst;
+          t.restores <- t.restores + 1;
+          Ok ())
+
+(* A detached engine loaded from the latest checkpoint: the read-only
+   shadow replica that serves PCR reads / quotes while the live instance
+   is quarantined. Never installed in the manager's table. *)
+let shadow_engine (t : t) ~vtpm_id : (Vtpm_tpm.Engine.t, string) result =
+  match Hashtbl.find_opt t.store vtpm_id with
+  | None -> Error (Printf.sprintf "vTPM %d: no checkpoint" vtpm_id)
+  | Some e -> load_entry t e
+
 (* Rebuild the manager's instance table from the last checkpoints, after a
    crash (or on a fresh manager). Engines come out of Stateproc.load —
    sealed blobs additionally verify platform + manager-PCR binding;
@@ -78,13 +116,9 @@ let restore_all (t : t) : (int, string) result =
         t.restores <- t.restores + 1;
         Ok n
     | e :: rest -> (
-        match Stateproc.load t.mgr e.blob with
-        | Error m -> Error (Printf.sprintf "vTPM %d: %s" e.vtpm_id m)
-        | Ok (_, Some id) when id <> e.vtpm_id ->
-            (* A sealed blob names its instance; a mismatch means the
-               store was shuffled or tampered with. *)
-            Error (Printf.sprintf "vTPM %d: sealed blob names instance %d" e.vtpm_id id)
-        | Ok (engine, _) ->
+        match load_entry t e with
+        | Error m -> Error m
+        | Ok engine ->
             let inst =
               {
                 Manager.vtpm_id = e.vtpm_id;

@@ -25,6 +25,16 @@ val checkpoint_all : t -> (unit, string) result
 val forget : t -> vtpm_id:int -> unit
 (** Drop an instance's checkpoint (after [destroy_instance]). *)
 
+val restore_instance : t -> vtpm_id:int -> (unit, string) result
+(** Restore one instance in place from its latest checkpoint, replacing
+    whatever (wedged) instance currently holds the id — the supervisor's
+    recovery step. The rest of the manager's table is untouched. *)
+
+val shadow_engine : t -> vtpm_id:int -> (Vtpm_tpm.Engine.t, string) result
+(** A detached engine loaded from the latest checkpoint: the read-only
+    shadow replica serving degraded reads while the live instance is
+    quarantined. Never installed in the manager's table. *)
+
 val restore_all : t -> (int, string) result
 (** Rebuild the manager's instance table from the latest checkpoints;
     returns the number of instances restored. Restored instances are

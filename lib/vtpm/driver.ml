@@ -60,6 +60,25 @@ let default_resilience =
     timeout_us = 2_000_000.0;
   }
 
+(* Admission control for the asynchronous submit/pump path: per-frontend
+   bounded queues with deadline-aware shedding. [None] is the naive
+   configuration — unbounded FIFO, nothing ever shed or rejected. *)
+type overload_policy = {
+  queue_capacity : int; (* max pending requests per frontend *)
+  deadline_us : float; (* default relative deadline; stale entries shed *)
+}
+
+let default_overload = { queue_capacity = 8; deadline_us = 10_000.0 }
+
+type queued = {
+  q_conn : connection;
+  q_wire : string;
+  arrival_us : float;
+  deadline_abs_us : float;
+}
+
+type backpressure = Rejected | Shed
+
 type backend = {
   xen : Hypervisor.t;
   be_domid : Domain.domid;
@@ -70,6 +89,13 @@ type backend = {
   mutable restarts : int;
   mutable on_crash : unit -> unit;
   mutable on_restart : unit -> unit;
+  mutable overload : overload_policy option;
+  queues : (Domain.domid, queued Queue.t) Hashtbl.t;
+  mutable shed_count : int; (* queued entries dropped past their deadline *)
+  mutable rejected_count : int; (* submissions refused at admission *)
+  mutable on_backpressure : backpressure -> Domain.domid -> unit;
+  rr_last : (Domain.domid, int) Hashtbl.t; (* round-robin: last service seq *)
+  mutable rr_seq : int;
 }
 
 let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
@@ -85,6 +111,13 @@ let create_backend ?resilience ~xen ~be_domid ~router () =
     restarts = 0;
     on_crash = (fun () -> ());
     on_restart = (fun () -> ());
+    overload = None;
+    queues = Hashtbl.create 16;
+    shed_count = 0;
+    rejected_count = 0;
+    on_backpressure = (fun _ _ -> ());
+    rr_last = Hashtbl.create 16;
+    rr_seq = 0;
   }
 
 (* Toolstack step: publish the device nodes for a new vTPM attachment.
@@ -211,10 +244,17 @@ let disconnect (backend : backend) (conn : connection) =
   Evtchn.close backend.xen.Hypervisor.evtchn ~domid:conn.fe_domid ~port:conn.fe_port;
   backend.connections <- List.filter (fun c -> c != conn) backend.connections
 
+(* Teardown for the per-frontend queue: pending work of a destroyed
+   domain must not leak (or be executed on its behalf posthumously). *)
+let forget_domain (backend : backend) ~(fe_domid : Domain.domid) =
+  Hashtbl.remove backend.queues fe_domid;
+  Hashtbl.remove backend.rr_last fe_domid
+
 let disconnect_domain (backend : backend) ~(fe_domid : Domain.domid) =
   List.iter
     (fun c -> if c.fe_domid = fe_domid then disconnect backend c)
-    backend.connections
+    backend.connections;
+  forget_domain backend ~fe_domid
 
 (* The manager domain dies mid-service: every link is severed, queued work
    is lost, and nothing processes until a restart. *)
@@ -448,6 +488,143 @@ let request (backend : backend) (conn : connection) ~(wire : string) :
   match request_with_info backend conn ~wire with
   | Ok o -> Ok (o.status, o.payload)
   | Error e -> Error (Vtpm_util.Verror.to_string e)
+
+(* --- Bounded per-subject queues with backpressure ------------------------ *)
+
+(* The asynchronous request path the flood experiments drive: frontends
+   [submit] work into a per-domain queue, the backend [pump_one]s requests
+   in global arrival order. With an overload policy set, admission is
+   bounded per frontend — a flooding guest fills only its own queue — and
+   deadline-aware: entries past their deadline are shed oldest-first (at
+   admission and again at service time), and a full queue rejects with
+   [Verror.Overloaded] carrying a retry-after hint instead of silently
+   queueing. With no policy (the naive configuration) queues are unbounded
+   FIFO and every request is eventually served, however late. *)
+
+let set_overload (backend : backend) p = backend.overload <- p
+let set_on_backpressure (backend : backend) f = backend.on_backpressure <- f
+let shed_count (backend : backend) = backend.shed_count
+let rejected_count (backend : backend) = backend.rejected_count
+
+let queue_for (backend : backend) domid =
+  match Hashtbl.find_opt backend.queues domid with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace backend.queues domid q;
+      q
+
+let queued_depth (backend : backend) ~fe_domid =
+  match Hashtbl.find_opt backend.queues fe_domid with
+  | Some q -> Queue.length q
+  | None -> 0
+
+let queued_total (backend : backend) =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) backend.queues 0
+
+(* Drop queued entries already past their deadline, oldest first. Only
+   meaningful under an overload policy (naive entries carry +inf). *)
+let rec shed_stale (backend : backend) q ~now =
+  match Queue.peek_opt q with
+  | Some h when h.deadline_abs_us < now ->
+      ignore (Queue.pop q);
+      backend.shed_count <- backend.shed_count + 1;
+      backend.on_backpressure Shed h.q_conn.fe_domid;
+      shed_stale backend q ~now
+  | _ -> ()
+
+(* Admission: shed the subject's stale entries, then either enqueue or
+   reject. [arrival_us] lets a discrete-event driver stamp the true
+   arrival time when it admits a batch late; it defaults to now. *)
+let submit (backend : backend) (conn : connection) ~(wire : string) ?arrival_us
+    ?deadline_us () : (unit, Vtpm_util.Verror.t) result =
+  let now = Vtpm_util.Cost.now backend.xen.Hypervisor.cost in
+  let arrival = Option.value ~default:now arrival_us in
+  let q = queue_for backend conn.fe_domid in
+  match backend.overload with
+  | None ->
+      Queue.push
+        { q_conn = conn; q_wire = wire; arrival_us = arrival; deadline_abs_us = infinity }
+        q;
+      Ok ()
+  | Some p ->
+      shed_stale backend q ~now;
+      if Queue.length q >= p.queue_capacity then begin
+        backend.rejected_count <- backend.rejected_count + 1;
+        backend.on_backpressure Rejected conn.fe_domid;
+        (* Hint: the head entry's remaining deadline bounds how soon a
+           slot can free up. *)
+        let retry_after =
+          match Queue.peek_opt q with
+          | Some h -> Float.max 1.0 (h.deadline_abs_us -. now)
+          | None -> p.deadline_us
+        in
+        Vtpm_util.Verror.overloaded ~retry_after_us:retry_after
+          "guest %d: vTPM queue full (%d pending)" conn.fe_domid (Queue.length q)
+      end
+      else begin
+        let deadline_abs = arrival +. Option.value ~default:p.deadline_us deadline_us in
+        Queue.push
+          { q_conn = conn; q_wire = wire; arrival_us = arrival; deadline_abs_us = deadline_abs }
+          q;
+        Ok ()
+      end
+
+type serviced = {
+  s_domid : Domain.domid;
+  s_arrival_us : float;
+  s_outcome : (outcome, Vtpm_util.Verror.t) result;
+}
+
+(* Service discipline. Naive (no policy): global FIFO, earliest arrival
+   first — the whole backend is one line, so one flooding frontend starves
+   everyone behind its backlog. Under an overload policy: round-robin
+   across frontends with pending work (FIFO within each), so a frontend
+   gets at most one slot per round however fast it submits — arrival-order
+   service would hand a flooder service share proportional to its arrival
+   rate, defeating the per-subject bound. Both picks break ties by domid,
+   deterministic regardless of hash order. *)
+let pump_one (backend : backend) : [ `Idle | `Served of serviced ] =
+  let now = Vtpm_util.Cost.now backend.xen.Hypervisor.cost in
+  (match backend.overload with
+  | Some _ -> Hashtbl.iter (fun _ q -> shed_stale backend q ~now) backend.queues
+  | None -> ());
+  let fifo_pick () =
+    Hashtbl.fold
+      (fun domid q best ->
+        match Queue.peek_opt q with
+        | None -> best
+        | Some h -> (
+            match best with
+            | Some (bd, (bh : queued), _) when (bh.arrival_us, bd) <= (h.arrival_us, domid)
+              ->
+                best
+            | _ -> Some (domid, h, q)))
+      backend.queues None
+  in
+  let rr_pick () =
+    (* Least-recently-served non-empty queue; never-served counts as 0. *)
+    Hashtbl.fold
+      (fun domid q best ->
+        match Queue.peek_opt q with
+        | None -> best
+        | Some h ->
+            let last = Option.value ~default:0 (Hashtbl.find_opt backend.rr_last domid) in
+            (match best with
+            | Some (bl, bd, _, _) when (bl, bd) <= (last, domid) -> best
+            | _ -> Some (last, domid, h, q)))
+      backend.queues None
+    |> Option.map (fun (_, domid, h, q) -> (domid, h, q))
+  in
+  let pick = match backend.overload with None -> fifo_pick () | Some _ -> rr_pick () in
+  match pick with
+  | None -> `Idle
+  | Some (domid, h, q) ->
+      ignore (Queue.pop q);
+      backend.rr_seq <- backend.rr_seq + 1;
+      Hashtbl.replace backend.rr_last domid backend.rr_seq;
+      let outcome = request_with_info backend h.q_conn ~wire:h.q_wire in
+      `Served { s_domid = domid; s_arrival_us = h.arrival_us; s_outcome = outcome }
 
 (* A [Vtpm_tpm.Client.transport] over the split driver: raises on protocol
    failures, surfaces monitor denials as a distinguished exception so

@@ -41,6 +41,20 @@ type resilience = {
 val default_resilience : resilience
 (** 12 retries, {!Vtpm_util.Cost.retry_backoff_us} base, 2 s deadline. *)
 
+type overload_policy = {
+  queue_capacity : int;  (** max pending requests per frontend *)
+  deadline_us : float;  (** default relative deadline; stale entries shed *)
+}
+(** Admission control for the {!submit}/{!pump_one} path. [None] is the
+    naive configuration: unbounded FIFO, nothing shed or rejected. *)
+
+val default_overload : overload_policy
+(** 8 slots per frontend, 10 ms deadline. *)
+
+type queued
+
+type backpressure = Rejected | Shed
+
 type backend = {
   xen : Vtpm_xen.Hypervisor.t;
   be_domid : Vtpm_xen.Domain.domid;
@@ -52,6 +66,15 @@ type backend = {
   mutable on_crash : unit -> unit;
   mutable on_restart : unit -> unit;
       (** checkpoint layer hook: restore manager state after a respawn *)
+  mutable overload : overload_policy option;
+  queues : (Vtpm_xen.Domain.domid, queued Queue.t) Hashtbl.t;
+  mutable shed_count : int;  (** queued entries dropped past their deadline *)
+  mutable rejected_count : int;  (** submissions refused at admission *)
+  mutable on_backpressure : backpressure -> Vtpm_xen.Domain.domid -> unit;
+      (** audit hook: the monitor logs sheds and rejections per subject *)
+  rr_last : (Vtpm_xen.Domain.domid, int) Hashtbl.t;
+      (** round-robin bookkeeping: last service sequence per frontend *)
+  mutable rr_seq : int;
 }
 
 val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
@@ -77,7 +100,13 @@ val reconnect : backend -> connection -> (unit, string) result
     down or when injected faults hit the handshake itself. *)
 
 val disconnect : backend -> connection -> unit
+
 val disconnect_domain : backend -> fe_domid:Vtpm_xen.Domain.domid -> unit
+(** Also drops the domain's pending queue ({!forget_domain}). *)
+
+val forget_domain : backend -> fe_domid:Vtpm_xen.Domain.domid -> unit
+(** Teardown: drop a destroyed domain's per-frontend queue so pending
+    work neither leaks nor executes posthumously. *)
 
 val crash_backend : backend -> unit
 (** The manager domain dies: all links sever, queued work is lost, and
@@ -115,6 +144,45 @@ val request_with_info :
 val request : backend -> connection -> wire:string -> (Proto.status * string, string) result
 (** {!request_with_info} with the outcome flattened and errors rendered
     as strings. *)
+
+(** {1 Bounded per-subject queues with backpressure}
+
+    The asynchronous request path the flood experiments drive: frontends
+    {!submit} into a per-domain queue, the backend {!pump_one}s requests
+    in global arrival order. With an {!overload_policy} set, admission is
+    bounded per frontend (a flooding guest fills only its own queue) and
+    deadline-aware: stale entries are shed oldest-first at admission and
+    at service time, and a full queue rejects with [Verror.Overloaded]
+    carrying a retry-after hint. *)
+
+val set_overload : backend -> overload_policy option -> unit
+val set_on_backpressure : backend -> (backpressure -> Vtpm_xen.Domain.domid -> unit) -> unit
+val shed_count : backend -> int
+val rejected_count : backend -> int
+val queued_depth : backend -> fe_domid:Vtpm_xen.Domain.domid -> int
+val queued_total : backend -> int
+
+val submit :
+  backend -> connection -> wire:string -> ?arrival_us:float -> ?deadline_us:float ->
+  unit -> (unit, Vtpm_util.Verror.t) result
+(** Admission: shed the subject's stale entries, then enqueue or reject.
+    [arrival_us] lets a discrete-event driver stamp the true arrival time
+    when admitting a batch late (defaults to now); [deadline_us] is
+    relative to arrival and defaults to the policy's. *)
+
+type serviced = {
+  s_domid : Vtpm_xen.Domain.domid;
+  s_arrival_us : float;
+  s_outcome : (outcome, Vtpm_util.Verror.t) result;
+}
+
+val pump_one : backend -> [ `Idle | `Served of serviced ]
+(** Serve one queued request. Naive mode is a single global FIFO
+    (earliest arrival first); under an overload policy, frontends with
+    pending work are served round-robin (FIFO within each), so a flooder
+    gets at most one slot per round regardless of its arrival rate. Both
+    disciplines break ties by domid — deterministic regardless of hash
+    order. *)
 
 exception Denied of string
 (** Raised by {!client_transport} when the monitor denies a request, so

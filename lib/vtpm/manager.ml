@@ -9,7 +9,7 @@
 
 open Vtpm_tpm
 
-type instance_state = Active | Suspended
+type instance_state = Active | Suspended | Wedged
 
 type instance = {
   vtpm_id : int;
@@ -90,6 +90,11 @@ let create_instance t : instance =
 let destroy_instance t vtpm_id =
   Hashtbl.remove t.instances vtpm_id
 
+(* A wedged instance stops answering until it is restored from a
+   checkpoint (or destroyed). The manager domain itself stays up. *)
+let wedge (inst : instance) = inst.state <- Wedged
+let is_wedged (inst : instance) = inst.state = Wedged
+
 (* Simulated manager-domain crash: all in-memory instance state is gone.
    The hardware TPM is a physical chip — it survives, which is exactly
    what lets sealed checkpoints restore afterwards. *)
@@ -122,14 +127,16 @@ let command_cost ordinal =
    talk to their vTPM at locality 0; the manager itself uses higher
    localities for administrative operations. *)
 let execute_wire t (inst : instance) ~(wire : string) : (string, Vtpm_util.Verror.t) result =
-  if inst.state <> Active then Vtpm_util.Verror.conflict "vTPM %d is suspended" inst.vtpm_id
-  else
+  match inst.state with
+  | Suspended -> Vtpm_util.Verror.conflict "vTPM %d is suspended" inst.vtpm_id
+  | Wedged -> Vtpm_util.Verror.conflict "vTPM %d is wedged" inst.vtpm_id
+  | Active -> (
     match Wire.decode_request wire with
     | exception Wire.Malformed m -> Vtpm_util.Verror.bad_request "%s" m
     | req ->
         Vtpm_util.Cost.charge t.cost (command_cost (Cmd.ordinal req));
         let resp = Engine.execute inst.engine ~locality:0 req in
-        Ok (Wire.encode_response resp)
+        Ok (Wire.encode_response resp))
 
 (* --- Hardware-TPM access for the manager's own needs --------------------- *)
 

@@ -7,7 +7,7 @@
     provides mechanism: instance table, execution, lifecycle, state
     capture. *)
 
-type instance_state = Active | Suspended
+type instance_state = Active | Suspended | Wedged
 
 type instance = {
   vtpm_id : int;
@@ -40,6 +40,12 @@ val find : t -> int -> (instance, Vtpm_util.Verror.t) result
 val create_instance : t -> instance
 val destroy_instance : t -> int -> unit
 
+val wedge : instance -> unit
+(** Mark an instance hung: it refuses every command until restored from a
+    checkpoint or destroyed. The manager domain itself stays up. *)
+
+val is_wedged : instance -> bool
+
 val crash : t -> unit
 (** Simulated manager-domain crash: drops every in-memory instance. The
     hardware TPM (a physical chip) survives, so sealed checkpoints still
@@ -53,7 +59,7 @@ val command_cost : int -> float
 
 val execute_wire : t -> instance -> wire:string -> (string, Vtpm_util.Verror.t) result
 (** Run one TPM wire request on an instance (guest locality 0), charging
-    simulated time. Suspended instances refuse. *)
+    simulated time. Suspended and wedged instances refuse. *)
 
 (** {1 Hardware-TPM access for the manager's own needs} *)
 

@@ -1,0 +1,314 @@
+(* Per-instance supervision: health checks, quarantine, checkpoint
+   restart, circuit breaking and graceful degradation.
+
+   The supervisor wraps the manager's execution path. Every request (and
+   every periodic probe on the simulated clock) is a health observation:
+   infrastructure failures — a wedged or vanished instance — count toward
+   a per-instance circuit breaker, while TPM-level errors and malformed
+   requests stay the client's problem and leave the breaker alone.
+
+   When consecutive failures reach the threshold the breaker opens and the
+   instance is quarantined: the supervisor refreshes a read-only shadow
+   engine from the last checkpoint, then restores the live instance in
+   place from that same checkpoint. While the breaker is open, read-only
+   commands (per the injected [is_read_only] predicate) are served from
+   the shadow at normal command cost; mutating commands are rejected with
+   [Verror.Overloaded] carrying a retry-after hint. After the cooldown the
+   breaker half-opens: the next request is a probe — success closes the
+   breaker, failure re-trips it. An instance that keeps crash-looping past
+   [max_restarts] restarts is permanently isolated and never consumes
+   backend capacity again.
+
+   Successful mutating commands write through to the checkpoint store, so
+   the shadow (and any later restart) always reflects the last
+   acknowledged request. Wedge faults themselves come from the injector's
+   [Wedged_instance] class, drawn only here — existing transport fault
+   plans never shift. *)
+
+open Vtpm_tpm
+
+type health = Healthy | Degraded | Quarantined | Isolated
+
+let health_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+  | Isolated -> "isolated"
+
+type breaker = Closed | Open of { until_us : float } | Half_open
+
+type event =
+  | Wedge_detected
+  | Quarantine
+  | Restart
+  | Isolate
+  | Breaker_open
+  | Breaker_half_open
+  | Breaker_close
+  | Degraded_read
+  | Degraded_reject
+
+let event_name = function
+  | Wedge_detected -> "wedged"
+  | Quarantine -> "quarantine"
+  | Restart -> "restart"
+  | Isolate -> "isolate"
+  | Breaker_open -> "breaker-open"
+  | Breaker_half_open -> "breaker-half-open"
+  | Breaker_close -> "breaker-close"
+  | Degraded_read -> "degraded-read"
+  | Degraded_reject -> "degraded-reject"
+
+type config = {
+  failure_threshold : int; (* consecutive infra failures that trip the breaker *)
+  open_cooldown_us : float; (* Open -> Half_open delay on the simulated clock *)
+  max_restarts : int; (* checkpoint restarts before permanent isolation *)
+  probe_interval_us : float; (* health-check cadence for [tick] *)
+  is_read_only : int -> bool; (* ordinals servable from the shadow when degraded *)
+}
+
+(* Conservative built-in read-only set; the access-control layer overrides
+   this with its command classification (Command_class.is_read_only). *)
+let builtin_read_only ordinal =
+  List.mem ordinal
+    [
+      Types.ord_pcr_read;
+      Types.ord_quote;
+      Types.ord_get_capability;
+      Types.ord_read_pubek;
+      Types.ord_nv_read_value;
+      Types.ord_read_counter;
+      Types.ord_self_test_full;
+    ]
+
+let default_config =
+  {
+    failure_threshold = 3;
+    open_cooldown_us = 50_000.0;
+    max_restarts = 5;
+    probe_interval_us = 10_000.0;
+    is_read_only = builtin_read_only;
+  }
+
+type entry = {
+  vtpm_id : int;
+  mutable health : health;
+  mutable breaker : breaker;
+  mutable consecutive_failures : int;
+  mutable restarts : int;
+  mutable shadow : Engine.t option;
+  mutable last_probe_us : float;
+  mutable wedges : int;
+  mutable degraded_reads : int;
+  mutable degraded_rejects : int;
+}
+
+type t = {
+  mgr : Manager.t;
+  ckpt : Checkpoint.t;
+  faults : Vtpm_xen.Faults.t;
+  cfg : config;
+  entries : (int, entry) Hashtbl.t;
+  mutable on_event : vtpm_id:int -> event -> unit;
+  mutable breaker_opens : int;
+  mutable quarantines : int;
+  mutable isolations : int;
+}
+
+let create ?(cfg = default_config) ~mgr ~ckpt ~faults () =
+  {
+    mgr;
+    ckpt;
+    faults;
+    cfg;
+    entries = Hashtbl.create 16;
+    on_event = (fun ~vtpm_id:_ _ -> ());
+    breaker_opens = 0;
+    quarantines = 0;
+    isolations = 0;
+  }
+
+let set_on_event t f = t.on_event <- f
+
+let entry t vtpm_id =
+  match Hashtbl.find_opt t.entries vtpm_id with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          vtpm_id;
+          health = Healthy;
+          breaker = Closed;
+          consecutive_failures = 0;
+          restarts = 0;
+          shadow = None;
+          last_probe_us = Vtpm_util.Cost.now t.mgr.Manager.cost;
+          wedges = 0;
+          degraded_reads = 0;
+          degraded_rejects = 0;
+        }
+      in
+      Hashtbl.replace t.entries vtpm_id e;
+      e
+
+let health t vtpm_id = (entry t vtpm_id).health
+
+let forget t ~vtpm_id =
+  Hashtbl.remove t.entries vtpm_id;
+  Checkpoint.forget t.ckpt ~vtpm_id
+
+let breaker_opens t = t.breaker_opens
+let quarantines t = t.quarantines
+let isolations t = t.isolations
+
+let emit t (e : entry) ev = t.on_event ~vtpm_id:e.vtpm_id ev
+
+(* The injected fault: the instance silently hangs. Drawn per execution
+   and per probe, from the shared plan stream. *)
+let maybe_wedge t (e : entry) =
+  if Vtpm_xen.Faults.fire t.faults Vtpm_xen.Faults.Wedged_instance then begin
+    (match Manager.find t.mgr e.vtpm_id with
+    | Ok inst -> Manager.wedge inst
+    | Error _ -> ());
+    e.wedges <- e.wedges + 1;
+    emit t e Wedge_detected
+  end
+
+let retry_after t (e : entry) =
+  match e.breaker with
+  | Open { until_us } ->
+      Float.max 1.0 (until_us -. Vtpm_util.Cost.now t.mgr.Manager.cost)
+  | _ -> t.cfg.open_cooldown_us
+
+(* Degraded service while the breaker is open (or a half-open probe is in
+   flight): read-only commands run on the shadow replica at normal command
+   cost; everything else is rejected with a retry-after hint. *)
+let degraded_service t (e : entry) ~wire =
+  match Wire.decode_request wire with
+  | exception Wire.Malformed m -> Vtpm_util.Verror.bad_request "%s" m
+  | req -> (
+      let ordinal = Cmd.ordinal req in
+      match e.shadow with
+      | Some shadow when t.cfg.is_read_only ordinal ->
+          e.degraded_reads <- e.degraded_reads + 1;
+          emit t e Degraded_read;
+          Vtpm_util.Cost.charge t.mgr.Manager.cost (Manager.command_cost ordinal);
+          Ok (Wire.encode_response (Engine.execute shadow ~locality:0 req))
+      | _ ->
+          e.degraded_rejects <- e.degraded_rejects + 1;
+          emit t e Degraded_reject;
+          Vtpm_util.Verror.overloaded ~retry_after_us:(retry_after t e)
+            "vTPM %d degraded (%s); retry later" e.vtpm_id (health_name e.health))
+
+(* Quarantine + checkpoint restart, entered when the breaker trips. The
+   shadow is refreshed first so reads keep flowing even if the restore
+   itself fails; repeated restarts escalate to permanent isolation. *)
+let quarantine_and_restart t (e : entry) =
+  e.health <- Quarantined;
+  t.quarantines <- t.quarantines + 1;
+  emit t e Quarantine;
+  e.restarts <- e.restarts + 1;
+  if e.restarts > t.cfg.max_restarts then begin
+    e.health <- Isolated;
+    t.isolations <- t.isolations + 1;
+    emit t e Isolate
+  end
+  else begin
+    (match Checkpoint.shadow_engine t.ckpt ~vtpm_id:e.vtpm_id with
+    | Ok shadow -> e.shadow <- Some shadow
+    | Error _ -> ());
+    match Checkpoint.restore_instance t.ckpt ~vtpm_id:e.vtpm_id with
+    | Ok () ->
+        e.health <- Degraded;
+        emit t e Restart
+    | Error _ -> () (* stays Quarantined; the next trip retries *)
+  end
+
+(* An infrastructure failure (wedged / missing instance). Below the
+   threshold the caller sees the raw error; at the threshold the breaker
+   opens, recovery runs, and the triggering request falls through to
+   degraded service. *)
+let record_failure t (e : entry) ~wire err =
+  e.consecutive_failures <- e.consecutive_failures + 1;
+  if e.consecutive_failures < t.cfg.failure_threshold && e.breaker = Closed then Error err
+  else begin
+    e.breaker <-
+      Open
+        {
+          until_us = Vtpm_util.Cost.now t.mgr.Manager.cost +. t.cfg.open_cooldown_us;
+        };
+    t.breaker_opens <- t.breaker_opens + 1;
+    emit t e Breaker_open;
+    quarantine_and_restart t e;
+    degraded_service t e ~wire
+  end
+
+let record_success t (e : entry) =
+  e.consecutive_failures <- 0;
+  (match e.breaker with
+  | Closed -> ()
+  | Open _ | Half_open ->
+      e.breaker <- Closed;
+      emit t e Breaker_close);
+  if e.health <> Healthy && e.health <> Isolated then e.health <- Healthy
+
+(* One attempt on the live instance. Success resets the breaker and
+   writes through to the checkpoint (mutations only need it, but a
+   write-through on every success keeps the rule simple and the shadow
+   fresh). Wedged/missing instances count toward the breaker. *)
+let try_live t (e : entry) ~wire =
+  match Manager.find t.mgr e.vtpm_id with
+  | Error err -> record_failure t e ~wire err
+  | Ok inst -> (
+      match Manager.execute_wire t.mgr inst ~wire with
+      | Ok resp ->
+          record_success t e;
+          ignore (Checkpoint.checkpoint t.ckpt inst);
+          Ok resp
+      | Error (Vtpm_util.Verror.Conflict _ as err) -> record_failure t e ~wire err
+      | Error err ->
+          (* TPM-level / client errors: not a health signal *)
+          e.consecutive_failures <- 0;
+          Error err)
+
+let execute t ~vtpm_id ~wire : (string, Vtpm_util.Verror.t) result =
+  let e = entry t vtpm_id in
+  match e.health with
+  | Isolated ->
+      Vtpm_util.Verror.denied "vTPM %d permanently isolated after %d restarts"
+        vtpm_id e.restarts
+  | _ -> (
+      maybe_wedge t e;
+      let now = Vtpm_util.Cost.now t.mgr.Manager.cost in
+      match e.breaker with
+      | Open { until_us } when now < until_us -> degraded_service t e ~wire
+      | Open _ ->
+          e.breaker <- Half_open;
+          emit t e Breaker_half_open;
+          try_live t e ~wire
+      | Half_open | Closed -> try_live t e ~wire)
+
+(* Periodic health check on the simulated clock: probe each instance that
+   is due with a GetCapability round. A probe is an ordinary execution as
+   far as the breaker is concerned, so wedges are detected (and recovery
+   starts) even on an idle instance. *)
+let probe_wire = Wire.encode_request (Cmd.Get_capability { cap = 0x6; sub = 0x110 })
+
+let tick t =
+  let now = Vtpm_util.Cost.now t.mgr.Manager.cost in
+  List.iter
+    (fun (inst : Manager.instance) ->
+      let e = entry t inst.Manager.vtpm_id in
+      if e.health <> Isolated && now -. e.last_probe_us >= t.cfg.probe_interval_us
+      then begin
+        e.last_probe_us <- now;
+        maybe_wedge t e;
+        match e.breaker with
+        | Open { until_us } when now < until_us -> ()
+        | Open _ ->
+            e.breaker <- Half_open;
+            emit t e Breaker_half_open;
+            ignore (try_live t e ~wire:probe_wire)
+        | Half_open | Closed -> ignore (try_live t e ~wire:probe_wire)
+      end)
+    (Manager.instances t.mgr)

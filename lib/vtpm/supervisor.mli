@@ -1,0 +1,98 @@
+(** Per-instance supervision on the manager execution path: health
+    checks on the simulated clock, quarantine of wedged instances,
+    restart from the last {!Checkpoint}, a per-instance circuit breaker,
+    and graceful degradation — read-only commands served from a shadow
+    replica of the last checkpoint while mutating commands are rejected.
+
+    Only infrastructure failures (a wedged or vanished instance) count
+    toward the breaker; TPM result codes and malformed requests are the
+    client's problem. Successful requests write through to the checkpoint
+    store, so the shadow and any restart reflect the last acknowledged
+    request. Repeated crash-looping escalates to permanent isolation.
+
+    Wedge faults come from the injector's [Wedged_instance] class, drawn
+    only by this module — existing transport fault plans never shift. *)
+
+type health = Healthy | Degraded | Quarantined | Isolated
+
+val health_name : health -> string
+
+type breaker = Closed | Open of { until_us : float } | Half_open
+
+type event =
+  | Wedge_detected
+  | Quarantine
+  | Restart
+  | Isolate
+  | Breaker_open
+  | Breaker_half_open
+  | Breaker_close
+  | Degraded_read
+  | Degraded_reject
+
+val event_name : event -> string
+(** Stable names ("quarantine", "breaker-open", ...) the access-control
+    layer uses as audit reasons. *)
+
+type config = {
+  failure_threshold : int;
+      (** consecutive infrastructure failures that trip the breaker *)
+  open_cooldown_us : float;  (** Open -> Half_open delay, simulated clock *)
+  max_restarts : int;  (** checkpoint restarts before permanent isolation *)
+  probe_interval_us : float;  (** health-check cadence for {!tick} *)
+  is_read_only : int -> bool;
+      (** ordinals servable from the shadow while degraded; the
+          access-control layer injects its command classification here *)
+}
+
+val builtin_read_only : int -> bool
+(** Conservative default: PCR read, quote, GetCapability, ReadPubek,
+    NV read, counter read, selftest. *)
+
+val default_config : config
+(** threshold 3, 50 ms cooldown, 5 restarts, 10 ms probes,
+    {!builtin_read_only}. *)
+
+type entry = {
+  vtpm_id : int;
+  mutable health : health;
+  mutable breaker : breaker;
+  mutable consecutive_failures : int;
+  mutable restarts : int;
+  mutable shadow : Vtpm_tpm.Engine.t option;
+  mutable last_probe_us : float;
+  mutable wedges : int;
+  mutable degraded_reads : int;
+  mutable degraded_rejects : int;
+}
+
+type t
+
+val create :
+  ?cfg:config ->
+  mgr:Manager.t -> ckpt:Checkpoint.t -> faults:Vtpm_xen.Faults.t -> unit -> t
+
+val set_on_event : t -> (vtpm_id:int -> event -> unit) -> unit
+(** Observer hook; the monitor wires this into the audit log. *)
+
+val entry : t -> int -> entry
+(** Find-or-create the supervision entry for an instance. *)
+
+val health : t -> int -> health
+
+val forget : t -> vtpm_id:int -> unit
+(** Drop supervision state and the instance's checkpoint (teardown). *)
+
+val breaker_opens : t -> int
+val quarantines : t -> int
+val isolations : t -> int
+
+val execute : t -> vtpm_id:int -> wire:string -> (string, Vtpm_util.Verror.t) result
+(** The supervised execution path: wedge-fault draw, breaker gate,
+    live execution with write-through checkpoint, degraded service or
+    [Verror.Overloaded] rejection while the breaker is open, quarantine +
+    restart when it trips, [Verror.Denied] once isolated. *)
+
+val tick : t -> unit
+(** Periodic health check: probe every due instance (GetCapability) so
+    wedges are detected and recovery starts even on idle instances. *)

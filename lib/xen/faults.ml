@@ -23,6 +23,7 @@ type clazz =
   | Grant_unmap_fail (* transient grant unmap failure *)
   | Xenstore_transient (* XenStore op returns EAGAIN *)
   | Manager_crash (* vTPM manager domain dies mid-service *)
+  | Wedged_instance (* a single vTPM instance hangs; manager stays up *)
 
 let all_classes =
   [
@@ -35,6 +36,7 @@ let all_classes =
     Grant_unmap_fail;
     Xenstore_transient;
     Manager_crash;
+    Wedged_instance;
   ]
 
 let class_name = function
@@ -47,6 +49,7 @@ let class_name = function
   | Grant_unmap_fail -> "grant-unmap-fail"
   | Xenstore_transient -> "xenstore-transient"
   | Manager_crash -> "manager-crash"
+  | Wedged_instance -> "wedged-instance"
 
 type t = {
   seed : int;

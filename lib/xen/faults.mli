@@ -16,6 +16,10 @@ type clazz =
   | Grant_unmap_fail  (** transient grant unmap failure *)
   | Xenstore_transient  (** XenStore op returns EAGAIN *)
   | Manager_crash  (** vTPM manager domain dies mid-service *)
+  | Wedged_instance
+      (** a single vTPM instance stops answering; the manager domain stays
+          up. Fired only by the supervisor's execution/probe path, so
+          existing transport fault plans are unaffected. *)
 
 val all_classes : clazz list
 val class_name : clazz -> string

@@ -11,6 +11,7 @@ let () =
       ("vtpm", Test_vtpm.suite);
       ("access", Test_access.suite);
       ("attacks", Test_attacks.suite);
+      ("overload", Test_overload.suite);
       ("sim", Test_sim.suite);
       ("integration", Test_integration.suite);
     ]
