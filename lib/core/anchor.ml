@@ -84,10 +84,18 @@ let read (t : t) (mgr : Vtpm_mgr.Manager.t) : (string * int, string) result =
   | _ -> Error "unexpected counter response"
 
 (* Verify an exported log against the hardware anchor: the chain must be
-   intact and end at the anchored head. *)
-let verify (t : t) (mgr : Vtpm_mgr.Manager.t) (entries : Audit.entry list) : (unit, string) result =
+   intact and end at the anchored head. [base] anchors the chain's start:
+   genesis for a full export, the log's recorded {!Audit.base} for the
+   retained window of a rotated log — rotation moves the window's start,
+   not its head, so the hardware anchor stays valid either way. *)
+let verify (t : t) (mgr : Vtpm_mgr.Manager.t) ?(base = Audit.genesis) (entries : Audit.entry list)
+    : (unit, string) result =
   let* anchored_head, _count = read t mgr in
-  match Audit.verify_chain ~expected_head:anchored_head entries with
+  match Audit.verify_chain ~expected_head:anchored_head ~base entries with
   | Ok () -> Ok ()
   | Error -1 -> Error "log does not end at the anchored head (truncated or stale)"
   | Error seq -> Error (Printf.sprintf "chain broken at entry %d" seq)
+
+(* Verify a live log, rotated or not, against the hardware anchor. *)
+let verify_log (t : t) (mgr : Vtpm_mgr.Manager.t) (audit : Audit.t) : (unit, string) result =
+  verify t mgr ~base:(Audit.base audit) (Audit.entries audit)

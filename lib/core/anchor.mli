@@ -22,6 +22,13 @@ val commit : t -> Vtpm_mgr.Manager.t -> Audit.t -> (int, string) result
 val read : t -> Vtpm_mgr.Manager.t -> (string * int, string) result
 (** [(anchored head, commit count)]. *)
 
-val verify : t -> Vtpm_mgr.Manager.t -> Audit.entry list -> (unit, string) result
-(** The exported log must be chain-intact and end exactly at the anchored
-    head — catching both tampering and truncation. *)
+val verify : t -> Vtpm_mgr.Manager.t -> ?base:string -> Audit.entry list -> (unit, string) result
+(** The exported log must be chain-intact from [base] (default
+    {!Audit.genesis}) and end exactly at the anchored head — catching
+    both tampering and truncation. For the retained window of a rotated
+    log, pass the log's recorded {!Audit.base} (or use {!verify_log}). *)
+
+val verify_log : t -> Vtpm_mgr.Manager.t -> Audit.t -> (unit, string) result
+(** {!verify} applied to a live log with its own {!Audit.base} — stays
+    valid across retention rotation, which moves the window's start but
+    never the anchored head. *)

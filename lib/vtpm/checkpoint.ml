@@ -70,10 +70,18 @@ let load_entry (t : t) (e : entry) : (Vtpm_tpm.Engine.t, string) result =
 
 (* Restore one instance in place from its latest checkpoint — the
    supervisor's recovery step for a wedged instance. The rest of the
-   manager's table is untouched. *)
+   manager's table is untouched. A suspended instance is refused: it was
+   parked deliberately (save/migration) and its saved blob is the truth;
+   force-reactivating it from a possibly older checkpoint would roll back
+   acknowledged state. *)
 let restore_instance (t : t) ~vtpm_id : (unit, string) result =
   match Hashtbl.find_opt t.store vtpm_id with
   | None -> Error (Printf.sprintf "vTPM %d: no checkpoint" vtpm_id)
+  | Some _
+    when (match Hashtbl.find_opt t.mgr.Manager.instances vtpm_id with
+         | Some live -> live.Manager.state = Manager.Suspended
+         | None -> false) ->
+      Error (Printf.sprintf "vTPM %d is suspended; refusing checkpoint restore" vtpm_id)
   | Some e -> (
       match load_entry t e with
       | Error m -> Error m

@@ -28,7 +28,9 @@ val forget : t -> vtpm_id:int -> unit
 val restore_instance : t -> vtpm_id:int -> (unit, string) result
 (** Restore one instance in place from its latest checkpoint, replacing
     whatever (wedged) instance currently holds the id — the supervisor's
-    recovery step. The rest of the manager's table is untouched. *)
+    recovery step. The rest of the manager's table is untouched. Refuses
+    to overwrite a [Suspended] instance: its saved blob is authoritative
+    and a checkpoint restore would roll acknowledged state back. *)
 
 val shadow_engine : t -> vtpm_id:int -> (Vtpm_tpm.Engine.t, string) result
 (** A detached engine loaded from the latest checkpoint: the read-only

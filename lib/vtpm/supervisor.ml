@@ -3,9 +3,12 @@
 
    The supervisor wraps the manager's execution path. Every request (and
    every periodic probe on the simulated clock) is a health observation:
-   infrastructure failures — a wedged or vanished instance — count toward
-   a per-instance circuit breaker, while TPM-level errors and malformed
-   requests stay the client's problem and leave the breaker alone.
+   a wedged instance counts toward a per-instance circuit breaker, while
+   TPM-level errors and malformed requests stay the client's problem and
+   leave the breaker alone. Lifecycle states are not health signals
+   either: a suspended instance (save/migration) answers with its
+   conflict untouched, and a missing instance means destruction — never
+   an excuse to restore it from a checkpoint.
 
    When consecutive failures reach the threshold the breaker opens and the
    instance is quarantined: the supervisor refreshes a read-only shadow
@@ -164,15 +167,18 @@ let isolations t = t.isolations
 let emit t (e : entry) ev = t.on_event ~vtpm_id:e.vtpm_id ev
 
 (* The injected fault: the instance silently hangs. Drawn per execution
-   and per probe, from the shared plan stream. *)
+   and per probe, from the shared plan stream (the draw happens even when
+   the wedge cannot land, so other instances' plans never shift). A
+   suspended instance is not running and cannot wedge — clobbering
+   Suspended here would silently undo a save/migration. *)
 let maybe_wedge t (e : entry) =
-  if Vtpm_xen.Faults.fire t.faults Vtpm_xen.Faults.Wedged_instance then begin
-    (match Manager.find t.mgr e.vtpm_id with
-    | Ok inst -> Manager.wedge inst
-    | Error _ -> ());
-    e.wedges <- e.wedges + 1;
-    emit t e Wedge_detected
-  end
+  if Vtpm_xen.Faults.fire t.faults Vtpm_xen.Faults.Wedged_instance then
+    match Manager.find t.mgr e.vtpm_id with
+    | Ok inst when inst.Manager.state <> Manager.Suspended ->
+        Manager.wedge inst;
+        e.wedges <- e.wedges + 1;
+        emit t e Wedge_detected
+    | Ok _ | Error _ -> ()
 
 let retry_after t (e : entry) =
   match e.breaker with
@@ -224,10 +230,11 @@ let quarantine_and_restart t (e : entry) =
     | Error _ -> () (* stays Quarantined; the next trip retries *)
   end
 
-(* An infrastructure failure (wedged / missing instance). Below the
-   threshold the caller sees the raw error; at the threshold the breaker
-   opens, recovery runs, and the triggering request falls through to
-   degraded service. *)
+(* An infrastructure failure (a wedged instance). Below the threshold the
+   caller sees the raw error; at the threshold the breaker opens, recovery
+   runs, and the triggering request falls through to degraded service —
+   unless recovery just escalated to permanent isolation, in which case
+   the caller gets the same terminal answer every later request will. *)
 let record_failure t (e : entry) ~wire err =
   e.consecutive_failures <- e.consecutive_failures + 1;
   if e.consecutive_failures < t.cfg.failure_threshold && e.breaker = Closed then Error err
@@ -240,7 +247,10 @@ let record_failure t (e : entry) ~wire err =
     t.breaker_opens <- t.breaker_opens + 1;
     emit t e Breaker_open;
     quarantine_and_restart t e;
-    degraded_service t e ~wire
+    if e.health = Isolated then
+      Vtpm_util.Verror.denied "vTPM %d permanently isolated after %d restarts"
+        e.vtpm_id e.restarts
+    else degraded_service t e ~wire
   end
 
 let record_success t (e : entry) =
@@ -255,17 +265,28 @@ let record_success t (e : entry) =
 (* One attempt on the live instance. Success resets the breaker and
    writes through to the checkpoint (mutations only need it, but a
    write-through on every success keeps the rule simple and the shadow
-   fresh). Wedged/missing instances count toward the breaker. *)
+   fresh). Only a wedged instance counts toward the breaker: a missing
+   instance means destruction (a lifecycle event — restoring from the
+   checkpoint here would resurrect it; manager-crash recovery is the
+   host's job via Checkpoint.restore_all), and a suspended instance was
+   parked deliberately for save/migration — its conflict is the caller's
+   answer, not a health signal. *)
 let try_live t (e : entry) ~wire =
   match Manager.find t.mgr e.vtpm_id with
-  | Error err -> record_failure t e ~wire err
+  | Error err ->
+      e.consecutive_failures <- 0;
+      Error err
+  | Ok inst when inst.Manager.state = Manager.Suspended ->
+      Manager.execute_wire t.mgr inst ~wire
   | Ok inst -> (
       match Manager.execute_wire t.mgr inst ~wire with
       | Ok resp ->
           record_success t e;
           ignore (Checkpoint.checkpoint t.ckpt inst);
           Ok resp
-      | Error (Vtpm_util.Verror.Conflict _ as err) -> record_failure t e ~wire err
+      | Error (Vtpm_util.Verror.Conflict _ as err) ->
+          (* Suspended was handled above, so a conflict here means Wedged. *)
+          record_failure t e ~wire err
       | Error err ->
           (* TPM-level / client errors: not a health signal *)
           e.consecutive_failures <- 0;
@@ -291,7 +312,10 @@ let execute t ~vtpm_id ~wire : (string, Vtpm_util.Verror.t) result =
 (* Periodic health check on the simulated clock: probe each instance that
    is due with a GetCapability round. A probe is an ordinary execution as
    far as the breaker is concerned, so wedges are detected (and recovery
-   starts) even on an idle instance. *)
+   starts) even on an idle instance. Suspended instances are skipped —
+   they are parked on purpose and probing one would read its planned
+   conflict as ill health (the stale probe timestamp means the first
+   probe after resume fires promptly). *)
 let probe_wire = Wire.encode_request (Cmd.Get_capability { cap = 0x6; sub = 0x110 })
 
 let tick t =
@@ -299,7 +323,10 @@ let tick t =
   List.iter
     (fun (inst : Manager.instance) ->
       let e = entry t inst.Manager.vtpm_id in
-      if e.health <> Isolated && now -. e.last_probe_us >= t.cfg.probe_interval_us
+      if
+        e.health <> Isolated
+        && inst.Manager.state <> Manager.Suspended
+        && now -. e.last_probe_us >= t.cfg.probe_interval_us
       then begin
         e.last_probe_us <- now;
         maybe_wedge t e;

@@ -4,11 +4,14 @@
     and graceful degradation — read-only commands served from a shadow
     replica of the last checkpoint while mutating commands are rejected.
 
-    Only infrastructure failures (a wedged or vanished instance) count
-    toward the breaker; TPM result codes and malformed requests are the
-    client's problem. Successful requests write through to the checkpoint
-    store, so the shadow and any restart reflect the last acknowledged
-    request. Repeated crash-looping escalates to permanent isolation.
+    Only infrastructure failures (a wedged instance) count toward the
+    breaker; TPM result codes and malformed requests are the client's
+    problem, a suspended instance (save/migration) keeps answering with
+    its conflict untouched, and a missing instance means destruction —
+    it is never restored from its checkpoint here. Successful requests
+    write through to the checkpoint store, so the shadow and any restart
+    reflect the last acknowledged request. Repeated crash-looping
+    escalates to permanent isolation.
 
     Wedge faults come from the injector's [Wedged_instance] class, drawn
     only by this module — existing transport fault plans never shift. *)

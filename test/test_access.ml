@@ -819,6 +819,25 @@ let test_anchor_detects_truncation () =
   let truncated = List.filteri (fun i _ -> i < 2) (Audit.entries monitor.Monitor.audit) in
   check_b "truncation detected" true (Result.is_error (Anchor.verify anchor mgr truncated))
 
+let test_anchor_verify_across_rotation () =
+  let _, mgr, monitor = mk_monitor () in
+  let anchor = Result.get_ok (Anchor.setup mgr) in
+  let audit = monitor.Monitor.audit in
+  Audit.set_max_entries audit (Some 4);
+  for i = 1 to 12 do
+    Audit.append audit ~subject:"s" ~operation:(Printf.sprintf "op%d" i) ~instance:None
+      ~allowed:true ~reason:"r"
+  done;
+  check_b "rotated" true (Audit.rotations audit > 0);
+  ignore (Result.get_ok (Anchor.commit anchor mgr audit));
+  (* The retained window no longer starts at genesis; hardware-anchored
+     verification must use the log's recorded base. *)
+  check_b "genesis base no longer applies" true
+    (Result.is_error (Anchor.verify anchor mgr (Audit.entries audit)));
+  check_b "verifies from the log's base" true
+    (Anchor.verify anchor mgr ~base:(Audit.base audit) (Audit.entries audit) = Ok ());
+  check_b "verify_log handles rotation" true (Anchor.verify_log anchor mgr audit = Ok ())
+
 let suite =
   [
     Alcotest.test_case "subject printing" `Quick test_subject_printing;
@@ -874,6 +893,7 @@ let suite =
     Alcotest.test_case "monitor audit toggle" `Quick test_monitor_audit_toggle;
     Alcotest.test_case "anchor commit/verify" `Quick test_anchor_commit_and_verify;
     Alcotest.test_case "anchor detects truncation" `Quick test_anchor_detects_truncation;
+    Alcotest.test_case "anchor verify across rotation" `Quick test_anchor_verify_across_rotation;
     Alcotest.test_case "shipped default policy" `Quick test_shipped_default_policy;
     Alcotest.test_case "shipped measured policy" `Quick test_shipped_measured_policy;
     Alcotest.test_case "shipped acm policy" `Quick test_shipped_acm_policy;

@@ -299,8 +299,12 @@ let test_breaker_trip_quarantine_restore () =
 let test_isolation_after_restart_budget () =
   let _host, g, sup, _faults = supervised_fixture ~rate:1.0 ~cfg:(wedge_cfg ~max_restarts:0 ()) () in
   (* Restart budget 0: the first quarantine escalates straight to
-     permanent isolation. *)
-  ignore (Supervisor.execute sup ~vtpm_id:g.Host.vtpm_id ~wire:pcr7_read_wire);
+     permanent isolation — and the triggering request already gets the
+     terminal answer, not a one-off degraded response. *)
+  (match Supervisor.execute sup ~vtpm_id:g.Host.vtpm_id ~wire:pcr7_read_wire with
+  | Error (Vtpm_util.Verror.Denied _) -> ()
+  | Ok _ -> Alcotest.fail "triggering request must see the isolation error"
+  | Error e -> Alcotest.failf "wrong error: %s" (Vtpm_util.Verror.to_string e));
   check_b "isolated" true (Supervisor.health sup g.Host.vtpm_id = Supervisor.Isolated);
   check_i "isolation counted" 1 (Supervisor.isolations sup);
   (match Supervisor.execute sup ~vtpm_id:g.Host.vtpm_id ~wire:pcr7_read_wire with
@@ -353,6 +357,63 @@ let test_supervisor_forget () =
   let e = Supervisor.entry sup g.Host.vtpm_id in
   check_b "fresh after forget" true
     (e.Supervisor.health = Supervisor.Healthy && e.Supervisor.restarts = 0)
+
+let test_suspended_is_not_a_health_failure () =
+  (* Wedge probability 1.0: if suspension read as ill health, the first
+     contact would trip the breaker and the checkpoint restore would
+     force the parked instance back to Active. *)
+  let host, g, sup, _faults = supervised_fixture ~rate:1.0 ~cfg:(wedge_cfg ()) () in
+  (match Host.suspend_vtpm host g with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Requests surface the suspension conflict untouched... *)
+  (match Supervisor.execute sup ~vtpm_id:g.Host.vtpm_id ~wire:pcr7_read_wire with
+  | Error (Vtpm_util.Verror.Conflict _) -> ()
+  | Ok _ -> Alcotest.fail "suspended instance must not serve"
+  | Error e -> Alcotest.failf "wrong error: %s" (Vtpm_util.Verror.to_string e));
+  (* ...and idle probes skip the parked instance. *)
+  Vtpm_util.Cost.charge (Host.cost host) 50_000.0;
+  Supervisor.tick sup;
+  check_i "no breaker trip" 0 (Supervisor.breaker_opens sup);
+  check_i "no quarantine" 0 (Supervisor.quarantines sup);
+  check_b "entry stays healthy" true (Supervisor.health sup g.Host.vtpm_id = Supervisor.Healthy);
+  match Manager.find host.Host.mgr g.Host.vtpm_id with
+  | Ok inst -> check_b "still suspended" true (inst.Manager.state = Manager.Suspended)
+  | Error e -> Alcotest.fail (Vtpm_util.Verror.to_string e)
+
+let test_restore_refuses_suspended () =
+  let host, g, _sup, _faults = supervised_fixture () in
+  let ckpt = Checkpoint.create host.Host.mgr in
+  (match Checkpoint.checkpoint_all ckpt with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Host.suspend_vtpm host g with Ok () -> () | Error e -> Alcotest.fail e);
+  (* The saved blob is authoritative while suspended; a checkpoint restore
+     would roll acknowledged state back. *)
+  (match Checkpoint.restore_instance ckpt ~vtpm_id:g.Host.vtpm_id with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "restore must refuse a suspended instance");
+  (match Manager.find host.Host.mgr g.Host.vtpm_id with
+  | Ok inst -> check_b "still suspended" true (inst.Manager.state = Manager.Suspended)
+  | Error e -> Alcotest.fail (Vtpm_util.Verror.to_string e));
+  (* After resume the instance is live again and restore applies as usual. *)
+  (match Host.resume_vtpm host g with Ok () -> () | Error e -> Alcotest.fail e);
+  check_b "restore ok after resume" true
+    (Checkpoint.restore_instance ckpt ~vtpm_id:g.Host.vtpm_id = Ok ())
+
+let test_destroyed_instance_not_resurrected () =
+  let host, g, sup, _faults = supervised_fixture ~cfg:(wedge_cfg ()) () in
+  (* A teardown path that skips Supervisor.forget: the instance is gone
+     from the manager but its checkpoint lingers. Repeated requests must
+     keep failing with No_such (threshold 1 would trip on the first
+     counted failure) — never restore the instance from the stale
+     checkpoint. *)
+  Manager.destroy_instance host.Host.mgr g.Host.vtpm_id;
+  for _ = 1 to 5 do
+    match Supervisor.execute sup ~vtpm_id:g.Host.vtpm_id ~wire:pcr7_read_wire with
+    | Error (Vtpm_util.Verror.No_such _) -> ()
+    | Ok _ -> Alcotest.fail "destroyed instance must not serve"
+    | Error e -> Alcotest.failf "wrong error: %s" (Vtpm_util.Verror.to_string e)
+  done;
+  check_i "no breaker trip" 0 (Supervisor.breaker_opens sup);
+  check_i "no quarantine" 0 (Supervisor.quarantines sup);
+  check_b "not resurrected" true (Result.is_error (Manager.find host.Host.mgr g.Host.vtpm_id))
 
 (* --- Monitor integration: audit reasons ----------------------------------------- *)
 
@@ -453,6 +514,12 @@ let suite =
     Alcotest.test_case "supervisor: read-only classifications agree" `Quick
       test_read_only_classifications_agree;
     Alcotest.test_case "supervisor: forget resets entry" `Quick test_supervisor_forget;
+    Alcotest.test_case "supervisor: suspended is not a health failure" `Quick
+      test_suspended_is_not_a_health_failure;
+    Alcotest.test_case "checkpoint: restore refuses suspended" `Quick
+      test_restore_refuses_suspended;
+    Alcotest.test_case "supervisor: destroyed instance stays destroyed" `Quick
+      test_destroyed_instance_not_resurrected;
     Alcotest.test_case "monitor: overload + shed audit reasons" `Quick
       test_audit_reasons_overloaded_and_shed;
     Alcotest.test_case "monitor: supervision audit reasons" `Quick test_audit_reasons_supervision;
