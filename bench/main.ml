@@ -94,6 +94,47 @@ let run_fig7 () =
   print_string rendered;
   print_newline ()
 
+(* fig8 also emits BENCH_PR4.json so CI and regression tooling can diff
+   the lane-scaling numbers without scraping the rendered table. *)
+let run_fig8 () =
+  let series, rendered = Vtpm_sim.Experiments.fig8 () in
+  print_string rendered;
+  print_newline ();
+  let point_at x points = List.assoc_opt x points in
+  let speedup =
+    match (List.assoc_opt "1-lane" series, List.assoc_opt "8-lane" series) with
+    | Some s1, Some s8 -> (
+        match (point_at 32.0 s1, point_at 32.0 s8) with
+        | Some t1, Some t8 when t1 > 0.0 -> Some (t8 /. t1)
+        | _ -> None)
+    | _ -> None
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"pr\": 4,\n  \"figure\": \"fig8\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"simulated ops/s\",\n  \"x_label\": \"vms\",\n  \"series\": {\n";
+  List.iteri
+    (fun i (name, points) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: [" name);
+      List.iteri
+        (fun j (x, y) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "[%g, %.1f]" x y))
+        points;
+      Buffer.add_string buf
+        (if i < List.length series - 1 then "],\n" else "]\n"))
+    series;
+  Buffer.add_string buf "  },\n";
+  (match speedup with
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"speedup_8lane_vs_1lane_at_32_vms\": %.2f\n" s)
+  | None -> Buffer.add_string buf "  \"speedup_8lane_vs_1lane_at_32_vms\": null\n");
+  Buffer.add_string buf "}\n";
+  Out_channel.with_open_text "BENCH_PR4.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR4.json@."
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------- *)
 
 (* One test per table/figure, benchmarking the code path that dominates it. *)
@@ -287,6 +328,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig5", run_fig5);
     ("fig6", run_fig6);
     ("fig7", run_fig7);
+    ("fig8", run_fig8);
     ("micro", run_micro);
   ]
 

@@ -35,7 +35,7 @@ let restore_instance t ~process:_ ~blob : (int, string) result =
   | Ok (engine, _) ->
       let inst = Vtpm_mgr.Manager.create_instance t.mgr in
       let inst = { inst with Vtpm_mgr.Manager.engine } in
-      Hashtbl.replace t.mgr.Vtpm_mgr.Manager.instances inst.Vtpm_mgr.Manager.vtpm_id inst;
+      Vtpm_mgr.Manager.install_instance t.mgr inst;
       Ok inst.Vtpm_mgr.Manager.vtpm_id
 
 let migrate_out t ~process:_ ~vtpm_id : (string, string) result =

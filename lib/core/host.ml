@@ -109,7 +109,7 @@ let create_guest t ~name ~label ?(kernel = "vmlinuz-5.x-tenant") () : (guest, st
       | Error e -> Error e
       | Ok () -> (
           let inst = Vtpm_mgr.Manager.create_instance t.mgr in
-          inst.Vtpm_mgr.Manager.bound_domid <- Some domid;
+          Vtpm_mgr.Manager.bind_domid t.mgr inst domid;
           let vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id in
           (* Improved mode: record the authoritative binding + reference
              measurement. *)

@@ -26,6 +26,8 @@ type stats = {
   mutable throttled : int;
   mutable overloaded : int; (* submissions rejected at queue admission *)
   mutable shed : int; (* queued requests dropped past their deadline *)
+  mutable batches : int; (* multi-request drains served by the driver *)
+  mutable batched_requests : int; (* requests served inside those drains *)
 }
 
 type t = {
@@ -72,6 +74,8 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
         throttled = 0;
         overloaded = 0;
         shed = 0;
+        batches = 0;
+        batched_requests = 0;
       };
   }
 
@@ -131,7 +135,18 @@ let wire_backpressure t (backend : Vtpm_mgr.Driver.backend) =
       | Vtpm_mgr.Driver.Shed -> t.stats.shed <- t.stats.shed + 1);
       if t.audit_enabled then
         Audit.append t.audit ~subject:(Subject.to_string subject) ~operation:op
-          ~instance:None ~allowed:false ~reason)
+          ~instance:None ~allowed:false ~reason);
+  (* Batch drains are a service event, not a violation: record them as
+     allowed entries so the audit trail shows where ring round-trips were
+     amortised. *)
+  Vtpm_mgr.Driver.set_on_batch backend (fun domid n ->
+      t.stats.batches <- t.stats.batches + 1;
+      t.stats.batched_requests <- t.stats.batched_requests + n;
+      if t.audit_enabled then
+        Audit.append t.audit
+          ~subject:(Subject.to_string (Subject.Guest domid))
+          ~operation:"queue-service" ~instance:None ~allowed:true
+          ~reason:(Printf.sprintf "batch-drain:%d" n))
 
 (* Subject teardown: drop the quota bucket and cached decisions when a
    domain is destroyed, so per-subject state never outlives its owner. *)
@@ -147,6 +162,10 @@ let forget_subject t (subject : Subject.t) =
 
 let stats t = t.stats
 
+(* Per-lane view of the manager's execution pool: (commands, busy us) in
+   lane order. *)
+let lane_stats t = Vtpm_mgr.Manager.lane_stats t.mgr
+
 let reset_stats t =
   let s = t.stats in
   s.lookups <- 0;
@@ -157,7 +176,9 @@ let reset_stats t =
   s.gate_checks <- 0;
   s.throttled <- 0;
   s.overloaded <- 0;
-  s.shed <- 0
+  s.shed <- 0;
+  s.batches <- 0;
+  s.batched_requests <- 0
 
 (* The measurement gate: the guest's *current* kernel digest must match
    the reference recorded when the vTPM was bound. *)
@@ -363,7 +384,7 @@ let management t ~(process : string) ~(token : string) (op : management_op) :
             | Ok (engine, _) ->
                 let inst = Vtpm_mgr.Manager.create_instance t.mgr in
                 let inst = { inst with Vtpm_mgr.Manager.engine } in
-                Hashtbl.replace t.mgr.Vtpm_mgr.Manager.instances inst.Vtpm_mgr.Manager.vtpm_id inst;
+                Vtpm_mgr.Manager.install_instance t.mgr inst;
                 Ok (M_instance inst.Vtpm_mgr.Manager.vtpm_id))
         | Migrate_out { vtpm_id; dest_key } -> (
             match Vtpm_mgr.Manager.find t.mgr vtpm_id with

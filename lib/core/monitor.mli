@@ -25,6 +25,8 @@ type stats = {
   mutable throttled : int;
   mutable overloaded : int;  (** submissions rejected at queue admission *)
   mutable shed : int;  (** queued requests dropped past their deadline *)
+  mutable batches : int;  (** multi-request drains served by the driver *)
+  mutable batched_requests : int;  (** requests served inside those drains *)
 }
 
 type t = {
@@ -73,9 +75,10 @@ val set_audit_cap : t -> int option -> unit
     flood runs don't grow memory without limit. *)
 
 val wire_backpressure : t -> Vtpm_mgr.Driver.backend -> unit
-(** Hook the driver's admission-control events into the audit log:
-    rejections appear under reason "overloaded", deadline sheds under
-    "shed-deadline", counted in {!stats}. *)
+(** Hook the driver's admission-control and batching events into the
+    audit log: rejections appear under reason "overloaded", deadline
+    sheds under "shed-deadline", multi-request batch drains as allowed
+    "batch-drain:n" entries — all counted in {!stats}. *)
 
 val forget_subject : t -> Subject.t -> unit
 (** Teardown when a domain is destroyed: drop the subject's quota bucket
@@ -96,6 +99,10 @@ val register_process : t -> process:string -> token:string -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val lane_stats : t -> (int * float) array
+(** Per execution lane of the manager's pool: commands executed and busy
+    microseconds, in lane order. *)
 
 (** {1 Decision core (exposed for benchmarks)} *)
 

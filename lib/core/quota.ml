@@ -44,10 +44,15 @@ let admit t (subject : Subject.t) : bool =
   end
   else false
 
+(* Read-only: a probe for a subject that never sent a request must not
+   allocate a bucket (it would inflate [tracked] and live forever); an
+   untracked subject has its full burst available by definition. *)
 let remaining t (subject : Subject.t) : float =
-  let b = bucket_for t (Subject.cache_key subject) in
-  refill t b;
-  b.tokens
+  match Hashtbl.find_opt t.buckets (Subject.cache_key subject) with
+  | None -> t.burst
+  | Some b ->
+      refill t b;
+      b.tokens
 
 let forget t (subject : Subject.t) = Hashtbl.remove t.buckets (Subject.cache_key subject)
 

@@ -167,6 +167,42 @@ let fig1 ?(vm_counts = [ 1; 2; 4; 8; 16; 32 ]) ?(total_ops = 1920) () :
   in
   (series, rendered)
 
+(* --- Figure 8: throughput vs number of VMs at N execution lanes ------------------ *)
+
+let fig8 ?(vm_counts = [ 1; 2; 4; 8; 16; 32 ]) ?(lane_counts = [ 1; 2; 4; 8 ])
+    ?(total_ops = 1920) () : (string * (float * float) list) list * string =
+  (* Improved mode with Figure 1's host seeds and op budget: the 1-lane
+     series reproduces Figure 1's improved series bit-for-bit (the single
+     lane degenerates to the serial meter), so the scaling curves read
+     directly against the flat bottleneck they break. The serial residue
+     per request — ring, XenStore, monitor decision, audit — is what the
+     higher lane counts saturate against. *)
+  let series_for lanes =
+    List.map
+      (fun n ->
+        let host, tenants =
+          Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n ~seed:(50 + n) ()
+        in
+        Vtpm_mgr.Manager.set_lanes host.Host.mgr lanes;
+        let ops_per_tenant = max 1 (total_ops / n) in
+        let r = Workload.run host ~tenants ~mix:Workload.mixed ~ops_per_tenant () in
+        (float_of_int n, r.Workload.throughput_ops_s))
+      vm_counts
+  in
+  let series =
+    List.map
+      (fun lanes -> (Printf.sprintf "%d-lane" lanes, series_for lanes))
+      lane_counts
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        "Figure 8: aggregate vTPM throughput (simulated ops/s) vs number of VMs, by \
+         execution lanes (improved mode)"
+      ~x_label:"vms" ~series
+  in
+  (series, rendered)
+
 (* --- Figure 2: decision latency vs policy size ----------------------------------- *)
 
 let fig2 ?(rule_counts = [ 1; 16; 64; 256; 1024; 4096 ]) ?(reps = 400) () :
@@ -384,7 +420,7 @@ type table4_row = {
    the instance, so an injected crash can only lose unacknowledged work.
    Faults arm only after the link is up — the workload, not the initial
    handshake, is under test. *)
-let fault_fixture ~self_heal ~fault_rates ~seed () =
+let fault_fixture ?(lanes = 1) ~self_heal ~fault_rates ~seed () =
   let open Vtpm_xen in
   let open Vtpm_mgr in
   let xen = Hypervisor.create () in
@@ -395,8 +431,9 @@ let fault_fixture ~self_heal ~fault_rates ~seed () =
   in
   ignore (Hypervisor.unpause_domain xen ~caller:0 fe);
   let mgr = Manager.create ~rsa_bits:256 ~seed ~cost:xen.Hypervisor.cost () in
+  Manager.set_lanes mgr lanes;
   let inst = Manager.create_instance mgr in
-  inst.Manager.bound_domid <- Some fe;
+  Manager.bind_domid mgr inst fe;
   let ckpt = Checkpoint.create mgr in
   let router ~sender:_ ~claimed_instance ~wire =
     match Manager.find mgr claimed_instance with
@@ -424,11 +461,13 @@ let fault_fixture ~self_heal ~fault_rates ~seed () =
   Hypervisor.set_faults xen (Vtpm_xen.Faults.create ~seed ~rates:fault_rates ());
   (xen, mgr, inst, ckpt, backend, conn)
 
-let run_fault_workload ~self_heal ~fault_rate ~requests ~seed : table4_row =
+let run_fault_workload ?(lanes = 1) ~self_heal ~fault_rate ~requests ~seed () : table4_row =
   let open Vtpm_xen in
   let open Vtpm_mgr in
   let rates = List.map (fun c -> (c, fault_rate)) Faults.all_classes in
-  let xen, _, _, _, backend, conn = fault_fixture ~self_heal ~fault_rates:rates ~seed () in
+  let xen, _, _, _, backend, conn =
+    fault_fixture ~lanes ~self_heal ~fault_rates:rates ~seed ()
+  in
   let cost = xen.Hypervisor.cost in
   (* Mixed read/write traffic: every fourth request extends a PCR, the
      rest read it — so crash recovery is exercised against state that
@@ -520,8 +559,8 @@ let table4 ?(fault_rates = [ 0.0; 0.01; 0.05; 0.10 ]) ?(requests = 1000) () :
     List.concat_map
       (fun rate ->
         [
-          run_fault_workload ~self_heal:false ~fault_rate:rate ~requests ~seed:137;
-          run_fault_workload ~self_heal:true ~fault_rate:rate ~requests ~seed:137;
+          run_fault_workload ~self_heal:false ~fault_rate:rate ~requests ~seed:137 ();
+          run_fault_workload ~self_heal:true ~fault_rate:rate ~requests ~seed:137 ();
         ])
       fault_rates
   in
@@ -594,11 +633,14 @@ type table5_row = {
      for free, stale entries are shed deadline-aware, quota catches what
      leaks through, and the supervisor guards the execution path. *)
 let flood_run ~config ~flood_x ?(victims = 3) ?(victim_period_us = 3_000.0)
-    ?(victim_ops = 200) ?(deadline_us = 10_000.0) ~seed () : table5_row =
+    ?(victim_ops = 200) ?(deadline_us = 10_000.0) ?(lanes = 1) ?(batch = 1) ~seed () :
+    table5_row =
   let open Vtpm_mgr in
   let host = Host.create ~mode:Host.Improved_mode ~seed ~rsa_bits:256 () in
   let m = Host.monitor_exn host in
   let cost = Host.cost host in
+  Manager.set_lanes host.Host.mgr lanes;
+  Driver.set_batch host.Host.backend batch;
   (* Long floods must not grow the audit log without bound. *)
   Monitor.set_audit_cap m (Some 4096);
   let victim_guests =
@@ -691,23 +733,29 @@ let flood_run ~config ~flood_x ?(victims = 3) ?(victim_period_us = 3_000.0)
        let at, _, _, _ = arrivals.(!i) in
        Vtpm_util.Cost.advance_to cost at);
     admit_due ();
-    match Driver.pump_one backend with
+    match Driver.pump_batch backend with
     | `Idle -> ()
-    | `Served s ->
-        let latency = Vtpm_util.Cost.now cost -. s.Driver.s_arrival_us in
-        let ok =
-          match s.Driver.s_outcome with
-          | Ok o -> o.Driver.status = Proto.Ok_routed
-          | Error _ -> false
-        in
-        if s.Driver.s_domid = attacker.Host.domid then begin
-          if ok then incr attacker_served else incr attacker_rejected
-        end
-        else begin
-          Metrics.add vm latency;
-          if ok && latency <= deadline_us then incr victim_good
-        end
+    | `Served served ->
+        List.iter
+          (fun (s : Driver.serviced) ->
+            (* Latency runs to the request's lane-completion time, which
+               equals the meter time in the single-lane configuration. *)
+            let latency = s.Driver.s_done_us -. s.Driver.s_arrival_us in
+            let ok =
+              match s.Driver.s_outcome with
+              | Ok o -> o.Driver.status = Proto.Ok_routed
+              | Error _ -> false
+            in
+            if s.Driver.s_domid = attacker.Host.domid then begin
+              if ok then incr attacker_served else incr attacker_rejected
+            end
+            else begin
+              Metrics.add vm latency;
+              if ok && latency <= deadline_us then incr victim_good
+            end)
+          served
   done;
+  Manager.sync_lanes host.Host.mgr;
   let victim_sent = victims * victim_ops in
   {
     config = flood_config_name config;
@@ -882,7 +930,7 @@ let fig6 ?(fault_rates = [ 0.0; 0.01; 0.02; 0.05; 0.10; 0.20 ]) ?(requests = 400
   let series_for self_heal =
     List.map
       (fun rate ->
-        let r = run_fault_workload ~self_heal ~fault_rate:rate ~requests ~seed:211 in
+        let r = run_fault_workload ~self_heal ~fault_rate:rate ~requests ~seed:211 () in
         (rate *. 100.0, r.success_pct))
       fault_rates
   in

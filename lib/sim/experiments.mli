@@ -28,6 +28,15 @@ val fig1 :
 (** Aggregate throughput vs number of VMs. A constant total op count with
     a shared workload seed isolates per-VM effects from sampling noise. *)
 
+val fig8 :
+  ?vm_counts:int list -> ?lane_counts:int list -> ?total_ops:int -> unit ->
+  (string * (float * float) list) list * string
+(** Aggregate throughput vs number of VMs at N execution lanes (improved
+    mode, Figure 1's seeds and op budget). The 1-lane series reproduces
+    Figure 1's improved series bit-for-bit; higher lane counts scale
+    until the serial per-request residue (ring, monitor, audit)
+    saturates. *)
+
 val fig2 :
   ?rule_counts:int list -> ?reps:int -> unit -> (string * (float * float) list) list * string
 (** Per-request latency vs policy size, decision cache on/off. *)
@@ -60,9 +69,11 @@ type table4_row = {
 }
 
 val run_fault_workload :
-  self_heal:bool -> fault_rate:float -> requests:int -> seed:int -> table4_row
+  ?lanes:int ->
+  self_heal:bool -> fault_rate:float -> requests:int -> seed:int -> unit -> table4_row
 (** One workload run under uniform per-class fault injection: fail-fast
-    ([self_heal:false]) or retry + reconnect + checkpointed restart. *)
+    ([self_heal:false]) or retry + reconnect + checkpointed restart.
+    [lanes] (default 1) sizes the manager's execution-lane pool. *)
 
 type crash_drill = {
   extends_acked : int;
@@ -111,11 +122,14 @@ type table5_row = {
 
 val flood_run :
   config:flood_config -> flood_x:int -> ?victims:int -> ?victim_period_us:float ->
-  ?victim_ops:int -> ?deadline_us:float -> seed:int -> unit -> table5_row
+  ?victim_ops:int -> ?deadline_us:float -> ?lanes:int -> ?batch:int ->
+  seed:int -> unit -> table5_row
 (** One discrete-event flood run: [victims] well-behaved guests at a
     steady mixed rate, one attacker flooding extends at [flood_x] times a
     victim's rate, all multiplexed through the shared backend in global
-    arrival order. *)
+    arrival order. [lanes] (default 1) sizes the manager's execution-lane
+    pool; [batch] (default 1) bounds the driver's per-round batch drain —
+    the defaults reproduce the serial PR 3 behaviour bit-for-bit. *)
 
 val table5 : ?flood_x:int -> ?victim_ops:int -> unit -> table5_row list * string
 (** Victim goodput, tail latency and attacker containment under a fixed

@@ -10,15 +10,95 @@
    ring round trip costs tens of microseconds. Relative magnitudes are what
    matters for the reproduced tables. *)
 
-type t = { mutable now_us : float }
+type t = {
+  mutable now_us : float;
+  (* Charge redirection: when set, [charge] feeds the sink instead of
+     advancing the meter. Used to re-home a block of work (e.g. a
+     checkpoint restore) onto one execution lane instead of the global
+     clock. *)
+  mutable sink : (float -> unit) option;
+  (* Lane-execution bookkeeping, so transports can recover the completion
+     time of the command a service round just executed: [exec_seq] counts
+     lane executions, [last_completion_us] is the finish time of the most
+     recent one (it may lie ahead of [now_us] when several lanes run). *)
+  mutable exec_seq : int;
+  mutable last_completion_us : float;
+}
 
-let create () = { now_us = 0.0 }
+let create () = { now_us = 0.0; sink = None; exec_seq = 0; last_completion_us = 0.0 }
 let now t = t.now_us
-let charge t us = if us > 0.0 then t.now_us <- t.now_us +. us
+
+let charge t us =
+  if us > 0.0 then
+    match t.sink with Some sink -> sink us | None -> t.now_us <- t.now_us +. us
+
 let advance_to t us = if us > t.now_us then t.now_us <- us
+let exec_seq t = t.exec_seq
+let last_completion_us t = t.last_completion_us
+
+let with_redirect t sink f =
+  let old = t.sink in
+  t.sink <- Some sink;
+  Fun.protect ~finally:(fun () -> t.sink <- old) f
+
+(* Parallel-time accounting: a pool of execution lanes sharing one meter.
+
+   Each lane keeps its own [busy_until_us] clock. Executing a command of
+   cost [c] on a lane starts at [max (now meter) lane.busy_until_us],
+   finishes [c] later, and then advances the shared meter only to the
+   *earliest* busy-until across the pool — the moment the dispatcher could
+   hand out the next command. Elapsed time for a burst of work is therefore
+   the max over lanes (see [sync]), not the sum of costs.
+
+   With a single lane this degenerates bit-exactly to [charge]: the lane's
+   busy-until always equals [now], so start = now, finish = now +. c, and
+   the advance sets now = finish — the same float arithmetic. *)
+module Lanes = struct
+  type lane = {
+    mutable busy_until_us : float;
+    mutable busy_us : float; (* total execution time charged to this lane *)
+    mutable executed : int;
+  }
+
+  type pool = { lanes : lane array }
+
+  let create n =
+    if n < 1 then invalid_arg "Cost.Lanes.create: need at least one lane";
+    { lanes = Array.init n (fun _ -> { busy_until_us = 0.0; busy_us = 0.0; executed = 0 }) }
+
+  let count p = Array.length p.lanes
+
+  let lane_for p ~key =
+    let n = Array.length p.lanes in
+    ((key mod n) + n) mod n
+
+  let earliest_free p =
+    Array.fold_left (fun acc l -> Float.min acc l.busy_until_us) infinity p.lanes
+
+  let exec p meter ~key us =
+    let l = p.lanes.(lane_for p ~key) in
+    let start = Float.max meter.now_us l.busy_until_us in
+    let finish = start +. us in
+    l.busy_until_us <- finish;
+    l.busy_us <- l.busy_us +. us;
+    l.executed <- l.executed + 1;
+    meter.exec_seq <- meter.exec_seq + 1;
+    meter.last_completion_us <- finish;
+    advance_to meter (earliest_free p);
+    finish
+
+  (* Drain the pool: advance the meter to the busiest lane's completion so
+     elapsed-time measurements include trailing lane work. No-op when every
+     lane is already behind the meter (always true with one lane). *)
+  let sync p meter =
+    Array.iter (fun l -> advance_to meter l.busy_until_us) p.lanes
+
+  let stats p = Array.map (fun l -> (l.executed, l.busy_us)) p.lanes
+end
 
 (* Transport *)
 let ring_round_trip_us = 30.0
+let ring_batch_slot_us = 4.0 (* per extra request drained in one batch round *)
 let evtchn_notify_us = 5.0
 let xenstore_op_us = 80.0
 

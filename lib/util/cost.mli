@@ -23,9 +23,57 @@ val charge : t -> float -> unit
 val advance_to : t -> float -> unit
 (** Jump forward to an absolute time; never rewinds. *)
 
+val exec_seq : t -> int
+(** Number of lane executions performed against this meter so far. *)
+
+val last_completion_us : t -> float
+(** Finish time of the most recent lane execution; may lie ahead of
+    [now] when several lanes are in flight. *)
+
+val with_redirect : t -> (float -> unit) -> (unit -> 'a) -> 'a
+(** [with_redirect t sink f] runs [f] with every [charge] routed to
+    [sink] instead of advancing the meter — used to re-home a block of
+    work onto one execution lane. [advance_to] is unaffected. *)
+
+(** Parallel-time accounting: a pool of execution lanes sharing one
+    meter. Executing a command on a lane starts at [max now busy_until],
+    finishes [cost] later, and advances the shared meter to the earliest
+    busy-until across the pool. Elapsed time for a burst of work is the
+    max over lanes, not the sum of costs. With one lane this degenerates
+    bit-exactly to [charge]. *)
+module Lanes : sig
+  type pool
+
+  val create : int -> pool
+  (** [create n] builds an [n]-lane pool; raises [Invalid_argument] if
+      [n < 1]. *)
+
+  val count : pool -> int
+
+  val lane_for : pool -> key:int -> int
+  (** Fixed deterministic assignment: [key mod count]. *)
+
+  val exec : pool -> t -> key:int -> float -> float
+  (** [exec pool meter ~key us] executes a command of cost [us] on the
+      lane for [key] and returns its finish time. *)
+
+  val sync : pool -> t -> unit
+  (** Advance the meter to the busiest lane's completion, so elapsed-time
+      measurements include trailing lane work. *)
+
+  val stats : pool -> (int * float) array
+  (** Per lane: commands executed and total busy microseconds. *)
+end
+
 (** {1 Transport} *)
 
 val ring_round_trip_us : float
+
+val ring_batch_slot_us : float
+(** Marginal cost of each additional request drained in the same batch
+    round: the ring holds many slots, so one kick amortises over the
+    whole drain. *)
+
 val evtchn_notify_us : float
 val xenstore_op_us : float
 

@@ -95,7 +95,7 @@ let restore_instance (t : t) ~vtpm_id : (unit, string) result =
               created_at = Vtpm_util.Cost.now t.mgr.Manager.cost;
             }
           in
-          Hashtbl.replace t.mgr.Manager.instances e.vtpm_id inst;
+          Manager.install_instance t.mgr inst;
           t.restores <- t.restores + 1;
           Ok ())
 
@@ -136,7 +136,7 @@ let restore_all (t : t) : (int, string) result =
                 created_at = Vtpm_util.Cost.now t.mgr.Manager.cost;
               }
             in
-            Hashtbl.replace t.mgr.Manager.instances e.vtpm_id inst;
+            Manager.install_instance t.mgr inst;
             go (n + 1) rest)
   in
   go 0 entries

@@ -96,6 +96,8 @@ type backend = {
   mutable on_backpressure : backpressure -> Domain.domid -> unit;
   rr_last : (Domain.domid, int) Hashtbl.t; (* round-robin: last service seq *)
   mutable rr_seq : int;
+  mutable batch : int; (* max requests drained per frontend per round *)
+  mutable on_batch : Domain.domid -> int -> unit; (* multi-request drains *)
 }
 
 let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
@@ -118,6 +120,8 @@ let create_backend ?resilience ~xen ~be_domid ~router () =
     on_backpressure = (fun _ _ -> ());
     rr_last = Hashtbl.create 16;
     rr_seq = 0;
+    batch = 1;
+    on_batch = (fun _ _ -> ());
   }
 
 (* Toolstack step: publish the device nodes for a new vTPM attachment.
@@ -476,12 +480,19 @@ let request_resilient (backend : backend) (conn : connection) ~wire ~(r : resili
   in
   go ~attempt:1 ~prev:None
 
-let request_with_info (backend : backend) (conn : connection) ~(wire : string) :
+(* [ring_charge] is the transport cost of reaching the backend: a full
+   round trip for a standalone request or the first of a batch, the
+   amortised slot cost for the rest of a drained batch. *)
+let request_charged (backend : backend) (conn : connection) ~(wire : string) ~ring_charge :
     (outcome, Vtpm_util.Verror.t) result =
-  Vtpm_util.Cost.charge backend.xen.Hypervisor.cost Vtpm_util.Cost.ring_round_trip_us;
+  Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
   match backend.resilience with
   | None -> request_failfast backend conn ~wire
   | Some r -> request_resilient backend conn ~wire ~r
+
+let request_with_info (backend : backend) (conn : connection) ~(wire : string) :
+    (outcome, Vtpm_util.Verror.t) result =
+  request_charged backend conn ~wire ~ring_charge:Vtpm_util.Cost.ring_round_trip_us
 
 let request (backend : backend) (conn : connection) ~(wire : string) :
     (Proto.status * string, string) result =
@@ -574,6 +585,9 @@ type serviced = {
   s_domid : Domain.domid;
   s_arrival_us : float;
   s_outcome : (outcome, Vtpm_util.Verror.t) result;
+  s_done_us : float;
+      (* completion: the finish time of the command this request executed
+         on its lane, or the meter time at service end if nothing ran *)
 }
 
 (* Service discipline. Naive (no policy): global FIFO, earliest arrival
@@ -584,7 +598,23 @@ type serviced = {
    service would hand a flooder service share proportional to its arrival
    rate, defeating the per-subject bound. Both picks break ties by domid,
    deterministic regardless of hash order. *)
-let pump_one (backend : backend) : [ `Idle | `Served of serviced ] =
+(* Serve one queued entry and stamp its completion time: if the request
+   executed a command on a lane, completion is that command's finish (it
+   may lie ahead of the meter when several lanes run); otherwise it is
+   the meter time when service ended. *)
+let serve_entry (backend : backend) domid (h : queued) ~ring_charge : serviced =
+  let cost = backend.xen.Hypervisor.cost in
+  let seq0 = Vtpm_util.Cost.exec_seq cost in
+  let outcome = request_charged backend h.q_conn ~wire:h.q_wire ~ring_charge in
+  let now = Vtpm_util.Cost.now cost in
+  let done_us =
+    if Vtpm_util.Cost.exec_seq cost > seq0 then
+      Float.max now (Vtpm_util.Cost.last_completion_us cost)
+    else now
+  in
+  { s_domid = domid; s_arrival_us = h.arrival_us; s_outcome = outcome; s_done_us = done_us }
+
+let pump_batched (backend : backend) ~batch : [ `Idle | `Served of serviced list ] =
   let now = Vtpm_util.Cost.now backend.xen.Hypervisor.cost in
   (match backend.overload with
   | Some _ -> Hashtbl.iter (fun _ q -> shed_stale backend q ~now) backend.queues
@@ -621,10 +651,48 @@ let pump_one (backend : backend) : [ `Idle | `Served of serviced ] =
   | None -> `Idle
   | Some (domid, h, q) ->
       ignore (Queue.pop q);
+      (* The picked frontend consumes one scheduling-round slot however
+         many entries the drain serves: round-robin fairness is per
+         round, and the batch bound applies to every frontend alike. *)
       backend.rr_seq <- backend.rr_seq + 1;
       Hashtbl.replace backend.rr_last domid backend.rr_seq;
-      let outcome = request_with_info backend h.q_conn ~wire:h.q_wire in
-      `Served { s_domid = domid; s_arrival_us = h.arrival_us; s_outcome = outcome }
+      let first = serve_entry backend domid h ~ring_charge:Vtpm_util.Cost.ring_round_trip_us in
+      let rec drain n acc =
+        if n >= batch then acc
+        else begin
+          (match backend.overload with
+          | Some _ ->
+              shed_stale backend q ~now:(Vtpm_util.Cost.now backend.xen.Hypervisor.cost)
+          | None -> ());
+          match Queue.take_opt q with
+          | None -> acc
+          | Some h ->
+              (* Same ring, same kick: later entries of the drain cost
+                 only the amortised slot time. *)
+              drain (n + 1)
+                (serve_entry backend domid h ~ring_charge:Vtpm_util.Cost.ring_batch_slot_us
+                :: acc)
+        end
+      in
+      let served = List.rev (drain 1 [ first ]) in
+      (match served with
+      | _ :: _ :: _ -> backend.on_batch domid (List.length served)
+      | _ -> ());
+      `Served served
+
+let pump_one (backend : backend) : [ `Idle | `Served of serviced ] =
+  match pump_batched backend ~batch:1 with
+  | `Idle -> `Idle
+  | `Served [ s ] -> `Served s
+  | `Served _ -> assert false
+
+let set_batch (backend : backend) n =
+  if n < 1 then invalid_arg "Driver.set_batch: need at least one slot";
+  backend.batch <- n
+
+let batch (backend : backend) = backend.batch
+let set_on_batch (backend : backend) f = backend.on_batch <- f
+let pump_batch (backend : backend) = pump_batched backend ~batch:backend.batch
 
 (* A [Vtpm_tpm.Client.transport] over the split driver: raises on protocol
    failures, surfaces monitor denials as a distinguished exception so

@@ -75,6 +75,9 @@ type backend = {
   rr_last : (Vtpm_xen.Domain.domid, int) Hashtbl.t;
       (** round-robin bookkeeping: last service sequence per frontend *)
   mutable rr_seq : int;
+  mutable batch : int;  (** max requests drained per frontend per round *)
+  mutable on_batch : Vtpm_xen.Domain.domid -> int -> unit;
+      (** audit hook: the monitor records multi-request batch drains *)
 }
 
 val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
@@ -174,6 +177,9 @@ type serviced = {
   s_domid : Vtpm_xen.Domain.domid;
   s_arrival_us : float;
   s_outcome : (outcome, Vtpm_util.Verror.t) result;
+  s_done_us : float;
+      (** completion time: the lane finish of the command this request
+          executed, or the meter time at service end if nothing ran *)
 }
 
 val pump_one : backend -> [ `Idle | `Served of serviced ]
@@ -183,6 +189,24 @@ val pump_one : backend -> [ `Idle | `Served of serviced ]
     gets at most one slot per round regardless of its arrival rate. Both
     disciplines break ties by domid — deterministic regardless of hash
     order. *)
+
+val set_batch : backend -> int -> unit
+(** Batch bound for {!pump_batch}; raises [Invalid_argument] if [< 1]. *)
+
+val batch : backend -> int
+
+val set_on_batch : backend -> (Vtpm_xen.Domain.domid -> int -> unit) -> unit
+(** Hook called after a drain that served more than one request, with the
+    frontend and the number served. *)
+
+val pump_batch : backend -> [ `Idle | `Served of serviced list ]
+(** Like {!pump_one}, but drain up to {!batch} queued requests from the
+    picked frontend in one round: the first request pays the full ring
+    round trip, the rest the amortised {!Vtpm_util.Cost.ring_batch_slot_us}.
+    The frontend still consumes exactly one round-robin slot, so the
+    per-subject fairness bound is unchanged; FIFO within the frontend
+    preserves per-instance command order. With [batch = 1] this is
+    exactly {!pump_one}. *)
 
 exception Denied of string
 (** Raised by {!client_transport} when the monitor denies a request, so

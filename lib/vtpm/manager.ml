@@ -21,6 +21,7 @@ type instance = {
 
 type t = {
   instances : (int, instance) Hashtbl.t;
+  domid_index : (Vtpm_xen.Domain.domid, int) Hashtbl.t; (* domid -> vtpm_id *)
   mutable next_id : int;
   hw_tpm : Engine.t; (* the physical TPM under the manager *)
   hw_srk_auth : string;
@@ -28,6 +29,8 @@ type t = {
   rsa_bits : int;
   cost : Vtpm_util.Cost.t;
   mutable seed : int;
+  creation_seed : int; (* seed at [create] time; never bumped *)
+  mutable lanes : Vtpm_util.Cost.Lanes.pool;
 }
 
 (* PCR the manager's own measurement lives in on the hardware TPM; sealed
@@ -53,6 +56,7 @@ let create ?(rsa_bits = 512) ~seed ~(cost : Vtpm_util.Cost.t) () =
   assert (resp.Cmd.rc = Types.tpm_success);
   {
     instances = Hashtbl.create 16;
+    domid_index = Hashtbl.create 16;
     next_id = 1;
     hw_tpm;
     hw_srk_auth;
@@ -60,7 +64,20 @@ let create ?(rsa_bits = 512) ~seed ~(cost : Vtpm_util.Cost.t) () =
     rsa_bits;
     cost;
     seed;
+    creation_seed = seed;
+    lanes = Vtpm_util.Cost.Lanes.create 1;
   }
+
+(* --- Execution lanes ----------------------------------------------------- *)
+
+let set_lanes t n = t.lanes <- Vtpm_util.Cost.Lanes.create n
+let lane_count t = Vtpm_util.Cost.Lanes.count t.lanes
+let lane_of t ~vtpm_id = Vtpm_util.Cost.Lanes.lane_for t.lanes ~key:vtpm_id
+let lane_stats t = Vtpm_util.Cost.Lanes.stats t.lanes
+let sync_lanes t = Vtpm_util.Cost.Lanes.sync t.lanes t.cost
+
+let charge_lane t ~vtpm_id us =
+  ignore (Vtpm_util.Cost.Lanes.exec t.lanes t.cost ~key:vtpm_id us)
 
 let find t vtpm_id : (instance, Vtpm_util.Verror.t) result =
   match Hashtbl.find_opt t.instances vtpm_id with
@@ -87,7 +104,59 @@ let create_instance t : instance =
   Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.vtpm_attach_us;
   inst
 
+(* --- Domain binding and the domid index ---------------------------------- *)
+
+(* The index mirrors [bound_domid] across the instance table; every
+   mutation of a binding goes through one of the functions below so the
+   two can never disagree. *)
+
+let drop_index_entry t (inst : instance) =
+  match inst.bound_domid with
+  | Some d when Hashtbl.find_opt t.domid_index d = Some inst.vtpm_id ->
+      Hashtbl.remove t.domid_index d
+  | _ -> ()
+
+(* A domid routes to exactly one instance: whoever held it before loses
+   the binding, so the index and the per-instance records cannot drift
+   into claiming the same frontend twice. *)
+let evict_holder t domid ~(except : int) =
+  match Hashtbl.find_opt t.domid_index domid with
+  | Some other_id when other_id <> except -> (
+      Hashtbl.remove t.domid_index domid;
+      match Hashtbl.find_opt t.instances other_id with
+      | Some other -> other.bound_domid <- None
+      | None -> ())
+  | _ -> ()
+
+let bind_domid t (inst : instance) domid =
+  evict_holder t domid ~except:inst.vtpm_id;
+  drop_index_entry t inst;
+  inst.bound_domid <- Some domid;
+  Hashtbl.replace t.domid_index domid inst.vtpm_id
+
+let unbind_domid t (inst : instance) =
+  drop_index_entry t inst;
+  inst.bound_domid <- None
+
+(* Install (or replace) an instance record wholesale — the restore path
+   used by checkpoint/migration/state-resume, which rebuild records rather
+   than mutate live ones. Keeps the index in step with the incoming
+   binding. *)
+let install_instance t (inst : instance) =
+  (match Hashtbl.find_opt t.instances inst.vtpm_id with
+  | Some old -> drop_index_entry t old
+  | None -> ());
+  Hashtbl.replace t.instances inst.vtpm_id inst;
+  match inst.bound_domid with
+  | Some d ->
+      evict_holder t d ~except:inst.vtpm_id;
+      Hashtbl.replace t.domid_index d inst.vtpm_id
+  | None -> ()
+
 let destroy_instance t vtpm_id =
+  (match Hashtbl.find_opt t.instances vtpm_id with
+  | Some inst -> drop_index_entry t inst
+  | None -> ());
   Hashtbl.remove t.instances vtpm_id
 
 (* A wedged instance stops answering until it is restored from a
@@ -98,14 +167,18 @@ let is_wedged (inst : instance) = inst.state = Wedged
 (* Simulated manager-domain crash: all in-memory instance state is gone.
    The hardware TPM is a physical chip — it survives, which is exactly
    what lets sealed checkpoints restore afterwards. *)
-let crash t = Hashtbl.reset t.instances
+let crash t =
+  Hashtbl.reset t.instances;
+  Hashtbl.reset t.domid_index
 
 let instances t =
   Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
   |> List.sort (fun a b -> Stdlib.compare a.vtpm_id b.vtpm_id)
 
 let instance_for_domid t domid =
-  List.find_opt (fun i -> i.bound_domid = Some domid) (instances t)
+  match Hashtbl.find_opt t.domid_index domid with
+  | None -> None
+  | Some vtpm_id -> Hashtbl.find_opt t.instances vtpm_id
 
 (* Simulated execution cost of a TPM command, charged per dispatch. *)
 let command_cost ordinal =
@@ -134,7 +207,12 @@ let execute_wire t (inst : instance) ~(wire : string) : (string, Vtpm_util.Verro
     match Wire.decode_request wire with
     | exception Wire.Malformed m -> Vtpm_util.Verror.bad_request "%s" m
     | req ->
-        Vtpm_util.Cost.charge t.cost (command_cost (Cmd.ordinal req));
+        (* Execute on the instance's lane: same-instance commands stay
+           strictly ordered (fixed lane, FIFO dispatch); different
+           instances on different lanes overlap in simulated time. *)
+        ignore
+          (Vtpm_util.Cost.Lanes.exec t.lanes t.cost ~key:inst.vtpm_id
+             (command_cost (Cmd.ordinal req)));
         let resp = Engine.execute inst.engine ~locality:0 req in
         Ok (Wire.encode_response resp))
 
@@ -145,4 +223,7 @@ let hw_transport t : Client.transport =
   let req = Wire.decode_request bytes in
   Wire.encode_response (Engine.execute t.hw_tpm ~locality:2 req)
 
-let hw_client t = Client.create ~seed:(t.seed * 31 + 5) (hw_transport t)
+(* Seeded from the immutable creation-time seed: the client's stream must
+   not depend on how many instances existed when it was built (t.seed is
+   bumped by every [create_instance]). *)
+let hw_client t = Client.create ~seed:((t.creation_seed * 31) + 5) (hw_transport t)

@@ -19,6 +19,10 @@ type instance = {
 
 type t = {
   instances : (int, instance) Hashtbl.t;
+  domid_index : (Vtpm_xen.Domain.domid, int) Hashtbl.t;
+      (** [bound_domid] mirror: domid -> vtpm_id, maintained by
+          {!bind_domid}/{!unbind_domid}/{!install_instance}/
+          {!destroy_instance}/{!crash} *)
   mutable next_id : int;
   hw_tpm : Vtpm_tpm.Engine.t;  (** the physical TPM under the manager *)
   hw_srk_auth : string;
@@ -26,6 +30,8 @@ type t = {
   rsa_bits : int;
   cost : Vtpm_util.Cost.t;
   mutable seed : int;
+  creation_seed : int;  (** seed at [create] time; never bumped *)
+  mutable lanes : Vtpm_util.Cost.Lanes.pool;
 }
 
 val manager_pcr : int
@@ -38,7 +44,48 @@ val create : ?rsa_bits:int -> seed:int -> cost:Vtpm_util.Cost.t -> unit -> t
 
 val find : t -> int -> (instance, Vtpm_util.Verror.t) result
 val create_instance : t -> instance
+
 val destroy_instance : t -> int -> unit
+(** Removes the instance and its domid-index entry. *)
+
+(** {1 Execution lanes}
+
+    A configurable pool of simulated worker lanes on the shared cost
+    meter. Instances map to lanes by the fixed assignment
+    [vtpm_id mod lanes], so a run's lane schedule is deterministic;
+    commands for the same instance stay strictly ordered while different
+    instances on different lanes overlap in simulated time. The default
+    single lane reproduces the serial manager bit-exactly. *)
+
+val set_lanes : t -> int -> unit
+(** Replace the lane pool with [n] fresh lanes; raises [Invalid_argument]
+    if [n < 1]. *)
+
+val lane_count : t -> int
+val lane_of : t -> vtpm_id:int -> int
+
+val lane_stats : t -> (int * float) array
+(** Per lane: commands executed and total busy microseconds. *)
+
+val sync_lanes : t -> unit
+(** Advance the meter past all in-flight lane work (elapsed = max over
+    lanes); call before reading elapsed time at the end of a workload. *)
+
+val charge_lane : t -> vtpm_id:int -> float -> unit
+(** Charge non-command work (degraded reads, restarts) to the instance's
+    lane instead of the global meter. *)
+
+(** {1 Domain binding}
+
+    All [bound_domid] mutations go through these so the domid index can
+    never disagree with the instance table. *)
+
+val bind_domid : t -> instance -> Vtpm_xen.Domain.domid -> unit
+val unbind_domid : t -> instance -> unit
+
+val install_instance : t -> instance -> unit
+(** Install or replace an instance record wholesale (checkpoint restore,
+    migration import, state resume), keeping the index in step. *)
 
 val wedge : instance -> unit
 (** Mark an instance hung: it refuses every command until restored from a

@@ -117,7 +117,7 @@ let import mgr (stream : string) : (Manager.instance, string) result =
         | Ok engine ->
             let inst = Manager.create_instance mgr in
             let inst = { inst with Manager.engine } in
-            Hashtbl.replace mgr.Manager.instances inst.Manager.vtpm_id inst;
+            Manager.install_instance mgr inst;
             Ok inst)
   end
 

@@ -133,6 +133,5 @@ let resume mgr (inst : Manager.instance) (blob : string) : (unit, string) result
       (* Replace the engine wholesale; handles/sessions were dropped by
          TPM save semantics. *)
       let fresh = { inst with Manager.engine } in
-      Hashtbl.replace mgr.Manager.instances inst.Manager.vtpm_id
-        { fresh with Manager.state = Manager.Active };
+      Manager.install_instance mgr { fresh with Manager.state = Manager.Active };
       Ok ()

@@ -198,7 +198,10 @@ let degraded_service t (e : entry) ~wire =
       | Some shadow when t.cfg.is_read_only ordinal ->
           e.degraded_reads <- e.degraded_reads + 1;
           emit t e Degraded_read;
-          Vtpm_util.Cost.charge t.mgr.Manager.cost (Manager.command_cost ordinal);
+          (* The shadow read occupies the instance's execution lane, like
+             the live command it stands in for (with one lane this is a
+             plain global charge). *)
+          Manager.charge_lane t.mgr ~vtpm_id:e.vtpm_id (Manager.command_cost ordinal);
           Ok (Wire.encode_response (Engine.execute shadow ~locality:0 req))
       | _ ->
           e.degraded_rejects <- e.degraded_rejects + 1;
@@ -220,14 +223,28 @@ let quarantine_and_restart t (e : entry) =
     emit t e Isolate
   end
   else begin
-    (match Checkpoint.shadow_engine t.ckpt ~vtpm_id:e.vtpm_id with
-    | Ok shadow -> e.shadow <- Some shadow
-    | Error _ -> ());
-    match Checkpoint.restore_instance t.ckpt ~vtpm_id:e.vtpm_id with
-    | Ok () ->
-        e.health <- Degraded;
-        emit t e Restart
-    | Error _ -> () (* stays Quarantined; the next trip retries *)
+    (* With several execution lanes, the recovery I/O (shadow reload +
+       checkpoint restore) occupies only the victim's lane: co-tenants on
+       other lanes keep executing while this instance restarts. With one
+       lane the redirect is skipped and the cost lands on the global
+       meter exactly as before. *)
+    let run_recovery () =
+      (match Checkpoint.shadow_engine t.ckpt ~vtpm_id:e.vtpm_id with
+      | Ok shadow -> e.shadow <- Some shadow
+      | Error _ -> ());
+      match Checkpoint.restore_instance t.ckpt ~vtpm_id:e.vtpm_id with
+      | Ok () ->
+          e.health <- Degraded;
+          emit t e Restart
+      | Error _ -> () (* stays Quarantined; the next trip retries *)
+    in
+    if Manager.lane_count t.mgr > 1 then begin
+      let cost = t.mgr.Manager.cost in
+      let spent = ref 0.0 in
+      Vtpm_util.Cost.with_redirect cost (fun us -> spent := !spent +. us) run_recovery;
+      if !spent > 0.0 then Manager.charge_lane t.mgr ~vtpm_id:e.vtpm_id !spent
+    end
+    else run_recovery ()
   end
 
 (* An infrastructure failure (a wedged instance). Below the threshold the

@@ -104,6 +104,37 @@ let tick t ~slice_us : Domain.domid option =
       charge t ~domid ~us:slice_us;
       Some domid
 
+(* Parallel-lane accounting: with [n] execution lanes, up to [n] distinct
+   runnable domains receive a slice in the same wall-clock step. The
+   period advances by one slice of wall time — not [n] slices — because
+   the lanes run concurrently; each picked domain is charged a full slice
+   of consumed CPU. Highest-credit-first with domid tie-break keeps the
+   pick order deterministic. *)
+let pick_n t ~n : Domain.domid list =
+  if n < 1 then invalid_arg "Sched.pick_n: need at least one lane";
+  let ranked =
+    List.filter (runnable t) t.vcpus
+    |> List.stable_sort (fun a b ->
+           match Float.compare b.credit a.credit with
+           | 0 -> Stdlib.compare a.domid b.domid
+           | c -> c)
+  in
+  List.filteri (fun i _ -> i < n) ranked |> List.map (fun v -> v.domid)
+
+let tick_n t ~slice_us ~n : Domain.domid list =
+  let picked = pick_n t ~n in
+  List.iter
+    (fun domid ->
+      match find t domid with
+      | Some v ->
+          v.credit <- v.credit -. slice_us;
+          v.runtime_us <- v.runtime_us +. slice_us;
+          v.period_runtime_us <- v.period_runtime_us +. slice_us
+      | None -> ())
+    picked;
+  advance_period t ~us:slice_us;
+  picked
+
 (* Run the scheduler for [total_us] in [slice_us] steps; returns each
    domain's share of the time actually handed out. *)
 let shares t ~total_us ~slice_us : (Domain.domid * float) list =

@@ -41,6 +41,17 @@ val tick : t -> slice_us:float -> Domain.domid option
 (** Pick the runnable domain with the most credit and charge it one
     slice; [None] when every domain is capped out this period. *)
 
+val pick_n : t -> n:int -> Domain.domid list
+(** The up-to-[n] runnable domains with the most credit (ties broken by
+    domid), charging nothing — the domains the [n] execution lanes would
+    serve this step. @raise Invalid_argument if [n < 1]. *)
+
+val tick_n : t -> slice_us:float -> n:int -> Domain.domid list
+(** Parallel-lane step: charge each of {!pick_n}'s domains a full slice
+    of consumed CPU while the accounting period advances by only one
+    slice of wall time (the lanes run concurrently). [tick_n ~n:1]
+    accounts like {!tick}. *)
+
 val shares : t -> total_us:float -> slice_us:float -> (Domain.domid * float) list
 (** Run for [total_us] and report each domain's fraction of granted
     time. *)

@@ -123,11 +123,11 @@ let test_hv_grant_faults () =
 let test_workload_self_heal_beats_failfast () =
   let ff =
     Vtpm_sim.Experiments.run_fault_workload ~self_heal:false ~fault_rate:0.05 ~requests:200
-      ~seed:137
+      ~seed:137 ()
   in
   let sh =
     Vtpm_sim.Experiments.run_fault_workload ~self_heal:true ~fault_rate:0.05 ~requests:200
-      ~seed:137
+      ~seed:137 ()
   in
   check_i "self-heal completes all" 200 sh.Vtpm_sim.Experiments.succeeded;
   check_b "baseline loses requests" true (ff.Vtpm_sim.Experiments.succeeded < 200);
@@ -137,7 +137,7 @@ let test_workload_self_heal_beats_failfast () =
 let test_workload_deterministic () =
   let run () =
     Vtpm_sim.Experiments.run_fault_workload ~self_heal:true ~fault_rate:0.05 ~requests:150
-      ~seed:99
+      ~seed:99 ()
   in
   check_b "identical rows" true (run () = run ())
 

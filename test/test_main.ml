@@ -13,5 +13,6 @@ let () =
       ("attacks", Test_attacks.suite);
       ("overload", Test_overload.suite);
       ("sim", Test_sim.suite);
+      ("perf", Test_perf.suite);
       ("integration", Test_integration.suite);
     ]

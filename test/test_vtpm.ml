@@ -402,7 +402,7 @@ let resilient_fixture ?faults () =
   ignore (Vtpm_xen.Hypervisor.unpause_domain xen ~caller:0 fe);
   let mgr = Manager.create ~rsa_bits:256 ~seed:23 ~cost:xen.Vtpm_xen.Hypervisor.cost () in
   let inst = Manager.create_instance mgr in
-  inst.Manager.bound_domid <- Some fe;
+  Manager.bind_domid mgr inst fe;
   let ckpt = Checkpoint.create mgr in
   let router ~sender:_ ~claimed_instance ~wire =
     match Manager.find mgr claimed_instance with
