@@ -220,6 +220,28 @@ let bench_policy_eval () =
               ~ordinal:Vtpm_tpm.Types.ord_pcr_read
               ~measured_ok:(fun () -> true))))
 
+(* fig9: the same decision through the compiled first-match index. *)
+let bench_policy_eval_indexed () =
+  let index = Vtpm_access.Policy.compile (Vtpm_access.Policy.synthetic ~n:4096) in
+  let subject = Vtpm_access.Subject.Guest 3 in
+  Test.make ~name:"fig9/policy-eval-indexed-4096"
+    (Staged.stage (fun () ->
+         ignore
+           (Vtpm_access.Policy.eval_indexed index ~subject ~label:"tenant_x"
+              ~ordinal:Vtpm_tpm.Types.ord_pcr_read
+              ~measured_ok:(fun () -> true))))
+
+(* fig9: the per-entry chain digest alone (binary encoder, reused SHA-256
+   context) — the pure wall-clock residue of every audited request. *)
+let bench_audit_digest () =
+  let prev = Vtpm_crypto.Sha256.digest "bench-prev" in
+  Test.make ~name:"fig9/audit-entry-digest"
+    (Staged.stage (fun () ->
+         ignore
+           (Vtpm_access.Audit.entry_digest ~seq:42 ~time_us:123456.789 ~subject:"guest:3"
+              ~operation:"TPM_Extend" ~instance:(Some 1) ~allowed:true ~reason:"rule@4"
+              ~prev_hash:prev)))
+
 (* fig3: audit append (per-request bookkeeping that shapes tail latency). *)
 let bench_audit () =
   let cost = Vtpm_util.Cost.create () in
@@ -264,6 +286,10 @@ let bench_primitives () =
       (Staged.stage (fun () -> ignore (Vtpm_crypto.Sha256.digest data_4k)));
     Test.make ~name:"prim/hmac-sha1"
       (Staged.stage (fun () -> ignore (Vtpm_crypto.Hmac.sha1_mac ~key:"k" "message")));
+    Test.make ~name:"prim/hmac-sha1-prekeyed"
+      (Staged.stage
+         (let pk = Vtpm_crypto.Hmac.sha1_prekey ~key:"k" in
+          fun () -> ignore (Vtpm_crypto.Hmac.mac_prekeyed pk "message")));
     Test.make ~name:"prim/rsa512-sign"
       (Staged.stage (fun () -> ignore (Vtpm_crypto.Rsa.sign key ~digest)));
     Test.make ~name:"prim/xtea-ctr-4KiB"
@@ -272,21 +298,8 @@ let bench_primitives () =
           fun () -> ignore (Vtpm_crypto.Xtea.ctr_transform xk ~nonce:1 data_4k)));
   ]
 
-let run_micro () =
-  say "Bechamel micro-benchmarks (real wall-clock of this implementation)@.";
-  let tests =
-    [
-      bench_roundtrip ();
-      bench_denial ();
-      bench_sealed_save ();
-      bench_frame_crc ();
-      bench_mixed_op ();
-      bench_policy_eval ();
-      bench_audit ();
-      bench_migrate ();
-    ]
-    @ bench_primitives ()
-  in
+(* Run a list of Bechamel tests and return sorted (name, ns/run) rows. *)
+let measure_tests tests : (string * float) list =
   let grouped = Test.make_grouped ~name:"vtpm" tests in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
@@ -302,7 +315,9 @@ let run_micro () =
       in
       rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !rows in
+  List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !rows
+
+let render_micro rows =
   print_string
     (Vtpm_sim.Table.render ~title:"" ~header:[ "benchmark"; "ns/run"; "us/run" ]
        ~rows:
@@ -311,6 +326,96 @@ let run_micro () =
               [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.2f" (ns /. 1000.0) ])
             rows));
   print_newline ()
+
+let run_micro () =
+  say "Bechamel micro-benchmarks (real wall-clock of this implementation)@.";
+  let tests =
+    [
+      bench_roundtrip ();
+      bench_denial ();
+      bench_sealed_save ();
+      bench_frame_crc ();
+      bench_mixed_op ();
+      bench_policy_eval ();
+      bench_policy_eval_indexed ();
+      bench_audit ();
+      bench_audit_digest ();
+      bench_migrate ();
+    ]
+    @ bench_primitives ()
+  in
+  render_micro (measure_tests tests)
+
+(* fig9 also emits BENCH_PR5.json: the lane-scaling series under a large
+   guarded policy (linear / indexed / indexed+gen-cache), the fig2
+   "compiled" series showing the flattened policy-size curve, and real
+   wall-clock Bechamel numbers for the audit/crypto fast paths. *)
+let run_fig9 () =
+  let series, rendered = Vtpm_sim.Experiments.fig9 () in
+  print_string rendered;
+  print_newline ();
+  say "fig2 with the compiled-index series (simulated us)@.";
+  let fig2_series, fig2_rendered = Vtpm_sim.Experiments.fig2 ~include_compiled:true () in
+  print_string fig2_rendered;
+  print_newline ();
+  say "residue micro-benchmarks (real wall-clock)@.";
+  let micro =
+    measure_tests
+      ([
+         bench_policy_eval ();
+         bench_policy_eval_indexed ();
+         bench_audit ();
+         bench_audit_digest ();
+       ]
+      @ bench_primitives ())
+  in
+  render_micro micro;
+  let speedup =
+    match (List.assoc_opt "linear" series, List.assoc_opt "indexed+gen-cache" series) with
+    | Some sl, Some sg -> (
+        match (List.assoc_opt 32.0 sl, List.assoc_opt 32.0 sg) with
+        | Some tl, Some tg when tl > 0.0 -> Some (tg /. tl)
+        | _ -> None)
+    | _ -> None
+  in
+  let buf = Buffer.create 2048 in
+  let add_series ?(indent = "    ") buf series =
+    List.iteri
+      (fun i (name, points) ->
+        Buffer.add_string buf (Printf.sprintf "%s%S: [" indent name);
+        List.iteri
+          (fun j (x, y) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "[%g, %.2f]" x y))
+          points;
+        Buffer.add_string buf (if i < List.length series - 1 then "],\n" else "]\n"))
+      series
+  in
+  Buffer.add_string buf "{\n  \"pr\": 5,\n  \"figure\": \"fig9\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"simulated ops/s\",\n  \"x_label\": \"vms\",\n  \"series\": {\n";
+  add_series buf series;
+  Buffer.add_string buf "  },\n";
+  (match speedup with
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"speedup_gen_cache_vs_linear_at_32_vms\": %.2f,\n" s)
+  | None -> Buffer.add_string buf "  \"speedup_gen_cache_vs_linear_at_32_vms\": null,\n");
+  Buffer.add_string buf
+    "  \"fig2_compiled\": {\n    \"unit\": \"simulated us\",\n    \"x_label\": \"rules\",\n\
+    \    \"series\": {\n";
+  add_series ~indent:"      " buf fig2_series;
+  Buffer.add_string buf "    }\n  },\n";
+  Buffer.add_string buf "  \"micro_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: %.1f" name ns);
+      Buffer.add_string buf (if i < List.length micro - 1 then ",\n" else "\n"))
+    micro;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_PR5.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR5.json@."
 
 (* --- Driver ---------------------------------------------------------------------- *)
 
@@ -329,6 +434,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig6", run_fig6);
     ("fig7", run_fig7);
     ("fig8", run_fig8);
+    ("fig9", run_fig9);
     ("micro", run_micro);
   ]
 

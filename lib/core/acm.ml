@@ -18,11 +18,35 @@ type label = string
 
 type t = {
   conflict_sets : (string * label list) list; (* named CW conflict sets *)
-  types_of : (label * string list) list; (* STE: label -> type memberships *)
+  types_list : (label * string list) list; (* STE source form, for printing *)
+  types_tbl : (label, string list) Hashtbl.t; (* label -> type memberships *)
+  conflicts_tbl : (label, label list) Hashtbl.t; (* label -> hostile labels *)
   mutable running : (Vtpm_xen.Domain.domid * label) list;
 }
 
-let create ?(conflict_sets = []) ?(types_of = []) () = { conflict_sets; types_of; running = [] }
+(* Lookup tables are built once here, so [types_of] and [conflicts_with]
+   are O(1) instead of walking the assoc lists on every admission and
+   attach check. Both reproduce the list semantics exactly: first binding
+   wins for types; conflicts are the concatenation, in conflict-set
+   order, of the other members of every set containing the label. *)
+let create ?(conflict_sets = []) ?(types_of = []) () =
+  let types_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (label, tys) -> if not (Hashtbl.mem types_tbl label) then Hashtbl.replace types_tbl label tys)
+    types_of;
+  let conflicts_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, members) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem conflicts_tbl l) then
+            Hashtbl.replace conflicts_tbl l
+              (List.concat_map
+                 (fun (_, ms) -> if List.mem l ms then List.filter (fun x -> x <> l) ms else [])
+                 conflict_sets))
+        members)
+    conflict_sets;
+  { conflict_sets; types_list = types_of; types_tbl; conflicts_tbl; running = [] }
 
 (* The canonical datacenter policy used by examples and tests: tenants of
    competing organisations conflict; every tenant shares the "vtpm_client"
@@ -40,16 +64,13 @@ let example_policy () =
       ]
     ()
 
-let types_of t label = Option.value ~default:[] (List.assoc_opt label t.types_of)
+let types_of t label = Option.value ~default:[] (Hashtbl.find_opt t.types_tbl label)
 
 let share_type t a b =
   List.exists (fun ty -> List.mem ty (types_of t b)) (types_of t a)
 
 (* Labels that conflict with [label] under some conflict set. *)
-let conflicts_with t label =
-  List.concat_map
-    (fun (_, members) -> if List.mem label members then List.filter (fun l -> l <> label) members else [])
-    t.conflict_sets
+let conflicts_with t label = Option.value ~default:[] (Hashtbl.find_opt t.conflicts_tbl label)
 
 (* --- Chinese Wall: domain admission ------------------------------------------ *)
 
@@ -119,5 +140,5 @@ let to_string t =
   List.iter
     (fun (label, tys) ->
       Buffer.add_string buf (Printf.sprintf "types %s = %s\n" label (String.concat " " tys)))
-    t.types_of;
+    t.types_list;
   Buffer.contents buf

@@ -42,16 +42,52 @@ let create ~cost =
     dropped = 0;
   }
 
-let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash =
-  Vtpm_crypto.Sha256.digest
-    (Printf.sprintf "%d|%.3f|%s|%s|%s|%b|%s|%s" seq time_us subject operation
-       (match instance with Some i -> string_of_int i | None -> "-")
-       allowed reason (Vtpm_util.Hex.encode prev_hash))
+(* Per-entry digest: a binary length-delimited encoding fed straight into
+   a reused SHA-256 context. No [Printf], no hex round-trip of the
+   previous hash, no intermediate concatenation — this runs on every
+   mediated request and is pure wall-clock overhead. The encoding is
+   unambiguous: fixed-width binary for numerics, a 4-byte length prefix
+   before each variable field, the raw 32-byte previous hash last. *)
+let digest_ctx = lazy (Vtpm_crypto.Sha256.init ())
+let digest_fixed = Bytes.create 26 (* seq:8 time:8 instance:8 flags:2 *)
 
-let rec take n = function
-  | [] -> []
-  | _ when n = 0 -> []
-  | x :: rest -> x :: take (n - 1) rest
+let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash =
+  let ctx = Lazy.force digest_ctx in
+  Vtpm_crypto.Sha256.reset ctx;
+  let b = digest_fixed in
+  Bytes.set_int64_be b 0 (Int64.of_int seq);
+  Bytes.set_int64_be b 8 (Int64.bits_of_float time_us);
+  (match instance with
+  | Some i ->
+      Bytes.set b 16 '\x01';
+      Bytes.set_int64_be b 17 (Int64.of_int i)
+  | None ->
+      Bytes.set b 16 '\x00';
+      Bytes.set_int64_be b 17 0L);
+  Bytes.set b 25 (if allowed then '\x01' else '\x00');
+  Vtpm_crypto.Sha256.feed ctx (Bytes.unsafe_to_string b);
+  let len4 = Bytes.create 4 in
+  let feed_field s =
+    Bytes.set_int32_be len4 0 (Int32.of_int (String.length s));
+    Vtpm_crypto.Sha256.feed ctx (Bytes.unsafe_to_string len4);
+    Vtpm_crypto.Sha256.feed ctx s
+  in
+  feed_field subject;
+  feed_field operation;
+  feed_field reason;
+  Vtpm_crypto.Sha256.feed ctx prev_hash;
+  Vtpm_crypto.Sha256.finalize ctx
+
+(* Keep the newest [n] entries (the list is newest first): one
+   tail-recursive pass returning the kept list, how many were kept and
+   the oldest kept entry — no [List.length]/[List.rev] re-walks and no
+   stack growth at large retention caps. *)
+let take_newest n entries =
+  let rec go i acc oldest = function
+    | x :: rest when i < n -> go (i + 1) (x :: acc) (Some x) rest
+    | _ -> (List.rev acc, i, oldest)
+  in
+  go 0 [] None entries
 
 let retained t = t.seq - t.dropped
 
@@ -65,12 +101,11 @@ let rotate_if_needed t =
   match t.max_entries with
   | Some m when retained t > m ->
       let keep = max 1 (m / 2) in
-      let kept = take keep t.entries in
-      t.dropped <- t.dropped + (retained t - List.length kept);
+      let kept, kept_len, oldest = take_newest keep t.entries in
+      t.dropped <- t.dropped + (retained t - kept_len);
       t.entries <- kept;
       t.rotations <- t.rotations + 1;
-      t.base <-
-        (match List.rev kept with oldest :: _ -> oldest.prev_hash | [] -> t.head)
+      t.base <- (match oldest with Some e -> e.prev_hash | None -> t.head)
   | _ -> ()
 
 let append t ~subject ~operation ~instance ~allowed ~reason =

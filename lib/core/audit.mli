@@ -57,6 +57,20 @@ val entries : t -> entry list
 
 val entries_newest_first : t -> entry list
 
+val entry_digest :
+  seq:int ->
+  time_us:float ->
+  subject:string ->
+  operation:string ->
+  instance:int option ->
+  allowed:bool ->
+  reason:string ->
+  prev_hash:string ->
+  string
+(** The per-entry chain digest: SHA-256 over a binary length-delimited
+    encoding of the fields (no [Printf], no hex round-trips). Exposed for
+    benchmarks; {!append} and {!verify_chain} use it internally. *)
+
 val verify_chain : ?expected_head:string -> ?base:string -> entry list -> (unit, int) result
 (** Recompute the chain over an exported (oldest-first) list, anchored at
     [base] (default {!genesis}; a rotated log's recorded {!base}).

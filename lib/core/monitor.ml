@@ -30,16 +30,29 @@ type stats = {
   mutable batched_requests : int; (* requests served inside those drains *)
 }
 
+(* A cached verdict. [gen] is the per-subject measurement generation the
+   decision depended on, or -1 when it is measurement-independent (no
+   guard was consulted) and thus valid forever. *)
+type cached = { c_verdict : Policy.verdict; c_gen : int }
+
 type t = {
   xen : Hypervisor.t;
   mgr : Vtpm_mgr.Manager.t;
   mutable policy : Policy.t;
   mutable policy_has_guards : bool;
+  mutable index : Policy.index option; (* compiled policy index, opt-in *)
   bindings : Binding.t;
   audit : Audit.t;
   credentials : Subject.Credentials.t;
-  cache : (int * string * int, Policy.verdict) Hashtbl.t;
+  cache : (int * string * int, cached) Hashtbl.t;
+  cached_keys : (int * string, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* subject -> ordinals present in [cache]; lets teardown evict
+         without folding over the whole table *)
+  generations : (int * string, int) Hashtbl.t;
+      (* subject -> measurement generation (absent = 0) *)
   mutable cache_enabled : bool;
+  mutable guard_cache_enabled : bool;
+      (* opt-in: generation-tagged caching for guarded policies *)
   mutable audit_enabled : bool;
   mutable quota : Quota.t option; (* None: no rate limiting *)
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
@@ -55,11 +68,15 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
     mgr;
     policy;
     policy_has_guards = Policy.has_guards policy;
+    index = None;
     bindings = Binding.create ~cost;
     audit = Audit.create ~cost;
     credentials = Subject.Credentials.create ();
     cache = Hashtbl.create 256;
+    cached_keys = Hashtbl.create 64;
+    generations = Hashtbl.create 64;
     cache_enabled = true;
+    guard_cache_enabled = false;
     audit_enabled = true;
     quota = None;
     supervisor = None;
@@ -79,14 +96,54 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
       };
   }
 
+let reset_cache t =
+  Hashtbl.reset t.cache;
+  Hashtbl.reset t.cached_keys;
+  Hashtbl.reset t.generations
+
 let set_policy t policy =
   t.policy <- policy;
   t.policy_has_guards <- Policy.has_guards policy;
-  Hashtbl.reset t.cache
+  (* A policy reload invalidates everything: cached verdicts, the key
+     index, measurement generations and any compiled index. *)
+  reset_cache t;
+  if t.index <> None then t.index <- Some (Policy.compile policy)
 
 let set_cache_enabled t v =
   t.cache_enabled <- v;
-  if not v then Hashtbl.reset t.cache
+  if not v then reset_cache t
+
+(* Opt-in: serve guarded policies from the cache too, tagging each entry
+   with the subject's measurement generation at evaluation time. Entries
+   go stale — and are re-evaluated — exactly when the generation is
+   bumped (PCR extend, rebind, policy reload, or an explicit
+   [bump_measurement]). Off by default: the seed semantics (guarded
+   policy => no caching at all) are preserved bit-for-bit. *)
+let set_guard_cache_enabled t v =
+  t.guard_cache_enabled <- v;
+  if not v then reset_cache t
+
+let guard_cache_enabled t = t.guard_cache_enabled
+
+(* Opt-in: evaluate through the compiled first-match index instead of the
+   linear scan. Decisions are identical ({!Policy.eval_indexed}); the
+   simulated-time charge becomes [monitor_index_lookup_us] plus the
+   (much smaller) candidate scan, so this changes measured latencies and
+   is therefore off by default. *)
+let set_index_enabled t v =
+  if v then t.index <- Some (Policy.compile t.policy) else t.index <- None
+
+let index_enabled t = t.index <> None
+
+let generation_of t sk = Option.value ~default:0 (Hashtbl.find_opt t.generations sk)
+
+(* Advance [subject]'s measurement generation: every cached decision that
+   consulted the measurement gate for this subject goes stale. Called on
+   PCR extend and rebind; exposed for external measurement events the
+   monitor cannot observe (e.g. a kernel swap before re-attestation). *)
+let bump_measurement t (subject : Subject.t) =
+  let sk = Subject.cache_key subject in
+  Hashtbl.replace t.generations sk (generation_of t sk + 1)
 
 let set_audit_enabled t v = t.audit_enabled <- v
 
@@ -148,17 +205,19 @@ let wire_backpressure t (backend : Vtpm_mgr.Driver.backend) =
           ~operation:"queue-service" ~instance:None ~allowed:true
           ~reason:(Printf.sprintf "batch-drain:%d" n))
 
-(* Subject teardown: drop the quota bucket and cached decisions when a
-   domain is destroyed, so per-subject state never outlives its owner. *)
+(* Subject teardown: drop the quota bucket, cached decisions and the
+   measurement generation when a domain is destroyed, so per-subject
+   state never outlives its owner. The per-subject key index makes this
+   O(cached ordinals) instead of a fold over the whole table. *)
 let forget_subject t (subject : Subject.t) =
   (match t.quota with Some q -> Quota.forget q subject | None -> ());
-  let kind, skey = Subject.cache_key subject in
-  let stale =
-    Hashtbl.fold
-      (fun ((k, s, _) as key) _ acc -> if k = kind && String.equal s skey then key :: acc else acc)
-      t.cache []
-  in
-  List.iter (Hashtbl.remove t.cache) stale
+  let ((kind, skey) as sk) = Subject.cache_key subject in
+  (match Hashtbl.find_opt t.cached_keys sk with
+  | Some ordinals ->
+      Hashtbl.iter (fun ordinal () -> Hashtbl.remove t.cache (kind, skey, ordinal)) ordinals;
+      Hashtbl.remove t.cached_keys sk
+  | None -> ());
+  Hashtbl.remove t.generations sk
 
 let stats t = t.stats
 
@@ -199,25 +258,50 @@ let decide t ~(subject : Subject.t) ~(ordinal : int) ~(binding : Binding.binding
     Policy.verdict * string =
   let s = t.stats in
   s.lookups <- s.lookups + 1;
-  let kind, skey = Subject.cache_key subject in
+  let ((kind, skey) as sk) = Subject.cache_key subject in
   let key = (kind, skey, ordinal) in
-  let cacheable = t.cache_enabled && not t.policy_has_guards in
-  match if cacheable then Hashtbl.find_opt t.cache key else None with
+  let cacheable = t.cache_enabled && ((not t.policy_has_guards) || t.guard_cache_enabled) in
+  let hit =
+    if cacheable then
+      match Hashtbl.find_opt t.cache key with
+      | Some c when c.c_gen < 0 || c.c_gen = generation_of t sk -> Some c.c_verdict
+      | _ -> None (* absent, or stale generation: re-evaluate *)
+    else None
+  in
+  match hit with
   | Some verdict ->
       s.cache_hits <- s.cache_hits + 1;
       Vtpm_util.Cost.charge t.xen.Hypervisor.cost Vtpm_util.Cost.monitor_lookup_us;
       (verdict, "cached")
   | None ->
       let label = Subject.label ~xen:t.xen subject in
-      let d =
-        Policy.eval t.policy ~subject ~label ~ordinal ~measured_ok:(measured_ok t ~subject ~binding)
+      let measured_ok = measured_ok t ~subject ~binding in
+      let d, scan_overhead_us =
+        match t.index with
+        | Some ix ->
+            ( Policy.eval_indexed ix ~subject ~label ~ordinal ~measured_ok,
+              Vtpm_util.Cost.monitor_index_lookup_us )
+        | None -> (Policy.eval t.policy ~subject ~label ~ordinal ~measured_ok, 0.0)
       in
       s.rules_scanned <- s.rules_scanned + d.Policy.scanned;
       Vtpm_util.Cost.charge t.xen.Hypervisor.cost
-        (Vtpm_util.Cost.monitor_lookup_us
+        (Vtpm_util.Cost.monitor_lookup_us +. scan_overhead_us
         +. (Vtpm_util.Cost.monitor_rule_scan_us *. float_of_int d.Policy.scanned));
-      if cacheable && not d.Policy.needs_measurement then
-        Hashtbl.replace t.cache key d.Policy.verdict;
+      if cacheable then begin
+        (* Measurement-independent decisions cache forever (gen -1);
+           gate-dependent ones are tagged with the generation they saw. *)
+        let gen = if d.Policy.needs_measurement then generation_of t sk else -1 in
+        Hashtbl.replace t.cache key { c_verdict = d.Policy.verdict; c_gen = gen };
+        let ordinals =
+          match Hashtbl.find_opt t.cached_keys sk with
+          | Some set -> set
+          | None ->
+              let set = Hashtbl.create 8 in
+              Hashtbl.replace t.cached_keys sk set;
+              set
+        in
+        Hashtbl.replace ordinals ordinal ()
+      end;
       let reason =
         match d.Policy.matched_line with
         | Some l -> Printf.sprintf "rule@%d" l
@@ -311,6 +395,11 @@ let router t : Vtpm_mgr.Driver.router =
               let reason = if mismatch then reason ^ ";claimed-id-mismatch" else reason in
               audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
                 ~allowed:true ~reason;
+              (* A PCR-mutating command changes what the measurement gate
+                 will see: advance the sender's generation so tagged
+                 cache entries are re-evaluated. *)
+              if ordinal = Vtpm_tpm.Types.ord_extend || ordinal = Vtpm_tpm.Types.ord_pcr_reset
+              then bump_measurement t subject;
               match t.supervisor with
               | Some sup -> (
                   match Vtpm_mgr.Supervisor.execute sup ~vtpm_id:b.Binding.vtpm_id ~wire with
@@ -406,7 +495,11 @@ let management t ~(process : string) ~(token : string) (op : management_op) :
               (Vtpm_mgr.Migration.import t.mgr stream)
         | Rebind { vtpm_id; new_domid } -> (
             (match Binding.lookup_instance t.bindings vtpm_id with
-            | Some b -> Binding.unbind t.bindings ~domid:b.Binding.domid
+            | Some b ->
+                Binding.unbind t.bindings ~domid:b.Binding.domid;
+                (* The old subject's gate decisions referred to the now
+                   dropped binding. *)
+                bump_measurement t (Subject.Guest b.Binding.domid)
             | None -> ());
             match Hypervisor.find_domain t.xen new_domid with
             | Error e -> Error e
@@ -415,7 +508,11 @@ let management t ~(process : string) ~(token : string) (op : management_op) :
                   Binding.bind t.bindings ~vtpm_id ~domid:new_domid
                     ~reference_measurement:dom.Domain.kernel_digest
                 with
-                | Ok _ -> Ok M_unit
+                | Ok _ ->
+                    (* The new subject now gates against a fresh reference
+                       measurement. *)
+                    bump_measurement t (Subject.Guest new_domid);
+                    Ok M_unit
                 | Error e -> Error (Vtpm_util.Verror.to_string e)))
         | Export_audit -> Ok (M_audit (Audit.entries t.audit)))
   end

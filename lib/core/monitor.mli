@@ -29,16 +29,24 @@ type stats = {
   mutable batched_requests : int;  (** requests served inside those drains *)
 }
 
+type cached = { c_verdict : Policy.verdict; c_gen : int }
+(** A cached verdict; [c_gen] is the per-subject measurement generation
+    it depended on, or [-1] when measurement-independent. *)
+
 type t = {
   xen : Vtpm_xen.Hypervisor.t;
   mgr : Vtpm_mgr.Manager.t;
   mutable policy : Policy.t;
   mutable policy_has_guards : bool;
+  mutable index : Policy.index option;
   bindings : Binding.t;
   audit : Audit.t;
   credentials : Subject.Credentials.t;
-  cache : (int * string * int, Policy.verdict) Hashtbl.t;
+  cache : (int * string * int, cached) Hashtbl.t;
+  cached_keys : (int * string, (int, unit) Hashtbl.t) Hashtbl.t;
+  generations : (int * string, int) Hashtbl.t;
   mutable cache_enabled : bool;
+  mutable guard_cache_enabled : bool;
   mutable audit_enabled : bool;
   mutable quota : Quota.t option;
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
@@ -56,6 +64,33 @@ val set_policy : t -> Policy.t -> unit
 
 val set_cache_enabled : t -> bool -> unit
 val set_audit_enabled : t -> bool -> unit
+
+val set_index_enabled : t -> bool -> unit
+(** Opt-in: evaluate through the compiled first-match policy index
+    ({!Policy.compile}) instead of the linear scan. Decisions are
+    identical; the simulated-time charge becomes
+    {!Vtpm_util.Cost.monitor_index_lookup_us} plus the (much smaller)
+    candidate scan, so the default — off — keeps the seed cost model
+    bit-identical. *)
+
+val index_enabled : t -> bool
+
+val set_guard_cache_enabled : t -> bool -> unit
+(** Opt-in: serve guarded policies from the decision cache, tagging each
+    gate-dependent entry with the subject's measurement generation.
+    Entries go stale — and are re-evaluated — exactly when the generation
+    advances: PCR extend, rebind, policy reload, or an explicit
+    {!bump_measurement}. Off by default: the seed semantics (guarded
+    policy means no caching at all) are preserved. *)
+
+val guard_cache_enabled : t -> bool
+
+val bump_measurement : t -> Subject.t -> unit
+(** Advance the subject's measurement generation, invalidating every
+    cached decision that consulted the measurement gate for it. The
+    monitor calls this itself on PCR-mutating commands and on rebind;
+    call it directly for measurement events it cannot observe (e.g. a
+    kernel swap before re-attestation). *)
 
 val set_quota : t -> rate_per_s:float -> burst:float -> unit
 (** Enable token-bucket rate limiting for all mediated requests. *)
@@ -81,8 +116,9 @@ val wire_backpressure : t -> Vtpm_mgr.Driver.backend -> unit
     "batch-drain:n" entries — all counted in {!stats}. *)
 
 val forget_subject : t -> Subject.t -> unit
-(** Teardown when a domain is destroyed: drop the subject's quota bucket
-    and cached decisions. *)
+(** Teardown when a domain is destroyed: drop the subject's quota bucket,
+    cached decisions (via the per-subject key index — no whole-table
+    fold) and measurement generation. *)
 
 val enable_tamper_detection : t -> unit
 (** Watch the vTPM device subtree in XenStore: any rewrite of an

@@ -104,6 +104,154 @@ let eval (t : t) ~(subject : Subject.t) ~(label : string) ~(ordinal : int)
    requests; such decisions must not be cached (PCR state is mutable). *)
 let has_guards (t : t) = Array.exists (fun r -> r.guard <> G_none) t.rules
 
+(* --- Compiled first-match index ------------------------------------------------
+
+   A request from a given subject can only be matched by rules in three
+   disjoint groups: the exact-subject bucket (guest:<domid> or
+   dom0:<process>), the bucket of its label (label:<l>), and the kind
+   wildcard bucket (guest:* / dom0:* plus the universal [*]).  Within a
+   bucket, candidates are further filtered per ordinal (memoised on first
+   use).  Evaluation merges the three candidate arrays in rule order, so
+   first-match semantics — including guarded fallthrough — are preserved
+   exactly while [scanned] counts only candidates actually examined. *)
+
+type bucket = {
+  members : int array; (* rule indices, ascending *)
+  by_ordinal : (int, int array) Hashtbl.t; (* memoised ordinal -> candidates *)
+}
+
+type index = {
+  policy : t;
+  guest_exact : (Vtpm_xen.Domain.domid, bucket) Hashtbl.t;
+  dom0_exact : (string, bucket) Hashtbl.t;
+  by_label : (string, bucket) Hashtbl.t;
+  guest_rest : bucket; (* S_guest_any and S_any *)
+  dom0_rest : bucket; (* S_dom0_any and S_any *)
+  empty_bucket : bucket; (* shared: absent exact/label keys *)
+}
+
+let indexed_policy ix = ix.policy
+
+let bucket_of_rev_indices rev =
+  let members = Array.of_list (List.rev rev) in
+  { members; by_ordinal = Hashtbl.create 8 }
+
+let compile (t : t) : index =
+  let guest_acc : (Vtpm_xen.Domain.domid, int list) Hashtbl.t = Hashtbl.create 16 in
+  let dom0_acc : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let label_acc : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let guest_rest = ref [] and dom0_rest = ref [] in
+  let add tbl key i =
+    Hashtbl.replace tbl key (i :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  Array.iteri
+    (fun i r ->
+      match r.subject with
+      | S_guest d -> add guest_acc d i
+      | S_dom0 p -> add dom0_acc p i
+      | S_label l -> add label_acc l i
+      | S_guest_any -> guest_rest := i :: !guest_rest
+      | S_dom0_any -> dom0_rest := i :: !dom0_rest
+      | S_any ->
+          guest_rest := i :: !guest_rest;
+          dom0_rest := i :: !dom0_rest)
+    t.rules;
+  let finish acc =
+    let out = Hashtbl.create (Hashtbl.length acc) in
+    Hashtbl.iter (fun k rev -> Hashtbl.replace out k (bucket_of_rev_indices rev)) acc;
+    out
+  in
+  {
+    policy = t;
+    guest_exact = finish guest_acc;
+    dom0_exact = finish dom0_acc;
+    by_label = finish label_acc;
+    guest_rest = bucket_of_rev_indices !guest_rest;
+    dom0_rest = bucket_of_rev_indices !dom0_rest;
+    empty_bucket = { members = [||]; by_ordinal = Hashtbl.create 1 };
+  }
+
+let bucket_candidates (t : t) (b : bucket) ~ordinal =
+  match Hashtbl.find_opt b.by_ordinal ordinal with
+  | Some a -> a
+  | None ->
+      let n = Array.length b.members in
+      let tmp = Array.make n 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let ri = b.members.(i) in
+        if command_matches t.rules.(ri).command ~ordinal then begin
+          tmp.(!k) <- ri;
+          incr k
+        end
+      done;
+      let a = Array.sub tmp 0 !k in
+      Hashtbl.replace b.by_ordinal ordinal a;
+      a
+
+(* Identical decision to [eval] (differential-tested), but [scanned] is
+   the number of candidate rules examined — never more than the linear
+   scan, and typically constant in total policy size. *)
+let eval_indexed (ix : index) ~(subject : Subject.t) ~(label : string) ~(ordinal : int)
+    ~(measured_ok : unit -> bool) : decision =
+  let t = ix.policy in
+  let find_or_empty tbl key =
+    match Hashtbl.find_opt tbl key with Some b -> b | None -> ix.empty_bucket
+  in
+  let b_exact, b_rest =
+    match subject with
+    | Subject.Guest d -> (find_or_empty ix.guest_exact d, ix.guest_rest)
+    | Subject.Dom0_process p -> (find_or_empty ix.dom0_exact p, ix.dom0_rest)
+  in
+  let b_label = find_or_empty ix.by_label label in
+  let a1 = bucket_candidates t b_exact ~ordinal in
+  let a2 = bucket_candidates t b_label ~ordinal in
+  let a3 = bucket_candidates t b_rest ~ordinal in
+  let n1 = Array.length a1 and n2 = Array.length a2 and n3 = Array.length a3 in
+  let i1 = ref 0 and i2 = ref 0 and i3 = ref 0 in
+  let scanned = ref 0 in
+  let guard_seen = ref false in
+  let result = ref None in
+  while !result = None && (!i1 < n1 || !i2 < n2 || !i3 < n3) do
+    (* Next candidate in rule order: smallest head of the three arrays
+       (disjoint by construction — a rule lives in exactly one bucket per
+       subject kind, S_any aside, and S_any never coexists with an exact
+       or label entry for the same rule). *)
+    let h1 = if !i1 < n1 then a1.(!i1) else max_int in
+    let h2 = if !i2 < n2 then a2.(!i2) else max_int in
+    let h3 = if !i3 < n3 then a3.(!i3) else max_int in
+    let pick = min h1 (min h2 h3) in
+    if pick = h1 then incr i1 else if pick = h2 then incr i2 else incr i3;
+    incr scanned;
+    let r = t.rules.(pick) in
+    if subject_matches r.subject ~subject ~label && command_matches r.command ~ordinal then
+      match r.guard with
+      | G_none ->
+          result :=
+            Some
+              {
+                verdict = r.verdict;
+                matched_line = Some r.line;
+                needs_measurement = !guard_seen;
+                scanned = !scanned;
+              }
+      | G_measured ->
+          if measured_ok () then
+            result :=
+              Some
+                {
+                  verdict = r.verdict;
+                  matched_line = Some r.line;
+                  needs_measurement = true;
+                  scanned = !scanned;
+                }
+          else guard_seen := true
+  done;
+  match !result with
+  | Some d -> d
+  | None ->
+      { verdict = t.default; matched_line = None; needs_measurement = !guard_seen; scanned = !scanned }
+
 (* --- Parsing ----------------------------------------------------------------- *)
 
 type parse_error = { line : int; message : string }
@@ -299,8 +447,10 @@ let default_improved =
        @ [ "allow dom0:vtpm-manager class:admin"; "allow dom0:vtpm-manager *" ]))
 
 (* A synthetic policy of [n] specific rules ending in the defaults above;
-   drives the policy-size experiment (Figure 2). *)
-let synthetic ~n =
+   drives the policy-size experiment (Figure 2). With [guarded:true] the
+   tail grants carry [when measured], so every decision pays the gate —
+   the stress case the generation-tagged cache (fig9) is built for. *)
+let synthetic_gen ~guarded ~n =
   let buf = Buffer.create (n * 32) in
   Buffer.add_string buf "default deny\n";
   for i = 1 to n do
@@ -308,8 +458,13 @@ let synthetic ~n =
        so lookup really scans the list. *)
     Buffer.add_string buf (Printf.sprintf "allow guest:%d class:measurement\n" (100000 + i))
   done;
+  let guard_suffix = if guarded then " when measured" else "" in
   List.iter
-    (fun c -> Buffer.add_string buf ("allow guest:* class:" ^ Command_class.name c ^ "\n"))
+    (fun c ->
+      Buffer.add_string buf ("allow guest:* class:" ^ Command_class.name c ^ guard_suffix ^ "\n"))
     Command_class.guest_default;
   Buffer.add_string buf "allow dom0:vtpm-manager *\n";
   parse_exn (Buffer.contents buf)
+
+let synthetic ~n = synthetic_gen ~guarded:false ~n
+let synthetic_guarded ~n = synthetic_gen ~guarded:true ~n

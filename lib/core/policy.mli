@@ -65,7 +65,30 @@ val eval :
 
 val has_guards : t -> bool
 (** Guarded decisions depend on mutable PCR state and must not be
-    cached. *)
+    cached (unless the cache is generation-tagged — see {!Monitor}). *)
+
+(** {1 Compiled index}
+
+    A first-match index over the rule list: per-subject-kind buckets keyed
+    by domid / dom0 process / label, plus a per-kind wildcard bucket, each
+    with memoised per-ordinal candidate lists. {!eval_indexed} merges the
+    candidate arrays in rule order, so the decision — verdict,
+    matched line, [needs_measurement] — is identical to the linear
+    {!eval} on every input (differential-tested), while [scanned] counts
+    only the candidates examined (never more than the linear scan). *)
+
+type index
+
+val compile : t -> index
+val indexed_policy : index -> t
+
+val eval_indexed :
+  index ->
+  subject:Subject.t ->
+  label:string ->
+  ordinal:int ->
+  measured_ok:(unit -> bool) ->
+  decision
 
 (** {1 Printing} *)
 
@@ -106,3 +129,8 @@ val default_improved : t
 val synthetic : n:int -> t
 (** [n] never-matching specific rules ahead of the defaults — drives the
     policy-size experiment (Figure 2). *)
+
+val synthetic_guarded : n:int -> t
+(** Like {!synthetic}, but the tail grants carry [when measured], so
+    every decision pays the measurement gate — the stress case for the
+    generation-tagged decision cache (Figure 9). *)

@@ -23,6 +23,21 @@ let mac (h : hash) ~key (msg : string) : string =
 let sha1_mac ~key msg = mac sha1 ~key msg
 let sha256_mac ~key msg = mac sha256 ~key msg
 
+(* Precomputed key pads: deriving once amortizes the two [xor_pad]
+   allocations (and the long-key pre-hash) across every MAC under the
+   same key — sessions and state seals MAC many messages per key. *)
+type prekey = { h : hash; ipad : string; opad : string }
+
+let derive (h : hash) ~key : prekey =
+  let key = if String.length key > h.block_size then h.digest key else key in
+  { h; ipad = xor_pad key 0x36 h.block_size; opad = xor_pad key 0x5c h.block_size }
+
+let mac_prekeyed (k : prekey) (msg : string) : string =
+  k.h.digest (k.opad ^ k.h.digest (k.ipad ^ msg))
+
+let sha1_prekey ~key = derive sha1 ~key
+let sha256_prekey ~key = derive sha256 ~key
+
 (* Constant-shape comparison: never short-circuits, so the comparison time
    does not leak the position of the first mismatching byte. *)
 let equal_ct a b =

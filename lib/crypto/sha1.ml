@@ -99,19 +99,24 @@ let feed ctx (s : string) =
     ctx.buf_len <- len - !pos
   end
 
+(* Pad directly into the pending block: one compression (two when the
+   length field does not fit) instead of per-byte [feed] round-trips. *)
 let finalize ctx =
   let bit_len = Int64.mul ctx.total 8L in
-  feed ctx "\x80";
-  while ctx.buf_len <> 56 do
-    feed ctx "\x00"
+  let n = ctx.buf_len in
+  Bytes.set ctx.buf n '\x80';
+  if n >= 56 then begin
+    Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
+    process_block ctx ctx.buf 0;
+    Bytes.fill ctx.buf 0 56 '\x00'
+  end
+  else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
+  for i = 0 to 7 do
+    Bytes.set ctx.buf (56 + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
   done;
-  let tail = Buffer.create 8 in
-  for i = 7 downto 0 do
-    Buffer.add_char tail
-      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * i)) land 0xff))
-  done;
-  feed ctx (Buffer.contents tail);
-  assert (ctx.buf_len = 0);
+  process_block ctx ctx.buf 0;
+  ctx.buf_len <- 0;
   let out = Bytes.create digest_size in
   let put i (v : int32) =
     for j = 0 to 3 do
@@ -126,8 +131,23 @@ let finalize ctx =
   put 4 ctx.h4;
   Bytes.unsafe_to_string out
 
+let reset ctx =
+  ctx.h0 <- 0x67452301l;
+  ctx.h1 <- 0xEFCDAB89l;
+  ctx.h2 <- 0x98BADCFEl;
+  ctx.h3 <- 0x10325476l;
+  ctx.h4 <- 0xC3D2E1F0l;
+  ctx.buf_len <- 0;
+  ctx.total <- 0L
+
+(* One-shot digests reuse a module-level scratch context, so the hot path
+   allocates only the 20-byte result. Safe: [digest] never nests (the
+   module is already serialized by the shared message schedule [w]). *)
+let scratch = lazy (init ())
+
 let digest (s : string) : string =
-  let ctx = init () in
+  let ctx = Lazy.force scratch in
+  reset ctx;
   feed ctx s;
   finalize ctx
 

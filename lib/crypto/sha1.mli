@@ -23,6 +23,11 @@ val hexdigest : string -> string
 type ctx
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return the context to its freshly-initialized state, reusing its
+    buffers — lets hot paths hash repeatedly without allocating. *)
+
 val feed : ctx -> string -> unit
 
 val finalize : ctx -> string

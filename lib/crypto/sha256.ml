@@ -27,17 +27,13 @@ let k =
     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
   |]
 
-let init () =
-  {
-    h =
-      [|
-        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-        0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
-      |];
-    buf = Bytes.create block_size;
-    buf_len = 0;
-    total = 0L;
-  }
+let iv =
+  [|
+    0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+    0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+  |]
+
+let init () = { h = Array.copy iv; buf = Bytes.create block_size; buf_len = 0; total = 0L }
 
 let rotr32 x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
 let shr32 x n = Int32.shift_right_logical x n
@@ -114,18 +110,24 @@ let feed ctx (s : string) =
     ctx.buf_len <- len - !pos
   end
 
+(* Pad directly into the pending block: one compression (two when the
+   length field does not fit) instead of per-byte [feed] round-trips. *)
 let finalize ctx =
   let bit_len = Int64.mul ctx.total 8L in
-  feed ctx "\x80";
-  while ctx.buf_len <> 56 do
-    feed ctx "\x00"
+  let n = ctx.buf_len in
+  Bytes.set ctx.buf n '\x80';
+  if n >= 56 then begin
+    Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
+    process_block ctx ctx.buf 0;
+    Bytes.fill ctx.buf 0 56 '\x00'
+  end
+  else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
+  for i = 0 to 7 do
+    Bytes.set ctx.buf (56 + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
   done;
-  let tail = Buffer.create 8 in
-  for i = 7 downto 0 do
-    Buffer.add_char tail
-      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * i)) land 0xff))
-  done;
-  feed ctx (Buffer.contents tail);
+  process_block ctx ctx.buf 0;
+  ctx.buf_len <- 0;
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
     for j = 0 to 3 do
@@ -135,8 +137,19 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0L
+
+(* One-shot digests reuse a module-level scratch context, so the hot path
+   allocates only the 32-byte result. Safe: [digest] never nests (the
+   module is already serialized by the shared message schedule [w]). *)
+let scratch = lazy (init ())
+
 let digest (s : string) : string =
-  let ctx = init () in
+  let ctx = Lazy.force scratch in
+  reset ctx;
   feed ctx s;
   finalize ctx
 

@@ -203,11 +203,56 @@ let fig8 ?(vm_counts = [ 1; 2; 4; 8; 16; 32 ]) ?(lane_counts = [ 1; 2; 4; 8 ])
   in
   (series, rendered)
 
+(* --- Figure 9: lane scaling against the monitor's serial residue -----------------
+
+   Figure 8's lane counts saturate against the per-request serial residue;
+   the dominant term under a big guarded policy is the monitor itself:
+   an O(rules) scan plus a measurement gate on every request, with the
+   decision cache disabled outright (seed semantics). The compiled index
+   removes the scan; the generation-tagged cache removes the gate until a
+   measurement actually changes. Same hosts/seeds/op budget as fig8. *)
+
+let fig9 ?(vm_counts = [ 1; 2; 4; 8; 16; 32 ]) ?(rules = 1024) ?(lanes = 8) ?(total_ops = 1920)
+    () : (string * (float * float) list) list * string =
+  let series_for ~indexed ~guard_cache =
+    List.map
+      (fun n ->
+        let host, tenants =
+          Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n ~seed:(50 + n) ()
+        in
+        Vtpm_mgr.Manager.set_lanes host.Host.mgr lanes;
+        let monitor = Host.monitor_exn host in
+        Monitor.set_policy monitor (Policy.synthetic_guarded ~n:rules);
+        Monitor.set_index_enabled monitor indexed;
+        Monitor.set_guard_cache_enabled monitor guard_cache;
+        let ops_per_tenant = max 1 (total_ops / n) in
+        let r = Workload.run host ~tenants ~mix:Workload.mixed ~ops_per_tenant () in
+        (float_of_int n, r.Workload.throughput_ops_s))
+      vm_counts
+  in
+  let series =
+    [
+      ("linear", series_for ~indexed:false ~guard_cache:false);
+      ("indexed", series_for ~indexed:true ~guard_cache:false);
+      ("indexed+gen-cache", series_for ~indexed:true ~guard_cache:true);
+    ]
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        (Printf.sprintf
+           "Figure 9: aggregate vTPM throughput (simulated ops/s) vs number of VMs, %d-rule \
+            guarded policy at %d lanes (improved mode)"
+           rules lanes)
+      ~x_label:"vms" ~series
+  in
+  (series, rendered)
+
 (* --- Figure 2: decision latency vs policy size ----------------------------------- *)
 
-let fig2 ?(rule_counts = [ 1; 16; 64; 256; 1024; 4096 ]) ?(reps = 400) () :
-    (string * (float * float) list) list * string =
-  let series_for ~cache =
+let fig2 ?(rule_counts = [ 1; 16; 64; 256; 1024; 4096 ]) ?(reps = 400)
+    ?(include_compiled = false) () : (string * (float * float) list) list * string =
+  let series_for ~cache ~indexed =
     List.map
       (fun n ->
         let host, tenants =
@@ -217,6 +262,7 @@ let fig2 ?(rule_counts = [ 1; 16; 64; 256; 1024; 4096 ]) ?(reps = 400) () :
         let monitor = Host.monitor_exn host in
         Monitor.set_policy monitor (Policy.synthetic ~n);
         Monitor.set_cache_enabled monitor cache;
+        if indexed then Monitor.set_index_enabled monitor true;
         let cost = Host.cost host in
         let m = Metrics.create () in
         for _ = 1 to reps do
@@ -230,7 +276,15 @@ let fig2 ?(rule_counts = [ 1; 16; 64; 256; 1024; 4096 ]) ?(reps = 400) () :
       rule_counts
   in
   let series =
-    [ ("cache-on", series_for ~cache:true); ("cache-off", series_for ~cache:false) ]
+    [
+      ("cache-on", series_for ~cache:true ~indexed:false);
+      ("cache-off", series_for ~cache:false ~indexed:false);
+    ]
+    @
+    (* Opt-in so the default rendering stays bit-identical to the seed:
+       the compiled index scans only candidate rules, flattening the
+       cache-off curve. *)
+    if include_compiled then [ ("compiled", series_for ~cache:false ~indexed:true) ] else []
   in
   let rendered =
     Table.render_series

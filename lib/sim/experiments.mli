@@ -38,8 +38,29 @@ val fig8 :
     saturates. *)
 
 val fig2 :
-  ?rule_counts:int list -> ?reps:int -> unit -> (string * (float * float) list) list * string
-(** Per-request latency vs policy size, decision cache on/off. *)
+  ?rule_counts:int list ->
+  ?reps:int ->
+  ?include_compiled:bool ->
+  unit ->
+  (string * (float * float) list) list * string
+(** Per-request latency vs policy size, decision cache on/off.
+    [include_compiled] (default false, keeping the default rendering
+    bit-identical to the seed) adds a cache-off series evaluated through
+    the compiled policy index — near-flat in policy size. *)
+
+val fig9 :
+  ?vm_counts:int list ->
+  ?rules:int ->
+  ?lanes:int ->
+  ?total_ops:int ->
+  unit ->
+  (string * (float * float) list) list * string
+(** Aggregate throughput vs number of VMs at a fixed lane count under a
+    large {e guarded} synthetic policy — the worst case for the seed
+    monitor, which both scans every rule and refuses to cache guarded
+    decisions. Series: [linear] (seed behaviour), [indexed] (compiled
+    policy index), [indexed+gen-cache] (index plus the generation-tagged
+    decision cache, invalidated only when a measurement changes). *)
 
 val fig3 : ?ops_per_tenant:int -> unit -> (string * Metrics.summary) list * string
 (** Mixed-workload latency distribution, both modes. *)

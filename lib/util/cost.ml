@@ -118,6 +118,7 @@ let tpm_generic_us = 300.0
 let monitor_lookup_us = 2.5 (* cached decision *)
 let monitor_rule_scan_us = 0.35 (* per rule when cache misses *)
 let monitor_measure_gate_us = 65.0 (* PCR composite compare *)
+let monitor_index_lookup_us = 0.8 (* bucket lookup in the compiled policy index *)
 let audit_append_us = 18.0 (* SHA-1 chain step *)
 
 (* State protection *)

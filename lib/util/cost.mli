@@ -100,6 +100,11 @@ val monitor_rule_scan_us : float
 val monitor_measure_gate_us : float
 (** Measurement-gate (PCR composite) comparison. *)
 
+val monitor_index_lookup_us : float
+(** Bucket lookup in the compiled policy index — charged (in addition to
+    the per-candidate scan) only when the monitor's indexed evaluation is
+    enabled. *)
+
 val audit_append_us : float
 
 (** {1 State protection} *)

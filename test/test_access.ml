@@ -258,6 +258,94 @@ let prop_policy_parse_stable =
       | Ok p -> Policy.rule_count p = List.length lines
       | Error _ -> false)
 
+(* --- Compiled policy index ------------------------------------------------------ *)
+
+(* Deterministic check on the canned policies: the compiled index returns
+   the same decision as the linear scan while examining only candidates. *)
+let test_policy_index_candidates () =
+  let p = Policy.synthetic ~n:4096 in
+  let ix = Policy.compile p in
+  let subject = Subject.Guest 3 in
+  let eval_both ~ordinal ~measured =
+    let measured_ok () = measured in
+    let lin = Policy.eval p ~subject ~label:"tenant_x" ~ordinal ~measured_ok in
+    let idx = Policy.eval_indexed ix ~subject ~label:"tenant_x" ~ordinal ~measured_ok in
+    check_b "verdict equal" true (lin.Policy.verdict = idx.Policy.verdict);
+    check_b "line equal" true (lin.Policy.matched_line = idx.Policy.matched_line);
+    check_b "needs_measurement equal" true
+      (lin.Policy.needs_measurement = idx.Policy.needs_measurement);
+    check_b "indexed scans fewer" true (idx.Policy.scanned <= lin.Policy.scanned);
+    (lin, idx)
+  in
+  let lin, idx = eval_both ~ordinal:Vtpm_tpm.Types.ord_pcr_read ~measured:true in
+  (* The 4096 never-matching guest rules are not candidates for guest 3:
+     the index examines only the wildcard tail. *)
+  check_b "linear scans thousands" true (lin.Policy.scanned > 4000);
+  check_b "index scans a handful" true (idx.Policy.scanned <= 16);
+  List.iter
+    (fun ordinal ->
+      ignore (eval_both ~ordinal ~measured:true);
+      ignore (eval_both ~ordinal ~measured:false))
+    Vtpm_tpm.Types.all_ordinals
+
+(* Differential property: on randomized policies, the compiled decision —
+   verdict, matched line, needs_measurement — is identical to the linear
+   eval for every subject x label x ordinal x guard outcome, and the
+   indexed [scanned] never exceeds the linear one. *)
+let prop_policy_index_differential =
+  let subject_sels = [ "guest:0"; "guest:1"; "guest:2"; "guest:*"; "dom0:p0"; "dom0:p1"; "dom0:*"; "label:l0"; "label:l1"; "*" ] in
+  let command_sels =
+    [ "*"; "class:measurement"; "class:sealing"; "class:admin"; "class:info"; "TPM_Quote"; "TPM_Extend"; "TPM_PCRRead"; "ord:14" ]
+  in
+  let rule_gen =
+    QCheck.Gen.(
+      map
+        (fun (v, s, c, g) ->
+          Printf.sprintf "%s %s %s%s"
+            (if v then "allow" else "deny")
+            (List.nth subject_sels (s mod List.length subject_sels))
+            (List.nth command_sels (c mod List.length command_sels))
+            (if g then " when measured" else ""))
+        (quad bool (int_bound 100) (int_bound 100) bool))
+  in
+  QCheck.Test.make ~name:"compiled index decision == linear eval" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair bool (list_size (int_bound 25) rule_gen)))
+    (fun (default_allow, lines) ->
+      let src =
+        String.concat "\n"
+          ((if default_allow then "default allow" else "default deny") :: lines)
+      in
+      let p = Policy.parse_exn src in
+      let ix = Policy.compile p in
+      let subjects =
+        List.concat_map
+          (fun d -> List.map (fun l -> (Subject.Guest d, l)) [ "l0"; "l1"; "l9" ])
+          [ 0; 1; 2; 3 ]
+        @ List.concat_map
+            (fun pr -> List.map (fun l -> (Subject.Dom0_process pr, l)) [ "l0"; "dom0" ])
+            [ "p0"; "p1"; "p9" ]
+      in
+      let ordinals =
+        Vtpm_tpm.Types.[ ord_extend; ord_pcr_read; ord_quote; ord_seal; ord_force_clear; 0x9999 ]
+      in
+      List.for_all
+        (fun (subject, label) ->
+          List.for_all
+            (fun ordinal ->
+              List.for_all
+                (fun measured ->
+                  let measured_ok () = measured in
+                  let lin = Policy.eval p ~subject ~label ~ordinal ~measured_ok in
+                  let idx = Policy.eval_indexed ix ~subject ~label ~ordinal ~measured_ok in
+                  lin.Policy.verdict = idx.Policy.verdict
+                  && lin.Policy.matched_line = idx.Policy.matched_line
+                  && lin.Policy.needs_measurement = idx.Policy.needs_measurement
+                  && idx.Policy.scanned <= lin.Policy.scanned)
+                [ true; false ])
+            ordinals)
+        subjects)
+
 (* --- Audit -------------------------------------------------------------------------- *)
 
 let mk_audit () = Audit.create ~cost:(Vtpm_util.Cost.create ())
@@ -333,6 +421,27 @@ let test_audit_export_import () =
 let test_audit_empty_chain () =
   let a = mk_audit () in
   check_b "empty verifies" true (Audit.verify_chain ~expected_head:(Audit.head a) [] = Ok ())
+
+(* Many rotations over a long run: retention stays bounded, drop
+   accounting is exact, and the retained window verifies from the rotated
+   base — the single-pass compaction must not lose chain anchoring. *)
+let test_audit_rotation_long_run () =
+  let a = mk_audit () in
+  Audit.set_max_entries a (Some 64);
+  let total = 20_000 in
+  for i = 1 to total do
+    Audit.append a ~subject:"guest:1" ~operation:("op" ^ string_of_int i) ~instance:None
+      ~allowed:(i mod 3 <> 0) ~reason:"r"
+  done;
+  check_i "length counts every append" total (Audit.length a);
+  check_b "retention bounded" true (Audit.retained_entries a <= 64);
+  check_b "rotated many times" true (Audit.rotations a > 100);
+  check_i "dropped = appended - retained" (total - Audit.retained_entries a) (Audit.dropped a);
+  check_i "list length matches retained" (Audit.retained_entries a)
+    (List.length (Audit.entries a));
+  check_b "retained window verifies from base" true
+    (Audit.verify_chain ~expected_head:(Audit.head a) ~base:(Audit.base a) (Audit.entries a)
+    = Ok ())
 
 (* --- Binding ------------------------------------------------------------------------- *)
 
@@ -648,6 +757,174 @@ let test_monitor_rebind () =
   | Some b -> check_i "new binding" inst.Vtpm_mgr.Manager.vtpm_id b.Binding.vtpm_id
   | None -> Alcotest.fail "new binding missing"
 
+(* --- Generation-tagged decision cache + indexed evaluation ----------------------- *)
+
+let guarded_policy_src = "default deny\nallow guest:* class:measurement when measured\n"
+
+let bind_guest xen mgr monitor name =
+  let d = add_guest xen name in
+  let inst = Vtpm_mgr.Manager.create_instance mgr in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  let _ =
+    Result.get_ok
+      (Binding.bind monitor.Monitor.bindings ~vtpm_id:inst.Vtpm_mgr.Manager.vtpm_id ~domid:d
+         ~reference_measurement:dom.Vtpm_xen.Domain.kernel_digest)
+  in
+  (d, inst.Vtpm_mgr.Manager.vtpm_id)
+
+let pcr_read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 0 })
+
+(* With the guard cache on, a guarded verdict is served from cache between
+   measurement changes: the gate is paid once, not per request. *)
+let test_monitor_guard_cache_hits () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d, vid = bind_guest xen mgr monitor "g1" in
+  Monitor.set_policy monitor (Policy.parse_exn guarded_policy_src);
+  Monitor.set_guard_cache_enabled monitor true;
+  let router = Monitor.router monitor in
+  Monitor.reset_stats monitor;
+  for _ = 1 to 5 do
+    check_b "read allowed" true
+      (Result.is_ok (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire))
+  done;
+  let s = Monitor.stats monitor in
+  check_i "five lookups" 5 s.Monitor.lookups;
+  check_i "hits between measurement changes" 4 s.Monitor.cache_hits;
+  check_i "gate paid once" 1 s.Monitor.gate_checks
+
+(* An allowed PCR-mutating command bumps the sender's measurement
+   generation: exactly its stale entries re-evaluate, then caching
+   resumes. *)
+let test_monitor_guard_cache_extend_invalidates () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d, vid = bind_guest xen mgr monitor "g1" in
+  Monitor.set_policy monitor (Policy.parse_exn guarded_policy_src);
+  Monitor.set_guard_cache_enabled monitor true;
+  let router = Monitor.router monitor in
+  let extend_wire =
+    Vtpm_tpm.Wire.encode_request
+      (Vtpm_tpm.Cmd.Extend { pcr = 10; digest = String.make 20 '\x2a' })
+  in
+  Monitor.reset_stats monitor;
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "second read hits" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  check_b "extend allowed" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:vid ~wire:extend_wire));
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "read after extend misses" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "then caching resumes" 2 (Monitor.stats monitor).Monitor.cache_hits
+
+(* Measurement changes the monitor cannot observe (a kernel swap without a
+   mediated PCR write) are flushed by an explicit [bump_measurement]. *)
+let test_monitor_guard_cache_bump_on_tamper () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d, vid = bind_guest xen mgr monitor "g1" in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  Monitor.set_policy monitor (Policy.parse_exn guarded_policy_src);
+  Monitor.set_guard_cache_enabled monitor true;
+  let router = Monitor.router monitor in
+  Monitor.reset_stats monitor;
+  check_b "measured guest allowed" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire));
+  Vtpm_xen.Domain.set_kernel dom ~image:"rootkit";
+  (* The swap happened outside the monitor's view: the cached allow is
+     still live until the generation advances. *)
+  check_b "stale allow until bumped" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire));
+  Monitor.bump_measurement monitor (Subject.Guest d);
+  check_b "re-evaluated and denied after bump" true
+    (Result.is_error (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire))
+
+(* Rebinding re-anchors the reference measurement and advances the
+   generation, so stale verdicts re-evaluate against the new anchor. *)
+let test_monitor_guard_cache_rebind_invalidates () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d, vid = bind_guest xen mgr monitor "g1" in
+  let dom = Vtpm_xen.Hypervisor.domain_exn xen d in
+  Monitor.set_policy monitor
+    (Policy.parse_exn (guarded_policy_src ^ "allow dom0:vtpm-manager class:admin\n"));
+  Monitor.set_guard_cache_enabled monitor true;
+  Monitor.register_process monitor ~process:"vtpm-manager" ~token:"tok";
+  let router = Monitor.router monitor in
+  Monitor.reset_stats monitor;
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "hit before rebind" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  (* Kernel update: the old reference no longer matches, but the cached
+     allow masks it until rebind refreshes anchor + generation. *)
+  Vtpm_xen.Domain.set_kernel dom ~image:"patched-kernel";
+  (match
+     Monitor.management monitor ~process:"vtpm-manager" ~token:"tok"
+       (Monitor.Rebind { vtpm_id = vid; new_domid = d })
+   with
+  | Ok Monitor.M_unit -> ()
+  | _ -> Alcotest.fail "rebind failed");
+  let gates_before = (Monitor.stats monitor).Monitor.gate_checks in
+  check_b "allowed against new anchor" true
+    (Result.is_ok (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire));
+  check_i "not served from stale cache" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  check_i "gate re-checked" (gates_before + 1) (Monitor.stats monitor).Monitor.gate_checks
+
+(* Policy reload resets generations and the cache wholesale. *)
+let test_monitor_guard_cache_reload_resets () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d, vid = bind_guest xen mgr monitor "g1" in
+  Monitor.set_policy monitor (Policy.parse_exn guarded_policy_src);
+  Monitor.set_guard_cache_enabled monitor true;
+  let router = Monitor.router monitor in
+  Monitor.reset_stats monitor;
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "hit before reload" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  Monitor.set_policy monitor (Policy.parse_exn guarded_policy_src);
+  ignore (router ~sender:d ~claimed_instance:vid ~wire:pcr_read_wire);
+  check_i "miss after reload" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  check_i "subject generations cleared" 0 (Hashtbl.length monitor.Monitor.generations)
+
+(* The per-subject key index makes [forget_subject] surgical: only the
+   departing subject's entries leave the cache. *)
+let test_monitor_forget_subject_key_index () =
+  let xen, mgr, monitor = mk_monitor () in
+  let d1, v1 = bind_guest xen mgr monitor "g1" in
+  let d2, v2 = bind_guest xen mgr monitor "g2" in
+  let router = Monitor.router monitor in
+  Monitor.reset_stats monitor;
+  ignore (router ~sender:d1 ~claimed_instance:v1 ~wire:pcr_read_wire);
+  ignore (router ~sender:d2 ~claimed_instance:v2 ~wire:pcr_read_wire);
+  check_i "two cached verdicts" 2 (Hashtbl.length monitor.Monitor.cache);
+  Monitor.forget_subject monitor (Subject.Guest d1);
+  check_i "one survives" 1 (Hashtbl.length monitor.Monitor.cache);
+  check_b "departed key dropped from index" false
+    (Hashtbl.mem monitor.Monitor.cached_keys (Subject.cache_key (Subject.Guest d1)));
+  ignore (router ~sender:d2 ~claimed_instance:v2 ~wire:pcr_read_wire);
+  check_i "survivor still hits" 1 (Monitor.stats monitor).Monitor.cache_hits;
+  ignore (router ~sender:d1 ~claimed_instance:v1 ~wire:pcr_read_wire);
+  check_i "departed subject misses" 1 (Monitor.stats monitor).Monitor.cache_hits
+
+(* Indexed evaluation is a pure perf switch: verdicts match the linear
+   monitor for every ordinal while scanning strictly fewer rules. *)
+let test_monitor_indexed_mode_equivalence () =
+  let run ~indexed =
+    let xen, mgr, monitor = mk_monitor () in
+    let d, _ = bind_guest xen mgr monitor "g1" in
+    Monitor.set_cache_enabled monitor false;
+    Monitor.set_index_enabled monitor indexed;
+    let binding = Binding.lookup_domid monitor.Monitor.bindings d in
+    Monitor.reset_stats monitor;
+    let verdicts =
+      List.map
+        (fun ordinal ->
+          fst (Monitor.decide monitor ~subject:(Subject.Guest d) ~ordinal ~binding))
+        Vtpm_tpm.Types.all_ordinals
+    in
+    (verdicts, (Monitor.stats monitor).Monitor.rules_scanned)
+  in
+  let linear_verdicts, linear_scanned = run ~indexed:false in
+  let indexed_verdicts, indexed_scanned = run ~indexed:true in
+  check_b "verdicts identical" true (linear_verdicts = indexed_verdicts);
+  check_b "index scans fewer rules" true (indexed_scanned < linear_scanned)
 
 (* --- ACM (Chinese Wall + Type Enforcement) -------------------------------------- *)
 
@@ -688,6 +965,24 @@ let test_acm_parse_roundtrip () =
 let test_acm_parse_errors () =
   check_b "malformed rejected" true (Result.is_error (Acm.parse "conflict oops\n"));
   check_b "comments ok" true (Result.is_ok (Acm.parse "# nothing here\n"))
+
+(* The O(1) lookup tables built in [create] must reproduce the original
+   assoc-list semantics exactly: first binding wins for types; conflicts
+   concatenate, in set order, the other members of every containing set. *)
+let test_acm_lookup_tables () =
+  let acm =
+    Acm.create
+      ~conflict_sets:[ ("s1", [ "a"; "b"; "c" ]); ("s2", [ "b"; "d" ]) ]
+      ~types_of:[ ("x", [ "t1" ]); ("x", [ "t2" ]); ("y", [ "t1" ]) ]
+      ()
+  in
+  check_b "types first binding wins" true (Acm.types_of acm "x" = [ "t1" ]);
+  check_b "unknown label has no types" true (Acm.types_of acm "zz" = []);
+  check_b "conflicts span sets in order" true (Acm.conflicts_with acm "b" = [ "a"; "c"; "d" ]);
+  check_b "single-set conflicts" true (Acm.conflicts_with acm "a" = [ "b"; "c" ]);
+  check_b "unknown label conflicts empty" true (Acm.conflicts_with acm "zz" = []);
+  check_b "share_type via tables" true (Acm.share_type acm "x" "y");
+  check_b "no shared type" false (Acm.share_type acm "x" "zz")
 
 let test_acm_host_integration () =
   let host =
@@ -864,11 +1159,14 @@ let suite =
     Alcotest.test_case "policy has_guards" `Quick test_policy_has_guards;
     Alcotest.test_case "policy print roundtrip" `Quick test_policy_print_roundtrip;
     QCheck_alcotest.to_alcotest prop_policy_parse_stable;
+    Alcotest.test_case "policy index candidates" `Quick test_policy_index_candidates;
+    QCheck_alcotest.to_alcotest prop_policy_index_differential;
     Alcotest.test_case "audit chain verifies" `Quick test_audit_chain_verifies;
     Alcotest.test_case "audit tamper detected" `Quick test_audit_tamper_detected;
     Alcotest.test_case "audit truncation detected" `Quick test_audit_truncation_detected;
     Alcotest.test_case "audit empty chain" `Quick test_audit_empty_chain;
     Alcotest.test_case "audit export/import" `Quick test_audit_export_import;
+    Alcotest.test_case "audit rotation long run" `Quick test_audit_rotation_long_run;
     Alcotest.test_case "binding bind/lookup" `Quick test_binding_bind_lookup;
     Alcotest.test_case "binding conflicts" `Quick test_binding_conflicts;
     Alcotest.test_case "binding unbind" `Quick test_binding_unbind;
@@ -881,7 +1179,17 @@ let suite =
     Alcotest.test_case "monitor mgmt credential" `Quick test_monitor_management_credential_gate;
     Alcotest.test_case "monitor mgmt policy" `Quick test_monitor_management_policy_gate;
     Alcotest.test_case "monitor rebind" `Quick test_monitor_rebind;
+    Alcotest.test_case "guard cache hits" `Quick test_monitor_guard_cache_hits;
+    Alcotest.test_case "guard cache extend invalidates" `Quick
+      test_monitor_guard_cache_extend_invalidates;
+    Alcotest.test_case "guard cache bump on tamper" `Quick test_monitor_guard_cache_bump_on_tamper;
+    Alcotest.test_case "guard cache rebind invalidates" `Quick
+      test_monitor_guard_cache_rebind_invalidates;
+    Alcotest.test_case "guard cache reload resets" `Quick test_monitor_guard_cache_reload_resets;
+    Alcotest.test_case "forget_subject key index" `Quick test_monitor_forget_subject_key_index;
+    Alcotest.test_case "indexed mode equivalence" `Quick test_monitor_indexed_mode_equivalence;
     Alcotest.test_case "acm chinese wall" `Quick test_acm_chinese_wall;
+    Alcotest.test_case "acm lookup tables" `Quick test_acm_lookup_tables;
     Alcotest.test_case "acm ste" `Quick test_acm_ste;
     Alcotest.test_case "acm parse roundtrip" `Quick test_acm_parse_roundtrip;
     Alcotest.test_case "acm parse errors" `Quick test_acm_parse_errors;

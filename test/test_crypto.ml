@@ -83,6 +83,84 @@ let test_hmac_equal_ct () =
   check_b "length mismatch" false (Hmac.equal_ct "abc" "abcd");
   check_b "empty" true (Hmac.equal_ct "" "")
 
+(* --- Context reuse (reset + scratch one-shot path) -------------------------------- *)
+
+(* A reset context must behave exactly like a fresh one — the one-shot
+   [digest] now reuses a module-level scratch context through this path. *)
+let test_sha_ctx_reset_reuse () =
+  let ctx1 = Sha1.init () in
+  Sha1.feed ctx1 "poison the state";
+  ignore (Sha1.finalize ctx1);
+  Sha1.reset ctx1;
+  Sha1.feed ctx1 "abc";
+  check_s "sha1 reset = fresh" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Vtpm_util.Hex.encode (Sha1.finalize ctx1));
+  (* Reset mid-feed, before finalize, discards buffered input too. *)
+  Sha1.reset ctx1;
+  Sha1.feed ctx1 (String.make 70 'z');
+  Sha1.reset ctx1;
+  Sha1.feed ctx1 "abc";
+  check_s "sha1 reset discards partial input" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Vtpm_util.Hex.encode (Sha1.finalize ctx1));
+  let ctx2 = Sha256.init () in
+  Sha256.feed ctx2 (String.make 130 'q');
+  ignore (Sha256.finalize ctx2);
+  Sha256.reset ctx2;
+  Sha256.feed ctx2 "abc";
+  check_s "sha256 reset = fresh" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Vtpm_util.Hex.encode (Sha256.finalize ctx2))
+
+(* Interleaved one-shot digests and incremental contexts must not clobber
+   each other: [digest] uses a private scratch context. *)
+let test_sha_scratch_isolation () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "hello ";
+  let _ = Sha256.digest (String.make 200 'w') in
+  Sha256.feed ctx "world";
+  check_s "incremental unaffected by one-shot"
+    (Vtpm_util.Hex.encode (Sha256.digest "hello world"))
+    (Vtpm_util.Hex.encode (Sha256.finalize ctx));
+  let ctx1 = Sha1.init () in
+  Sha1.feed ctx1 "hello ";
+  let _ = Sha1.digest "interleaved" in
+  Sha1.feed ctx1 "world";
+  check_s "sha1 incremental unaffected"
+    (Vtpm_util.Hex.encode (Sha1.digest "hello world"))
+    (Vtpm_util.Hex.encode (Sha1.finalize ctx1))
+
+(* Precomputed HMAC pads: [mac_prekeyed (derive h ~key)] == [mac h ~key]
+   across short, block-sized and longer-than-block keys. *)
+let prop_hmac_prekeyed_matches_plain =
+  QCheck.Test.make ~name:"hmac prekeyed == plain" ~count:200
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (key, msg) ->
+      String.equal (Hmac.mac_prekeyed (Hmac.sha1_prekey ~key) msg) (Hmac.sha1_mac ~key msg)
+      && String.equal
+           (Hmac.mac_prekeyed (Hmac.sha256_prekey ~key) msg)
+           (Hmac.sha256_mac ~key msg))
+
+let test_hmac_prekeyed_vectors () =
+  (* The RFC vectors again, through the precomputed-pad path; the 80-byte
+     key exercises the long-key pre-hash inside [derive]. *)
+  check_s "rfc2202 tc1 prekeyed" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (Vtpm_util.Hex.encode
+       (Hmac.mac_prekeyed (Hmac.sha1_prekey ~key:(String.make 20 '\x0b')) "Hi There"));
+  check_s "rfc2202 tc6 prekeyed" "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+    (Vtpm_util.Hex.encode
+       (Hmac.mac_prekeyed
+          (Hmac.sha1_prekey ~key:(String.make 80 '\xaa'))
+          "Test Using Larger Than Block-Size Key - Hash Key First"));
+  let pk = Hmac.sha256_prekey ~key:"Jefe" in
+  check_s "rfc4231 tc2 prekeyed" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Vtpm_util.Hex.encode (Hmac.mac_prekeyed pk "what do ya want for nothing?"));
+  (* One prekey, many messages — the amortized use pattern. *)
+  List.iter
+    (fun msg ->
+      check_s ("reused prekey: " ^ msg)
+        (Vtpm_util.Hex.encode (Hmac.sha256_mac ~key:"Jefe" msg))
+        (Vtpm_util.Hex.encode (Hmac.mac_prekeyed pk msg)))
+    [ ""; "a"; String.make 100 'b' ]
+
 (* --- Bignum ------------------------------------------------------------------------ *)
 
 let bn = Bignum.of_int
@@ -371,6 +449,10 @@ let suite =
     Alcotest.test_case "hmac-sha1 vectors" `Quick test_hmac_sha1_vectors;
     Alcotest.test_case "hmac-sha256 vector" `Quick test_hmac_sha256_vector;
     Alcotest.test_case "hmac equal_ct" `Quick test_hmac_equal_ct;
+    Alcotest.test_case "sha ctx reset/reuse" `Quick test_sha_ctx_reset_reuse;
+    Alcotest.test_case "sha scratch isolation" `Quick test_sha_scratch_isolation;
+    Alcotest.test_case "hmac prekeyed vectors" `Quick test_hmac_prekeyed_vectors;
+    QCheck_alcotest.to_alcotest prop_hmac_prekeyed_matches_plain;
     Alcotest.test_case "bignum basics" `Quick test_bignum_basics;
     Alcotest.test_case "bignum compare" `Quick test_bignum_compare;
     Alcotest.test_case "bignum add/sub" `Quick test_bignum_add_sub;

@@ -303,6 +303,45 @@ let test_hw_client_deterministic_across_churn () =
   check_b "session key independent of instance churn" true
     (session_key ~churn:false = session_key ~churn:true)
 
+(* --- PR 5: compiled index + generation cache ------------------------------------ *)
+
+let test_fig2_compiled_series_flat () =
+  (* Acceptance: with the index on, per-request latency at 4096 rules
+     stays within 15% of the 16-rule point — rule-count independence. *)
+  let f2, _ = Experiments.fig2 ~rule_counts:[ 16; 4096 ] ~reps:50 ~include_compiled:true () in
+  let compiled = List.assoc "compiled" f2 in
+  let small = List.assoc 16.0 compiled and big = List.assoc 4096.0 compiled in
+  check_b
+    (Printf.sprintf "compiled: %.2fus @16 vs %.2fus @4096 within 15%%" small big)
+    true
+    (Float.abs (big -. small) /. small <= 0.15);
+  (* Sanity: the linear no-cache series does grow with rule count. *)
+  let nocache = List.assoc "cache-off" f2 in
+  check_b "linear series grows with rules" true
+    (List.assoc 4096.0 nocache > 2.0 *. List.assoc 16.0 nocache)
+
+let test_fig2_default_series_unperturbed () =
+  (* Emitting the compiled series must not disturb the two seed series:
+     same RNG draw order, same simulated clocks. *)
+  let base, _ = Experiments.fig2 ~rule_counts:[ 16; 256 ] ~reps:40 () in
+  let extended, _ = Experiments.fig2 ~rule_counts:[ 16; 256 ] ~reps:40 ~include_compiled:true () in
+  List.iter
+    (fun name ->
+      check_b (name ^ " series bit-identical") true
+        (List.assoc name base = List.assoc name extended))
+    [ "cache-on"; "cache-off" ]
+
+let test_fig9_index_and_gen_cache_scale () =
+  let f9, _ = Experiments.fig9 ~vm_counts:[ 1; 8 ] ~rules:256 ~total_ops:240 () in
+  let at name = snd (List.hd (List.rev (List.assoc name f9))) in
+  let linear = at "linear" and indexed = at "indexed" and cached = at "indexed+gen-cache" in
+  check_b
+    (Printf.sprintf "indexed %.0f >= linear %.0f ops/s" indexed linear)
+    true (indexed >= linear);
+  check_b
+    (Printf.sprintf "gen-cache %.0f >= indexed %.0f ops/s" cached indexed)
+    true (cached >= indexed)
+
 let suite =
   [
     Alcotest.test_case "lanes: single lane is serial charge" `Quick
@@ -330,4 +369,10 @@ let suite =
       test_quota_remaining_does_not_allocate;
     Alcotest.test_case "manager: hw client deterministic" `Quick
       test_hw_client_deterministic_across_churn;
+    Alcotest.test_case "fig2: compiled series flat in rules" `Quick
+      test_fig2_compiled_series_flat;
+    Alcotest.test_case "fig2: default series unperturbed" `Quick
+      test_fig2_default_series_unperturbed;
+    Alcotest.test_case "fig9: index and gen-cache scale" `Quick
+      test_fig9_index_and_gen_cache_scale;
   ]
