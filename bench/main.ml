@@ -417,6 +417,109 @@ let run_fig9 () =
       Out_channel.output_string oc (Buffer.contents buf));
   say "wrote BENCH_PR5.json@."
 
+(* table6/fig10: the migration drill. fig10 also emits BENCH_PR6.json —
+   the goodput series plus every drill invariant and the two new attack
+   rows — so CI can diff the rollback/replay defenses without scraping
+   rendered tables. *)
+
+let run_table6 () =
+  let drill, rendered = Vtpm_sim.Experiments.table6 () in
+  print_string rendered;
+  print_newline ();
+  print_string (Vtpm_sim.Experiments.render_migration_drill drill);
+  print_newline ()
+
+let run_fig10 () =
+  let series, rendered = Vtpm_sim.Experiments.fig10 () in
+  print_string rendered;
+  print_newline ();
+  let drill, table_rendered = Vtpm_sim.Experiments.table6 () in
+  print_string table_rendered;
+  print_newline ();
+  (* The drill's hard invariants: a violation is a regression, not a data
+     point. *)
+  let open Vtpm_sim.Experiments in
+  let checks =
+    [
+      ("zero_lost_in_flight", drill.md_lost_in_flight = 0);
+      ("zero_bypass_windows", drill.md_bypass_windows = 0);
+      ("quarantine_held", drill.md_quarantine_held);
+      ("freshness_monotone", drill.md_fresh_monotone);
+      ("replay_blocked", drill.md_replay_blocked);
+      ("replay_audited", drill.md_replay_audited);
+      ("anchor_src_ok", drill.md_anchor_src_ok);
+      ("anchor_dst_ok", drill.md_anchor_dst_ok);
+      ("source_resumed_on_failures", drill.md_failed_attempts >= 2);
+    ]
+  in
+  List.iter
+    (fun (name, ok) -> say "drill check %-28s %s@." name (if ok then "PASS" else "FAIL"))
+    checks;
+  (* The two rollback/replay attack rows, both modes. *)
+  let attack_rows =
+    List.map
+      (fun (name, attack) ->
+        let run mode =
+          let f = Vtpm_attacks.Attack.setup ~mode ~seed:53 () in
+          (attack f : Vtpm_attacks.Attack.outcome).Vtpm_attacks.Attack.succeeded
+        in
+        (name, run Vtpm_access.Host.Baseline_mode, run Vtpm_access.Host.Improved_mode))
+      [
+        ("rollback-replay", Vtpm_attacks.Attack.rollback_replay);
+        ("stale-quote-replay", Vtpm_attacks.Attack.stale_quote_replay);
+      ]
+  in
+  List.iter
+    (fun (name, base_won, imp_won) ->
+      say "attack %-20s baseline %s, improved %s@." name
+        (if base_won then "RETRIEVED" else "blocked")
+        (if imp_won then "RETRIEVED" else "blocked"))
+    attack_rows;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"pr\": 6,\n  \"figure\": \"fig10\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"migrant goodput %\",\n  \"x_label\": \"flood x\",\n  \"series\": {\n";
+  List.iteri
+    (fun i (name, points) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: [" name);
+      List.iteri
+        (fun j (x, y) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "[%g, %.1f]" x y))
+        points;
+      Buffer.add_string buf (if i < List.length series - 1 then "],\n" else "]\n"))
+    series;
+  Buffer.add_string buf "  },\n  \"drill\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"flood_x\": %d,\n    \"attempts\": %d,\n    \"failed_attempts\": %d,\n"
+       drill.md_flood_x drill.md_attempts drill.md_failed_attempts);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"drained\": %d,\n    \"lost_in_flight\": %d,\n    \"bypass_windows\": %d,\n"
+       drill.md_drained drill.md_lost_in_flight drill.md_bypass_windows);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"migrant_goodput_pct\": %.1f,\n    \"victim_goodput_pct\": %.1f\n"
+       drill.md_migrant_goodput_pct drill.md_victim_goodput_pct);
+  Buffer.add_string buf "  },\n  \"checks\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: %b" name ok);
+      Buffer.add_string buf (if i < List.length checks - 1 then ",\n" else "\n"))
+    checks;
+  Buffer.add_string buf "  },\n  \"attacks\": {\n";
+  List.iteri
+    (fun i (name, base_won, imp_won) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: { \"baseline_retrieved\": %b, \"improved_retrieved\": %b }" name
+           base_won imp_won);
+      Buffer.add_string buf (if i < List.length attack_rows - 1 then ",\n" else "\n"))
+    attack_rows;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_PR6.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR6.json@.";
+  if List.exists (fun (_, ok) -> not ok) checks then
+    invalid_arg "migration drill invariant violated (see drill checks above)"
+
 (* --- Driver ---------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -426,6 +529,7 @@ let sections : (string * (unit -> unit)) list =
     ("table3", run_table3);
     ("table4", run_table4);
     ("table5", run_table5);
+    ("table6", run_table6);
     ("fig1", run_fig1);
     ("fig2", run_fig2);
     ("fig3", run_fig3);
@@ -435,6 +539,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig7", run_fig7);
     ("fig8", run_fig8);
     ("fig9", run_fig9);
+    ("fig10", run_fig10);
     ("micro", run_micro);
   ]
 

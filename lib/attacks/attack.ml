@@ -302,6 +302,220 @@ let dos_flood (f : fixture) : outcome =
     outcome name false
       (Printf.sprintf "rate limiter throttled flood to %d/%d requests" !served total)
 
+(* --- A9: rollback / migration-stream replay ------------------------------------ *)
+
+(* The rollback adversary holds yesterday's bytes and asks today's manager
+   to accept them: (a) a captured older checkpoint entry is injected back
+   into the state directory and restored — reviving revoked state; (b) a
+   captured migration stream is imported a second time at the destination —
+   forking the vTPM. Freshness counters (stamped under the MAC, strictly
+   monotone per lineage) close both doors on the improved host. *)
+let rollback_replay (f : fixture) : outcome =
+  let name = "rollback-replay" in
+  let vtpm_id = f.victim.Host.vtpm_id in
+  let c = Host.guest_client f.host f.victim in
+  let fail_client what e = invalid_arg (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e) in
+  let unwrap what = function Ok v -> v | Error e -> fail_client what e in
+  let fresh =
+    match f.host.Host.mode with
+    | Host.Baseline_mode -> None
+    | Host.Improved_mode -> (
+        match Monitor.enable_freshness (Host.monitor_exn f.host) with
+        | Ok fr -> Some fr
+        | Error e -> invalid_arg ("enable freshness: " ^ e))
+  in
+  (* Probe 1: restore a captured older checkpoint over newer state. *)
+  let ckpt = Vtpm_mgr.Checkpoint.create ?fresh f.host.Host.mgr in
+  let inst =
+    match Vtpm_mgr.Manager.find f.host.Host.mgr vtpm_id with
+    | Ok i -> i
+    | Error e -> invalid_arg (Vtpm_util.Verror.to_string e)
+  in
+  (match Vtpm_mgr.Checkpoint.checkpoint ckpt inst with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("checkpoint: " ^ e));
+  let old_entry =
+    match Vtpm_mgr.Checkpoint.capture ckpt ~vtpm_id with
+    | Some e -> e
+    | None -> invalid_arg "no checkpoint entry captured"
+  in
+  (* The victim's state advances past the captured snapshot... *)
+  let _ = unwrap "extend" (Vtpm_tpm.Client.extend c ~pcr:10 ~digest:(Vtpm_crypto.Sha1.digest "post-capture-event")) in
+  (match Vtpm_mgr.Checkpoint.checkpoint ckpt inst with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("re-checkpoint: " ^ e));
+  (* ...and the adversary swaps the old bytes back in. *)
+  Vtpm_mgr.Checkpoint.inject ckpt old_entry;
+  let ckpt_rolled = Result.is_ok (Vtpm_mgr.Checkpoint.restore_instance ckpt ~vtpm_id) in
+  (* Probe 2: replay a captured migration stream at the destination. *)
+  let dest = Host.create ~mode:f.host.Host.mode ~seed:96 ~rsa_bits:256 () in
+  let process, token, dproc, dtoken, dest_key =
+    match f.host.Host.mode with
+    | Host.Baseline_mode -> ("xm-migrate", "", "xm-migrate", "", None)
+    | Host.Improved_mode ->
+        (match Monitor.enable_freshness (Host.monitor_exn dest) with
+        | Ok _ -> ()
+        | Error e -> invalid_arg ("dest freshness: " ^ e));
+        ( Host.manager_process,
+          Host.manager_token f.host,
+          Host.manager_process,
+          Host.manager_token dest,
+          Some (Vtpm_mgr.Migration.bind_pubkey dest.Host.mgr) )
+  in
+  match Host.management f.host ~process ~token (Monitor.Migrate_out { vtpm_id; dest_key }) with
+  | Error e ->
+      outcome name ckpt_rolled
+        (if ckpt_rolled then "old checkpoint restored (migrate-out failed: " ^ e ^ ")"
+         else "checkpoint rollback refused; migrate-out failed: " ^ e)
+  | Ok (Monitor.M_blob stream) -> (
+      match Host.management dest ~process:dproc ~token:dtoken (Monitor.Migrate_in { stream }) with
+      | Error e ->
+          outcome name ckpt_rolled
+            (if ckpt_rolled then "old checkpoint restored (first import failed: " ^ e ^ ")"
+             else "checkpoint rollback refused; first import failed: " ^ e)
+      | Ok _ ->
+          let replayed =
+            Result.is_ok
+              (Host.management dest ~process:dproc ~token:dtoken (Monitor.Migrate_in { stream }))
+          in
+          let audited =
+            match dest.Host.monitor with
+            | Some dm ->
+                List.exists
+                  (fun (e : Audit.entry) ->
+                    (not e.Audit.allowed) && String.equal e.Audit.operation "mgmt:migrate-in")
+                  (Audit.entries dm.Monitor.audit)
+            | None -> false
+          in
+          let detail =
+            match (ckpt_rolled, replayed) with
+            | true, true -> "old checkpoint restored and captured stream re-imported (state forked)"
+            | true, false -> "old checkpoint restored (stream replay rejected)"
+            | false, true -> "captured migration stream re-imported (state forked)"
+            | false, false ->
+                if audited then "checkpoint rollback refused; stream replay rejected and audited"
+                else "checkpoint rollback refused; stream replay rejected"
+          in
+          outcome name (ckpt_rolled || replayed) detail)
+  | Ok _ -> outcome name ckpt_rolled "unexpected management result"
+
+(* --- A10: stale quote replay across a migration ---------------------------------- *)
+
+(* The attacker captures a (nonce, quote, event log) triple produced before
+   the victim's vTPM migrated away, then resubmits it to the verifier — the
+   instance no longer even lives here, but the evidence still "proves" it
+   healthy. A 2006-era verifier that checks whatever nonce accompanies the
+   evidence accepts it forever; the challenge-registry verifier only
+   accepts quotes over nonces it issued and has not yet consumed. *)
+let stale_quote_replay (f : fixture) : outcome =
+  let name = "stale-quote-replay" in
+  let c = Host.guest_client f.host f.victim in
+  let fail_client what e = invalid_arg (Fmt.str "%s: %a" what Vtpm_tpm.Client.pp_error e) in
+  let unwrap what = function Ok v -> v | Error e -> fail_client what e in
+  (* Measured boot into PCR 11 (PCR 10 already holds the fixture's kernel
+     measurement; the quote covers only the event-logged PCR). *)
+  let log = Vtpm_tpm.Eventlog.create () in
+  let boot_chain = [ "victim-app"; "victim-config" ] in
+  List.iter
+    (fun sw ->
+      let digest =
+        Vtpm_tpm.Eventlog.record log ~pcr:11 ~event_type:Vtpm_tpm.Eventlog.ev_ipl ~description:sw
+          ~data:(sw ^ "-bytes")
+      in
+      ignore (unwrap "extend" (Vtpm_tpm.Client.extend c ~pcr:11 ~digest)))
+    boot_chain;
+  (* AIK under the fixture's SRK. *)
+  let sess =
+    unwrap "osap"
+      (Vtpm_tpm.Client.start_osap c ~entity_handle:Vtpm_tpm.Types.kh_srk ~usage_secret:f.srk_auth)
+  in
+  let aik_auth = Vtpm_crypto.Sha1.digest "victim-aik" in
+  let blob, aik_pub =
+    unwrap "create"
+      (Vtpm_tpm.Client.create_wrap_key c sess ~parent:Vtpm_tpm.Types.kh_srk
+         ~usage:Vtpm_tpm.Types.Signing ~key_auth:aik_auth ())
+  in
+  let handle =
+    unwrap "load"
+      (Vtpm_tpm.Client.load_key2 ~continue:false c sess ~parent:Vtpm_tpm.Types.kh_srk ~blob)
+  in
+  let sel = Vtpm_tpm.Types.Pcr_selection.of_list [ 11 ] in
+  let quote_over nonce =
+    let qs = unwrap "oiap" (Vtpm_tpm.Client.start_oiap c ~usage_secret:aik_auth) in
+    let composite, signature, pubkey =
+      unwrap "quote"
+        (Vtpm_tpm.Client.quote ~continue:false c qs ~key:handle ~external_data:nonce ~pcr_sel:sel)
+    in
+    { Attestation.composite; signature; pubkey; pcr_sel = sel; event_log = log }
+  in
+  let vp = Attestation.policy () in
+  List.iter (fun sw -> Attestation.whitelist vp ~software:sw ~data:(sw ^ "-bytes")) boot_chain;
+  Attestation.enroll_key vp aik_pub;
+  (* The vTPM migrates away between the legitimate attestation and the
+     replay: after this the quote is stale by construction. *)
+  let migrate_away () =
+    let dest = Host.create ~mode:f.host.Host.mode ~seed:97 ~rsa_bits:256 () in
+    match f.host.Host.mode with
+    | Host.Baseline_mode -> (
+        match
+          Host.management f.host ~process:"xm-migrate" ~token:""
+            (Monitor.Migrate_out { vtpm_id = f.victim.Host.vtpm_id; dest_key = None })
+        with
+        | Ok (Monitor.M_blob stream) ->
+            ignore
+              (Host.management dest ~process:"xm-migrate" ~token:""
+                 (Monitor.Migrate_in { stream }))
+        | _ -> ())
+    | Host.Improved_mode -> (
+        let dest_key = Some (Vtpm_mgr.Migration.bind_pubkey dest.Host.mgr) in
+        match
+          Host.management f.host ~process:Host.manager_process ~token:(Host.manager_token f.host)
+            (Monitor.Migrate_out { vtpm_id = f.victim.Host.vtpm_id; dest_key })
+        with
+        | Ok (Monitor.M_blob stream) ->
+            ignore
+              (Host.management dest ~process:Host.manager_process ~token:(Host.manager_token dest)
+                 (Monitor.Migrate_in { stream }))
+        | _ -> ())
+  in
+  match f.host.Host.mode with
+  | Host.Baseline_mode -> (
+      (* Verifier lets the prover present the nonce. *)
+      let nonce = Vtpm_crypto.Sha1.digest "verifier-challenge-1" in
+      let ev = quote_over nonce in
+      match Attestation.verify vp ~nonce ev with
+      | Error e -> outcome name false (Fmt.str "legitimate quote rejected: %a" Attestation.pp_failure e)
+      | Ok () -> (
+          migrate_away ();
+          (* Replay the captured pair post-migration. *)
+          match Attestation.verify vp ~nonce ev with
+          | Ok () -> outcome name true "pre-migration quote accepted again post-migration"
+          | Error _ -> outcome name false "replayed quote rejected"))
+  | Host.Improved_mode -> (
+      let m = Host.monitor_exn f.host in
+      (match Monitor.enable_freshness m with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("enable freshness: " ^ e));
+      let nonce = Attestation.challenge vp in
+      let ev = quote_over nonce in
+      match Attestation.verify_fresh vp ~audit:m.Monitor.audit ~nonce ev with
+      | Error e -> outcome name false ("legitimate quote rejected: " ^ e)
+      | Ok () -> (
+          migrate_away ();
+          match Attestation.verify_fresh vp ~audit:m.Monitor.audit ~nonce ev with
+          | Ok () -> outcome name true "pre-migration quote accepted again post-migration"
+          | Error _ ->
+              let audited =
+                List.exists
+                  (fun (e : Audit.entry) ->
+                    (not e.Audit.allowed) && String.equal e.Audit.operation "attestation")
+                  (Audit.entries m.Monitor.audit)
+              in
+              let rejected = Attestation.replays_rejected vp in
+              outcome name false
+                (Printf.sprintf "stale quote rejected%s (%d replay(s) counted)"
+                   (if audited then " and audited" else "") rejected)))
+
 (* --- The full battery -------------------------------------------------------------- *)
 
 let all : (string * (fixture -> outcome)) list =
@@ -314,6 +528,8 @@ let all : (string * (fixture -> outcome)) list =
     ("tampered-guest", tampered_guest);
     ("memory-dump", memory_dump);
     ("dos-flood", dos_flood);
+    ("rollback-replay", rollback_replay);
+    ("stale-quote-replay", stale_quote_replay);
   ]
 
 (* Run every attack against a fresh fixture per attack (attacks mutate

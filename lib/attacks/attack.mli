@@ -59,6 +59,17 @@ val dos_flood : fixture -> outcome
 (** A8 — co-resident guest floods the shared manager; improved hosts rate
     limit (enabled by this attack), baseline serves everything. *)
 
+val rollback_replay : fixture -> outcome
+(** A9 — rollback adversary: restores a captured older checkpoint over
+    newer state, and re-imports a captured migration stream at the
+    destination. Freshness counters (enabled by this attack on improved
+    hosts) refuse both. *)
+
+val stale_quote_replay : fixture -> outcome
+(** A10 — resubmits a pre-migration quote post-migration. The improved
+    verifier's challenge registry consumes nonces on first use; the
+    baseline verifier accepts whatever nonce accompanies the evidence. *)
+
 val all : (string * (fixture -> outcome)) list
 (** Name → attack, in Table 2 row order. *)
 

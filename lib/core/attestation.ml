@@ -38,13 +38,24 @@ let pp_failure ppf = function
   | Untrusted_key -> Fmt.string ppf "quote key is not a trusted AIK"
 
 (* The verifier's reference database: digests of software it accepts, and
-   AIK public keys it has enrolled. *)
+   AIK public keys it has enrolled — plus the challenge registry for
+   anti-replay freshness. *)
 type policy = {
   known_digests : (string, string) Hashtbl.t; (* digest -> software name *)
   mutable trusted_keys : string list; (* Rsa fingerprints *)
+  outstanding : (string, unit) Hashtbl.t; (* live challenge nonces *)
+  mutable challenge_seq : int;
+  mutable replays_rejected : int;
 }
 
-let policy () = { known_digests = Hashtbl.create 16; trusted_keys = [] }
+let policy () =
+  {
+    known_digests = Hashtbl.create 16;
+    trusted_keys = [];
+    outstanding = Hashtbl.create 8;
+    challenge_seq = 0;
+    replays_rejected = 0;
+  }
 
 let whitelist p ~software ~data =
   Hashtbl.replace p.known_digests (Vtpm_crypto.Sha1.digest data) software
@@ -77,6 +88,50 @@ let verify (p : policy) ~(nonce : string) (ev : evidence) : (unit, failure) resu
       | Some e -> Error (Unknown_measurement e)
       | None -> Ok ()
     end
+  end
+
+(* --- Challenge registry: freshness at the verifier -----------------------
+
+   [verify] checks that the quote signs the *presented* nonce, but if the
+   verifier lets the prover present the nonce, a captured (nonce, quote)
+   pair replays forever — "Insecure Until Proven Updated"'s stale
+   evidence attack, and exactly what a pre-migration quote becomes after
+   the instance moved hosts. The registry closes it: only nonces the
+   verifier itself issued and has not yet consumed are accepted, and a
+   nonce dies on first use. *)
+
+let challenge (p : policy) : string =
+  p.challenge_seq <- p.challenge_seq + 1;
+  let nonce = Vtpm_crypto.Sha1.digest (Printf.sprintf "att-challenge:%d" p.challenge_seq) in
+  Hashtbl.replace p.outstanding nonce ();
+  nonce
+
+let outstanding_challenges p = Hashtbl.length p.outstanding
+let replays_rejected p = p.replays_rejected
+
+let verify_fresh (p : policy) ?audit ~(nonce : string) (ev : evidence) : (unit, string) result =
+  if not (Hashtbl.mem p.outstanding nonce) then begin
+    p.replays_rejected <- p.replays_rejected + 1;
+    (match audit with
+    | Some log ->
+        Audit.append log ~subject:"verifier" ~operation:"attestation" ~instance:None
+          ~allowed:false ~reason:"stale-quote-replay: nonce is not a live challenge"
+    | None -> ());
+    Error "nonce is not a live challenge (stale or replayed evidence)"
+  end
+  else begin
+    (* Single use: consumed even when verification fails, so a failed
+       attempt cannot be retried against the same challenge. *)
+    Hashtbl.remove p.outstanding nonce;
+    match verify p ~nonce ev with
+    | Ok () ->
+        (match audit with
+        | Some log ->
+            Audit.append log ~subject:"verifier" ~operation:"attestation" ~instance:None
+              ~allowed:true ~reason:"fresh-challenge"
+        | None -> ());
+        Ok ()
+    | Error f -> Error (Fmt.str "%a" pp_failure f)
   end
 
 (* Deep attestation: the vTPM evidence plus the hardware linkage. The

@@ -37,6 +37,27 @@ val key_trusted : policy -> Vtpm_crypto.Rsa.public -> bool
 
 val verify : policy -> nonce:string -> evidence -> (unit, failure) result
 
+(** {1 Challenge registry}
+
+    {!verify} checks the quote against the nonce the caller presents;
+    if the prover chooses the nonce, captured evidence replays forever.
+    The registry issues single-use nonces and {!verify_fresh} only
+    accepts evidence over a nonce it issued and has not yet consumed —
+    a pre-migration quote resubmitted post-migration is rejected (and
+    audited when a log is supplied). *)
+
+val challenge : policy -> string
+(** Issue a fresh single-use nonce. *)
+
+val verify_fresh :
+  policy -> ?audit:Audit.t -> nonce:string -> evidence -> (unit, string) result
+(** {!verify}, but the nonce must be a live challenge from {!challenge};
+    it is consumed on first use (success or failure). Replays are
+    counted, and recorded in [audit] as denials. *)
+
+val outstanding_challenges : policy -> int
+val replays_rejected : policy -> int
+
 val verify_deep :
   policy -> nonce:string -> evidence -> Vtpm_mgr.Deep_quote.t -> (unit, string) result
 (** {!verify}, plus the hardware linkage: the deep quote must wrap exactly

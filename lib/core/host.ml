@@ -230,6 +230,14 @@ let management t ~process ~token (op : Monitor.management_op) :
               Result.map (fun s -> Monitor.M_blob s) (Baseline.migrate_out b ~process ~vtpm_id)
           | Monitor.Migrate_in { stream } ->
               Result.map (fun i -> Monitor.M_instance i) (Baseline.migrate_in b ~process ~stream)
+          | Monitor.Migrate_receive { stream } ->
+              (* No handshake in the 2006 design: a received stream goes
+                 live immediately. *)
+              Result.map (fun i -> Monitor.M_instance i) (Baseline.migrate_in b ~process ~stream)
+          | Monitor.Migrate_activate _ -> Ok Monitor.M_unit
+          | Monitor.Migrate_abort { vtpm_id } ->
+              Vtpm_mgr.Manager.destroy_instance t.mgr vtpm_id;
+              Ok Monitor.M_unit
           | Monitor.Rebind { vtpm_id; new_domid } ->
               (* Baseline "rebind" is just a XenStore edit; emulate it. *)
               let path =

@@ -57,6 +57,9 @@ type t = {
   mutable quota : Quota.t option; (* None: no rate limiting *)
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
       (* None: requests execute directly on the manager *)
+  mutable freshness : Vtpm_mgr.Freshness.t option;
+      (* None: migration streams carry no rollback counters (seed
+         behavior); Some: v2 envelopes only, strictly-newer admission *)
   stats : stats;
 }
 
@@ -80,6 +83,7 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
     audit_enabled = true;
     quota = None;
     supervisor = None;
+    freshness = None;
     stats =
       {
         lookups = 0;
@@ -164,7 +168,8 @@ let set_supervisor t (sup : Vtpm_mgr.Supervisor.t) =
         let allowed =
           match ev with
           | Vtpm_mgr.Supervisor.Restart | Vtpm_mgr.Supervisor.Breaker_close
-          | Vtpm_mgr.Supervisor.Degraded_read ->
+          | Vtpm_mgr.Supervisor.Degraded_read | Vtpm_mgr.Supervisor.Migration_hold
+          | Vtpm_mgr.Supervisor.Migration_commit | Vtpm_mgr.Supervisor.Migration_abort ->
               true
           | _ -> false
         in
@@ -173,6 +178,23 @@ let set_supervisor t (sup : Vtpm_mgr.Supervisor.t) =
           ~reason:(Vtpm_mgr.Supervisor.event_name ev))
 
 let clear_supervisor t = t.supervisor <- None
+
+(* Opt-in rollback defense for migration streams. With a freshness
+   tracker installed, exports stamp monotonic counters into the protected
+   envelope and imports refuse anything not strictly newer than last-seen
+   (legacy v1 envelopes included — downgrade defense). Off by default:
+   the seed's stream format and cost sequence stay bit-identical. *)
+let set_freshness t f = t.freshness <- f
+
+(* Convenience: create a tracker over the manager and anchor its
+   last-seen table in the hardware TPM. *)
+let enable_freshness ?nv_index t : (Vtpm_mgr.Freshness.t, string) result =
+  let f = Vtpm_mgr.Freshness.create t.mgr in
+  match Vtpm_mgr.Freshness.anchor_setup ?nv_index f with
+  | Error e -> Error e
+  | Ok () ->
+      t.freshness <- Some f;
+      Ok f
 
 let set_audit_cap t cap = Audit.set_max_entries t.audit cap
 
@@ -420,6 +442,9 @@ type management_op =
   | Restore_instance of { blob : string }
   | Migrate_out of { vtpm_id : int; dest_key : Vtpm_crypto.Rsa.public option }
   | Migrate_in of { stream : string }
+  | Migrate_receive of { stream : string }
+  | Migrate_activate of { vtpm_id : int }
+  | Migrate_abort of { vtpm_id : int }
   | Rebind of { vtpm_id : int; new_domid : Domain.domid }
   | Export_audit
 
@@ -428,6 +453,9 @@ let management_op_name = function
   | Restore_instance _ -> "mgmt:restore"
   | Migrate_out _ -> "mgmt:migrate-out"
   | Migrate_in _ -> "mgmt:migrate-in"
+  | Migrate_receive _ -> "mgmt:migrate-receive"
+  | Migrate_activate _ -> "mgmt:migrate-activate"
+  | Migrate_abort _ -> "mgmt:migrate-abort"
   | Rebind _ -> "mgmt:rebind"
   | Export_audit -> "mgmt:export-audit"
 
@@ -480,19 +508,52 @@ let management t ~(process : string) ~(token : string) (op : management_op) :
             | Error e -> Error (Vtpm_util.Verror.to_string e)
             | Ok inst -> (
                 match
-                  Vtpm_mgr.Migration.export t.mgr inst ~mode:Vtpm_mgr.Migration.Protected ~dest_key
+                  Vtpm_mgr.Migration.export t.mgr ?fresh:t.freshness inst
+                    ~mode:Vtpm_mgr.Migration.Protected ~dest_key
                 with
-                | Error e -> Error e
+                | Error e ->
+                    audit_and_count t ~subject ~operation:op_name ~instance:(Some vtpm_id)
+                      ~allowed:false ~reason:("export-rejected: " ^ e);
+                    Error e
                 | Ok stream ->
                     Vtpm_mgr.Migration.finalize_source t.mgr inst;
                     (match Binding.lookup_instance t.bindings vtpm_id with
                     | Some b -> Binding.unbind t.bindings ~domid:b.Binding.domid
                     | None -> ());
                     Ok (M_blob stream)))
-        | Migrate_in { stream } ->
-            Result.map
-              (fun (i : Vtpm_mgr.Manager.instance) -> M_instance i.Vtpm_mgr.Manager.vtpm_id)
-              (Vtpm_mgr.Migration.import t.mgr stream)
+        | Migrate_in { stream } -> (
+            match Vtpm_mgr.Migration.import t.mgr ?fresh:t.freshness stream with
+            | Ok i -> Ok (M_instance i.Vtpm_mgr.Manager.vtpm_id)
+            | Error e ->
+                (* A refused stream (MAC, downgrade, stale counter) is an
+                   attack surface event, not a mere failure: audit it as a
+                   denial so rollback/replay attempts leave evidence. *)
+                audit_and_count t ~subject ~operation:op_name ~instance:None ~allowed:false
+                  ~reason:("import-rejected: " ^ e);
+                Error e)
+        | Migrate_receive { stream } -> (
+            match Vtpm_mgr.Migration.receive t.mgr ?fresh:t.freshness stream with
+            | Ok i -> Ok (M_instance i.Vtpm_mgr.Manager.vtpm_id)
+            | Error e ->
+                audit_and_count t ~subject ~operation:op_name ~instance:None ~allowed:false
+                  ~reason:("import-rejected: " ^ e);
+                Error e)
+        | Migrate_activate { vtpm_id } -> (
+            match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+            | Error e -> Error (Vtpm_util.Verror.to_string e)
+            | Ok inst when inst.Vtpm_mgr.Manager.state <> Vtpm_mgr.Manager.Suspended ->
+                Error (Printf.sprintf "vTPM %d is not a quarantined import" vtpm_id)
+            | Ok inst ->
+                Vtpm_mgr.Migration.activate inst;
+                Ok M_unit)
+        | Migrate_abort { vtpm_id } -> (
+            match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+            | Error e -> Error (Vtpm_util.Verror.to_string e)
+            | Ok inst when inst.Vtpm_mgr.Manager.state <> Vtpm_mgr.Manager.Suspended ->
+                Error (Printf.sprintf "vTPM %d is not a quarantined import" vtpm_id)
+            | Ok inst ->
+                Vtpm_mgr.Migration.abort_import t.mgr inst;
+                Ok M_unit)
         | Rebind { vtpm_id; new_domid } -> (
             (match Binding.lookup_instance t.bindings vtpm_id with
             | Some b ->

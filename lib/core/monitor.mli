@@ -50,6 +50,7 @@ type t = {
   mutable audit_enabled : bool;
   mutable quota : Quota.t option;
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
+  mutable freshness : Vtpm_mgr.Freshness.t option;
   stats : stats;
 }
 
@@ -105,6 +106,17 @@ val set_supervisor : t -> Vtpm_mgr.Supervisor.t -> unit
 
 val clear_supervisor : t -> unit
 
+val set_freshness : t -> Vtpm_mgr.Freshness.t option -> unit
+(** Opt-in rollback defense for migration streams: exports stamp
+    monotonic counters into the protected envelope, imports refuse
+    anything not strictly newer than last-seen (legacy v1 envelopes
+    included — downgrade defense), and refusals land in the audit log as
+    denials. [None] (the default) keeps the seed stream format. *)
+
+val enable_freshness : ?nv_index:int -> t -> (Vtpm_mgr.Freshness.t, string) result
+(** Create a freshness tracker over the manager, anchor its last-seen
+    table in the hardware TPM, and install it. *)
+
 val set_audit_cap : t -> int option -> unit
 (** Bound the audit log's retention ({!Audit.set_max_entries}) so long
     flood runs don't grow memory without limit. *)
@@ -159,6 +171,11 @@ type management_op =
   | Restore_instance of { blob : string }
   | Migrate_out of { vtpm_id : int; dest_key : Vtpm_crypto.Rsa.public option }
   | Migrate_in of { stream : string }
+  | Migrate_receive of { stream : string }
+      (** import quarantined ([Suspended]): the handshake's destination
+          half — never live until the source commits *)
+  | Migrate_activate of { vtpm_id : int }
+  | Migrate_abort of { vtpm_id : int }
   | Rebind of { vtpm_id : int; new_domid : Vtpm_xen.Domain.domid }
   | Export_audit
 

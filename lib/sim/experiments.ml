@@ -1000,3 +1000,504 @@ let fig6 ?(fault_rates = [ 0.0; 0.01; 0.02; 0.05; 0.10; 0.20 ]) ?(requests = 400
       ~x_label:"fault%" ~series
   in
   (series, rendered)
+
+(* --- Table 6 / Figure 10: live migration under load ------------------------ *)
+
+type migration_drill = {
+  md_flood_x : int;
+  md_migrated : bool; (* the steady "no-migration" series sets this false *)
+  md_attempts : int; (* handshake attempts, including the injected failures *)
+  md_failed_attempts : int;
+  md_drained : int; (* in-flight requests served under the final drain *)
+  md_migrant_sent : int;
+  md_migrant_good : int; (* across both hosts *)
+  md_migrant_goodput_pct : float;
+  md_victim_goodput_pct : float;
+  md_lost_in_flight : int; (* conservation residue on the source; must be 0 *)
+  md_bypass_windows : int; (* policy-bypass observations; must be 0 *)
+  md_quarantine_held : bool; (* dest copy never live before the source committed *)
+  md_fresh_monotone : bool; (* counters strictly increased across exports *)
+  md_replay_blocked : bool; (* committed stream refused on re-import *)
+  md_replay_audited : bool; (* ...and the refusal left a denial at the dest *)
+  md_anchor_src_ok : bool; (* audit anchor chain verifies on the source *)
+  md_anchor_dst_ok : bool; (* ...and on the destination *)
+}
+
+(* The migration drill: host A carries the full overload stack (lanes,
+   quota, bounded queues + deadline shed, supervisor, freshness, audit
+   anchor) and a seeded fault injector; host B runs freshness + its own
+   audit anchor. Victims and a [flood_x] attacker load A exactly as in
+   {!flood_run}; one "migrant" guest issues the same mixed workload.
+   Halfway through, its vTPM live-migrates A->B through three handshake
+   attempts: (1) the stream is corrupted in transit (B must refuse the
+   MAC and A must resume), (2) B receives but crashes before its ack
+   reaches A (the quarantined copy is aborted, A resumes — never
+   dual-live), (3) a clean commit, after which the migrant's remaining
+   traffic is served by B. Every submitted request on A is accounted for
+   (served, shed or rejected — the conservation law leaves residue 0),
+   quarantined imports serve nothing, a replay of the committed stream is
+   refused and audited, freshness counters stay strictly monotone, and
+   both hosts' audit chains end exactly at their hardware anchors. *)
+let migration_drill ?(migrate = true) ?(flood_x = 10) ?(victims = 2)
+    ?(victim_period_us = 3_000.0) ?(migrant_ops = 120) ?(deadline_us = 10_000.0) ?(lanes = 2)
+    ?(wedge_rate = 0.01) ~seed () : migration_drill =
+  let open Vtpm_mgr in
+  (* --- Host A: source, full robustness stack. *)
+  let a = Host.create ~mode:Host.Improved_mode ~seed ~rsa_bits:256 () in
+  let ma = Host.monitor_exn a in
+  let cost = Host.cost a in
+  Manager.set_lanes a.Host.mgr lanes;
+  Vtpm_xen.Hypervisor.set_faults a.Host.xen
+    (Vtpm_xen.Faults.create ~seed ~rates:[ (Vtpm_xen.Faults.Wedged_instance, wedge_rate) ] ());
+  let quota_rate = 1.05 *. (1_000_000.0 /. victim_period_us) in
+  Monitor.set_quota ma ~rate_per_s:quota_rate ~burst:30.0;
+  Driver.set_overload a.Host.backend (Some { Driver.queue_capacity = 6; deadline_us });
+  Monitor.wire_backpressure ma a.Host.backend;
+  let fa =
+    match Monitor.enable_freshness ma with Ok f -> f | Error e -> invalid_arg ("freshness A: " ^ e)
+  in
+  let ckpt = Checkpoint.create ~fresh:fa a.Host.mgr in
+  let sup =
+    Supervisor.create
+      ~cfg:{ Supervisor.default_config with is_read_only = Command_class.is_read_only }
+      ~mgr:a.Host.mgr ~ckpt ~faults:a.Host.xen.Vtpm_xen.Hypervisor.faults ()
+  in
+  Monitor.set_supervisor ma sup;
+  let anchor_a =
+    match Anchor.setup a.Host.mgr with Ok x -> x | Error e -> invalid_arg ("anchor A: " ^ e)
+  in
+  (* --- Host B: destination. *)
+  let b = Host.create ~mode:Host.Improved_mode ~seed:(seed + 1) ~rsa_bits:256 () in
+  let mb = Host.monitor_exn b in
+  let fb =
+    match Monitor.enable_freshness mb with Ok f -> f | Error e -> invalid_arg ("freshness B: " ^ e)
+  in
+  let anchor_b =
+    match Anchor.setup b.Host.mgr with Ok x -> x | Error e -> invalid_arg ("anchor B: " ^ e)
+  in
+  let dest_key = Migration.bind_pubkey b.Host.mgr in
+  (* --- Workload on A. *)
+  let victim_guests =
+    List.init victims (fun i ->
+        Host.create_guest_exn a
+          ~name:(Printf.sprintf "victim%d" i)
+          ~label:(Printf.sprintf "tenant_%02d" i) ())
+  in
+  let attacker = Host.create_guest_exn a ~name:"flooder" ~label:"tenant_99" () in
+  let migrant = Host.create_guest_exn a ~name:"migrant" ~label:"tenant_50" () in
+  let vtpm_id = migrant.Host.vtpm_id in
+  let lineage =
+    match Manager.find a.Host.mgr vtpm_id with
+    | Ok inst -> Freshness.lineage inst.Manager.engine
+    | Error e -> invalid_arg (Vtpm_util.Verror.to_string e)
+  in
+  (match Checkpoint.checkpoint_all ckpt with Ok () -> () | Error e -> invalid_arg e);
+  let extend_wire i =
+    Vtpm_tpm.Wire.encode_request
+      (Vtpm_tpm.Cmd.Extend { pcr = 10; digest = Vtpm_crypto.Sha1.digest (string_of_int i) })
+  in
+  let read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let t0 = Vtpm_util.Cost.now cost in
+  let t_mig = t0 +. (victim_period_us *. float_of_int (migrant_ops / 2)) in
+  (* kind: 0 = victim, 1 = attacker, 2 = migrant (carrying its op index). *)
+  let arrivals =
+    let victim_stream i (g : Host.guest) =
+      List.init migrant_ops (fun k ->
+          let at =
+            t0
+            +. (victim_period_us *. float_of_int (i + 1) /. float_of_int (victims + 2))
+            +. (victim_period_us *. float_of_int k)
+          in
+          (at, g, (if k mod 4 = 0 then extend_wire ((i * migrant_ops) + k) else read_wire), 0, k))
+    in
+    let migrant_stream =
+      List.init migrant_ops (fun k ->
+          let at =
+            t0
+            +. (victim_period_us *. float_of_int (victims + 1) /. float_of_int (victims + 2))
+            +. (victim_period_us *. float_of_int k)
+          in
+          (at, migrant, (if k mod 4 = 0 then extend_wire (50_000 + k) else read_wire), 2, k))
+    in
+    let attacker_stream =
+      let period = victim_period_us /. float_of_int flood_x in
+      List.init (migrant_ops * flood_x) (fun k ->
+          (t0 +. 50.0 +. (period *. float_of_int k), attacker, extend_wire (100_000 + k), 1, k))
+    in
+    List.concat (attacker_stream :: migrant_stream :: List.mapi victim_stream victim_guests)
+    |> List.stable_sort (fun (a1, g1, _, _, _) (b1, g2, _, _, _) ->
+           match Float.compare a1 b1 with
+           | 0 -> Stdlib.compare g1.Host.domid g2.Host.domid
+           | c -> c)
+    |> Array.of_list
+  in
+  let n = Array.length arrivals in
+  let backend = a.Host.backend in
+  (* --- Source-side accounting: the conservation law's three sinks. *)
+  let submitted = ref 0 and serviced = ref 0 in
+  let victim_sent = ref 0 and victim_good = ref 0 in
+  let migrant_good_a = ref 0 and migrant_good_b = ref 0 in
+  let migrant_sent = ref 0 in
+  let record_serviced (s : Driver.serviced) =
+    incr serviced;
+    let latency = s.Driver.s_done_us -. s.Driver.s_arrival_us in
+    let ok =
+      match s.Driver.s_outcome with
+      | Ok o -> o.Driver.status = Proto.Ok_routed
+      | Error _ -> false
+    in
+    if s.Driver.s_domid = migrant.Host.domid then begin
+      if ok && latency <= deadline_us then incr migrant_good_a
+    end
+    else if s.Driver.s_domid <> attacker.Host.domid then
+      if ok && latency <= deadline_us then incr victim_good
+  in
+  let pump_round () =
+    match Driver.pump_batch backend with
+    | `Idle -> false
+    | `Served served ->
+        List.iter record_serviced served;
+        true
+  in
+  let drained = ref 0 in
+  let drain () =
+    let before = !serviced in
+    let stuck = ref 0 in
+    while Driver.queued_total backend > 0 && !stuck < 10_000 do
+      if not (pump_round ()) then incr stuck
+    done;
+    let d = !serviced - before in
+    drained := !drained + d;
+    d
+  in
+  (* --- The handshake attempts. *)
+  let migrated = ref false in
+  let bclient = ref None in
+  let attempts = ref 0 and failed_attempts = ref 0 in
+  let bypass = ref 0 in
+  let quarantine_held = ref true in
+  let committed_stream = ref None in
+  let hwms = ref [] in
+  let b_mgmt op = Host.management b ~process:Host.manager_process ~token:(Host.manager_token b) op in
+  let receive_at_b stream =
+    match b_mgmt (Monitor.Migrate_receive { stream }) with
+    | Ok (Monitor.M_instance id) -> Ok id
+    | Ok _ -> Error "unexpected management result"
+    | Error e -> Error e
+  in
+  let a_active () =
+    match Manager.find a.Host.mgr vtpm_id with
+    | Ok i -> i.Manager.state = Manager.Active
+    | Error _ -> false
+  in
+  let b_active id =
+    match Manager.find b.Host.mgr id with
+    | Ok i -> i.Manager.state = Manager.Active
+    | Error _ -> false
+  in
+  (* Heal the migrant through any injected wedge before an attempt, so each
+     attempt tests the handshake and not the fault of the moment. *)
+  let ensure_active () =
+    let tries = ref 0 in
+    while (not (a_active ())) && !tries < 200 do
+      incr tries;
+      Vtpm_util.Cost.charge cost 5_000.0;
+      Supervisor.tick sup
+    done
+  in
+  let do_migrate transfer =
+    ensure_active ();
+    incr attempts;
+    hwms := Freshness.issued_hwm fa ~lineage :: !hwms;
+    let r = Migration.migrate ~src:a.Host.mgr ~fresh:fa ~sup ~drain ~vtpm_id ~dest_key ~transfer () in
+    (match r with
+    | Error _ ->
+        incr failed_attempts;
+        (* Zero lost requests on failure requires the source back online. *)
+        ensure_active ();
+        if not (a_active ()) then incr bypass
+    | Ok _ -> ());
+    r
+  in
+  let transfer_corrupt stream =
+    (* In-transit corruption from the seeded injector: the destination must
+       refuse the envelope outright. *)
+    let s = Vtpm_xen.Faults.corrupt a.Host.xen.Vtpm_xen.Hypervisor.faults stream in
+    match receive_at_b s with
+    | Ok id ->
+        (* A corrupted stream must never install state. *)
+        incr bypass;
+        ignore (b_mgmt (Monitor.Migrate_abort { vtpm_id = id }));
+        Ok ()
+    | Error e -> Error ("destination rejected stream: " ^ e)
+  in
+  let transfer_crash stream =
+    match receive_at_b stream with
+    | Error e -> Error e
+    | Ok id ->
+        if b_active id then begin
+          quarantine_held := false;
+          incr bypass
+        end;
+        (* The destination crashes before its ack reaches the source; its
+           quarantined copy is torn down, and the source must resume. *)
+        ignore (b_mgmt (Monitor.Migrate_abort { vtpm_id = id }));
+        Error "ack lost: destination crashed mid-import"
+  in
+  let b_id = ref None in
+  let transfer_commit stream =
+    match receive_at_b stream with
+    | Error e -> Error e
+    | Ok id ->
+        if b_active id then begin
+          quarantine_held := false;
+          incr bypass
+        end;
+        b_id := Some id;
+        committed_stream := Some stream;
+        Ok ()
+  in
+  let run_migration () =
+    ignore (do_migrate transfer_corrupt);
+    ignore (do_migrate transfer_crash);
+    (* The clean attempt retries through wedge chaos until it lands. *)
+    let committed = ref false in
+    let tries = ref 0 in
+    while (not !committed) && !tries < 20 do
+      incr tries;
+      match do_migrate transfer_commit with
+      | Ok (_ : Migration.handshake) -> committed := true
+      | Error _ ->
+          incr failed_attempts;
+          Vtpm_util.Cost.charge cost 5_000.0;
+          Supervisor.tick sup
+    done;
+    if not !committed then invalid_arg "migration drill: clean handshake never committed";
+    (* The source copy is gone; its old channel must serve nothing. *)
+    (match Manager.find a.Host.mgr vtpm_id with Ok _ -> incr bypass | Error _ -> ());
+    (if Driver.queued_total backend = 0 then
+       let ac = Host.guest_client a migrant in
+       match Vtpm_tpm.Client.pcr_read ac ~pcr:10 with
+       | Ok _ -> incr bypass
+       | Error _ -> ()
+       | exception Driver.Denied _ -> ());
+    let id = match !b_id with Some id -> id | None -> invalid_arg "no dest instance" in
+    (* Give the migrated instance a domain on B: rebind first (so the
+       device node matches the binding when published), then connect. *)
+    let domid =
+      match
+        Vtpm_xen.Hypervisor.create_domain b.Host.xen ~caller:Vtpm_xen.Hypervisor.dom0_id
+          ~name:"migrant" ~label:"tenant_50" ()
+      with
+      | Ok d -> d
+      | Error e -> invalid_arg ("B domain: " ^ e)
+    in
+    let dom = Vtpm_xen.Hypervisor.domain_exn b.Host.xen domid in
+    Vtpm_xen.Domain.set_kernel dom ~image:"vmlinuz-5.x-tenant";
+    (match Vtpm_xen.Hypervisor.unpause_domain b.Host.xen ~caller:Vtpm_xen.Hypervisor.dom0_id domid with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("B unpause: " ^ e));
+    (match b_mgmt (Monitor.Rebind { vtpm_id = id; new_domid = domid }) with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("B rebind: " ^ e));
+    (match Manager.find b.Host.mgr id with
+    | Ok inst -> Manager.bind_domid b.Host.mgr inst domid
+    | Error _ -> ());
+    (match
+       Driver.publish_device ~xen:b.Host.xen ~fe:domid ~be:Vtpm_xen.Hypervisor.dom0_id ~instance:id
+     with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("B publish: " ^ e));
+    let conn =
+      match Driver.connect b.Host.backend ~fe_domid:domid with
+      | Ok c -> c
+      | Error e -> invalid_arg ("B connect: " ^ e)
+    in
+    let bc =
+      Vtpm_tpm.Client.create ~seed:((domid * 7) + 13) (Driver.client_transport b.Host.backend conn)
+    in
+    (* Still quarantined: the import must serve nothing until activated. *)
+    (match Vtpm_tpm.Client.pcr_read bc ~pcr:10 with
+    | Ok _ -> incr bypass
+    | Error _ -> ()
+    | exception Driver.Denied _ -> ());
+    (match b_mgmt (Monitor.Migrate_activate { vtpm_id = id }) with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("B activate: " ^ e));
+    hwms := Freshness.issued_hwm fa ~lineage :: !hwms;
+    bclient := Some bc;
+    migrated := true
+  in
+  (* The migrant's post-migration traffic, served synchronously by B. *)
+  let serve_on_b k =
+    match !bclient with
+    | None -> ()
+    | Some c -> (
+        if k mod 4 = 0 then
+          match
+            Vtpm_tpm.Client.extend c ~pcr:10 ~digest:(Vtpm_crypto.Sha1.digest (string_of_int (60_000 + k)))
+          with
+          | Ok _ -> incr migrant_good_b
+          | Error _ -> ()
+          | exception Driver.Denied _ -> ()
+        else
+          match Vtpm_tpm.Client.pcr_read c ~pcr:10 with
+          | Ok _ -> incr migrant_good_b
+          | Error _ -> ()
+          | exception Driver.Denied _ -> ())
+  in
+  (* --- The discrete-event loop (the {!flood_run} pump). *)
+  let i = ref 0 in
+  let admit_due () =
+    while
+      !i < n
+      &&
+      let at, _, _, _, _ = arrivals.(!i) in
+      at <= Vtpm_util.Cost.now cost
+    do
+      let at, g, wire, kind, k = arrivals.(!i) in
+      incr i;
+      if kind = 2 then incr migrant_sent;
+      if kind = 2 && !migrated then serve_on_b k
+      else
+        match Driver.submit backend g.Host.conn ~wire ~arrival_us:at ~deadline_us () with
+        | Ok () -> incr submitted
+        | Error (Vtpm_util.Verror.Overloaded _) -> ()
+        | Error e -> invalid_arg (Vtpm_util.Verror.to_string e)
+    done
+  in
+  while !i < n || Driver.queued_total backend > 0 do
+    (if Driver.queued_total backend = 0 then
+       let at, _, _, _, _ = arrivals.(!i) in
+       Vtpm_util.Cost.advance_to cost at);
+    admit_due ();
+    (* Trigger the handshake with the just-admitted backlog still queued,
+       so the drain step has real in-flight work to serve. *)
+    (if migrate && (not !migrated) && Vtpm_util.Cost.now cost >= t_mig then run_migration ());
+    ignore (pump_round ())
+  done;
+  Manager.sync_lanes a.Host.mgr;
+  (* --- End-of-run assertions' evidence. *)
+  let lost_in_flight =
+    !submitted - !serviced - Driver.shed_count backend - Driver.queued_total backend
+  in
+  let fresh_monotone =
+    let rec strictly_increasing = function
+      | x :: (y :: _ as rest) -> x < y && strictly_increasing rest
+      | _ -> true
+    in
+    let seq = List.rev !hwms in
+    (not !migrated)
+    || (strictly_increasing seq && Freshness.last_seen fb ~lineage = Freshness.issued_hwm fa ~lineage)
+  in
+  let replay_blocked, replay_audited =
+    match !committed_stream with
+    | None -> (not migrate, not migrate)
+    | Some stream ->
+        let blocked =
+          match b_mgmt (Monitor.Migrate_in { stream }) with Error _ -> true | Ok _ -> false
+        in
+        let audited =
+          List.exists
+            (fun (e : Audit.entry) ->
+              (not e.Audit.allowed) && String.equal e.Audit.operation "mgmt:migrate-in")
+            (Audit.entries mb.Monitor.audit)
+        in
+        (blocked, audited)
+  in
+  (match Anchor.commit anchor_a a.Host.mgr ma.Monitor.audit with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("anchor A commit: " ^ e));
+  (match Anchor.commit anchor_b b.Host.mgr mb.Monitor.audit with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("anchor B commit: " ^ e));
+  let anchor_src_ok = Anchor.verify_log anchor_a a.Host.mgr ma.Monitor.audit = Ok () in
+  let anchor_dst_ok = Anchor.verify_log anchor_b b.Host.mgr mb.Monitor.audit = Ok () in
+  victim_sent := victims * migrant_ops;
+  let migrant_good = !migrant_good_a + !migrant_good_b in
+  {
+    md_flood_x = flood_x;
+    md_migrated = !migrated;
+    md_attempts = !attempts;
+    md_failed_attempts = !failed_attempts;
+    md_drained = !drained;
+    md_migrant_sent = !migrant_sent;
+    md_migrant_good = migrant_good;
+    md_migrant_goodput_pct =
+      (if !migrant_sent = 0 then 0.0
+       else float_of_int migrant_good /. float_of_int !migrant_sent *. 100.0);
+    md_victim_goodput_pct = float_of_int !victim_good /. float_of_int !victim_sent *. 100.0;
+    md_lost_in_flight = lost_in_flight;
+    md_bypass_windows = !bypass;
+    md_quarantine_held = !quarantine_held;
+    md_fresh_monotone = fresh_monotone;
+    md_replay_blocked = replay_blocked;
+    md_replay_audited = replay_audited;
+    md_anchor_src_ok = anchor_src_ok;
+    md_anchor_dst_ok = anchor_dst_ok;
+  }
+
+let render_migration_drill (d : migration_drill) =
+  let b v = if v then "yes" else "NO" in
+  Printf.sprintf
+    "migration drill (%dx flood): %d attempts (%d failed), %d drained in handshake;\n\
+     migrant goodput %.1f%% (%d/%d), victim goodput %.1f%%;\n\
+     lost in-flight %d, bypass windows %d; quarantine held %s; freshness monotone %s;\n\
+     replay blocked %s (audited %s); audit anchors src %s / dst %s\n"
+    d.md_flood_x d.md_attempts d.md_failed_attempts d.md_drained d.md_migrant_goodput_pct
+    d.md_migrant_good d.md_migrant_sent d.md_victim_goodput_pct d.md_lost_in_flight
+    d.md_bypass_windows (b d.md_quarantine_held) (b d.md_fresh_monotone) (b d.md_replay_blocked)
+    (b d.md_replay_audited) (b d.md_anchor_src_ok) (b d.md_anchor_dst_ok)
+
+let table6 ?(flood_x = 10) () : migration_drill * string =
+  let d = migration_drill ~flood_x ~seed:71 () in
+  let yn v = if v then "yes" else "NO" in
+  let rendered =
+    Table.render
+      ~title:
+        (Printf.sprintf
+           "Table 6: live migration under a %dx flood (2 victims, seeded faults; corrupted \
+            stream, dest crash, then clean commit; seed 71)"
+           flood_x)
+      ~header:[ "invariant"; "value"; "required" ]
+      ~rows:
+        [
+          [ "handshake attempts (failed)";
+            Printf.sprintf "%d (%d)" d.md_attempts d.md_failed_attempts; "failures resume source" ];
+          [ "in-flight drained (handshake)"; string_of_int d.md_drained; "-" ];
+          [ "lost in-flight (conservation)"; string_of_int d.md_lost_in_flight; "0" ];
+          [ "policy-bypass windows"; string_of_int d.md_bypass_windows; "0" ];
+          [ "dest quarantine held"; yn d.md_quarantine_held; "yes" ];
+          [ "freshness counters monotone"; yn d.md_fresh_monotone; "yes" ];
+          [ "stream replay blocked"; yn d.md_replay_blocked; "yes" ];
+          [ "replay audited at dest"; yn d.md_replay_audited; "yes" ];
+          [ "audit anchor verifies (src)"; yn d.md_anchor_src_ok; "yes" ];
+          [ "audit anchor verifies (dst)"; yn d.md_anchor_dst_ok; "yes" ];
+          [ "migrant goodput"; Printf.sprintf "%.1f%%" d.md_migrant_goodput_pct; "bounded dip" ];
+          [ "victim goodput"; Printf.sprintf "%.1f%%" d.md_victim_goodput_pct; "-" ];
+        ]
+  in
+  (d, rendered)
+
+let fig10 ?(flood_xs = [ 1; 2; 5; 10 ]) ?(migrant_ops = 120) () :
+    (string * (float * float) list) list * string =
+  let series_for migrate =
+    List.map
+      (fun x ->
+        let d = migration_drill ~migrate ~flood_x:x ~migrant_ops ~seed:71 () in
+        (float_of_int x, d.md_migrant_goodput_pct))
+      flood_xs
+  in
+  let series =
+    [ ("no-migration", series_for false); ("live-migration", series_for true) ]
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        (Printf.sprintf
+           "Figure 10: migrant goodput (%%) vs attacker flood multiple, steady vs mid-run \
+            live migration (%d ops, 3-attempt handshake)"
+           migrant_ops)
+      ~x_label:"flood x" ~series
+  in
+  (series, rendered)

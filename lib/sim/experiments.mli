@@ -181,3 +181,51 @@ val wedge_drill : ?requests:int -> ?wedge_rate:float -> seed:int -> unit -> wedg
     extend. *)
 
 val render_wedge_drill : wedge_drill -> string
+
+(** {1 Live migration under load (Table 6 / Figure 10; no counterpart in
+    the paper)} *)
+
+type migration_drill = {
+  md_flood_x : int;
+  md_migrated : bool;  (** the steady "no-migration" series sets this false *)
+  md_attempts : int;  (** handshake attempts, including the injected failures *)
+  md_failed_attempts : int;
+  md_drained : int;  (** in-flight requests served under the final drain *)
+  md_migrant_sent : int;
+  md_migrant_good : int;  (** across both hosts *)
+  md_migrant_goodput_pct : float;
+  md_victim_goodput_pct : float;
+  md_lost_in_flight : int;  (** conservation residue on the source; must be 0 *)
+  md_bypass_windows : int;  (** policy-bypass observations; must be 0 *)
+  md_quarantine_held : bool;  (** dest copy never live before the source committed *)
+  md_fresh_monotone : bool;  (** counters strictly increased across exports *)
+  md_replay_blocked : bool;  (** committed stream refused on re-import *)
+  md_replay_audited : bool;  (** ...and the refusal left a denial at the dest *)
+  md_anchor_src_ok : bool;  (** audit anchor chain verifies on the source *)
+  md_anchor_dst_ok : bool;  (** ...and on the destination *)
+}
+
+val migration_drill :
+  ?migrate:bool -> ?flood_x:int -> ?victims:int -> ?victim_period_us:float ->
+  ?migrant_ops:int -> ?deadline_us:float -> ?lanes:int -> ?wedge_rate:float ->
+  seed:int -> unit -> migration_drill
+(** Two-host drill: the source carries the full overload stack plus
+    freshness and an audit anchor under a [flood_x] attacker flood and
+    seeded wedge faults; the migrant's vTPM live-migrates mid-run through
+    a corrupted-stream attempt, a destination-crash attempt, and a clean
+    commit, with its remaining traffic served by the destination. The
+    record carries the drill's invariants: request conservation, zero
+    bypass windows, destination quarantine, freshness monotonicity,
+    replay refusal + audit, and anchor-chain verification on both
+    hosts. *)
+
+val render_migration_drill : migration_drill -> string
+
+val table6 : ?flood_x:int -> unit -> migration_drill * string
+(** The drill's invariants as a table at a fixed flood multiple. *)
+
+val fig10 :
+  ?flood_xs:int list -> ?migrant_ops:int -> unit ->
+  (string * (float * float) list) list * string
+(** Migrant goodput vs flood multiple, steady vs live-migration series:
+    the migration costs a bounded goodput dip, never a lost request. *)

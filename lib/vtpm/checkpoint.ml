@@ -18,21 +18,25 @@ type entry = {
   vtpm_id : int;
   bound_domid : Vtpm_xen.Domain.domid option;
   blob : string;
+  counter : int; (* freshness counter stamped at save time; 0 = unstamped *)
+  lineage : string; (* EK fingerprint; "" when unstamped *)
 }
 
 type t = {
   mgr : Manager.t;
   format : Stateproc.format;
+  fresh : Freshness.t option;
   store : (int, entry) Hashtbl.t; (* vtpm_id -> latest checkpoint *)
   mutable saved_next_id : int;
   mutable saves : int;
   mutable restores : int;
 }
 
-let create ?(format = Stateproc.Plain) (mgr : Manager.t) : t =
+let create ?(format = Stateproc.Plain) ?fresh (mgr : Manager.t) : t =
   {
     mgr;
     format;
+    fresh;
     store = Hashtbl.create 16;
     saved_next_id = mgr.Manager.next_id;
     saves = 0;
@@ -48,8 +52,24 @@ let checkpoint (t : t) (inst : Manager.instance) : (unit, string) result =
   match Stateproc.save t.mgr inst ~format:t.format with
   | Error e -> Error e
   | Ok blob ->
+      (* With freshness enabled, every save is stamped: the latest
+         checkpoint always carries the lineage's issue high-water mark,
+         so a captured older entry is detectably stale on restore. *)
+      let lineage, counter =
+        match t.fresh with
+        | None -> ("", 0)
+        | Some f ->
+            let lineage = Freshness.lineage inst.Manager.engine in
+            (lineage, Freshness.stamp_checkpoint f ~lineage)
+      in
       Hashtbl.replace t.store inst.Manager.vtpm_id
-        { vtpm_id = inst.Manager.vtpm_id; bound_domid = inst.Manager.bound_domid; blob };
+        {
+          vtpm_id = inst.Manager.vtpm_id;
+          bound_domid = inst.Manager.bound_domid;
+          blob;
+          counter;
+          lineage;
+        };
       t.saved_next_id <- max t.saved_next_id t.mgr.Manager.next_id;
       t.saves <- t.saves + 1;
       Ok ()
@@ -61,12 +81,29 @@ let checkpoint_all (t : t) : (unit, string) result =
 
 let forget (t : t) ~vtpm_id = Hashtbl.remove t.store vtpm_id
 
+(* Capture/inject: the rollback adversary's handle on the state
+   directory. [capture] snapshots an instance's current entry (an old
+   backup, a stolen disk image); [inject] puts a captured entry back,
+   overwriting the latest one. *)
+let capture (t : t) ~vtpm_id : entry option = Hashtbl.find_opt t.store vtpm_id
+let inject (t : t) (e : entry) = Hashtbl.replace t.store e.vtpm_id e
+
 let load_entry (t : t) (e : entry) : (Vtpm_tpm.Engine.t, string) result =
   match Stateproc.load t.mgr e.blob with
   | Error m -> Error (Printf.sprintf "vTPM %d: %s" e.vtpm_id m)
   | Ok (_, Some id) when id <> e.vtpm_id ->
       Error (Printf.sprintf "vTPM %d: sealed blob names instance %d" e.vtpm_id id)
-  | Ok (engine, _) -> Ok engine
+  | Ok (engine, _) -> (
+      match t.fresh with
+      | None -> Ok engine
+      | Some f -> (
+          (* Stamped stores refuse stale entries: the counter must reach
+             the lineage's high-water mark (the latest checkpoint does;
+             a captured older one does not). *)
+          let lineage = if e.lineage <> "" then e.lineage else Freshness.lineage engine in
+          match Freshness.check_restore f ~lineage ~counter:e.counter with
+          | Ok () -> Ok engine
+          | Error m -> Error (Printf.sprintf "vTPM %d: %s" e.vtpm_id m)))
 
 (* Restore one instance in place from its latest checkpoint — the
    supervisor's recovery step for a wedged instance. The rest of the

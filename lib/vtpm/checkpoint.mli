@@ -8,13 +8,31 @@
     always sits on a request boundary and {!restore_all} loses no
     acknowledged work — NV state, PCRs and domain bindings included. *)
 
+type entry = {
+  vtpm_id : int;
+  bound_domid : Vtpm_xen.Domain.domid option;
+  blob : string;
+  counter : int;  (** freshness counter stamped at save time; 0 = unstamped *)
+  lineage : string;  (** EK fingerprint; [""] when unstamped *)
+}
+
 type t
 
-val create : ?format:Stateproc.format -> Manager.t -> t
+val create : ?format:Stateproc.format -> ?fresh:Freshness.t -> Manager.t -> t
 (** [format] defaults to [Plain]; pass [Sealed] to bind checkpoints to
-    the hardware TPM and manager measurement. *)
+    the hardware TPM and manager measurement. With [fresh], every save is
+    stamped with a monotonic freshness counter and restores refuse
+    entries below the lineage's restore floor — rollback defense for the
+    state directory. *)
 
 val format : t -> Stateproc.format
+
+val capture : t -> vtpm_id:int -> entry option
+(** Snapshot an instance's current store entry — the rollback adversary's
+    captured old backup. *)
+
+val inject : t -> entry -> unit
+(** Put a captured entry back, overwriting the latest one. *)
 
 val checkpoint : t -> Manager.instance -> (unit, string) result
 (** Save one instance, replacing its previous checkpoint. Also records

@@ -1,0 +1,74 @@
+(** Monotonic freshness counters for vTPM state blobs — the rollback
+    defense for checkpoints and migration streams.
+
+    Each instance lineage (identified by its EK fingerprint, stable
+    across hosts and serialization) carries a monotonic counter. Exports
+    stamp a counter strictly above everything this host has issued or
+    accepted for the lineage; imports refuse any blob whose counter is
+    not strictly newer than the last value accepted. The last-seen table
+    can itself be anchored in the hardware TPM (owner-write NV digest +
+    monotonic counter, the audit-anchor construction) so a crashed
+    destination reloading an old table fails closed. *)
+
+type t
+
+val create : Manager.t -> t
+
+val lineage : Vtpm_tpm.Engine.t -> string
+(** The engine's lineage identity: its EK fingerprint. *)
+
+val issue : t -> lineage:string -> int
+(** Stamp a fresh counter: strictly above the lineage's issue and
+    last-seen high-water marks. *)
+
+val stamp_checkpoint : t -> lineage:string -> int
+(** {!issue}, and also move the lineage's restore floor: only the latest
+    checkpoint passes {!check_restore} afterwards. Kept separate from
+    plain issues so a migration export doesn't strand the latest
+    checkpoint as stale after an aborted handshake. *)
+
+val admit : t -> lineage:string -> counter:int -> (unit, string) result
+(** Import-side admission: strictly newer than last-seen, else an error
+    naming the rollback. Success records the counter and, when anchored,
+    commits the table digest to the hardware TPM. On an anchored tracker
+    the live table must match the hardware digest first — a tracker whose
+    table was discarded after a stale reload refuses every import until
+    an up-to-date table is loaded. *)
+
+val check_restore : t -> lineage:string -> counter:int -> (unit, string) result
+(** Checkpoint-restore admission: at least the lineage's restore floor
+    (the latest checkpoint is legal; a captured older one is not). *)
+
+val issued_hwm : t -> lineage:string -> int
+val last_seen : t -> lineage:string -> int
+val accepted : t -> int
+val rejected : t -> int
+
+(** {1 Hardware anchoring of the last-seen table} *)
+
+val default_nv_index : int
+(** 0x1A0E — distinct from the audit anchor's NV index. *)
+
+val anchored : t -> bool
+
+val anchor_setup : ?nv_index:int -> t -> (unit, string) result
+(** Define the NV space (owner-write), create the anchor counter, and
+    commit the current table digest so the anchor invariant holds from
+    setup onward. *)
+
+val anchor_commit : t -> (int, string) result
+(** Commit the current table digest; returns the hardware counter. *)
+
+val anchor_verify : t -> (unit, string) result
+(** Compare the live table against the anchored digest. *)
+
+val table_digest : t -> string
+
+(** {1 Table persistence} *)
+
+val save_table : t -> string
+
+val load_table : t -> string -> (unit, string) result
+(** Replace the tables from a saved blob. When anchored, the reloaded
+    table must match the hardware anchor; a stale copy is discarded and
+    the load fails closed. *)

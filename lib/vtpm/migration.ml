@@ -9,7 +9,19 @@
    The destination advertises a bind key (public half of a key whose
    private half its hw TPM holds); the source wraps a fresh session key to
    it (TPM_Unbind semantics on the receiving side). A captured stream is
-   useless without the destination platform. *)
+   useless without the destination platform.
+
+   Freshness-protected (v2): when a [Freshness.t] is supplied, the
+   protected envelope additionally carries the instance's lineage and a
+   monotonic counter inside the MAC — a captured stream replayed later
+   fails the destination's strictly-newer admission check, so migration
+   cannot be used to roll TPM state back or fork it.
+
+   The [migrate] orchestration is the source half of the handshake:
+   drain in-flight requests, suspend, export, hand the stream to the
+   transfer callback, and destroy the source copy only once the
+   destination has acked the import. Any failure resumes the source
+   instance — zero lost requests, never dual-live. *)
 
 open Vtpm_tpm
 
@@ -19,6 +31,7 @@ let mode_name = function Plaintext -> "plaintext" | Protected -> "protected"
 
 let magic_plain = "VTPMMIG0"
 let magic_protected = "VTPMMIG1"
+let magic_fresh = "VTPMMIG2"
 
 (* The destination's migration endpoint: its hw SRK public key. In the
    simulation the SRK doubles as the bind key; a real deployment would
@@ -34,34 +47,57 @@ let charge_transfer (mgr : Manager.t) ~bytes =
 
 (* --- Export on the source host ------------------------------------------- *)
 
-let export mgr (inst : Manager.instance) ~(mode : mode)
+(* The v2 freshness header, covered by the envelope MAC together with the
+   ciphertext: (lineage, counter). *)
+let fresh_header ~lineage ~counter =
+  let w = Vtpm_util.Codec.writer () in
+  Vtpm_util.Codec.write_sized w lineage;
+  Vtpm_util.Codec.write_u32_int w counter;
+  Vtpm_util.Codec.contents w
+
+let export mgr ?fresh (inst : Manager.instance) ~(mode : mode)
     ~(dest_key : Vtpm_crypto.Rsa.public option) : (string, string) result =
   let state = Engine.serialize_state inst.Manager.engine in
-  charge_transfer mgr ~bytes:(String.length state);
   match mode with
-  | Plaintext -> Ok (magic_plain ^ state)
+  | Plaintext ->
+      charge_transfer mgr ~bytes:(String.length state);
+      Ok (magic_plain ^ state)
   | Protected -> (
       match dest_key with
       | None -> Error "protected migration needs the destination bind key"
-      | Some dest_key ->
+      | Some dest_key -> (
           let hw = Manager.hw_client mgr in
-          let sym_key =
-            match Client.get_random hw ~length:16 with
-            | Ok k -> k
-            | Error _ -> Vtpm_crypto.Sha256.digest ("mig" ^ state) |> fun d -> String.sub d 0 16
-          in
-          let rng = Vtpm_util.Rng.create ~seed:(String.length state + mgr.Manager.seed) in
-          let wrapped_key = Vtpm_crypto.Rsa.encrypt rng dest_key sym_key in
-          let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
-          let cipher = Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 state in
-          let mac = Vtpm_crypto.Hmac.sha256_mac ~key:sym_key cipher in
-          Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
-          let w = Vtpm_util.Codec.writer () in
-          Vtpm_util.Codec.write_bytes w magic_protected;
-          Vtpm_util.Codec.write_sized w wrapped_key;
-          Vtpm_util.Codec.write_sized w cipher;
-          Vtpm_util.Codec.write_bytes w mac;
-          Ok (Vtpm_util.Codec.contents w))
+          match Client.get_random hw ~length:16 with
+          | Error e ->
+              (* Fail closed: a session key must never be derivable from
+                 the state it protects. *)
+              Error (Fmt.str "no entropy for migration session key: %a" Client.pp_error e)
+          | Ok sym_key ->
+              charge_transfer mgr ~bytes:(String.length state);
+              let rng = Vtpm_util.Rng.create ~seed:(String.length state + mgr.Manager.seed) in
+              let wrapped_key = Vtpm_crypto.Rsa.encrypt rng dest_key sym_key in
+              let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
+              let cipher = Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 state in
+              Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
+              let w = Vtpm_util.Codec.writer () in
+              (match fresh with
+              | None ->
+                  let mac = Vtpm_crypto.Hmac.sha256_mac ~key:sym_key cipher in
+                  Vtpm_util.Codec.write_bytes w magic_protected;
+                  Vtpm_util.Codec.write_sized w wrapped_key;
+                  Vtpm_util.Codec.write_sized w cipher;
+                  Vtpm_util.Codec.write_bytes w mac
+              | Some f ->
+                  let lineage = Freshness.lineage inst.Manager.engine in
+                  let counter = Freshness.issue f ~lineage in
+                  let header = fresh_header ~lineage ~counter in
+                  let mac = Vtpm_crypto.Hmac.sha256_mac ~key:sym_key (header ^ cipher) in
+                  Vtpm_util.Codec.write_bytes w magic_fresh;
+                  Vtpm_util.Codec.write_bytes w header;
+                  Vtpm_util.Codec.write_sized w wrapped_key;
+                  Vtpm_util.Codec.write_sized w cipher;
+                  Vtpm_util.Codec.write_bytes w mac);
+              Ok (Vtpm_util.Codec.contents w)))
 
 (* After a successful export the source instance is dead: TPM state must
    never run in two places (replay / state-forking hazard). *)
@@ -70,12 +106,33 @@ let finalize_source mgr (inst : Manager.instance) =
 
 (* --- Import on the destination host ---------------------------------------- *)
 
-let import mgr (stream : string) : (Manager.instance, string) result =
+(* Unwrap the session key on this platform's hw TPM and verify the
+   envelope MAC over [macced]; returns the plaintext state. *)
+let unbind_and_open mgr ~wrapped_key ~cipher ~mac ~macced : (string, string) result =
+  match mgr.Manager.hw_tpm.Engine.owner with
+  | None -> Error "destination hw TPM has no owner"
+  | Some o -> (
+      Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
+      match Vtpm_crypto.Rsa.decrypt o.Engine.srk.Keystore.rsa wrapped_key with
+      | None -> Error "unbind failed: wrong destination platform"
+      | Some sym_key ->
+          if not (Vtpm_crypto.Hmac.equal_ct mac (Vtpm_crypto.Hmac.sha256_mac ~key:sym_key macced))
+          then Error "migration stream MAC mismatch"
+          else begin
+            let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
+            Ok (Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 cipher)
+          end)
+
+let import_state mgr ?fresh ~(state : Manager.instance_state) (stream : string) :
+    (Manager.instance, string) result =
   if String.length stream < 8 then Error "short migration stream"
   else begin
     let magic = String.sub stream 0 8 in
     let state_result =
-      if magic = magic_plain then Ok (String.sub stream 8 (String.length stream - 8))
+      if magic = magic_plain then
+        if fresh <> None then
+          Error "plaintext stream carries no freshness counter; refusing (rollback risk)"
+        else Ok (String.sub stream 8 (String.length stream - 8), None)
       else if magic = magic_protected then begin
         match
           let r = Vtpm_util.Codec.reader stream in
@@ -86,40 +143,115 @@ let import mgr (stream : string) : (Manager.instance, string) result =
           (wrapped_key, cipher, mac)
         with
         | exception Vtpm_util.Codec.Truncated m -> Error ("truncated stream: " ^ m)
-        | wrapped_key, cipher, mac -> (
-            (* TPM_Unbind: only this platform's hw TPM holds the SRK
-               private half. *)
-            match mgr.Manager.hw_tpm.Engine.owner with
-            | None -> Error "destination hw TPM has no owner"
-            | Some o -> (
-                Vtpm_util.Cost.charge mgr.Manager.cost Vtpm_util.Cost.hwtpm_srk_op_us;
-                match Vtpm_crypto.Rsa.decrypt o.Engine.srk.Keystore.rsa wrapped_key with
-                | None -> Error "unbind failed: wrong destination platform"
-                | Some sym_key ->
-                    if
-                      not
-                        (Vtpm_crypto.Hmac.equal_ct mac
-                           (Vtpm_crypto.Hmac.sha256_mac ~key:sym_key cipher))
-                    then Error "migration stream MAC mismatch"
-                    else begin
-                      let xk = Vtpm_crypto.Xtea.key_of_string sym_key in
-                      Ok (Vtpm_crypto.Xtea.ctr_transform xk ~nonce:0x4d49 cipher)
-                    end))
+        | wrapped_key, cipher, mac ->
+            if fresh <> None then
+              (* Downgrade defense: a freshness-enforcing destination must
+                 not accept envelopes without a counter. *)
+              Error "legacy (v1) stream carries no freshness counter; refusing (downgrade)"
+            else
+              Result.map
+                (fun s -> (s, None))
+                (unbind_and_open mgr ~wrapped_key ~cipher ~mac ~macced:cipher)
+      end
+      else if magic = magic_fresh then begin
+        match
+          let r = Vtpm_util.Codec.reader stream in
+          let _ = Vtpm_util.Codec.read_bytes r 8 in
+          let lineage = Vtpm_util.Codec.read_sized r in
+          let counter = Vtpm_util.Codec.read_u32_int r in
+          let wrapped_key = Vtpm_util.Codec.read_sized r in
+          let cipher = Vtpm_util.Codec.read_sized r in
+          let mac = Vtpm_util.Codec.read_bytes r 32 in
+          (lineage, counter, wrapped_key, cipher, mac)
+        with
+        | exception Vtpm_util.Codec.Truncated m -> Error ("truncated stream: " ^ m)
+        | lineage, counter, wrapped_key, cipher, mac ->
+            let macced = fresh_header ~lineage ~counter ^ cipher in
+            Result.map
+              (fun s -> (s, Some (lineage, counter)))
+              (unbind_and_open mgr ~wrapped_key ~cipher ~mac ~macced)
       end
       else Error "unrecognized migration stream"
     in
     match state_result with
     | Error m -> Error m
-    | Ok state -> (
-        charge_transfer mgr ~bytes:(String.length state);
-        match Engine.deserialize_state state with
+    | Ok (state_bytes, header) -> (
+        charge_transfer mgr ~bytes:(String.length state_bytes);
+        match Engine.deserialize_state state_bytes with
         | Error m -> Error m
-        | Ok engine ->
-            let inst = Manager.create_instance mgr in
-            let inst = { inst with Manager.engine } in
-            Manager.install_instance mgr inst;
-            Ok inst)
+        | Ok engine -> (
+            let freshness_ok =
+              match (header, fresh) with
+              | Some (lineage, counter), Some f ->
+                  (* The MAC bound the header to the ciphertext; the
+                     lineage must also name the engine actually inside. *)
+                  if not (String.equal lineage (Freshness.lineage engine)) then
+                    Error "freshness header lineage does not match the migrated engine"
+                  else Freshness.admit f ~lineage ~counter
+              | Some _, None | None, None -> Ok ()
+              | None, Some _ -> Error "stream carries no freshness counter"
+            in
+            match freshness_ok with
+            | Error m -> Error m
+            | Ok () ->
+                let inst = Manager.create_instance mgr in
+                let inst = { inst with Manager.engine; state } in
+                Manager.install_instance mgr inst;
+                Ok inst))
   end
+
+let import mgr ?fresh (stream : string) : (Manager.instance, string) result =
+  import_state mgr ?fresh ~state:Manager.Active stream
+
+(* Destination half of the handshake: the imported instance arrives
+   quarantined (Suspended) and serves nothing until the source commits
+   and the toolstack activates it — a half-migrated instance is never
+   live on both hosts. *)
+let receive mgr ?fresh (stream : string) : (Manager.instance, string) result =
+  import_state mgr ?fresh ~state:Manager.Suspended stream
+
+let activate (inst : Manager.instance) = inst.Manager.state <- Manager.Active
+
+let abort_import mgr (inst : Manager.instance) =
+  Manager.destroy_instance mgr inst.Manager.vtpm_id
+
+(* --- Source-side handshake orchestration ----------------------------------- *)
+
+type handshake = { drained : int }
+
+let migrate ~(src : Manager.t) ?fresh ?sup ?(drain = fun () -> 0) ~vtpm_id
+    ~(dest_key : Vtpm_crypto.Rsa.public)
+    ~(transfer : string -> (unit, string) result) () : (handshake, string) result =
+  match Manager.find src vtpm_id with
+  | Error e -> Error (Vtpm_util.Verror.to_string e)
+  | Ok inst when inst.Manager.state <> Manager.Active ->
+      Error (Printf.sprintf "vTPM %d is not active; refusing migration" vtpm_id)
+  | Ok inst -> (
+      (match sup with Some s -> Supervisor.begin_migration s ~vtpm_id | None -> ());
+      (* Drain the instance's lane: every request admitted before the
+         suspend is served before the state is captured. *)
+      let drained = drain () in
+      inst.Manager.state <- Manager.Suspended;
+      let resume reason =
+        inst.Manager.state <- Manager.Active;
+        (match sup with
+        | Some s -> Supervisor.end_migration s ~vtpm_id ~committed:false
+        | None -> ());
+        Error reason
+      in
+      match export src ?fresh inst ~mode:Protected ~dest_key:(Some dest_key) with
+      | Error e -> resume ("export failed; source resumed: " ^ e)
+      | Ok stream -> (
+          match transfer stream with
+          | Error e -> resume ("transfer failed; source resumed: " ^ e)
+          | Ok () ->
+              (* Destination acked the import: now — and only now — the
+                 source copy dies. *)
+              finalize_source src inst;
+              (match sup with
+              | Some s -> Supervisor.end_migration s ~vtpm_id ~committed:true
+              | None -> ());
+              Ok { drained }))
 
 (* What a man-in-the-middle learns: attempt to parse a captured stream
    without the destination platform. Returns the recovered TPM state on

@@ -2,7 +2,11 @@
 
     Baseline: state crosses the wire in the clear. Improved: the stream is
     encrypted to the *destination's* hardware TPM (TPM_Unbind semantics on
-    arrival); a captured stream is useless without that platform. *)
+    arrival); a captured stream is useless without that platform. With a
+    {!Freshness.t} the protected envelope additionally binds the
+    instance's lineage and a monotonic counter under the MAC, and imports
+    refuse anything not strictly newer than last-seen — rollback/replay
+    defense. *)
 
 type mode = Plaintext | Protected
 
@@ -15,19 +19,52 @@ val bind_pubkey : Manager.t -> Vtpm_crypto.Rsa.public
 
 val export :
   Manager.t ->
+  ?fresh:Freshness.t ->
   Manager.instance ->
   mode:mode ->
   dest_key:Vtpm_crypto.Rsa.public option ->
   (string, string) result
-(** Produce the migration stream. [Protected] requires [dest_key]. *)
+(** Produce the migration stream. [Protected] requires [dest_key] and
+    fails closed when the hardware TPM yields no entropy for the session
+    key. With [fresh], the envelope is the v2 format carrying a freshly
+    issued counter inside the MAC. *)
 
 val finalize_source : Manager.t -> Manager.instance -> unit
 (** Kill the source instance after export: TPM state must never run in two
     places (state-forking hazard). *)
 
-val import : Manager.t -> string -> (Manager.instance, string) result
+val import : Manager.t -> ?fresh:Freshness.t -> string -> (Manager.instance, string) result
 (** Accept a stream on the destination; protected streams only unbind on
-    the platform whose key they were made for. *)
+    the platform whose key they were made for. With [fresh], only v2
+    streams are accepted (downgrade defense) and the counter must pass
+    {!Freshness.admit}; the header lineage must also match the engine
+    actually carried. The instance is installed [Active]. *)
+
+val receive : Manager.t -> ?fresh:Freshness.t -> string -> (Manager.instance, string) result
+(** Destination half of the handshake: like {!import} but the instance
+    arrives quarantined ([Suspended]) and serves nothing until
+    {!activate} — a half-migrated instance is never live on both hosts. *)
+
+val activate : Manager.instance -> unit
+val abort_import : Manager.t -> Manager.instance -> unit
+
+type handshake = { drained : int  (** in-flight requests served before suspend *) }
+
+val migrate :
+  src:Manager.t ->
+  ?fresh:Freshness.t ->
+  ?sup:Supervisor.t ->
+  ?drain:(unit -> int) ->
+  vtpm_id:int ->
+  dest_key:Vtpm_crypto.Rsa.public ->
+  transfer:(string -> (unit, string) result) ->
+  unit ->
+  (handshake, string) result
+(** Source half of the handshake: supervisor hold, [drain] the lane,
+    suspend, export, hand the stream to [transfer]; destroy the source
+    copy only once [transfer] returns [Ok] (the destination's ack). Any
+    failure — export error, transfer drop, CRC/MAC rejection, destination
+    crash — resumes the instance with zero lost requests. *)
 
 val snoop : string -> (Vtpm_tpm.Engine.t, string) result
 (** What a man-in-the-middle recovers from a captured stream: the full TPM

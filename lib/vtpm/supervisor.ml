@@ -30,12 +30,13 @@
 
 open Vtpm_tpm
 
-type health = Healthy | Degraded | Quarantined | Isolated
+type health = Healthy | Degraded | Quarantined | Migrating | Isolated
 
 let health_name = function
   | Healthy -> "healthy"
   | Degraded -> "degraded"
   | Quarantined -> "quarantined"
+  | Migrating -> "migrating"
   | Isolated -> "isolated"
 
 type breaker = Closed | Open of { until_us : float } | Half_open
@@ -50,6 +51,9 @@ type event =
   | Breaker_close
   | Degraded_read
   | Degraded_reject
+  | Migration_hold
+  | Migration_commit
+  | Migration_abort
 
 let event_name = function
   | Wedge_detected -> "wedged"
@@ -61,6 +65,9 @@ let event_name = function
   | Breaker_close -> "breaker-close"
   | Degraded_read -> "degraded-read"
   | Degraded_reject -> "degraded-reject"
+  | Migration_hold -> "migration-hold"
+  | Migration_commit -> "migration-commit"
+  | Migration_abort -> "migration-abort"
 
 type config = {
   failure_threshold : int; (* consecutive infra failures that trip the breaker *)
@@ -277,7 +284,37 @@ let record_success t (e : entry) =
   | Open _ | Half_open ->
       e.breaker <- Closed;
       emit t e Breaker_close);
-  if e.health <> Healthy && e.health <> Isolated then e.health <- Healthy
+  if e.health <> Healthy && e.health <> Isolated && e.health <> Migrating then
+    e.health <- Healthy
+
+(* --- Migration hold ---------------------------------------------------------
+
+   While the source half of a migration handshake is in flight the
+   instance is treated exactly like a quarantined one: the live copy is
+   suspended (by [Migration.migrate]) and this entry serves read-only
+   commands from the checkpoint shadow, rejecting mutations — never
+   executing on a half-migrated instance. A committed migration drops
+   the entry and its checkpoint (the instance now lives elsewhere); an
+   aborted one returns the entry to [Healthy] as the source resumes. *)
+
+let begin_migration t ~vtpm_id =
+  let e = entry t vtpm_id in
+  (match Checkpoint.shadow_engine t.ckpt ~vtpm_id with
+  | Ok shadow -> e.shadow <- Some shadow
+  | Error _ -> ());
+  e.health <- Migrating;
+  emit t e Migration_hold
+
+let end_migration t ~vtpm_id ~committed =
+  let e = entry t vtpm_id in
+  if committed then begin
+    emit t e Migration_commit;
+    forget t ~vtpm_id
+  end
+  else begin
+    if e.health = Migrating then e.health <- Healthy;
+    emit t e Migration_abort
+  end
 
 (* One attempt on the live instance. Success resets the breaker and
    writes through to the checkpoint (mutations only need it, but a
@@ -315,6 +352,10 @@ let execute t ~vtpm_id ~wire : (string, Vtpm_util.Verror.t) result =
   | Isolated ->
       Vtpm_util.Verror.denied "vTPM %d permanently isolated after %d restarts"
         vtpm_id e.restarts
+  | Migrating ->
+      (* The live copy is suspended for the handshake; serve reads from
+         the shadow, reject mutations — no policy-bypass window. *)
+      degraded_service t e ~wire
   | _ -> (
       maybe_wedge t e;
       let now = Vtpm_util.Cost.now t.mgr.Manager.cost in
@@ -341,7 +382,7 @@ let tick t =
     (fun (inst : Manager.instance) ->
       let e = entry t inst.Manager.vtpm_id in
       if
-        e.health <> Isolated
+        e.health <> Isolated && e.health <> Migrating
         && inst.Manager.state <> Manager.Suspended
         && now -. e.last_probe_us >= t.cfg.probe_interval_us
       then begin

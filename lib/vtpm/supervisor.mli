@@ -16,7 +16,7 @@
     Wedge faults come from the injector's [Wedged_instance] class, drawn
     only by this module — existing transport fault plans never shift. *)
 
-type health = Healthy | Degraded | Quarantined | Isolated
+type health = Healthy | Degraded | Quarantined | Migrating | Isolated
 
 val health_name : health -> string
 
@@ -32,6 +32,9 @@ type event =
   | Breaker_close
   | Degraded_read
   | Degraded_reject
+  | Migration_hold
+  | Migration_commit
+  | Migration_abort
 
 val event_name : event -> string
 (** Stable names ("quarantine", "breaker-open", ...) the access-control
@@ -89,6 +92,16 @@ val forget : t -> vtpm_id:int -> unit
 val breaker_opens : t -> int
 val quarantines : t -> int
 val isolations : t -> int
+
+val begin_migration : t -> vtpm_id:int -> unit
+(** Enter the migration hold: refresh the shadow from the checkpoint and
+    mark the instance [Migrating] — served like a quarantined instance
+    (shadow reads only) until the handshake resolves. *)
+
+val end_migration : t -> vtpm_id:int -> committed:bool -> unit
+(** Resolve the hold: committed drops the entry and its checkpoint (the
+    instance lives on the destination now); aborted returns it to
+    [Healthy] as the source resumes. *)
 
 val execute : t -> vtpm_id:int -> wire:string -> (string, Vtpm_util.Verror.t) result
 (** The supervised execution path: wedge-fault draw, breaker gate,

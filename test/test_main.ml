@@ -9,6 +9,7 @@ let () =
       ("xen", Test_xen.suite);
       ("faults", Test_faults.suite);
       ("vtpm", Test_vtpm.suite);
+      ("migration", Test_migration.suite);
       ("access", Test_access.suite);
       ("attacks", Test_attacks.suite);
       ("overload", Test_overload.suite);
