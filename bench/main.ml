@@ -520,6 +520,109 @@ let run_fig10 () =
   if List.exists (fun (_, ok) -> not ok) checks then
     invalid_arg "migration drill invariant violated (see drill checks above)"
 
+(* table7/fig11: the adversarial interleaving fuzzer. fig11 also runs the
+   headline 1000-trace deterministic soak and emits BENCH_PR7.json — the
+   goodput-vs-attack-fraction series, the per-adversary matrix and every
+   bundle invariant — so CI fails loudly on any fuzzer-visible
+   regression. *)
+
+let run_table7 () =
+  let s, rendered = Vtpm_sim.Experiments.table7 () in
+  print_string rendered;
+  print_newline ();
+  match s.Vtpm_attacks.Fuzz.sk_failures with
+  | [] -> ()
+  | (i, vs) :: _ ->
+      invalid_arg
+        (Printf.sprintf "table7 soak: trace %d violated the bundle: %s" i
+           (String.concat "; " vs))
+
+let run_fig11 () =
+  let open Vtpm_attacks in
+  let series, rendered, sweep = Vtpm_sim.Experiments.fig11 () in
+  print_string rendered;
+  print_newline ();
+  (* The headline soak: >= 1000 seeded deterministic traces, the full
+     invariant bundle asserted after every one. *)
+  let soak_traces = 1000 in
+  let t0 = Sys.time () in
+  let soak = Fuzz.soak ~seed:71 ~traces:soak_traces () in
+  let dt = Sys.time () -. t0 in
+  say "soak: %d traces (%d ops, %d attack ops) in %.1fs cpu (%.2fs/trace)@."
+    soak.Fuzz.sk_traces soak.Fuzz.sk_ops soak.Fuzz.sk_attacks dt
+    (dt /. float_of_int (max 1 soak.Fuzz.sk_traces));
+  let sweep_failures = List.concat_map (fun (_, s) -> s.Fuzz.sk_failures) sweep in
+  let total_traces =
+    soak.Fuzz.sk_traces + List.fold_left (fun a (_, s) -> a + s.Fuzz.sk_traces) 0 sweep
+  in
+  let wins_total l = List.fold_left (fun a (_, n) -> a + n) 0 l in
+  let checks =
+    [
+      ("soak_traces_at_least_1000", soak.Fuzz.sk_traces >= 1000);
+      ("zero_bundle_violations", soak.Fuzz.sk_failures = [] && sweep_failures = []);
+      ("zero_bypass_windows", soak.Fuzz.sk_bypasses = 0);
+      ("zero_adversary_wins", wins_total soak.Fuzz.sk_wins_by_kind = 0);
+      ("every_adversary_exercised", List.length soak.Fuzz.sk_attempts_by_kind >= 7);
+      ("tampers_detected_and_audited", soak.Fuzz.sk_tampers > 0);
+      ("migrations_attempted", soak.Fuzz.sk_migrations > 0);
+      ("audit_rotation_survived", soak.Fuzz.sk_rotations > 0);
+      ("requests_conserved", soak.Fuzz.sk_served_ok <= soak.Fuzz.sk_submitted);
+    ]
+  in
+  List.iter
+    (fun (name, ok) -> say "fuzz check %-30s %s@." name (if ok then "PASS" else "FAIL"))
+    checks;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"pr\": 7,\n  \"figure\": \"fig11\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"percent\",\n  \"x_label\": \"attack-op fraction\",\n  \"series\": {\n";
+  List.iteri
+    (fun i (name, points) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: [" name);
+      List.iteri
+        (fun j (x, y) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "[%g, %.1f]" x y))
+        points;
+      Buffer.add_string buf (if i < List.length series - 1 then "],\n" else "]\n"))
+    series;
+  Buffer.add_string buf "  },\n  \"soak\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"traces\": %d,\n    \"sweep_traces\": %d,\n    \"ops\": %d,\n    \"submitted\": \
+        %d,\n    \"served_ok\": %d,\n"
+       soak.Fuzz.sk_traces (total_traces - soak.Fuzz.sk_traces) soak.Fuzz.sk_ops
+       soak.Fuzz.sk_submitted soak.Fuzz.sk_served_ok);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"attack_ops\": %d,\n    \"bypasses\": %d,\n    \"tampers\": %d,\n    \
+        \"migrations\": %d,\n    \"rotations\": %d,\n    \"violations\": %d,\n"
+       soak.Fuzz.sk_attacks soak.Fuzz.sk_bypasses soak.Fuzz.sk_tampers soak.Fuzz.sk_migrations
+       soak.Fuzz.sk_rotations
+       (List.length soak.Fuzz.sk_failures + List.length sweep_failures));
+  Buffer.add_string buf "    \"attempts_by_kind\": {\n";
+  let kinds = soak.Fuzz.sk_attempts_by_kind in
+  List.iteri
+    (fun i (kind, n) ->
+      Buffer.add_string buf (Printf.sprintf "      %S: %d" kind n);
+      Buffer.add_string buf (if i < List.length kinds - 1 then ",\n" else "\n"))
+    kinds;
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"wins_total\": %d\n" (wins_total soak.Fuzz.sk_wins_by_kind));
+  Buffer.add_string buf "  },\n  \"checks\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: %b" name ok);
+      Buffer.add_string buf (if i < List.length checks - 1 then ",\n" else "\n"))
+    checks;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_PR7.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR7.json@.";
+  if List.exists (fun (_, ok) -> not ok) checks then
+    invalid_arg "adversarial soak invariant violated (see fuzz checks above)"
+
 (* --- Driver ---------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -540,6 +643,8 @@ let sections : (string * (unit -> unit)) list =
     ("fig8", run_fig8);
     ("fig9", run_fig9);
     ("fig10", run_fig10);
+    ("table7", run_table7);
+    ("fig11", run_fig11);
     ("micro", run_micro);
   ]
 

@@ -516,6 +516,282 @@ let stale_quote_replay (f : fixture) : outcome =
                 (Printf.sprintf "stale quote rejected%s (%d replay(s) counted)"
                    (if audited then " and audited" else "") rejected)))
 
+(* --- Encrypted-VM-era adversary matrix (A11—A14) ----------------------------------
+
+   The 2010 paper's adversary sat in dom0 userspace and went through the
+   toolstack. The encrypted-VM-era adversary (Hetzelt & Buhren's SEV
+   attacks, Morbitzer's SEVered) manipulates the *transport itself*: grant
+   mappings, the shared ring page, and the migration stream in transit.
+   These four rows model exactly that capability against the split
+   driver's ring and the migration drain window. *)
+
+(* Victim's current PCR 10 through its own legitimate channel. *)
+let read_pcr10 (f : fixture) : string =
+  let c = Host.guest_client f.host f.victim in
+  match Vtpm_tpm.Client.pcr_read c ~pcr:10 with
+  | Ok v -> v
+  | Error e -> invalid_arg (Fmt.str "pcr_read: %a" Vtpm_tpm.Client.pp_error e)
+  | exception Vtpm_mgr.Driver.Denied r -> invalid_arg ("pcr_read denied: " ^ r)
+
+let slot_leaks_pcr (s : Ring.slot) : string option =
+  match Vtpm_mgr.Proto.decode_response s.Ring.payload with
+  | Ok (Vtpm_mgr.Proto.Ok_routed, payload) -> (
+      match Vtpm_tpm.Wire.decode_response payload with
+      | exception Vtpm_tpm.Wire.Malformed _ -> None
+      | resp -> (
+          match resp.Vtpm_tpm.Cmd.body with
+          | Vtpm_tpm.Cmd.R_pcr_value v when v <> String.make 20 '\x00' -> Some v
+          | _ -> None))
+  | _ -> None
+
+(* --- A11: grant remap (Hetzelt-style page stealing) -------------------------------- *)
+
+(* A rogue dom0 tool rewrites the victim ring grant's backing frame while
+   a request is in flight: the backend keeps reading and writing through
+   the grant, but the page is now one the adversary chose — every
+   response it writes lands where the adversary can read it. The trusting
+   2006 backend never re-checks the grant; the hardened driver compares
+   the backing frame against the one recorded at the handshake. *)
+let grant_remap (f : fixture) : outcome =
+  let name = "grant-remap" in
+  let conn = f.victim.Host.conn in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let frame = Vtpm_mgr.Proto.encode_request ~claimed_instance:f.victim.Host.vtpm_id wire in
+  match Ring.push_request conn.Vtpm_mgr.Driver.ring frame with
+  | Error e -> outcome name false ("could not push victim request: " ^ e)
+  | Ok _ -> (
+      (match
+         Hypervisor.remap_grant f.host.Host.xen ~caller:Hypervisor.dom0_id
+           ~owner:f.victim.Host.domid ~gref:conn.Vtpm_mgr.Driver.gref ~frame:6666
+       with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("remap_grant: " ^ e));
+      let _ = Vtpm_mgr.Driver.process_pending f.host.Host.backend in
+      (* The adversary holds a mapping of the swapped-in page: whatever
+         the backend wrote through the grant is theirs to read. *)
+      let leaked =
+        List.filter_map slot_leaks_pcr (Ring.snoop_responses conn.Vtpm_mgr.Driver.ring)
+      in
+      match leaked with
+      | v :: _ ->
+          outcome name true
+            (Printf.sprintf "backend served through adversary-chosen frame (PCR10=%s captured)"
+               (Vtpm_util.Hex.fingerprint v))
+      | [] ->
+          let tampers = Vtpm_mgr.Driver.transport_tamper_count f.host.Host.backend in
+          if tampers > 0 then
+            outcome name false
+              (Printf.sprintf "remap detected before serving (%d transport tamper(s) audited); link torn"
+                 tampers)
+          else outcome name false "no response reached the remapped page")
+
+(* --- A12: ring-frame capture and replay (Morbitzer-style) -------------------------- *)
+
+(* The adversary's mapping of the ring page captures a request frame in
+   flight — here a PCR extend — and re-injects the identical bytes later.
+   The frame is indistinguishable from a frontend push except for who
+   wrote it; the trusting backend re-executes it (the victim's PCR
+   silently advances a second time), the hardened backend refuses slots
+   whose recorded pusher is not the ring's frontend. *)
+let ring_replay (f : fixture) : outcome =
+  let name = "ring-replay" in
+  let ring = f.victim.Host.conn.Vtpm_mgr.Driver.ring in
+  let digest = Vtpm_crypto.Sha1.digest "victim-epoch-event" in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Extend { pcr = 10; digest }) in
+  let frame = Vtpm_mgr.Proto.encode_request ~claimed_instance:f.victim.Host.vtpm_id wire in
+  match Ring.push_request ring frame with
+  | Error e -> outcome name false ("could not push victim request: " ^ e)
+  | Ok _ -> (
+      let captured =
+        match Ring.snoop_requests ring with
+        | s :: _ -> s.Ring.payload
+        | [] -> invalid_arg "nothing to capture from the ring page"
+      in
+      let _ = Vtpm_mgr.Driver.process_pending f.host.Host.backend in
+      (match Ring.pop_response ring with Some _ -> () | None -> ());
+      let before = read_pcr10 f in
+      (match Ring.inject_request ring ~pusher:Hypervisor.dom0_id captured with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("inject_request: " ^ e));
+      let _ = Vtpm_mgr.Driver.process_pending f.host.Host.backend in
+      let after = read_pcr10 f in
+      if not (String.equal after before) then
+        outcome name true "captured extend frame re-executed (victim PCR advanced again)"
+      else
+        let tampers = Vtpm_mgr.Driver.transport_tamper_count f.host.Host.backend in
+        outcome name false
+          (Printf.sprintf "injected frame refused%s; victim PCR unchanged"
+             (if tampers > 0 then Printf.sprintf " (%d transport tamper(s) audited)" tampers
+              else "")))
+
+(* --- A13: producer-index corruption racing the batch pump -------------------------- *)
+
+(* The adversary bumps the page's request producer index without pushing a
+   frame, then lets the backend's batch pump race it: once the genuine
+   frames are drained the phantom slot makes the trusting backend re-read
+   whatever stale frame still occupies the page — a previously executed
+   extend, silently replayed mid-batch. The hardened pop cross-checks the
+   index against the frames actually pushed, audits the divergence, and
+   re-derives the index so the victim's genuine requests still get
+   served. *)
+let index_corruption (f : fixture) : outcome =
+  let name = "index-corruption" in
+  let conn = f.victim.Host.conn in
+  let ring = conn.Vtpm_mgr.Driver.ring in
+  let backend = f.host.Host.backend in
+  let digest = Vtpm_crypto.Sha1.digest "victim-index-epoch" in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Extend { pcr = 10; digest }) in
+  let frame = Vtpm_mgr.Proto.encode_request ~claimed_instance:f.victim.Host.vtpm_id wire in
+  (* Fill every physical slot of the page with executed extend frames, so
+     a wrap-around stale read is guaranteed to land on one. *)
+  for _ = 1 to Ring.default_capacity do
+    (match Ring.push_request ring frame with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("push: " ^ e));
+    let _ = Vtpm_mgr.Driver.process_pending backend in
+    match Ring.pop_response ring with Some _ -> () | None -> invalid_arg "no response"
+  done;
+  let expected = read_pcr10 f in
+  (* The corruption: one phantom slot, just before legitimate traffic. *)
+  Ring.corrupt_req_prod ring ~delta:1;
+  Vtpm_mgr.Driver.set_batch backend 2;
+  let read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let submit () =
+    match Vtpm_mgr.Driver.submit backend conn ~wire:read_wire () with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("submit: " ^ Vtpm_util.Verror.to_string e)
+  in
+  submit ();
+  submit ();
+  let served =
+    match Vtpm_mgr.Driver.pump_batch backend with
+    | `Served l -> List.length l
+    | `Idle -> 0
+  in
+  Vtpm_mgr.Driver.set_batch backend 1;
+  let after = read_pcr10 f in
+  if not (String.equal after expected) then
+    outcome name true
+      (Printf.sprintf "phantom slot replayed a stale extend mid-batch (%d legit request(s) served)"
+         served)
+  else
+    let tampers = Vtpm_mgr.Driver.transport_tamper_count backend in
+    outcome name false
+      (Printf.sprintf "index divergence %s; %d legit request(s) served, PCR unchanged"
+         (if tampers > 0 then Printf.sprintf "detected and audited (%d tamper(s))" tampers
+          else "had no stale frame to replay")
+         served)
+
+(* --- A14: migration-stream bit-flip in the drain window ---------------------------- *)
+
+(* The adversary sits on the transfer path while a vTPM migrates under
+   load and flips one bit in transit. The 2006 plaintext stream carries no
+   integrity check at all: the destination installs silently corrupted
+   TPM state and nobody ever learns. The protected stream's MAC rejects
+   the flip at the destination, the import denial is audited, and the
+   handshake resumes the source with zero lost requests. *)
+let migration_bitflip (f : fixture) : outcome =
+  let name = "migration-bitflip" in
+  let vtpm_id = f.victim.Host.vtpm_id in
+  let flip s pos =
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    Bytes.to_string b
+  in
+  match f.host.Host.mode with
+  | Host.Baseline_mode -> (
+      let dest = Host.create ~mode:Host.Baseline_mode ~seed:95 ~rsa_bits:256 () in
+      match
+        Host.management f.host ~process:"xm-migrate" ~token:""
+          (Monitor.Migrate_out { vtpm_id; dest_key = None })
+      with
+      | Error e -> outcome name false ("migrate-out failed: " ^ e)
+      | Ok (Monitor.M_blob stream) ->
+          (* Try single-bit flips from the tail of the stream (the state
+             region) until the destination swallows one. *)
+          let len = String.length stream in
+          let accepted = ref None in
+          let pos = ref (len - 1) in
+          while !accepted = None && !pos >= 8 do
+            (match
+               Host.management dest ~process:"xm-migrate" ~token:""
+                 (Monitor.Migrate_in { stream = flip stream !pos })
+             with
+            | Ok _ -> accepted := Some !pos
+            | Error _ -> ());
+            decr pos
+          done;
+          (match !accepted with
+          | Some p ->
+              outcome name true
+                (Printf.sprintf
+                   "bit flipped at offset %d of the plaintext stream; destination imported corrupted state unnoticed"
+                   p)
+          | None -> outcome name false "no single-bit flip survived deserialization")
+      | Ok _ -> outcome name false "unexpected management result")
+  | Host.Improved_mode -> (
+      let dest = Host.create ~mode:Host.Improved_mode ~seed:95 ~rsa_bits:256 () in
+      let dest_key = Vtpm_mgr.Migration.bind_pubkey dest.Host.mgr in
+      (* In-flight load: requests queued at the source when the drain
+         window opens must not be lost by the failed migration. *)
+      let read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+      (match Vtpm_mgr.Driver.submit f.host.Host.backend f.victim.Host.conn ~wire:read_wire () with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("submit: " ^ Vtpm_util.Verror.to_string e));
+      let drain () =
+        let rec go n =
+          match Vtpm_mgr.Driver.pump_one f.host.Host.backend with
+          | `Idle -> n
+          | `Served _ -> go (n + 1)
+        in
+        go 0
+      in
+      let transfer stream =
+        let tampered = flip stream (String.length stream - 10) in
+        match
+          Host.management dest ~process:Host.manager_process ~token:(Host.manager_token dest)
+            (Monitor.Migrate_receive { stream = tampered })
+        with
+        | Ok _ -> Ok ()
+        | Error e -> Error e
+      in
+      match
+        Vtpm_mgr.Migration.migrate ~src:f.host.Host.mgr ~drain ~vtpm_id ~dest_key ~transfer ()
+      with
+      | Ok _ -> outcome name true "destination accepted a bit-flipped stream as a live vTPM"
+      | Error reject ->
+          (* Defense holds only if the source resumed with nothing lost
+             AND the destination audited the refusal. *)
+          let source_alive =
+            match Vtpm_mgr.Manager.find f.host.Host.mgr vtpm_id with
+            | Ok inst -> inst.Vtpm_mgr.Manager.state = Vtpm_mgr.Manager.Active
+            | Error _ -> false
+          in
+          let still_serving =
+            match Vtpm_tpm.Client.pcr_read (Host.guest_client f.host f.victim) ~pcr:10 with
+            | Ok _ -> true
+            | Error _ | (exception Vtpm_mgr.Driver.Denied _) -> false
+          in
+          let audited =
+            match dest.Host.monitor with
+            | Some dm ->
+                List.exists
+                  (fun (e : Audit.entry) ->
+                    (not e.Audit.allowed)
+                    && String.equal e.Audit.operation "mgmt:migrate-receive")
+                  (Audit.entries dm.Monitor.audit)
+            | None -> false
+          in
+          if source_alive && still_serving && audited then
+            outcome name false
+              ("bit-flip rejected by stream MAC, denial audited, source resumed serving ("
+             ^ reject ^ ")")
+          else
+            outcome name true
+              (Printf.sprintf
+                 "flip rejected but defense incomplete: source_alive=%b serving=%b audited=%b"
+                 source_alive still_serving audited))
+
 (* --- The full battery -------------------------------------------------------------- *)
 
 let all : (string * (fixture -> outcome)) list =
@@ -530,6 +806,10 @@ let all : (string * (fixture -> outcome)) list =
     ("dos-flood", dos_flood);
     ("rollback-replay", rollback_replay);
     ("stale-quote-replay", stale_quote_replay);
+    ("grant-remap", grant_remap);
+    ("ring-replay", ring_replay);
+    ("index-corruption", index_corruption);
+    ("migration-bitflip", migration_bitflip);
   ]
 
 (* Run every attack against a fresh fixture per attack (attacks mutate

@@ -70,6 +70,37 @@ val stale_quote_replay : fixture -> outcome
     verifier's challenge registry consumes nonces on first use; the
     baseline verifier accepts whatever nonce accompanies the evidence. *)
 
+(** {2 Encrypted-VM-era adversaries}
+
+    The 2010 adversary went through the toolstack; these manipulate the
+    transport itself — grant mappings, the shared ring page, the
+    migration stream in transit. *)
+
+val grant_remap : fixture -> outcome
+(** A11 — Hetzelt-style page stealing: a rogue dom0 tool remaps the
+    victim ring grant's backing frame mid-request, so the backend serves
+    through an adversary-chosen page. The hardened driver detects the
+    frame swap against the handshake record. *)
+
+val ring_replay : fixture -> outcome
+(** A12 — Morbitzer-style capture and replay: a request frame snooped off
+    the ring page is re-injected verbatim; the trusting backend
+    re-executes it, the hardened backend refuses slots not written by the
+    ring's frontend. *)
+
+val index_corruption : fixture -> outcome
+(** A13 — producer-index corruption racing the batch pump: a phantom slot
+    makes the trusting backend wrap around onto a stale frame (replaying
+    an executed extend mid-batch); the validated pop detects the
+    index/queue divergence and re-derives the index, still serving the
+    victim's genuine requests. *)
+
+val migration_bitflip : fixture -> outcome
+(** A14 — one bit flipped on the migration stream during the drain
+    window: the plaintext stream imports silently corrupted, the
+    protected stream's MAC rejects it, the denial is audited and the
+    source resumes with zero lost requests. *)
+
 val all : (string * (fixture -> outcome)) list
 (** Name → attack, in Table 2 row order. *)
 

@@ -49,6 +49,12 @@ let create ?(mode = Improved_mode) ?(seed = 1) ?(rsa_bits = 512) ?policy ?acm ()
         (None, Some b, Baseline.router b)
   in
   let backend = Vtpm_mgr.Driver.create_backend ~xen ~be_domid:Hypervisor.dom0_id ~router () in
+  (* Improved mode stops trusting the transport: ring-grant backing,
+     producer indices and slot provenance are validated, violations
+     audited as denials. Baseline keeps the trusting 2006 backend. *)
+  (match monitor with
+  | Some m -> Monitor.wire_transport_guard m backend
+  | None -> ());
   let acm = match mode with Improved_mode -> acm | Baseline_mode -> None in
   {
     xen;

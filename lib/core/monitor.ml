@@ -28,6 +28,7 @@ type stats = {
   mutable shed : int; (* queued requests dropped past their deadline *)
   mutable batches : int; (* multi-request drains served by the driver *)
   mutable batched_requests : int; (* requests served inside those drains *)
+  mutable transport_tampers : int; (* ring/grant integrity violations detected *)
 }
 
 (* A cached verdict. [gen] is the per-subject measurement generation the
@@ -97,6 +98,7 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
         shed = 0;
         batches = 0;
         batched_requests = 0;
+        transport_tampers = 0;
       };
   }
 
@@ -227,6 +229,20 @@ let wire_backpressure t (backend : Vtpm_mgr.Driver.backend) =
           ~operation:"queue-service" ~instance:None ~allowed:true
           ~reason:(Printf.sprintf "batch-drain:%d" n))
 
+(* Turn on the driver's transport-integrity validation and route every
+   detected violation (remapped or revoked ring grant, corrupted producer
+   index, injected frame) into the audit log as a denial against the
+   affected frontend. The encrypted-VM-era defense: the backend stops
+   trusting what dom0-side tools can rewrite. *)
+let wire_transport_guard t (backend : Vtpm_mgr.Driver.backend) =
+  Vtpm_mgr.Driver.set_validate_transport backend true;
+  Vtpm_mgr.Driver.set_on_transport_tamper backend (fun domid reason ->
+      t.stats.transport_tampers <- t.stats.transport_tampers + 1;
+      if t.audit_enabled then
+        Audit.append t.audit
+          ~subject:(Subject.to_string (Subject.Guest domid))
+          ~operation:"transport-tamper" ~instance:None ~allowed:false ~reason)
+
 (* Subject teardown: drop the quota bucket, cached decisions and the
    measurement generation when a domain is destroyed, so per-subject
    state never outlives its owner. The per-subject key index makes this
@@ -259,7 +275,8 @@ let reset_stats t =
   s.overloaded <- 0;
   s.shed <- 0;
   s.batches <- 0;
-  s.batched_requests <- 0
+  s.batched_requests <- 0;
+  s.transport_tampers <- 0
 
 (* The measurement gate: the guest's *current* kernel digest must match
    the reference recorded when the vTPM was bound. *)

@@ -27,6 +27,8 @@ type stats = {
   mutable shed : int;  (** queued requests dropped past their deadline *)
   mutable batches : int;  (** multi-request drains served by the driver *)
   mutable batched_requests : int;  (** requests served inside those drains *)
+  mutable transport_tampers : int;
+      (** ring/grant integrity violations detected by the driver *)
 }
 
 type cached = { c_verdict : Policy.verdict; c_gen : int }
@@ -126,6 +128,13 @@ val wire_backpressure : t -> Vtpm_mgr.Driver.backend -> unit
     audit log: rejections appear under reason "overloaded", deadline
     sheds under "shed-deadline", multi-request batch drains as allowed
     "batch-drain:n" entries — all counted in {!stats}. *)
+
+val wire_transport_guard : t -> Vtpm_mgr.Driver.backend -> unit
+(** Turn on the driver's transport-integrity validation
+    ({!Vtpm_mgr.Driver.set_validate_transport}) and route every detected
+    violation — remapped or revoked ring grant, corrupted producer index,
+    injected frame — into the audit log as a ["transport-tamper"] denial
+    against the affected frontend, counted in {!stats}. *)
 
 val forget_subject : t -> Subject.t -> unit
 (** Teardown when a domain is destroyed: drop the subject's quota bucket,

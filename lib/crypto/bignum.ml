@@ -149,25 +149,103 @@ let shift_right (a : t) k : t =
     end
   end
 
-(* Long division producing (quotient, remainder). Binary shift-subtract
-   processing [num_bits a] bit positions; O(bits * limbs), which is ample
-   for the 512/1024-bit operands the key hierarchy uses. *)
+(* Long division producing (quotient, remainder): limb-based Knuth
+   Algorithm D. The earlier binary shift-subtract allocated two bignums
+   per bit position, which made modular reduction — hence every RSA
+   operation, hence keygen during the fuzzer's full-stack soaks — the
+   repo's hottest path. One quotient limb per pass, all intermediates in
+   native ints (30x30-bit products stay under 2^62). Output is bit-for-bit
+   identical to the old routine, so deterministic key material is
+   unchanged. *)
 let divmod (a : t) (b : t) : t * t =
   if is_zero b then raise Division_by_zero;
   if compare a b < 0 then (zero, a)
   else begin
-    let shift = num_bits a - num_bits b in
-    let q = Array.make ((shift / limb_bits) + 1) 0 in
-    let r = ref a in
-    let d = ref (shift_left b shift) in
-    for i = shift downto 0 do
-      if compare !r !d >= 0 then begin
-        r := sub !r !d;
-        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
-      end;
-      d := shift_right !d 1
-    done;
-    (normalize q, !r)
+    let la = Array.length a and lb = Array.length b in
+    if lb = 1 then begin
+      (* Single-limb divisor: one linear pass. *)
+      let d = b.(0) in
+      let q = Array.make la 0 in
+      let r = ref 0 in
+      for i = la - 1 downto 0 do
+        let cur = (!r lsl limb_bits) lor a.(i) in
+        q.(i) <- cur / d;
+        r := cur mod d
+      done;
+      (normalize q, of_int !r)
+    end
+    else begin
+      (* D1: normalize so the divisor's top limb has its high bit set —
+         the quotient-digit estimate below is then off by at most 2. *)
+      let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+      let s = limb_bits - width b.(lb - 1) 0 in
+      let v = Array.make lb 0 in
+      let carry = ref 0 in
+      for i = 0 to lb - 1 do
+        let x = (b.(i) lsl s) lor !carry in
+        v.(i) <- x land limb_mask;
+        carry := x lsr limb_bits
+      done;
+      let u = Array.make (la + 1) 0 in
+      carry := 0;
+      for i = 0 to la - 1 do
+        let x = (a.(i) lsl s) lor !carry in
+        u.(i) <- x land limb_mask;
+        carry := x lsr limb_bits
+      done;
+      u.(la) <- !carry;
+      let m = la - lb in
+      let q = Array.make (m + 1) 0 in
+      let vtop = v.(lb - 1) and vnext = v.(lb - 2) in
+      for j = m downto 0 do
+        (* D3: estimate the quotient digit from the top limbs, then
+           correct the (rare) off-by-one-or-two overshoot. *)
+        let num = (u.(j + lb) lsl limb_bits) lor u.(j + lb - 1) in
+        let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+        let adjusting = ref true in
+        while
+          !adjusting
+          && (!qhat >= limb_base
+             || !qhat * vnext > (!rhat lsl limb_bits) lor u.(j + lb - 2))
+        do
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= limb_base then adjusting := false
+        done;
+        (* D4: u[j..j+lb] -= qhat * v, fused multiply-subtract. *)
+        let mul_carry = ref 0 and borrow = ref 0 in
+        for i = 0 to lb - 1 do
+          let p = (!qhat * v.(i)) + !mul_carry in
+          mul_carry := p lsr limb_bits;
+          let d = u.(i + j) - (p land limb_mask) - !borrow in
+          if d < 0 then begin
+            u.(i + j) <- d + limb_base;
+            borrow := 1
+          end
+          else begin
+            u.(i + j) <- d;
+            borrow := 0
+          end
+        done;
+        let d = u.(j + lb) - !mul_carry - !borrow in
+        if d < 0 then begin
+          (* D6: estimate was one too large — add the divisor back. *)
+          u.(j + lb) <- d + limb_base;
+          decr qhat;
+          let add_carry = ref 0 in
+          for i = 0 to lb - 1 do
+            let x = u.(i + j) + v.(i) + !add_carry in
+            u.(i + j) <- x land limb_mask;
+            add_carry := x lsr limb_bits
+          done;
+          u.(j + lb) <- (u.(j + lb) + !add_carry) land limb_mask
+        end
+        else u.(j + lb) <- d;
+        q.(j) <- !qhat
+      done;
+      (* D8: denormalize the remainder. *)
+      (normalize q, shift_right (normalize (Array.sub u 0 lb)) s)
+    end
   end
 
 let div a b = fst (divmod a b)

@@ -229,3 +229,15 @@ val fig10 :
   (string * (float * float) list) list * string
 (** Migrant goodput vs flood multiple, steady vs live-migration series:
     the migration costs a bounded goodput dip, never a lost request. *)
+
+val table7 : ?traces:int -> ?seed:int -> unit -> Vtpm_attacks.Fuzz.soak * string
+(** Adversary matrix under the interleaving fuzzer's soak: per-kind
+    attempts/blocked/wins plus the invariant summary. Zero wins and zero
+    bundle violations are the pass condition. *)
+
+val fig11 :
+  ?attack_fracs:float list -> ?traces:int -> ?seed:int -> unit ->
+  (string * (float * float) list) list * string * (float * Vtpm_attacks.Fuzz.soak) list
+(** Legitimate goodput and tamper detections vs the fraction of attack
+    ops per schedule; also returns the raw per-point soaks so callers
+    (bench) can check the invariant bundle held at every point. *)

@@ -39,6 +39,7 @@ type connection = {
   mutable fe_port : Evtchn.port;
   mutable be_port : Evtchn.port;
   mutable gref : Gnttab.gref;
+  mutable ring_frame : int; (* backing frame recorded at the handshake *)
   mutable connected : bool;
   mutable reconnects : int;
 }
@@ -98,6 +99,15 @@ type backend = {
   mutable rr_seq : int;
   mutable batch : int; (* max requests drained per frontend per round *)
   mutable on_batch : Domain.domid -> int -> unit; (* multi-request drains *)
+  (* Transport-integrity validation (off = the trusting 2006 backend):
+     before serving a ring, verify its grant still exists, is unrevoked
+     and backs the frame recorded at the handshake; cross-check the
+     producer index against the frames actually pushed; and refuse slots
+     whose recorded pusher is not the ring's frontend. Violations call
+     [on_transport_tamper] — the monitor audits them as denials. *)
+  mutable validate_transport : bool;
+  mutable on_transport_tamper : Domain.domid -> string -> unit;
+  mutable transport_tampers : int;
 }
 
 let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
@@ -122,7 +132,35 @@ let create_backend ?resilience ~xen ~be_domid ~router () =
     rr_seq = 0;
     batch = 1;
     on_batch = (fun _ _ -> ());
+    validate_transport = false;
+    on_transport_tamper = (fun _ _ -> ());
+    transport_tampers = 0;
   }
+
+let set_validate_transport (backend : backend) v = backend.validate_transport <- v
+let validate_transport (backend : backend) = backend.validate_transport
+let set_on_transport_tamper (backend : backend) f = backend.on_transport_tamper <- f
+let transport_tamper_count (backend : backend) = backend.transport_tampers
+
+(* The mapping side's integrity view of a connection's ring grant: still
+   present, unrevoked, and backing the frame recorded at the handshake.
+   Pure table lookups — no simulated-time charge, so enabling validation
+   leaves every legitimate timing bit-identical. *)
+let transport_ok (backend : backend) (conn : connection) : (unit, string) result =
+  match Hypervisor.grant_backing backend.xen ~owner:conn.fe_domid ~gref:conn.gref with
+  | None -> Error "ring grant vanished"
+  | Some (frame, in_use, revoked) ->
+      if revoked then Error "ring grant revoked mid-request"
+      else if frame <> conn.ring_frame then
+        Error
+          (Printf.sprintf "ring grant remapped: backing frame %d, expected %d" frame
+             conn.ring_frame)
+      else if not in_use then Error "ring grant no longer mapped by backend"
+      else Ok ()
+
+let transport_tamper (backend : backend) (conn : connection) reason =
+  backend.transport_tampers <- backend.transport_tampers + 1;
+  backend.on_transport_tamper conn.fe_domid reason
 
 (* Toolstack step: publish the device nodes for a new vTPM attachment.
    Runs as dom0. The guest may read its own device directory. *)
@@ -162,7 +200,7 @@ let publish_device ~(xen : Hypervisor.t) ~fe ~be ~instance : (unit, string) resu
    best-effort under injected transients — the recorded connection state,
    not the store, is authoritative for an established link. *)
 let establish (backend : backend) ~(fe_domid : Domain.domid) :
-    (Ring.t * Evtchn.port * Evtchn.port * Gnttab.gref, string) result =
+    (Ring.t * Evtchn.port * Evtchn.port * Gnttab.gref * int, string) result =
   let xen = backend.xen in
   let base = vtpm_fe_path fe_domid in
   let ring_frame = 100 + fe_domid in
@@ -183,7 +221,7 @@ let establish (backend : backend) ~(fe_domid : Domain.domid) :
       ignore
         (Hypervisor.xs_write xen ~caller:fe_domid (base ^ "/event-channel")
            (string_of_int fe_port));
-      Ok (ring, fe_port, be_port, gref)
+      Ok (ring, fe_port, be_port, gref, ring_frame)
 
 (* Frontend step: allocate the ring, grant it, bind the event channel and
    publish the connection details. Returns the live connection and
@@ -201,7 +239,7 @@ let connect (backend : backend) ~(fe_domid : Domain.domid) : (connection, string
           else
             match establish backend ~fe_domid with
             | Error e -> Error e
-            | Ok (ring, fe_port, be_port, gref) ->
+            | Ok (ring, fe_port, be_port, gref, ring_frame) ->
                 let conn =
                   {
                     ring;
@@ -210,6 +248,7 @@ let connect (backend : backend) ~(fe_domid : Domain.domid) : (connection, string
                     fe_port;
                     be_port;
                     gref;
+                    ring_frame;
                     connected = true;
                     reconnects = 0;
                   }
@@ -231,11 +270,12 @@ let reconnect (backend : backend) (conn : connection) : (unit, string) result =
       (Hypervisor.unmap_grant xen ~caller:conn.be_domid ~owner:conn.fe_domid ~gref:conn.gref);
     match establish backend ~fe_domid:conn.fe_domid with
     | Error e -> Error e
-    | Ok (ring, fe_port, be_port, gref) ->
+    | Ok (ring, fe_port, be_port, gref, ring_frame) ->
         conn.ring <- ring;
         conn.fe_port <- fe_port;
         conn.be_port <- be_port;
         conn.gref <- gref;
+        conn.ring_frame <- ring_frame;
         conn.connected <- true;
         conn.reconnects <- conn.reconnects + 1;
         if not (List.memq conn backend.connections) then
@@ -299,32 +339,79 @@ let process_pending (backend : backend) : int =
      List.iter
        (fun conn ->
          if conn.connected && backend.alive then begin
-           let rec drain () =
-             match Ring.pop_request conn.ring with
-             | None -> ()
-             | Some { Ring.id; payload } ->
-                 if Faults.fire faults Faults.Manager_crash then begin
-                   crash_backend backend;
-                   raise Exit
-                 end;
-                 incr processed;
-                 let payload = Faults.maybe_mutate faults payload in
-                 let sender = Ring.frontend conn.ring in
-                 let reply =
-                   match Proto.decode_request payload with
-                   | Error m -> Proto.encode_response Proto.Bad_frame m
-                   | Ok (claimed_instance, wire) -> (
-                       match backend.router ~sender ~claimed_instance ~wire with
-                       | Ok resp_wire -> Proto.encode_response Proto.Ok_routed resp_wire
-                       | Error reason -> Proto.encode_response Proto.Denied reason)
-                 in
-                 (match Ring.push_response conn.ring ~id reply with
-                 | Ok () ->
-                     ignore (Hypervisor.notify backend.xen ~domid:conn.be_domid ~port:conn.be_port)
-                 | Error _ -> () (* response ring full: drop, frontend times out *));
-                 drain ()
+           (* Grant-level integrity first: a remapped, revoked or vanished
+              ring grant means every frame on the page is suspect — tear
+              the link (a resilient frontend reconnects with a fresh
+              grant; the in-flight request fails with an audited denial). *)
+           let grant_ok =
+             (not backend.validate_transport)
+             ||
+             match transport_ok backend conn with
+             | Ok () -> true
+             | Error reason ->
+                 transport_tamper backend conn reason;
+                 conn.connected <- false;
+                 false
            in
-           drain ()
+           if grant_ok then begin
+             (* Validated pop when hardening is on: an index/queue
+                divergence is audited once, the indices re-derived from
+                the genuine frames, and the drain continues — the
+                victim's real requests still get served. *)
+             let pop () =
+               if not backend.validate_transport then Ring.pop_request conn.ring
+               else
+                 match Ring.pop_request_validated conn.ring with
+                 | Ok s -> s
+                 | Error reason -> (
+                     transport_tamper backend conn reason;
+                     Ring.sanitize_indices conn.ring;
+                     match Ring.pop_request_validated conn.ring with
+                     | Ok s -> s
+                     | Error _ -> None)
+             in
+             let rec drain () =
+               match pop () with
+               | None -> ()
+               | Some { Ring.id; payload; pusher } ->
+                   if Faults.fire faults Faults.Manager_crash then begin
+                     crash_backend backend;
+                     raise Exit
+                   end;
+                   let sender = Ring.frontend conn.ring in
+                   if backend.validate_transport && pusher <> sender then begin
+                     (* Injected frame: the page says someone other than
+                        the ring's frontend wrote it. Refuse to route it
+                        (a Denied response fills the slot so the id cannot
+                        be replayed) and keep draining genuine frames. *)
+                     transport_tamper backend conn
+                       (Printf.sprintf "injected ring frame from domain %d" pusher);
+                     ignore
+                       (Ring.push_response conn.ring ~id
+                          (Proto.encode_response Proto.Denied "injected ring frame rejected"));
+                     drain ()
+                   end
+                   else begin
+                     incr processed;
+                     let payload = Faults.maybe_mutate faults payload in
+                     let reply =
+                       match Proto.decode_request payload with
+                       | Error m -> Proto.encode_response Proto.Bad_frame m
+                       | Ok (claimed_instance, wire) -> (
+                           match backend.router ~sender ~claimed_instance ~wire with
+                           | Ok resp_wire -> Proto.encode_response Proto.Ok_routed resp_wire
+                           | Error reason -> Proto.encode_response Proto.Denied reason)
+                     in
+                     (match Ring.push_response conn.ring ~id reply with
+                     | Ok () ->
+                         ignore
+                           (Hypervisor.notify backend.xen ~domid:conn.be_domid ~port:conn.be_port)
+                     | Error _ -> () (* response ring full: drop, frontend times out *));
+                     drain ()
+                   end
+             in
+             drain ()
+           end
          end)
        backend.connections
    with Exit -> ());
@@ -485,10 +572,28 @@ let request_resilient (backend : backend) (conn : connection) ~wire ~(r : resili
    amortised slot cost for the rest of a drained batch. *)
 let request_charged (backend : backend) (conn : connection) ~(wire : string) ~ring_charge :
     (outcome, Vtpm_util.Verror.t) result =
-  Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
-  match backend.resilience with
-  | None -> request_failfast backend conn ~wire
-  | Some r -> request_resilient backend conn ~wire ~r
+  (* Transport guard before the exchange: a tampered ring grant fails the
+     in-flight operation with an audited denial rather than running the
+     request over an adversary-controlled page. The link is torn; a
+     resilient frontend's next request reconnects with a fresh grant. *)
+  if backend.validate_transport && conn.connected then begin
+    match transport_ok backend conn with
+    | Ok () ->
+        Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
+        (match backend.resilience with
+        | None -> request_failfast backend conn ~wire
+        | Some r -> request_resilient backend conn ~wire ~r)
+    | Error reason ->
+        transport_tamper backend conn reason;
+        conn.connected <- false;
+        Vtpm_util.Verror.denied "transport integrity: %s" reason
+  end
+  else begin
+    Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
+    match backend.resilience with
+    | None -> request_failfast backend conn ~wire
+    | Some r -> request_resilient backend conn ~wire ~r
+  end
 
 let request_with_info (backend : backend) (conn : connection) ~(wire : string) :
     (outcome, Vtpm_util.Verror.t) result =

@@ -22,6 +22,7 @@ type connection = {
   mutable fe_port : Vtpm_xen.Evtchn.port;
   mutable be_port : Vtpm_xen.Evtchn.port;
   mutable gref : Vtpm_xen.Gnttab.gref;
+  mutable ring_frame : int;  (** grant backing frame recorded at the handshake *)
   mutable connected : bool;
   mutable reconnects : int;  (** reconnection handshakes run on this link *)
 }
@@ -78,6 +79,13 @@ type backend = {
   mutable batch : int;  (** max requests drained per frontend per round *)
   mutable on_batch : Vtpm_xen.Domain.domid -> int -> unit;
       (** audit hook: the monitor records multi-request batch drains *)
+  mutable validate_transport : bool;
+      (** off = the trusting 2006 backend; on = grant backing, producer
+          index and slot provenance are verified before serving *)
+  mutable on_transport_tamper : Vtpm_xen.Domain.domid -> string -> unit;
+      (** audit hook: the monitor logs detected transport tampering as a
+          denial against the affected frontend *)
+  mutable transport_tampers : int;  (** violations detected so far *)
 }
 
 val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
@@ -85,6 +93,20 @@ val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
 val create_backend :
   ?resilience:resilience ->
   xen:Vtpm_xen.Hypervisor.t -> be_domid:Vtpm_xen.Domain.domid -> router:router -> unit -> backend
+
+val set_validate_transport : backend -> bool -> unit
+(** Enable/disable transport-integrity validation. Off by default — the
+    trusting 2006 backend; legitimate traffic is bit-identical either way
+    (the checks are pure table lookups, charging no simulated time). *)
+
+val validate_transport : backend -> bool
+
+val set_on_transport_tamper : backend -> (Vtpm_xen.Domain.domid -> string -> unit) -> unit
+(** Hook called with the affected frontend and a reason whenever a
+    transport-integrity violation is detected (remapped/revoked ring
+    grant, corrupted producer index, injected frame). *)
+
+val transport_tamper_count : backend -> int
 
 val publish_device :
   xen:Vtpm_xen.Hypervisor.t -> fe:Vtpm_xen.Domain.domid -> be:Vtpm_xen.Domain.domid ->

@@ -46,13 +46,27 @@ let map t ~caller ~owner ~gref : (int * access, string) result =
         Ok (g.frame, g.access)
       end
 
-let unmap t ~caller ~owner ~gref =
+(* Unmapping is the grantee's own act; anyone else asking is a protocol
+   violation and must hear about it — a silently ignored unmap is how a
+   revoke-while-mapped turns into a use-after-revoke nobody noticed. *)
+let unmap t ~caller ~owner ~gref : (unit, string) result =
   match Hashtbl.find_opt t.grants (owner, gref) with
-  | Some g when g.grantee = caller -> g.in_use <- false
-  | _ -> ()
+  | None -> Error (Printf.sprintf "no grant %d from domain %d" gref owner)
+  | Some g ->
+      if g.grantee <> caller then
+        Error
+          (Printf.sprintf "grant %d from domain %d is mapped by domain %d, not %d" gref owner
+             g.grantee caller)
+      else if not g.in_use then
+        Error (Printf.sprintf "grant %d from domain %d is not mapped" gref owner)
+      else begin
+        g.in_use <- false;
+        Ok ()
+      end
 
 (* End a grant; fails while the grantee still has it mapped, as on real
-   Xen where gnttab_end_foreign_access must wait. *)
+   Xen where gnttab_end_foreign_access must wait. Idempotent on an
+   already-revoked grant. *)
 let revoke t ~owner ~gref : (unit, string) result =
   match Hashtbl.find_opt t.grants (owner, gref) with
   | None -> Error "no such grant"
@@ -62,6 +76,38 @@ let revoke t ~owner ~gref : (unit, string) result =
         g.revoked <- true;
         Ok ()
       end
+
+(* The misbehaving-owner variant: tear the grant away even while the
+   grantee still has it mapped (what an owner yanking the page, or a
+   rogue dom0 tool driving the owner's grant table, actually does). The
+   mapping side must detect this before trusting the page again — the
+   driver's transport-integrity check. *)
+let force_revoke t ~owner ~gref : (unit, string) result =
+  match Hashtbl.find_opt t.grants (owner, gref) with
+  | None -> Error "no such grant"
+  | Some g ->
+      g.revoked <- true;
+      Ok ()
+
+(* Hetzelt-style page remapping: point the grant at a different backing
+   frame. On real hardware this is a second-level address translation
+   rewrite by a compromised hypervisor-side component; here it models the
+   same capability — the grantee keeps reading and writing, but through a
+   frame the adversary chose. *)
+let remap t ~owner ~gref ~frame : (unit, string) result =
+  match Hashtbl.find_opt t.grants (owner, gref) with
+  | None -> Error "no such grant"
+  | Some g ->
+      Hashtbl.replace t.grants (owner, gref) { g with frame };
+      Ok ()
+
+(* Integrity view for the mapping side: does the grant still exist, what
+   frame does it back, is it revoked? The driver compares this against
+   what it recorded at connect time. *)
+let inspect t ~owner ~gref : (int * bool * bool) option =
+  Option.map
+    (fun g -> (g.frame, g.in_use, g.revoked))
+    (Hashtbl.find_opt t.grants (owner, gref))
 
 let revoke_all_for t domid =
   Hashtbl.iter (fun _ g -> if g.owner = domid || g.grantee = domid then g.revoked <- true) t.grants

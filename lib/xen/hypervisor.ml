@@ -181,10 +181,24 @@ let map_grant t ~caller ~owner ~gref =
 let unmap_grant t ~caller ~owner ~gref =
   if Faults.fire t.faults Faults.Grant_unmap_fail then
     Error "transient grant unmap failure (injected)"
-  else begin
-    Gnttab.unmap t.gnttab ~caller ~owner ~gref;
-    Ok ()
-  end
+  else Gnttab.unmap t.gnttab ~caller ~owner ~gref
+
+(* Remapping a live grant's backing frame is a privileged (dom0-side)
+   capability — on real hardware a second-level translation rewrite. The
+   hypervisor cannot tell a toolstack's legitimate use from a rogue dom0
+   tool's: that is exactly the encrypted-VM-era attack surface, and why
+   the driver validates grant backing instead of trusting it. *)
+let remap_grant t ~caller ~owner ~gref ~frame =
+  match require_privileged t caller with
+  | Error e -> Error e
+  | Ok () -> Gnttab.remap t.gnttab ~owner ~gref ~frame
+
+let force_revoke_grant t ~caller ~owner ~gref =
+  if caller <> owner && not (is_privileged t caller) then
+    Error "only the owner or dom0 may force-revoke a grant"
+  else Gnttab.force_revoke t.gnttab ~owner ~gref
+
+let grant_backing t ~owner ~gref = Gnttab.inspect t.gnttab ~owner ~gref
 
 (* XenStore access, charged to the simulated clock. Transient injected
    failures surface as EAGAIN — the error real xenstore clients already

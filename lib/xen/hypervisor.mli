@@ -86,6 +86,24 @@ val unmap_grant :
   t -> caller:Domain.domid -> owner:Domain.domid -> gref:Gnttab.gref ->
   (unit, string) result
 
+val remap_grant :
+  t -> caller:Domain.domid -> owner:Domain.domid -> gref:Gnttab.gref -> frame:int ->
+  (unit, string) result
+(** Privileged (dom0) rewrite of a live grant's backing frame — the
+    Hetzelt-style page-remapping capability. The hypervisor cannot tell a
+    legitimate toolstack use from a rogue dom0 tool; the vTPM driver's
+    transport-integrity check is what detects the swap. *)
+
+val force_revoke_grant :
+  t -> caller:Domain.domid -> owner:Domain.domid -> gref:Gnttab.gref ->
+  (unit, string) result
+(** End a grant even while mapped (owner or dom0). The mapped side's next
+    transport-integrity check fails the in-flight operation. *)
+
+val grant_backing :
+  t -> owner:Domain.domid -> gref:Gnttab.gref -> (int * bool * bool) option
+(** [(frame, in_use, revoked)] for a grant — the mapping side's view. *)
+
 (** {1 XenStore access (charged to the simulated clock)} *)
 
 val xs_read : t -> caller:Domain.domid -> string -> (string, Xenstore.error) result

@@ -1,0 +1,192 @@
+(* The adversarial interleaving fuzzer: QCheck property with shrinking,
+   deterministic replay artifacts, the checked-in seed trace, and the
+   revoke-during-batch-drain regression. *)
+
+open Vtpm_attacks
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let fail_violations label (r : Fuzz.report) =
+  if not (Fuzz.ok r) then
+    Alcotest.failf "%s: %s" label (String.concat "; " r.Fuzz.violations)
+
+(* Same candidate list as the policy fixtures: the cwd differs between
+   `dune runtest` and `dune exec`. *)
+let fixture_path name =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) ("../policies/" ^ name);
+      "../policies/" ^ name;
+      "policies/" ^ name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "fixture %s not found" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- The property ----------------------------------------------------------------- *)
+
+let prop_interleavings =
+  QCheck.Test.make ~count:25
+    ~name:"random adversarial interleavings preserve the invariant bundle" Fuzz.arb_trace
+    (fun t ->
+      let r = Fuzz.run_trace ~seed:11 t in
+      if Fuzz.ok r then true
+      else begin
+        (* Shrunk reproducer becomes a replay artifact for the report. *)
+        (try Fuzz.save_trace "fuzz-failure.trace" t with Sys_error _ -> ());
+        QCheck.Test.fail_reportf "invariant violations:@.%s@.trace (saved to fuzz-failure.trace):@.%s"
+          (String.concat "\n" r.Fuzz.violations)
+          (Fuzz.trace_to_string t)
+      end)
+
+(* --- Determinism + serialization --------------------------------------------------- *)
+
+let test_deterministic () =
+  let t = Fuzz.gen_trace ~seed:3 ~index:5 () in
+  let r1 = Fuzz.run_trace ~seed:21 t in
+  let r2 = Fuzz.run_trace ~seed:21 t in
+  fail_violations "first run" r1;
+  check_b "identical reports on identical (seed, trace)" true (r1 = r2)
+
+let test_roundtrip () =
+  let t = Fuzz.gen_trace ~seed:9 ~index:2 () in
+  (match Fuzz.trace_of_string (Fuzz.trace_to_string t) with
+  | Ok t' -> check_b "parse . print = id" true (t = t')
+  | Error e -> Alcotest.failf "roundtrip: %s" e);
+  (match Fuzz.trace_of_string "bogus header\n1 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  match Fuzz.trace_of_string (Fuzz.trace_header ^ "\n1 two\n") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad line accepted"
+
+let test_save_load () =
+  let t = Fuzz.gen_trace ~seed:4 ~index:7 () in
+  let path = Filename.temp_file "fuzz" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Fuzz.save_trace path t;
+      match Fuzz.load_trace path with
+      | Ok t' -> check_b "save/load roundtrip" true (t = t')
+      | Error e -> Alcotest.failf "load: %s" e)
+
+(* The checked-in seed: replays clean, and re-serializes byte-for-byte —
+   the artifact format is stable. *)
+let test_seed_fixture () =
+  let path = fixture_path "fuzz-seed-001.trace" in
+  let contents = read_file path in
+  (match Fuzz.trace_of_string contents with
+  | Error e -> Alcotest.failf "fixture parse: %s" e
+  | Ok t ->
+      check_b "fixture re-serializes byte-for-byte" true
+        (String.equal (Fuzz.trace_to_string t) contents);
+      (* The fixture exercises every op tag, including a migration. *)
+      let tags = List.sort_uniq compare (List.map (fun (tag, _) -> tag mod Fuzz.op_tags) t) in
+      check_i "all op tags covered" Fuzz.op_tags (List.length tags));
+  match Fuzz.replay ~seed:11 path with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok r ->
+      fail_violations "seed trace" r;
+      check_b "seed trace contains attacks" true (r.Fuzz.attack_ops > 0);
+      check_b "seed trace detected tampering" true (r.Fuzz.tampers > 0);
+      check_i "seed trace migrated" 1 r.Fuzz.migrations
+
+(* --- Bounded smoke soak (the @fuzz alias runs this suite) --------------------------- *)
+
+let test_smoke_soak () =
+  let s = Fuzz.soak ~seed:5 ~traces:25 () in
+  (match s.Fuzz.sk_failures with
+  | [] -> ()
+  | (i, vs) :: _ ->
+      Alcotest.failf "trace %d violated the bundle: %s" i (String.concat "; " vs));
+  check_b "soak exercised attacks" true (s.Fuzz.sk_attacks > 0);
+  check_b "soak detected tampers" true (s.Fuzz.sk_tampers > 0);
+  check_b "soak ran migrations" true (s.Fuzz.sk_migrations > 0);
+  check_b "soak rotated the audit log" true (s.Fuzz.sk_rotations > 0);
+  check_b "soak observed zero bypasses" true (s.Fuzz.sk_bypasses = 0)
+
+(* --- Revoke during batch drain (gnttab edge-case regression) ------------------------ *)
+
+(* A gref force-revoked while requests sit in the drain window must fail
+   the in-flight op with an audited denial — never silent success — and
+   the link must heal for the requests behind it. *)
+let test_revoke_during_batch_drain () =
+  let open Vtpm_xen in
+  let open Vtpm_mgr in
+  let host = Vtpm_access.Host.create ~mode:Vtpm_access.Host.Improved_mode ~seed:33 ~rsa_bits:256 () in
+  let m = Vtpm_access.Host.monitor_exn host in
+  let backend = host.Vtpm_access.Host.backend in
+  backend.Driver.resilience <- Some Driver.default_resilience;
+  Driver.set_overload backend (Some { Driver.queue_capacity = 8; deadline_us = 1.0e12 });
+  Driver.set_batch backend 4;
+  let g = Vtpm_access.Host.create_guest_exn host ~name:"drainee" ~label:"tenant_d" () in
+  let wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  for _ = 1 to 3 do
+    match Driver.submit backend g.Vtpm_access.Host.conn ~wire () with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "submit: %s" (Vtpm_util.Verror.to_string e)
+  done;
+  (match
+     Hypervisor.force_revoke_grant host.Vtpm_access.Host.xen ~caller:Hypervisor.dom0_id
+       ~owner:g.Vtpm_access.Host.domid ~gref:g.Vtpm_access.Host.conn.Driver.gref
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "force_revoke_grant: %s" e);
+  let outcomes = ref [] in
+  let rec drain () =
+    match Driver.pump_batch backend with
+    | `Idle -> ()
+    | `Served l ->
+        outcomes := !outcomes @ List.map (fun s -> s.Driver.s_outcome) l;
+        drain ()
+  in
+  drain ();
+  check_i "all three in-flight requests accounted" 3 (List.length !outcomes);
+  (* The op in flight when the revoke landed fails with a transport
+     denial... *)
+  (match !outcomes with
+  | Error e :: _ ->
+      check_b "denial names transport integrity" true
+        (let s = Vtpm_util.Verror.to_string e in
+         let needle = "transport" in
+         let n = String.length needle and l = String.length s in
+         let rec at i = i + n <= l && (String.equal (String.sub s i n) needle || at (i + 1)) in
+         at 0)
+  | Ok _ :: _ -> Alcotest.fail "revoked-window op silently succeeded"
+  | [] -> Alcotest.fail "nothing served");
+  (* ...the requests behind it heal through a reconnect... *)
+  let healed =
+    List.for_all (function Ok _ -> true | Error _ -> false) (List.tl !outcomes)
+  in
+  check_b "remaining requests served after reconnect" true healed;
+  check_b "link re-handshaken" true (g.Vtpm_access.Host.conn.Driver.reconnects > 0);
+  (* ...and the tamper is audited as a denial against the frontend. *)
+  check_b "tamper audited" true
+    (List.exists
+       (fun (e : Vtpm_access.Audit.entry) ->
+         (not e.Vtpm_access.Audit.allowed)
+         && String.equal e.Vtpm_access.Audit.operation "transport-tamper")
+       (Vtpm_access.Audit.entries m.Vtpm_access.Monitor.audit))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_interleavings;
+    Alcotest.test_case "identical (seed, trace) gives identical reports" `Quick test_deterministic;
+    Alcotest.test_case "trace serialization roundtrips and rejects junk" `Quick test_roundtrip;
+    Alcotest.test_case "traces save and load" `Quick test_save_load;
+    Alcotest.test_case "checked-in seed trace replays clean, byte-for-byte" `Quick
+      test_seed_fixture;
+    Alcotest.test_case "bounded soak: zero violations, attacks exercised" `Slow test_smoke_soak;
+    Alcotest.test_case "revoke during batch drain: audited denial, no silent success" `Quick
+      test_revoke_during_batch_drain;
+  ]

@@ -12,6 +12,7 @@ let () =
       ("migration", Test_migration.suite);
       ("access", Test_access.suite);
       ("attacks", Test_attacks.suite);
+      ("fuzz", Test_fuzz.suite);
       ("overload", Test_overload.suite);
       ("sim", Test_sim.suite);
       ("perf", Test_perf.suite);

@@ -134,7 +134,7 @@ let test_gnttab_revoke () =
   let r = Gnttab.grant_access g ~owner:1 ~grantee:2 ~frame:7 ~access:Gnttab.Read_only in
   ignore (Gnttab.map g ~caller:2 ~owner:1 ~gref:r);
   check_b "cannot revoke while mapped" true (Result.is_error (Gnttab.revoke g ~owner:1 ~gref:r));
-  Gnttab.unmap g ~caller:2 ~owner:1 ~gref:r;
+  check_b "unmap by grantee" true (Gnttab.unmap g ~caller:2 ~owner:1 ~gref:r = Ok ());
   check_b "revoke after unmap" true (Gnttab.revoke g ~owner:1 ~gref:r = Ok ());
   check_b "map after revoke fails" true (Result.is_error (Gnttab.map g ~caller:2 ~owner:1 ~gref:r))
 
@@ -150,7 +150,7 @@ let test_ring_fifo_order () =
   let id2 = Result.get_ok (Ring.push_request r "b") in
   check_b "distinct ids" true (id1 <> id2);
   (match Ring.pop_request r with
-  | Some { Ring.id; payload } ->
+  | Some { Ring.id; payload; _ } ->
       check_i "first id" id1 id;
       check_s "first payload" "a" payload
   | None -> Alcotest.fail "empty");
@@ -205,6 +205,117 @@ let test_ring_request_pending () =
   check_b "other id not pending" false (Ring.request_pending r ~id:(id + 1));
   ignore (Ring.pop_request r);
   check_b "consumed" false (Ring.request_pending r ~id)
+
+(* --- Ring bounds under index corruption (the fuzzer's ring adversary) --------- *)
+
+(* A producer-index delta beyond the ring size must be refused outright by
+   both pops: there is no frame to wrap around to, so a naive backend
+   reading it would walk off the page. *)
+let test_ring_prod_beyond_capacity () =
+  let r = Ring.create ~capacity:4 ~frontend:1 ~backend:0 () in
+  Ring.corrupt_req_prod r ~delta:5;
+  check_b "naive pop refuses out-of-bounds delta" true (Ring.pop_request r = None);
+  (match Ring.pop_request_validated r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "validated pop accepted an out-of-bounds index");
+  check_b "index flagged inconsistent" false (Ring.index_consistent r)
+
+(* Within the ring size the naive pop believes the index, and once the
+   corrupted index wraps back onto a consumed slot it re-serves the stale
+   frame still occupying the page — the 2006-era replay window (capacity 1
+   makes the wrap immediate). The validated pop treats the same divergence
+   as an integrity error. *)
+let test_ring_prod_within_capacity_stale_replay () =
+  let naive = Ring.create ~capacity:1 ~frontend:1 ~backend:0 () in
+  let id = Result.get_ok (Ring.push_request naive "secret-frame") in
+  (match Ring.pop_request naive with
+  | Some s -> check_i "genuine frame" id s.Ring.id
+  | None -> Alcotest.fail "no genuine frame");
+  Ring.corrupt_req_prod naive ~delta:1;
+  (match Ring.pop_request naive with
+  | Some s -> check_s "stale frame re-served by naive pop" "secret-frame" s.Ring.payload
+  | None -> Alcotest.fail "naive pop did not re-serve the stale frame");
+  let hardened = Ring.create ~capacity:1 ~frontend:1 ~backend:0 () in
+  let id' = Result.get_ok (Ring.push_request hardened "secret-frame") in
+  (match Ring.pop_request_validated hardened with
+  | Ok (Some s) -> check_i "genuine frame (validated)" id' s.Ring.id
+  | _ -> Alcotest.fail "validated pop lost the genuine frame");
+  Ring.corrupt_req_prod hardened ~delta:1;
+  match Ring.pop_request_validated hardened with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "validated pop served a phantom slot"
+
+let test_ring_sanitize_recovers () =
+  let r = Ring.create ~capacity:4 ~frontend:1 ~backend:0 () in
+  Ring.corrupt_req_prod r ~delta:3;
+  check_b "corrupted" false (Ring.index_consistent r);
+  Ring.sanitize_indices r;
+  check_b "sanitized" true (Ring.index_consistent r);
+  let id = Result.get_ok (Ring.push_request r "after-recovery") in
+  match Ring.pop_request_validated r with
+  | Ok (Some s) -> check_i "ring serves again after sanitize" id s.Ring.id
+  | _ -> Alcotest.fail "ring dead after sanitize"
+
+(* Injected frames carry the injector's provenance, and snooping is
+   non-destructive — the capture side of capture-and-replay leaves no
+   trace in the indices. *)
+let test_ring_inject_provenance_and_snoop () =
+  let r = Ring.create ~frontend:1 ~backend:0 () in
+  ignore (Ring.push_request r "genuine");
+  let before = Ring.pending_requests r in
+  let snap1 = Ring.snoop_requests r in
+  let snap2 = Ring.snoop_requests r in
+  check_b "snoop is non-destructive" true (snap1 = snap2);
+  check_i "snoop consumed nothing" before (Ring.pending_requests r);
+  (match Ring.inject_request r ~pusher:0 "injected" with
+  | Error e -> Alcotest.failf "inject: %s" e
+  | Ok _ -> ());
+  let pushers =
+    List.map (fun (s : Ring.slot) -> (s.Ring.payload, s.Ring.pusher)) (Ring.snoop_requests r)
+  in
+  check_b "genuine frame keeps frontend provenance" true
+    (List.mem ("genuine", 1) pushers);
+  check_b "injected frame carries injector provenance" true
+    (List.mem ("injected", 0) pushers)
+
+(* --- Gnttab revoke/unmap edge cases (surfaced by the remap adversary) --------- *)
+
+let test_gnttab_unmap_edge_cases () =
+  let g = Gnttab.create () in
+  let gref = Gnttab.grant_access g ~owner:1 ~grantee:0 ~frame:42 ~access:Gnttab.Read_write in
+  check_b "stranger cannot unmap" true (Result.is_error (Gnttab.unmap g ~caller:5 ~owner:1 ~gref));
+  check_b "unknown gref refused" true
+    (Result.is_error (Gnttab.unmap g ~caller:0 ~owner:1 ~gref:(gref + 99)));
+  check_b "unmap before map refused" true (Result.is_error (Gnttab.unmap g ~caller:0 ~owner:1 ~gref));
+  (match Gnttab.map g ~caller:0 ~owner:1 ~gref with
+  | Ok (frame, _) -> check_i "mapped frame" 42 frame
+  | Error e -> Alcotest.failf "map: %s" e);
+  check_b "revoke while mapped must wait" true (Result.is_error (Gnttab.revoke g ~owner:1 ~gref));
+  check_b "unmap by grantee" true (Gnttab.unmap g ~caller:0 ~owner:1 ~gref = Ok ());
+  check_b "double unmap refused" true (Result.is_error (Gnttab.unmap g ~caller:0 ~owner:1 ~gref));
+  check_b "revoke after unmap" true (Gnttab.revoke g ~owner:1 ~gref = Ok ());
+  check_b "revoke idempotent" true (Gnttab.revoke g ~owner:1 ~gref = Ok ());
+  check_b "map after revoke refused" true (Result.is_error (Gnttab.map g ~caller:0 ~owner:1 ~gref))
+
+let test_gnttab_force_revoke_and_remap_visibility () =
+  let g = Gnttab.create () in
+  let gref = Gnttab.grant_access g ~owner:1 ~grantee:0 ~frame:42 ~access:Gnttab.Read_write in
+  (match Gnttab.map g ~caller:0 ~owner:1 ~gref with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "map: %s" e);
+  (* Remap swaps the backing frame while the mapping stays live... *)
+  check_b "remap live grant" true (Gnttab.remap g ~owner:1 ~gref ~frame:77 = Ok ());
+  (match Gnttab.inspect g ~owner:1 ~gref with
+  | Some (frame, in_use, revoked) ->
+      check_i "inspect sees the swapped frame" 77 frame;
+      check_b "still mapped" true in_use;
+      check_b "not yet revoked" false revoked
+  | None -> Alcotest.fail "inspect lost the grant");
+  (* ...and force-revoke succeeds even while mapped, visibly. *)
+  check_b "force revoke while mapped" true (Gnttab.force_revoke g ~owner:1 ~gref = Ok ());
+  match Gnttab.inspect g ~owner:1 ~gref with
+  | Some (_, _, revoked) -> check_b "revocation visible to integrity check" true revoked
+  | None -> Alcotest.fail "inspect lost the grant after force revoke"
 
 (* --- XenStore ---------------------------------------------------------------------------- *)
 
@@ -523,6 +634,15 @@ let suite =
     Alcotest.test_case "ring unknown slot id" `Quick test_ring_unknown_slot_id;
     Alcotest.test_case "ring request space floor" `Quick test_ring_request_space_floor;
     Alcotest.test_case "ring request pending" `Quick test_ring_request_pending;
+    Alcotest.test_case "ring prod beyond capacity refused" `Quick test_ring_prod_beyond_capacity;
+    Alcotest.test_case "ring stale replay: naive vs validated" `Quick
+      test_ring_prod_within_capacity_stale_replay;
+    Alcotest.test_case "ring sanitize recovers" `Quick test_ring_sanitize_recovers;
+    Alcotest.test_case "ring inject provenance + snoop" `Quick
+      test_ring_inject_provenance_and_snoop;
+    Alcotest.test_case "gnttab unmap edge cases" `Quick test_gnttab_unmap_edge_cases;
+    Alcotest.test_case "gnttab force-revoke/remap visibility" `Quick
+      test_gnttab_force_revoke_and_remap_visibility;
     Alcotest.test_case "xs write/read" `Quick test_xs_write_read;
     Alcotest.test_case "xs directory" `Quick test_xs_directory;
     Alcotest.test_case "xs rm" `Quick test_xs_rm;
