@@ -623,6 +623,94 @@ let run_fig11 () =
   if List.exists (fun (_, ok) -> not ok) checks then
     invalid_arg "adversarial soak invariant violated (see fuzz checks above)"
 
+(* table8/fig12: the hardware-TPM fault domain. fig12 also re-runs the
+   boundary drill + fault storm and emits BENCH_PR8.json — torn-anchor
+   counts (must be zero), storm/recovery evidence and the Merkle-vs-naive
+   catch-up series — so CI fails loudly if crash consistency or the
+   batched catch-up regresses. *)
+
+let run_table8 () =
+  let open Vtpm_sim.Experiments in
+  let rows, storm, rendered = table8 () in
+  print_string rendered;
+  print_newline ();
+  let torn = List.fold_left (fun a r -> a + r.t8_torn) storm.as_torn rows in
+  if torn <> 0 then invalid_arg (Printf.sprintf "table8: %d torn anchors survived recovery" torn);
+  if List.exists (fun r -> not r.t8_verify_ok) rows || not storm.as_verify_ok then
+    invalid_arg "table8: anchored audit verification failed after recovery"
+
+let run_fig12 () =
+  let open Vtpm_sim.Experiments in
+  let points, rendered = fig12 () in
+  print_string rendered;
+  print_newline ();
+  let rows, storm, _ = table8 () in
+  let drill_torn = List.fold_left (fun a r -> a + r.t8_torn) 0 rows in
+  let checks =
+    [
+      ("zero_torn_anchors_boundary_drill", drill_torn = 0);
+      ("zero_torn_anchors_fault_storm", storm.as_torn = 0);
+      ( "anchor_verifies_after_recovery",
+        List.for_all (fun r -> r.t8_verify_ok) rows && storm.as_verify_ok );
+      ("no_hard_errors_leaked", storm.as_hard_errors = 0);
+      ("storm_actually_stormed", storm.as_deferred > 0 && storm.as_breaker_opens > 0);
+      ("chip_power_cycled_under_storm", storm.as_power_cycles > 0);
+      ("backlog_caught_up_batched", storm.as_catchup_entries > 0);
+      ("merkle_speedup_at_least_10x", List.for_all (fun p -> p.f12_speedup >= 10.0) points);
+      ("inclusion_proofs_verify", List.for_all (fun p -> p.f12_proofs_ok) points);
+    ]
+  in
+  List.iter
+    (fun (name, ok) -> say "anchor check %-32s %s@." name (if ok then "PASS" else "FAIL"))
+    checks;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"pr\": 8,\n  \"figure\": \"fig12\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"anchors per simulated second\",\n  \"x_label\": \"backlog size\",\n  \
+     \"series\": [\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"batch\": %d, \"naive_us\": %.1f, \"merkle_us\": %.1f, \"speedup\": %.1f, \
+            \"proofs_ok\": %b}"
+           p.f12_batch p.f12_naive_us p.f12_merkle_us p.f12_speedup p.f12_proofs_ok);
+      Buffer.add_string buf (if i < List.length points - 1 then ",\n" else "\n"))
+    points;
+  Buffer.add_string buf "  ],\n  \"table8\": {\n    \"boundaries\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"boundary\": %S, \"crashes\": %d, \"repaired\": %d, \"completed\": %d, \
+            \"torn\": %d, \"verify_ok\": %b}"
+           r.t8_boundary r.t8_crashes r.t8_repaired r.t8_completed r.t8_torn r.t8_verify_ok);
+      Buffer.add_string buf (if i < List.length rows - 1 then ",\n" else "\n"))
+    rows;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"storm\": {\"commits\": %d, \"committed\": %d, \"deferred\": %d, \
+        \"hard_errors\": %d, \"breaker_opens\": %d, \"retries\": %d, \"stalls\": %d, \
+        \"power_cycles\": %d, \"repairs\": %d, \"catchup_batches\": %d, \"catchup_entries\": \
+        %d, \"recovery_us\": %.1f, \"torn\": %d, \"verify_ok\": %b}\n"
+       storm.as_commits storm.as_committed storm.as_deferred storm.as_hard_errors
+       storm.as_breaker_opens storm.as_retries storm.as_stalls storm.as_power_cycles
+       storm.as_repairs storm.as_catchup_batches storm.as_catchup_entries storm.as_recovery_us
+       storm.as_torn storm.as_verify_ok);
+  Buffer.add_string buf "  },\n  \"checks\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: %b" name ok);
+      Buffer.add_string buf (if i < List.length checks - 1 then ",\n" else "\n"))
+    checks;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_PR8.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR8.json@.";
+  if List.exists (fun (_, ok) -> not ok) checks then
+    invalid_arg "hardware-TPM fault-domain invariant violated (see anchor checks above)"
+
 (* --- Driver ---------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -645,6 +733,8 @@ let sections : (string * (unit -> unit)) list =
     ("fig10", run_fig10);
     ("table7", run_table7);
     ("fig11", run_fig11);
+    ("table8", run_table8);
+    ("fig12", run_fig12);
     ("micro", run_micro);
   ]
 

@@ -45,8 +45,10 @@ type op =
   | Grant_revoke
   | Rogue_mgmt
   | Migration_bitflip of int
+  | Anchor_commit
+  | Hw_fault of int
 
-let op_tags = 11
+let op_tags = 13
 
 (* Total decode: any integer pair is a valid op, so shrinking never
    leaves the domain. Two tags map to the victim read so legitimate
@@ -64,7 +66,15 @@ let decode (tag, arg) : op =
   | 7 -> Index_corrupt arg
   | 8 -> Grant_remap arg
   | 9 -> Grant_revoke
-  | _ -> if arg land 1 = 0 then Rogue_mgmt else Migration_bitflip arg
+  | 10 -> if arg land 1 = 0 then Rogue_mgmt else Migration_bitflip arg
+  | 11 -> Anchor_commit
+  | _ -> Hw_fault arg
+
+(* Hardware-TPM fault classes a schedule can arm as one-shots. *)
+let hw_classes =
+  [| Faults.Hw_busy; Faults.Hw_stall; Faults.Hw_power_loss; Faults.Hw_nv_corrupt; Faults.Hw_reset |]
+
+let hw_class k = hw_classes.(((k mod Array.length hw_classes) + Array.length hw_classes) mod Array.length hw_classes)
 
 let describe pair =
   match decode pair with
@@ -79,12 +89,14 @@ let describe pair =
   | Grant_revoke -> "attack:grant-force-revoke"
   | Rogue_mgmt -> "attack:rogue-management"
   | Migration_bitflip k -> Printf.sprintf "attack:migration-bitflip(%d)" k
+  | Anchor_commit -> "anchor:commit-head"
+  | Hw_fault k -> Printf.sprintf "attack:hw-fault(%s)" (Faults.class_name (hw_class k))
 
 let is_attack pair =
   match decode pair with
-  | Victim_read | Victim_extend _ | Bystander_read | Pump -> false
+  | Victim_read | Victim_extend _ | Bystander_read | Pump | Anchor_commit -> false
   | Forge | Inject _ | Index_corrupt _ | Grant_remap _ | Grant_revoke | Rogue_mgmt
-  | Migration_bitflip _ ->
+  | Migration_bitflip _ | Hw_fault _ ->
       true
 
 (* --- Reports ------------------------------------------------------------------- *)
@@ -159,8 +171,19 @@ let run_trace ?(seed = 7) (trace : trace) : report =
   let anchor =
     match Anchor.setup host.Host.mgr with
     | Ok a -> a
-    | Error e -> invalid_arg ("fuzz: anchor: " ^ e)
+    | Error e -> invalid_arg ("fuzz: anchor: " ^ Vtpm_util.Verror.to_string e)
   in
+  (* Hardware-TPM fault domain: a schedule-only injector (all rates zero,
+     so the seeded plan never draws) armed by [Hw_fault] ops, and the
+     anchoring service funnelling both the audit anchor and the freshness
+     table through journaled, breaker-guarded commits. *)
+  let hw_faults = Faults.create ~seed:(seed + 101) () in
+  Manager.set_hw_faults host.Host.mgr (Some hw_faults);
+  let svc = Anchor_svc.create ~ckpt host.Host.mgr in
+  Anchor_svc.set_audit svc (Some m.Monitor.audit);
+  (match Anchor_svc.attach_freshness svc fresh with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("fuzz: anchor-svc: " ^ Vtpm_util.Verror.to_string e));
   let victim = Host.create_guest_exn host ~name:"victim" ~label:"tenant_victim" () in
   let other = Host.create_guest_exn host ~name:"bystander" ~label:"tenant_bystander" () in
   (* The destination host is only built when a trace actually migrates
@@ -178,7 +201,7 @@ let run_trace ?(seed = 7) (trace : trace) : report =
         let danchor =
           match Anchor.setup dh.Host.mgr with
           | Ok a -> a
-          | Error e -> invalid_arg ("fuzz: dest anchor: " ^ e)
+          | Error e -> invalid_arg ("fuzz: dest anchor: " ^ Vtpm_util.Verror.to_string e)
         in
         let key = Migration.bind_pubkey dh.Host.mgr in
         let d = (dh, danchor, key) in
@@ -194,6 +217,7 @@ let run_trace ?(seed = 7) (trace : trace) : report =
   and attack_ops = ref 0
   and bypasses = ref 0
   and migrations = ref 0
+  and dest_receives = ref 0
   and victim_reads_ok = ref 0 in
   let violations = ref [] in
   let violation fmt =
@@ -371,6 +395,10 @@ let run_trace ?(seed = 7) (trace : trace) : report =
              failed handshake. *)
           submit victim victim_meta None ~wire:read_wire;
           let transfer stream =
+            (* Only streams that actually reach the destination can be
+               refused there — an export killed at the source by an
+               exhausted hardware-TPM fault budget never produces one. *)
+            incr dest_receives;
             let len = String.length stream in
             let pos = len - 6 - (k mod 24) in
             let tampered = if pos >= 0 && pos < len then flip_bit stream pos else stream in
@@ -397,6 +425,19 @@ let run_trace ?(seed = 7) (trace : trace) : report =
                   violation "source instance lost after a failed migration: %s"
                     (Vtpm_util.Verror.to_string e))
         end
+    | Anchor_commit -> (
+        (* Legitimate anchor traffic through the service: under an armed
+           hardware fault it may defer (bounded staleness), but a hard
+           error means the fault discipline leaked a transient. *)
+        match Anchor.commit_via svc anchor m.Monitor.audit with
+        | Ok (Anchor_svc.Committed _ | Anchor_svc.Deferred _) -> ()
+        | Error e ->
+            violation "anchor commit through the service failed hard: %s"
+              (Vtpm_util.Verror.to_string e))
+    | Hw_fault k ->
+        let cls = hw_class k in
+        bump kind_attempts (Faults.class_name cls);
+        Faults.schedule hw_faults cls
   in
   List.iter
     (fun pair ->
@@ -455,6 +496,17 @@ let run_trace ?(seed = 7) (trace : trace) : report =
     violation "transport tampers detected (%d) but audited (%d) diverge"
       (Driver.transport_tamper_count backend)
       stats.Monitor.transport_tampers;
+  (* Hardware fault storm over: pending one-shots are cleared and the
+     anchoring service must climb out of Down and drain its backlog. *)
+  Faults.clear_schedules hw_faults;
+  let recovery_rounds = ref 0 in
+  while Anchor_svc.health svc = Anchor_svc.Down && !recovery_rounds < 8 do
+    incr recovery_rounds;
+    Vtpm_util.Cost.charge host.Host.mgr.Manager.cost Anchor_svc.default_config.Anchor_svc.cooldown_us;
+    Anchor_svc.tick svc
+  done;
+  if Anchor_svc.health svc = Anchor_svc.Down then
+    violation "anchor service still down after faults cleared (%d recovery rounds)" !recovery_rounds;
   (* Audit integrity, across rotation, against the hardware anchor. *)
   let audit = m.Monitor.audit in
   (match
@@ -463,12 +515,18 @@ let run_trace ?(seed = 7) (trace : trace) : report =
    with
   | Ok () -> ()
   | Error i -> violation "source audit chain broken at entry %d" i);
-  (match Anchor.commit anchor host.Host.mgr audit with
-  | Error e -> violation "anchor commit failed: %s" e
-  | Ok _ -> (
-      match Anchor.verify_log anchor host.Host.mgr audit with
+  (match Anchor.commit_via svc anchor audit with
+  | Error e -> violation "anchor commit failed: %s" (Vtpm_util.Verror.to_string e)
+  | Ok (Anchor_svc.Deferred _) -> violation "final anchor commit deferred after recovery"
+  | Ok (Anchor_svc.Committed _) -> (
+      match Anchor.verify_log anchor host.Host.mgr ~svc audit with
       | Ok () -> ()
-      | Error e -> violation "anchored audit verification failed: %s" e));
+      | Error e -> violation "anchored audit verification failed: %s" (Vtpm_util.Verror.to_string e)));
+  if Anchor_svc.inflight svc <> 0 then
+    violation "write-ahead journal not empty after the final commit: %d in flight"
+      (Anchor_svc.inflight svc);
+  if Anchor_svc.queue_depth svc <> 0 then
+    violation "deferred anchors left after recovery: %d" (Anchor_svc.queue_depth svc);
   (* Destination-side invariants, when a migration was attempted. *)
   (match !dest with
   | None -> ()
@@ -482,11 +540,11 @@ let run_trace ?(seed = 7) (trace : trace) : report =
       | Ok () -> ()
       | Error i -> violation "destination audit chain broken at entry %d" i);
       (match Anchor.commit danchor dh.Host.mgr daudit with
-      | Error e -> violation "destination anchor commit failed: %s" e
+      | Error e -> violation "destination anchor commit failed: %s" (Vtpm_util.Verror.to_string e)
       | Ok _ -> (
           match Anchor.verify_log danchor dh.Host.mgr daudit with
           | Ok () -> ()
-          | Error e -> violation "destination anchored audit verification failed: %s" e));
+          | Error e -> violation "destination anchored audit verification failed: %s" (Vtpm_util.Verror.to_string e)));
       let denied_receives =
         List.length
           (List.filter
@@ -494,9 +552,9 @@ let run_trace ?(seed = 7) (trace : trace) : report =
                (not e.Audit.allowed) && String.equal e.Audit.operation "mgmt:migrate-receive")
              (Audit.entries daudit))
       in
-      if denied_receives < !migrations then
+      if denied_receives < !dest_receives then
         violation "migration refusals not all audited at the destination (%d of %d)"
-          denied_receives !migrations);
+          denied_receives !dest_receives);
   {
     ops = !ops;
     submitted = !submitted;
@@ -526,8 +584,9 @@ let gen_trace ?attack_frac ~seed ~index () : trace =
         match attack_frac with
         | None -> Random.State.int st 1000
         | Some f ->
-            if Random.State.float st 1.0 < f then 5 + Random.State.int st 6
-            else Random.State.int st 5
+            if Random.State.float st 1.0 < f then
+              match Random.State.int st 7 with 6 -> 12 | k -> 5 + k
+            else match Random.State.int st 6 with 5 -> 11 | k -> k
       in
       (tag, Random.State.int st 1000))
 

@@ -3,7 +3,16 @@
     A hash-chained log alone cannot prove it was not truncated; the head
     must live where the adversary cannot rewrite it. The manager commits
     the head into a hardware-TPM NV space (owner-write) and bumps a
-    monotonic counter so missing commits are detectable. *)
+    monotonic counter so missing commits are detectable.
+
+    Errors are typed ({!Vtpm_util.Verror.t}): transient chip trouble is
+    [Unavailable]/[Timeout] (retryable by contract), a head or chain
+    mismatch is [Integrity] (never retryable), TPM result codes keep
+    their identity as [Tpm_error]. The direct paths here are
+    single-attempt; route production traffic through {!Anchor_svc} via
+    {!commit_via} / [verify ~svc] for crash-consistent journaling,
+    retry/breaker discipline, and acceptance of Merkle-batched catch-up
+    anchors. *)
 
 type t = { nv_index : int; counter_handle : int; counter_auth : string }
 
@@ -12,23 +21,41 @@ val default_nv_index : int
 val head_size : int
 (** 32 bytes (SHA-256 head). *)
 
-val setup : ?nv_index:int -> Vtpm_mgr.Manager.t -> (t, string) result
+val setup : ?nv_index:int -> Vtpm_mgr.Manager.t -> (t, Vtpm_util.Verror.t) result
 (** One-time: define the NV space and create the anchor counter. *)
 
-val commit : t -> Vtpm_mgr.Manager.t -> Audit.t -> (int, string) result
-(** Write the current head and increment the counter; returns the counter
-    value. *)
+val slot_of : t -> Anchor_svc.slot
+(** This anchor as an {!Anchor_svc} slot (label ["audit"]). *)
 
-val read : t -> Vtpm_mgr.Manager.t -> (string * int, string) result
+val commit : t -> Vtpm_mgr.Manager.t -> Audit.t -> (int, Vtpm_util.Verror.t) result
+(** Write the current head and increment the counter directly — single
+    attempt, no journal; returns the counter value. *)
+
+val commit_via :
+  Anchor_svc.t -> t -> Audit.t -> (Anchor_svc.outcome, Vtpm_util.Verror.t) result
+(** Commit the current head through the anchoring service: journaled
+    against torn commits, retried, and deferred under bounded staleness
+    when the chip is down. *)
+
+val read : t -> Vtpm_mgr.Manager.t -> (string * int, Vtpm_util.Verror.t) result
 (** [(anchored head, commit count)]. *)
 
-val verify : t -> Vtpm_mgr.Manager.t -> ?base:string -> Audit.entry list -> (unit, string) result
+val verify :
+  t ->
+  Vtpm_mgr.Manager.t ->
+  ?svc:Anchor_svc.t ->
+  ?base:string ->
+  Audit.entry list ->
+  (unit, Vtpm_util.Verror.t) result
 (** The exported log must be chain-intact from [base] (default
-    {!Audit.genesis}) and end exactly at the anchored head — catching
-    both tampering and truncation. For the retained window of a rotated
-    log, pass the log's recorded {!Audit.base} (or use {!verify_log}). *)
+    {!Audit.genesis}) and end at an anchored head — directly, or (with
+    [svc]) as a proven leaf of the Merkle-batch root a catch-up commit
+    anchored. Catches both tampering and truncation. For the retained
+    window of a rotated log, pass the log's recorded {!Audit.base} (or
+    use {!verify_log}). *)
 
-val verify_log : t -> Vtpm_mgr.Manager.t -> Audit.t -> (unit, string) result
+val verify_log :
+  t -> Vtpm_mgr.Manager.t -> ?svc:Anchor_svc.t -> Audit.t -> (unit, Vtpm_util.Verror.t) result
 (** {!verify} applied to a live log with its own {!Audit.base} — stays
     valid across retention rotation, which moves the window's start but
     never the anchored head. *)

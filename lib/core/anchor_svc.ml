@@ -1,0 +1,719 @@
+(* Crash-consistent hardware-TPM anchoring service.
+
+   Every anchor that used to talk to the physical TPM directly — the
+   audit chain head ([Anchor]) and the freshness last-seen table
+   ([Vtpm_mgr.Freshness]) — funnels through this module, which treats
+   the chip as what it is: a slow serial device on a flaky LPC bus that
+   can stall, return TPM_RETRY for seconds, drop power mid-exchange, or
+   rot an NV byte at rest.
+
+   Three layers of defense:
+
+   {b 1. Crash-consistent commits.} An anchor commit is two hardware
+   ops — NV write of the digest, then a monotonic-counter bump — and a
+   power cut between them leaves a torn anchor that a later verify
+   misreads as tampering. Before touching the chip the service journals
+   a write-ahead intent (slot, digest, pre-commit counter value) into
+   the manager checkpoint store; the journal entry advances through
+   [Pending] -> [Nv_written] and is removed only after the bump lands.
+   On restart, {!recover} replays the journal: both halves landed ->
+   done; NV stale -> rewrite; counter not past its pre-commit value ->
+   bump. Every repair path is idempotent, so a crash *during* repair
+   re-repairs cleanly. The invariant is [counter >= commits ever
+   acknowledged] — a bump that landed but whose response was lost may
+   be re-issued, which over-counts and is safe; under-counting never
+   happens.
+
+   {b 2. Fault discipline per op.} Each hardware op gets a deadline on
+   the simulated clock and a bounded, seeded retry loop (exponential
+   backoff + jitter) that retries only what {!Vtpm_tpm.Client.transient}
+   classifies as transient: TPM_RETRY, auth handles killed by a chip
+   reset, transport cuts from power loss. Permanent TPM errors surface
+   immediately with their identity intact.
+
+   {b 3. Bounded-staleness degradation.} A circuit breaker trips to
+   [Down] after consecutive exhausted retries. While down, audit-head
+   commits are deferred into a bounded, checkpoint-persisted queue (the
+   audit log records the unanchored window's open and close), while
+   freshness commits are never deferred — rollback admission fails
+   closed instead. Recovery drains the backlog as {e one} Merkle-batched
+   commit per slot: the NV write anchors the batch root, and a stored
+   per-entry inclusion proof lets {!Anchor.verify} check any individual
+   head against the root. Every queued head is anchored at the cost of
+   one torn-commit window instead of thousands. *)
+
+module Verror = Vtpm_util.Verror
+module Cost = Vtpm_util.Cost
+module Codec = Vtpm_util.Codec
+module Client = Vtpm_tpm.Client
+module Cmd = Vtpm_tpm.Cmd
+module Manager = Vtpm_mgr.Manager
+module Checkpoint = Vtpm_mgr.Checkpoint
+module Freshness = Vtpm_mgr.Freshness
+
+type slot = {
+  sl_label : string;  (* stable identity; keys the journal and the queue *)
+  sl_nv : int;
+  sl_counter : int;
+  sl_auth : string;
+}
+
+type health = Healthy | Degraded | Down
+
+let pp_health ppf h =
+  Format.pp_print_string ppf (match h with Healthy -> "healthy" | Degraded -> "degraded" | Down -> "down")
+
+type config = {
+  op_deadline_us : float;  (** per-op response deadline; later is a stall *)
+  max_attempts : int;  (** attempts per hardware op, first try included *)
+  backoff_base_us : float;
+  backoff_cap_us : float;
+  jitter : float;  (** backoff multiplier spread: [1, 1 + jitter] *)
+  failure_threshold : int;  (** consecutive failed commits before [Down] *)
+  cooldown_us : float;  (** breaker hold-off before a recovery probe *)
+  clean_streak : int;  (** clean commits to climb [Degraded] -> [Healthy] *)
+  max_deferred : int;  (** deferred-queue bound; beyond it oldest drops *)
+  max_staleness_us : float;  (** oldest-deferred age that breaches the contract *)
+}
+
+let default_config =
+  {
+    op_deadline_us = 30_000.0;
+    max_attempts = 4;
+    backoff_base_us = 400.0;
+    backoff_cap_us = 6_400.0;
+    jitter = 0.25;
+    failure_threshold = 2;
+    cooldown_us = 150_000.0;
+    clean_streak = 2;
+    max_deferred = 8192;
+    max_staleness_us = 2_000_000.0;
+  }
+
+(* Write-ahead intent: one in-flight commit per slot. [Pending] means
+   nothing is known to have landed; [Nv_written] means the NV write was
+   acknowledged and only the counter bump may be missing. *)
+type stage = Pending | Nv_written
+
+type intent = {
+  in_slot : slot;
+  in_data : string;
+  in_pre : int;  (* counter value read before the commit started *)
+  mutable in_stage : stage;
+}
+
+type deferred = { df_slot : slot; df_data : string; df_at_us : float }
+
+(* A drained batch: the root this slot's NV space now anchors, plus an
+   inclusion proof per queued digest. *)
+type batch = {
+  bt_root : string;
+  bt_counter : int;
+  bt_size : int;
+  bt_proofs : (string, Merkle.proof) Hashtbl.t;  (* digest -> proof *)
+}
+
+type outcome = Committed of int | Deferred of int
+
+type repair_report = { rp_inflight : int; rp_completed : int; rp_repaired : int }
+type catchup_report = { cu_slots : int; cu_entries : int; cu_commits : int }
+
+(* Power-loss drill points inside a commit, in execution order. *)
+type crash_point = Before_nv_write | After_nv_write | After_journal_update | After_increment
+
+exception Power_loss of crash_point
+
+type t = {
+  mgr : Manager.t;
+  ckpt : Checkpoint.t;
+  cfg : config;
+  rng : Vtpm_util.Rng.t;  (* backoff jitter only *)
+  journal : (string, intent) Hashtbl.t;  (* slot label -> in-flight intent *)
+  deferred : deferred Queue.t;
+  batches : (string, batch) Hashtbl.t;  (* slot label -> last drained batch *)
+  slots : (string, slot) Hashtbl.t;  (* every slot ever seen; probe target *)
+  mutable audit : Audit.t option;  (* unanchored-window markers land here *)
+  mutable health : health;
+  mutable breaker_until : float;
+  mutable down_since : float;
+  mutable consecutive_failures : int;
+  mutable clean : int;
+  mutable window_stale_marked : bool;
+  (* counters *)
+  mutable commits : int;
+  mutable deferred_total : int;
+  mutable queue_dropped : int;
+  mutable retries : int;
+  mutable stalls : int;
+  mutable breaker_opens : int;
+  mutable repairs : int;
+  mutable catchup_batches : int;
+  mutable catchup_entries : int;
+  mutable staleness_breaches : int;
+  mutable last_recovery_us : float;
+  mutable crash_at : crash_point option;  (* one-shot drill trigger *)
+}
+
+type stats = {
+  st_health : health;
+  st_commits : int;
+  st_deferred : int;
+  st_queue_depth : int;
+  st_queue_dropped : int;
+  st_retries : int;
+  st_stalls : int;
+  st_breaker_opens : int;
+  st_repairs : int;
+  st_catchup_batches : int;
+  st_catchup_entries : int;
+  st_journal_inflight : int;
+  st_staleness_breaches : int;
+  st_last_recovery_us : float;
+}
+
+let ( let* ) = Result.bind
+let journal_key = "anchor-svc/journal"
+let now t = Cost.now t.mgr.Manager.cost
+
+(* ------------------------------------------------------------------ *)
+(* Journal + deferred-queue persistence (crash-durable via Checkpoint) *)
+
+let magic = "ANCRJNL1"
+
+let write_slot w s =
+  Codec.write_sized w s.sl_label;
+  Codec.write_u32_int w s.sl_nv;
+  Codec.write_u32_int w s.sl_counter;
+  Codec.write_sized w s.sl_auth
+
+let read_slot_rec r =
+  let sl_label = Codec.read_sized r in
+  let sl_nv = Codec.read_u32_int r in
+  let sl_counter = Codec.read_u32_int r in
+  let sl_auth = Codec.read_sized r in
+  { sl_label; sl_nv; sl_counter; sl_auth }
+
+let persist t =
+  let w = Codec.writer () in
+  Codec.write_bytes w magic;
+  let entries =
+    Hashtbl.fold (fun _ it acc -> it :: acc) t.journal []
+    |> List.sort (fun a b -> compare a.in_slot.sl_label b.in_slot.sl_label)
+  in
+  Codec.write_u32_int w (List.length entries);
+  List.iter
+    (fun it ->
+      write_slot w it.in_slot;
+      Codec.write_u32_int w it.in_pre;
+      Codec.write_sized w it.in_data;
+      Codec.write_u8 w (match it.in_stage with Pending -> 0 | Nv_written -> 1))
+    entries;
+  Codec.write_u32_int w (Queue.length t.deferred);
+  Queue.iter
+    (fun d ->
+      write_slot w d.df_slot;
+      Codec.write_sized w d.df_data;
+      Codec.write_u64 w (Int64.bits_of_float d.df_at_us))
+    t.deferred;
+  Checkpoint.save_blob t.ckpt ~key:journal_key (Codec.contents w)
+
+let restore t =
+  match Checkpoint.load_blob t.ckpt ~key:journal_key with
+  | None -> ()
+  | Some blob -> (
+      try
+        let r = Codec.reader blob in
+        if not (String.equal (Codec.read_bytes r 8) magic) then raise (Codec.Truncated "bad magic");
+        let n = Codec.read_u32_int r in
+        for _ = 1 to n do
+          let sl = read_slot_rec r in
+          let in_pre = Codec.read_u32_int r in
+          let in_data = Codec.read_sized r in
+          let in_stage = if Codec.read_u8 r = 0 then Pending else Nv_written in
+          Hashtbl.replace t.journal sl.sl_label { in_slot = sl; in_data; in_pre; in_stage };
+          Hashtbl.replace t.slots sl.sl_label sl
+        done;
+        let q = Codec.read_u32_int r in
+        for _ = 1 to q do
+          let sl = read_slot_rec r in
+          let df_data = Codec.read_sized r in
+          let df_at_us = Int64.float_of_bits (Codec.read_u64 r) in
+          Queue.push { df_slot = sl; df_data; df_at_us } t.deferred;
+          Hashtbl.replace t.slots sl.sl_label sl
+        done
+      with Codec.Truncated _ ->
+        (* a torn journal blob is itself a torn write; drop it rather
+           than wedge — the anchors it described will fail verify and be
+           recommitted by their owners *)
+        Hashtbl.reset t.journal;
+        Queue.clear t.deferred)
+
+(* ------------------------------------------------------------------ *)
+(* Hardware ops: deadline + bounded seeded retry with backoff          *)
+
+let classify what (e : Client.error) : Verror.t =
+  if Client.transient e then Verror.Unavailable (Fmt.str "%s: %a" what Client.pp_error e)
+  else
+    match e with
+    | Client.Tpm rc -> Verror.Tpm_error rc
+    | Client.Transport m -> Verror.Internal (Printf.sprintf "%s: %s" what m)
+
+(* Run one hardware op with the service's fault discipline. [cost_us]
+   is the op's simulated cost, charged per attempt; the injected stall
+   surcharge lands inside the transport, so a late response shows up as
+   elapsed > deadline here. A fresh client per attempt drops any auth
+   session that a chip reset invalidated. *)
+let hw_op t ~what ~cost_us (f : Client.t -> ('a, Client.error) result) : ('a, Verror.t) result =
+  let cost = t.mgr.Manager.cost in
+  let rec attempt k =
+    let hw = Manager.hw_client t.mgr in
+    let t0 = Cost.now cost in
+    Cost.charge cost cost_us;
+    match f hw with
+    | Ok v ->
+        let elapsed = Cost.now cost -. t0 in
+        if elapsed > t.cfg.op_deadline_us then begin
+          (* The command may well have executed — treat the response as
+             lost and retry. Only counter bumps are non-idempotent, and
+             over-counting keeps the [counter >= commits] invariant. *)
+          t.stalls <- t.stalls + 1;
+          retry k
+            (Verror.Timeout
+               (Printf.sprintf "%s: response after %.0f us (deadline %.0f us)" what elapsed
+                  t.cfg.op_deadline_us))
+        end
+        else Ok v
+    | Error e ->
+        let ve = classify what e in
+        if Verror.transient ve then retry k ve else Error ve
+  and retry k err =
+    if k + 1 >= t.cfg.max_attempts then Error err
+    else begin
+      t.retries <- t.retries + 1;
+      let back = Float.min t.cfg.backoff_cap_us (t.cfg.backoff_base_us *. (2.0 ** float_of_int k)) in
+      Cost.charge cost (back *. (1.0 +. (t.cfg.jitter *. Vtpm_util.Rng.float t.rng)));
+      attempt (k + 1)
+    end
+  in
+  attempt 0
+
+(* The engine terminates an auth session only when a [continue:false]
+   command *succeeds* — a command that fails after session setup strands
+   the engine-side slot. The session table holds eight; under a fault
+   storm the leaks accumulate until every [start_oiap] dies with
+   TPM_RESOURCES and recovery wedges on an otherwise-healthy chip. Flush
+   best-effort: after a power cut the table is already clear and flushing
+   a dead handle is harmless. *)
+let flush_session hw (sess : Client.session) =
+  ignore (Client.exchange hw (Cmd.Flush_specific { handle = sess.Client.handle }))
+
+let op_nv_write t slot data =
+  hw_op t
+    ~what:(slot.sl_label ^ " nv-write")
+    ~cost_us:(Cost.hwtpm_session_us +. Cost.hwtpm_nv_write_us)
+    (fun hw ->
+      match Client.start_oiap hw ~usage_secret:t.mgr.Manager.hw_owner_auth with
+      | Error e -> Error e
+      | Ok sess -> (
+          match Client.nv_write hw ~session:sess ~continue:false ~index:slot.sl_nv ~offset:0 ~data () with
+          | Ok _ as ok -> ok
+          | Error _ as err ->
+              flush_session hw sess;
+              err))
+
+let op_nv_read t slot ~length =
+  hw_op t
+    ~what:(slot.sl_label ^ " nv-read")
+    ~cost_us:Cost.hwtpm_nv_read_us
+    (fun hw -> Client.nv_read hw ~index:slot.sl_nv ~offset:0 ~length ())
+
+let counter_of_resp (resp : Cmd.response) =
+  match resp.Cmd.body with
+  | Cmd.R_counter { value; _ } -> Ok value
+  | _ -> Error (Client.Transport "unexpected counter response")
+
+let op_counter_read t slot =
+  hw_op t
+    ~what:(slot.sl_label ^ " counter-read")
+    ~cost_us:Cost.hwtpm_counter_read_us
+    (fun hw ->
+      match Client.exchange hw (Cmd.Read_counter { handle = slot.sl_counter }) with
+      | Error e -> Error e
+      | Ok resp -> counter_of_resp resp)
+
+let op_counter_bump t slot =
+  hw_op t
+    ~what:(slot.sl_label ^ " counter-bump")
+    ~cost_us:(Cost.hwtpm_session_us +. Cost.hwtpm_counter_inc_us)
+    (fun hw ->
+      match Client.start_oiap hw ~usage_secret:slot.sl_auth with
+      | Error e -> Error e
+      | Ok sess -> (
+          match
+            Client.authorized ~continue:false hw sess ~make_req:(fun auth ->
+                Cmd.Increment_counter { handle = slot.sl_counter; auth })
+          with
+          | Error e ->
+              flush_session hw sess;
+              Error e
+          | Ok resp -> counter_of_resp resp))
+
+(* ------------------------------------------------------------------ *)
+(* Breaker + audit window markers                                      *)
+
+let audit_mark t ~allowed ~reason =
+  match t.audit with
+  | None -> ()
+  | Some a -> Audit.append a ~subject:"anchor-svc" ~operation:"anchor" ~instance:None ~allowed ~reason
+
+let open_breaker t =
+  if t.health <> Down then begin
+    t.health <- Down;
+    t.down_since <- now t;
+    t.breaker_opens <- t.breaker_opens + 1;
+    t.window_stale_marked <- false;
+    audit_mark t ~allowed:true
+      ~reason:
+        (Printf.sprintf "window-open: hardware TPM down after %d consecutive failures"
+           t.consecutive_failures)
+  end;
+  t.breaker_until <- now t +. t.cfg.cooldown_us
+
+(* Fire the one-shot drill trigger when a commit reaches [point]: the
+   chip power-cycles and the "manager" dies by exception, leaving the
+   journal and the hardware exactly as a real power cut would. *)
+let drill t point =
+  match t.crash_at with
+  | Some p when p = point ->
+      t.crash_at <- None;
+      Manager.hw_power_cycle t.mgr;
+      raise (Power_loss point)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The journaled two-op commit                                         *)
+
+let do_commit t slot data : (int, Verror.t) result =
+  Hashtbl.replace t.slots slot.sl_label slot;
+  let* pre = op_counter_read t slot in
+  (* A leftover intent for this slot belongs to a commit that already
+     reported failure; its digest, if it still matters, sits in the
+     deferred queue. The new intent supersedes it — repair then
+     reconciles against the newest data only. *)
+  let it = { in_slot = slot; in_data = data; in_pre = pre; in_stage = Pending } in
+  Hashtbl.replace t.journal slot.sl_label it;
+  persist t;
+  drill t Before_nv_write;
+  let* () = op_nv_write t slot data in
+  drill t After_nv_write;
+  it.in_stage <- Nv_written;
+  persist t;
+  drill t After_journal_update;
+  let* value = op_counter_bump t slot in
+  drill t After_increment;
+  Hashtbl.remove t.journal slot.sl_label;
+  persist t;
+  Ok value
+
+(* ------------------------------------------------------------------ *)
+(* Torn-commit repair                                                  *)
+
+let repair_one t (it : intent) : ([ `Completed | `Repaired ], Verror.t) result =
+  let slot = it.in_slot in
+  let* nv = op_nv_read t slot ~length:(String.length it.in_data) in
+  let* cnt = op_counter_read t slot in
+  let nv_ok = String.equal nv it.in_data in
+  let cnt_ok = cnt > it.in_pre in
+  if nv_ok && cnt_ok then Ok `Completed
+  else
+    (* [Pending] with neither half landed also takes this path: the
+       commit is finished outright rather than rolled back, which is
+       legal because the caller was never told it failed — the crash ate
+       the acknowledgment either way. *)
+    let* () = if nv_ok then Ok () else op_nv_write t slot it.in_data in
+    let* _ = if cnt_ok then Ok cnt else op_counter_bump t slot in
+    Ok `Repaired
+
+let recover t : (repair_report, Verror.t) result =
+  let entries = Hashtbl.fold (fun _ it acc -> it :: acc) t.journal [] in
+  let entries = List.sort (fun a b -> compare a.in_slot.sl_label b.in_slot.sl_label) entries in
+  let rec go completed repaired = function
+    | [] -> Ok { rp_inflight = List.length entries; rp_completed = completed; rp_repaired = repaired }
+    | it :: rest -> (
+        match repair_one t it with
+        | Error e -> Error e (* journal keeps the entry; repair re-runs *)
+        | Ok outcome ->
+            Hashtbl.remove t.journal it.in_slot.sl_label;
+            persist t;
+            if outcome = `Repaired then begin
+              t.repairs <- t.repairs + 1;
+              go completed (repaired + 1) rest
+            end
+            else go (completed + 1) repaired rest)
+  in
+  go 0 0 entries
+
+(* ------------------------------------------------------------------ *)
+(* Merkle-batched catch-up                                             *)
+
+let drain t : (catchup_report, Verror.t) result =
+  if Queue.is_empty t.deferred then Ok { cu_slots = 0; cu_entries = 0; cu_commits = 0 }
+  else begin
+    (* Group by slot, preserving per-slot order (proof indexes follow
+       arrival order). *)
+    let items = List.of_seq (Queue.to_seq t.deferred) in
+    let labels =
+      List.fold_left
+        (fun acc d -> if List.mem d.df_slot.sl_label acc then acc else d.df_slot.sl_label :: acc)
+        [] items
+      |> List.rev
+    in
+    let drop_label label =
+      let keep = Queue.of_seq (Seq.filter (fun d -> d.df_slot.sl_label <> label) (Queue.to_seq t.deferred)) in
+      Queue.clear t.deferred;
+      Queue.transfer keep t.deferred;
+      persist t
+    in
+    let rec go slots entries commits = function
+      | [] -> Ok { cu_slots = slots; cu_entries = entries; cu_commits = commits }
+      | label :: rest -> (
+          let group = List.filter (fun d -> d.df_slot.sl_label = label) items in
+          let slot = (List.hd group).df_slot in
+          let leaves = List.map (fun d -> d.df_data) group in
+          match leaves with
+          | [ one ] ->
+              let* _v = do_commit t slot one in
+              drop_label label;
+              go (slots + 1) (entries + 1) (commits + 1) rest
+          | _ ->
+              let n = List.length leaves in
+              Cost.charge t.mgr.Manager.cost (Cost.merkle_hash_us *. float_of_int (n + Merkle.combines n));
+              let root = Merkle.root leaves in
+              let* counter = do_commit t slot root in
+              let proofs = Hashtbl.create (2 * n) in
+              let all = Merkle.all_proofs leaves in
+              List.iteri (fun i leaf -> Hashtbl.replace proofs leaf all.(i)) leaves;
+              Hashtbl.replace t.batches label
+                { bt_root = root; bt_counter = counter; bt_size = n; bt_proofs = proofs };
+              t.catchup_batches <- t.catchup_batches + 1;
+              t.catchup_entries <- t.catchup_entries + n;
+              drop_label label;
+              go (slots + 1) (entries + n) (commits + 1) rest)
+    in
+    go 0 0 0 labels
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Breaker recovery                                                    *)
+
+let probe t : (unit, Verror.t) result =
+  (* Cheapest real round trip we can make: read a known slot's counter. *)
+  match Hashtbl.fold (fun _ s acc -> match acc with Some _ -> acc | None -> Some s) t.slots None with
+  | None -> Ok ()
+  | Some slot -> Result.map ignore (op_counter_read t slot)
+
+let try_recover t =
+  let backlog = Queue.length t.deferred in
+  let attempt () =
+    let* () = probe t in
+    let* _rep = recover t in
+    let* _cu = drain t in
+    Ok ()
+  in
+  match attempt () with
+  | Error _ -> t.breaker_until <- now t +. t.cfg.cooldown_us (* still down; hold off *)
+  | Ok () ->
+      t.health <- Degraded;
+      t.clean <- 0;
+      t.consecutive_failures <- 0;
+      t.last_recovery_us <- now t -. t.down_since;
+      audit_mark t ~allowed:true
+        ~reason:
+          (Printf.sprintf "window-close: recovered after %.0f us, %d deferred anchors caught up"
+             t.last_recovery_us backlog)
+
+let maybe_recover t = if t.health = Down && now t >= t.breaker_until then try_recover t
+
+let tick t = maybe_recover t
+
+(* ------------------------------------------------------------------ *)
+(* Public commit paths                                                 *)
+
+let commit_sync t slot ~data : (int, Verror.t) result =
+  maybe_recover t;
+  match t.health with
+  | Down ->
+      Verror.unavailable "anchor service circuit open (hardware TPM down, %d deferred)"
+        (Queue.length t.deferred)
+  | Healthy | Degraded -> (
+      (* A backlog deferred on a transient wobble (the breaker never
+         opened, so no recovery pass will run) drains before the new
+         head lands — the batch root must never overwrite a newer
+         direct anchor. On failure the entries stay queued and the
+         commit below meets the same fault. *)
+      if not (Queue.is_empty t.deferred) then ignore (drain t);
+      let retries_before = t.retries in
+      match do_commit t slot data with
+      | Ok v ->
+          t.consecutive_failures <- 0;
+          t.commits <- t.commits + 1;
+          if t.retries > retries_before then begin
+            t.health <- Degraded;
+            t.clean <- 0
+          end
+          else if t.health = Degraded then begin
+            t.clean <- t.clean + 1;
+            if t.clean >= t.cfg.clean_streak then t.health <- Healthy
+          end;
+          Ok v
+      | Error e ->
+          if Verror.transient e then begin
+            t.consecutive_failures <- t.consecutive_failures + 1;
+            if t.health = Healthy then t.health <- Degraded;
+            if t.consecutive_failures >= t.cfg.failure_threshold then open_breaker t
+          end;
+          Error e)
+
+let enqueue t slot data =
+  if Queue.length t.deferred >= t.cfg.max_deferred then begin
+    (* Oldest drops: for cumulative digests (audit heads) every newer
+       entry subsumes it, so coverage is kept by the survivors. *)
+    ignore (Queue.pop t.deferred);
+    t.queue_dropped <- t.queue_dropped + 1
+  end;
+  Queue.push { df_slot = slot; df_data = data; df_at_us = now t } t.deferred;
+  t.deferred_total <- t.deferred_total + 1;
+  (match Queue.peek_opt t.deferred with
+  | Some oldest when now t -. oldest.df_at_us > t.cfg.max_staleness_us ->
+      t.staleness_breaches <- t.staleness_breaches + 1;
+      if not t.window_stale_marked then begin
+        t.window_stale_marked <- true;
+        audit_mark t ~allowed:false
+          ~reason:
+            (Printf.sprintf "staleness-breach: oldest deferred anchor is %.0f us old (bound %.0f us)"
+               (now t -. oldest.df_at_us) t.cfg.max_staleness_us)
+      end
+  | _ -> ());
+  persist t;
+  Queue.length t.deferred
+
+let commit t slot ~data ~defer_ok : (outcome, Verror.t) result =
+  if not defer_ok then Result.map (fun v -> Committed v) (commit_sync t slot ~data)
+  else begin
+    maybe_recover t;
+    Hashtbl.replace t.slots slot.sl_label slot;
+    match t.health with
+    | Down -> Ok (Deferred (enqueue t slot data))
+    | Healthy | Degraded -> (
+        match commit_sync t slot ~data with
+        | Ok v -> Ok (Committed v)
+        | Error e when Verror.transient e -> Ok (Deferred (enqueue t slot data))
+        | Error e -> Error e)
+  end
+
+let read_slot t slot ~length : (string * int, Verror.t) result =
+  let* data = op_nv_read t slot ~length in
+  let* counter = op_counter_read t slot in
+  Ok (data, counter)
+
+let proof_for t ~label ~data =
+  match Hashtbl.find_opt t.batches label with
+  | None -> None
+  | Some b -> (
+      match Hashtbl.find_opt b.bt_proofs data with
+      | None -> None
+      | Some proof -> Some (b.bt_root, proof))
+
+let available t = t.health <> Down
+
+(* ------------------------------------------------------------------ *)
+(* Construction + wiring                                               *)
+
+let create ?(cfg = default_config) ?(seed = 0x5caf_f01d) ~ckpt (mgr : Manager.t) =
+  let t =
+    {
+      mgr;
+      ckpt;
+      cfg;
+      rng = Vtpm_util.Rng.create ~seed;
+      journal = Hashtbl.create 7;
+      deferred = Queue.create ();
+      batches = Hashtbl.create 7;
+      slots = Hashtbl.create 7;
+      audit = None;
+      health = Healthy;
+      breaker_until = 0.0;
+      down_since = 0.0;
+      consecutive_failures = 0;
+      clean = 0;
+      window_stale_marked = false;
+      commits = 0;
+      deferred_total = 0;
+      queue_dropped = 0;
+      retries = 0;
+      stalls = 0;
+      breaker_opens = 0;
+      repairs = 0;
+      catchup_batches = 0;
+      catchup_entries = 0;
+      staleness_breaches = 0;
+      last_recovery_us = 0.0;
+      crash_at = None;
+    }
+  in
+  restore t;
+  t
+
+let set_audit t audit = t.audit <- audit
+
+let attach_freshness t (fresh : Freshness.t) : (unit, Verror.t) result =
+  match Freshness.anchor_slot fresh with
+  | None -> Verror.internal "freshness tracker is not anchored; run anchor_setup first"
+  | Some (nv_index, counter_handle, counter_auth) ->
+      let slot =
+        { sl_label = "freshness"; sl_nv = nv_index; sl_counter = counter_handle; sl_auth = counter_auth }
+      in
+      Hashtbl.replace t.slots slot.sl_label slot;
+      Freshness.set_router fresh
+        (Some
+           {
+             Freshness.rt_commit = (fun ~data -> commit_sync t slot ~data);
+             rt_read = (fun () -> Result.map fst (read_slot t slot ~length:32));
+             rt_available = (fun () -> available t);
+           });
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Introspection + drill hooks                                         *)
+
+let health t =
+  (* Reflect an elapsed cooldown as still-Down until a recovery actually
+     succeeds; callers asking are told the truth about right now. *)
+  t.health
+
+let inflight t = Hashtbl.length t.journal
+let queue_depth t = Queue.length t.deferred
+
+let stats t =
+  {
+    st_health = t.health;
+    st_commits = t.commits;
+    st_deferred = t.deferred_total;
+    st_queue_depth = Queue.length t.deferred;
+    st_queue_dropped = t.queue_dropped;
+    st_retries = t.retries;
+    st_stalls = t.stalls;
+    st_breaker_opens = t.breaker_opens;
+    st_repairs = t.repairs;
+    st_catchup_batches = t.catchup_batches;
+    st_catchup_entries = t.catchup_entries;
+    st_journal_inflight = Hashtbl.length t.journal;
+    st_staleness_breaches = t.staleness_breaches;
+    st_last_recovery_us = t.last_recovery_us;
+  }
+
+let set_power_loss_at t point = t.crash_at <- point
+
+let force_down t =
+  t.consecutive_failures <- t.cfg.failure_threshold;
+  open_breaker t

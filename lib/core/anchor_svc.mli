@@ -1,0 +1,149 @@
+(** Crash-consistent hardware-TPM anchoring service — the single funnel
+    for every anchor that touches the physical chip (audit heads via
+    {!Anchor}, the freshness table via [Vtpm_mgr.Freshness]).
+
+    An anchor commit is two hardware ops (NV write, counter bump); power
+    loss between them leaves a torn anchor that verify would misread as
+    tampering. The service write-ahead-journals each commit into the
+    manager checkpoint store so {!recover} can finish or repair it
+    idempotently after any crash — the invariant is
+    [counter >= acknowledged commits] (over-counting from a re-issued
+    bump is safe; under-counting never happens).
+
+    Each hardware op runs under a simulated-clock deadline with bounded,
+    seeded retry (exponential backoff + jitter), retrying only faults
+    {!Vtpm_tpm.Client.transient} classifies as such. A circuit breaker
+    trips to [Down] after consecutive exhausted commits; while down,
+    deferrable traffic (audit heads) queues under a bounded-staleness
+    contract and non-deferrable traffic (freshness) fails closed.
+    Recovery drains the backlog as one Merkle-batched commit per slot,
+    keeping a per-entry inclusion proof so any queued digest remains
+    individually verifiable against the anchored root. *)
+
+type slot = {
+  sl_label : string;  (** stable identity; keys the journal and queue *)
+  sl_nv : int;  (** NV index holding the anchored digest *)
+  sl_counter : int;  (** monotonic counter handle *)
+  sl_auth : string;  (** counter usage secret *)
+}
+
+type health = Healthy | Degraded | Down
+
+val pp_health : Format.formatter -> health -> unit
+
+type config = {
+  op_deadline_us : float;
+  max_attempts : int;
+  backoff_base_us : float;
+  backoff_cap_us : float;
+  jitter : float;
+  failure_threshold : int;
+  cooldown_us : float;
+  clean_streak : int;
+  max_deferred : int;
+  max_staleness_us : float;
+}
+
+val default_config : config
+
+type outcome =
+  | Committed of int  (** synchronous commit; the hardware counter value *)
+  | Deferred of int  (** queued while down; the queue depth *)
+
+type repair_report = {
+  rp_inflight : int;  (** journal entries found *)
+  rp_completed : int;  (** both halves had landed; nothing to do *)
+  rp_repaired : int;  (** torn commits finished on the chip *)
+}
+
+type catchup_report = { cu_slots : int; cu_entries : int; cu_commits : int }
+
+type crash_point = Before_nv_write | After_nv_write | After_journal_update | After_increment
+
+exception Power_loss of crash_point
+(** Raised by a scheduled {!set_power_loss_at} drill: the chip has been
+    power-cycled and the commit abandoned exactly as a real cut would. *)
+
+type stats = {
+  st_health : health;
+  st_commits : int;
+  st_deferred : int;  (** enqueued-while-down, lifetime *)
+  st_queue_depth : int;
+  st_queue_dropped : int;
+  st_retries : int;
+  st_stalls : int;  (** responses past the per-op deadline *)
+  st_breaker_opens : int;
+  st_repairs : int;  (** torn commits repaired *)
+  st_catchup_batches : int;
+  st_catchup_entries : int;
+  st_journal_inflight : int;
+  st_staleness_breaches : int;
+  st_last_recovery_us : float;
+}
+
+type t
+
+val create : ?cfg:config -> ?seed:int -> ckpt:Vtpm_mgr.Checkpoint.t -> Vtpm_mgr.Manager.t -> t
+(** Loads any journal/queue a previous incarnation persisted in [ckpt];
+    call {!recover} afterwards to repair in-flight commits. [seed]
+    drives only backoff jitter. *)
+
+val set_audit : t -> Audit.t option -> unit
+(** Where unanchored-window markers (open/close/staleness-breach) are
+    appended. *)
+
+val attach_freshness : t -> Vtpm_mgr.Freshness.t -> (unit, Vtpm_util.Verror.t) result
+(** Install this service as the anchored freshness tracker's router:
+    synchronous commits only (never deferred) and fail-closed admission
+    while the breaker is open. The tracker must be anchored already. *)
+
+(** {1 Commits} *)
+
+val commit :
+  t -> slot -> data:string -> defer_ok:bool -> (outcome, Vtpm_util.Verror.t) result
+(** Anchor [data] in [slot]. With [defer_ok:true] a down (or
+    transiently failing) chip defers the digest into the bounded queue;
+    with [defer_ok:false] the caller sees the typed error
+    ([Unavailable] while the breaker is open). *)
+
+val commit_sync : t -> slot -> data:string -> (int, Vtpm_util.Verror.t) result
+(** [commit ~defer_ok:false], returning the counter value directly. *)
+
+val read_slot : t -> slot -> length:int -> (string * int, Vtpm_util.Verror.t) result
+(** Anchored bytes and counter value, under the same fault discipline. *)
+
+val proof_for : t -> label:string -> data:string -> (string * Merkle.proof) option
+(** After a Merkle-batched catch-up: [(root, proof)] showing [data] was
+    included in the batch anchored for [label]'s slot. *)
+
+(** {1 Fault-domain lifecycle} *)
+
+val recover : t -> (repair_report, Vtpm_util.Verror.t) result
+(** Replay the write-ahead journal: finish or repair every in-flight
+    commit. Idempotent; on error the journal keeps the unrepaired
+    entries for the next attempt. *)
+
+val tick : t -> unit
+(** Drive breaker recovery: once the cooldown has elapsed, probe the
+    chip, {!recover} in-flight commits, and drain the deferred queue as
+    Merkle-batched commits. A no-op unless the breaker is open. Commits
+    also attempt this opportunistically. *)
+
+val health : t -> health
+val available : t -> bool
+(** [health t <> Down] — the freshness fail-closed predicate. *)
+
+val inflight : t -> int
+(** Journaled commits not yet acknowledged complete. *)
+
+val queue_depth : t -> int
+val stats : t -> stats
+
+(** {1 Drill hooks (tests and experiments)} *)
+
+val set_power_loss_at : t -> crash_point option -> unit
+(** One-shot: the next commit reaching the point power-cycles the chip
+    and dies with {!Power_loss}. *)
+
+val force_down : t -> unit
+(** Trip the breaker as if the failure threshold had just been crossed. *)

@@ -1,0 +1,79 @@
+(* SHA-256 Merkle tree for batched hardware-TPM anchoring.
+
+   One NV write of the root (plus one counter bump) anchors thousands of
+   queued audit heads at once; a per-leaf inclusion proof lets a verifier
+   check any individual head against the anchored root without the rest
+   of the batch. Leaf and node hashes are domain-separated (0x00 / 0x01
+   prefixes) so an inner node can never be passed off as a leaf — the
+   classic second-preimage trick on naive Merkle constructions.
+
+   Odd nodes are carried up unchanged (no duplication), so the tree over
+   n leaves costs exactly n - 1 combines and a proof is at most
+   ceil(log2 n) siblings. *)
+
+type side = L | R
+
+type proof = (side * string) list
+(* sibling list, leaf-level first: [(L, h)] means h is the left sibling *)
+
+let leaf_hash data = Vtpm_crypto.Sha256.digest ("\x00" ^ data)
+let node_hash l r = Vtpm_crypto.Sha256.digest ("\x01" ^ l ^ r)
+
+(* One level up: pair adjacent nodes, carry a trailing odd node. *)
+let combine (lvl : string array) : string array =
+  let n = Array.length lvl in
+  Array.init ((n + 1) / 2) (fun i ->
+      if (2 * i) + 1 < n then node_hash lvl.(2 * i) lvl.((2 * i) + 1) else lvl.(2 * i))
+
+(* All levels bottom-up: element 0 is the leaf-hash level, the last is
+   the single-element root level. Built once and shared by every proof,
+   so proving a whole batch is O(n log n) lookups, not O(n^2) hashing. *)
+let build_levels (leaves : string list) : string array list =
+  match leaves with
+  | [] -> invalid_arg "Merkle: empty leaf list"
+  | _ ->
+      let rec go acc lvl =
+        if Array.length lvl <= 1 then List.rev (lvl :: acc) else go (lvl :: acc) (combine lvl)
+      in
+      go [] (Array.of_list (List.map leaf_hash leaves))
+
+let root_of_levels levels =
+  match List.rev levels with
+  | top :: _ -> top.(0)
+  | [] -> invalid_arg "Merkle: no levels"
+
+let root leaves = root_of_levels (build_levels leaves)
+
+(* Number of node combines [root] performs over n leaves: n - 1. *)
+let combines n = max 0 (n - 1)
+
+let proof_of_levels levels ~index =
+  let rec walk idx acc = function
+    | [] | [ _ ] -> List.rev acc
+    | (lvl : string array) :: rest ->
+        let sib = idx lxor 1 in
+        let acc =
+          if sib < Array.length lvl then
+            (if idx land 1 = 0 then (R, lvl.(sib)) else (L, lvl.(sib))) :: acc
+          else acc (* carried odd node: no sibling at this level *)
+        in
+        walk (idx / 2) acc rest
+  in
+  walk index [] levels
+
+let proof leaves ~index =
+  let n = List.length leaves in
+  if index < 0 || index >= n then invalid_arg "Merkle.proof: index out of range";
+  proof_of_levels (build_levels leaves) ~index
+
+let all_proofs leaves =
+  let levels = build_levels leaves in
+  Array.init (List.length leaves) (fun index -> proof_of_levels levels ~index)
+
+let verify ~root:expected ~leaf (p : proof) =
+  let h =
+    List.fold_left
+      (fun h (side, sib) -> match side with L -> node_hash sib h | R -> node_hash h sib)
+      (leaf_hash leaf) p
+  in
+  String.equal h expected

@@ -1,0 +1,34 @@
+(** SHA-256 Merkle tree for batched hardware-TPM anchoring.
+
+    One NV write of the root anchors a whole backlog of audit heads; a
+    per-leaf inclusion proof checks any single head against the anchored
+    root. Leaf and inner-node hashes are domain-separated so an inner
+    node can never masquerade as a leaf. Odd nodes carry up unchanged, so
+    a tree over [n] leaves costs exactly [n - 1] combines. *)
+
+type side = L | R
+
+type proof = (side * string) list
+(** Sibling hashes, leaf level first; [L] means the sibling sits to the
+    left of the running hash. *)
+
+val leaf_hash : string -> string
+val node_hash : string -> string -> string
+
+val root : string list -> string
+(** Root over the leaves in order.
+    @raise Invalid_argument on an empty list. *)
+
+val combines : int -> int
+(** Node combines performed by {!root} over [n] leaves ([n - 1]) — the
+    simulated-cost model for batch building. *)
+
+val proof : string list -> index:int -> proof
+(** Inclusion proof for the leaf at [index].
+    @raise Invalid_argument when [index] is out of range. *)
+
+val all_proofs : string list -> proof array
+(** Proofs for every leaf, sharing one tree build — O(n log n) for the
+    whole batch instead of O(n²) hashing via repeated {!proof}. *)
+
+val verify : root:string -> leaf:string -> proof -> bool

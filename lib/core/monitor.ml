@@ -193,7 +193,7 @@ let set_freshness t f = t.freshness <- f
 let enable_freshness ?nv_index t : (Vtpm_mgr.Freshness.t, string) result =
   let f = Vtpm_mgr.Freshness.create t.mgr in
   match Vtpm_mgr.Freshness.anchor_setup ?nv_index f with
-  | Error e -> Error e
+  | Error e -> Error (Vtpm_util.Verror.to_string e)
   | Ok () ->
       t.freshness <- Some f;
       Ok f

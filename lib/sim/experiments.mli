@@ -241,3 +241,66 @@ val fig11 :
 (** Legitimate goodput and tamper detections vs the fraction of attack
     ops per schedule; also returns the raw per-point soaks so callers
     (bench) can check the invariant bundle held at every point. *)
+
+(** {1 Hardware-TPM fault domain (Table 8 / Figure 12; no counterpart in
+    the paper)} *)
+
+type table8_row = {
+  t8_boundary : string;
+  t8_crashes : int;
+  t8_repaired : int;  (** repairs that needed hardware work *)
+  t8_completed : int;  (** both halves had already landed *)
+  t8_torn : int;  (** journal residue or verify failure after recovery — must be 0 *)
+  t8_verify_ok : bool;
+}
+
+val torn_commit_drill :
+  ?crashes:int -> seed:int -> Vtpm_access.Anchor_svc.crash_point * string -> table8_row
+(** Power loss injected at one commit boundary, [crashes] times, each
+    followed by a service restart over the durable journal and a full
+    repair + anchored verification. *)
+
+val crash_boundaries : (Vtpm_access.Anchor_svc.crash_point * string) list
+
+type anchor_storm = {
+  as_commits : int;  (** anchor commits attempted under the storm *)
+  as_committed : int;
+  as_deferred : int;
+  as_hard_errors : int;  (** non-transient failures leaked to callers — must be 0 *)
+  as_breaker_opens : int;
+  as_retries : int;
+  as_stalls : int;
+  as_power_cycles : int;
+  as_repairs : int;
+  as_catchup_batches : int;
+  as_catchup_entries : int;
+  as_recovery_us : float;  (** down-window length of the last recovery *)
+  as_torn : int;  (** journal residue + verify failures at the end — must be 0 *)
+  as_verify_ok : bool;
+}
+
+val anchor_storm : ?flood_x:int -> ?commits:int -> ?seed:int -> unit -> anchor_storm
+(** [flood_x * commits] anchor commits through the service under seeded
+    hardware faults (busy, stall, power loss, NV rot, reset), then the
+    injector disarmed and the breaker recovered: the backlog must catch
+    up, the journal drain, and the anchor verify — zero torn anchors. *)
+
+val table8 :
+  ?crashes:int -> ?flood_x:int -> ?seed:int -> unit ->
+  table8_row list * anchor_storm * string
+(** The boundary drill over every crash point plus the fault storm, as
+    one table. *)
+
+type fig12_point = {
+  f12_batch : int;
+  f12_naive_us : float;  (** simulated time for one commit per entry *)
+  f12_merkle_us : float;  (** simulated time for the batched catch-up *)
+  f12_speedup : float;
+  f12_proofs_ok : bool;  (** sampled inclusion proofs verify against the root *)
+}
+
+val fig12 : ?batches:int list -> ?seed:int -> unit -> fig12_point list * string
+(** Backlog catch-up throughput: naive per-entry commits vs one
+    Merkle-batched commit anchoring the whole backlog with per-entry
+    inclusion proofs. The batched path must be at least an order of
+    magnitude faster from modest backlog sizes on. *)

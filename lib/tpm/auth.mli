@@ -33,6 +33,7 @@ val start_osap :
     [HMAC(usage_secret, nonceEvenOSAP || nonceOddOSAP)]. *)
 
 val find : t -> int -> (session, int) result
+val mem : t -> int -> bool
 val terminate : t -> int -> unit
 val clear : t -> unit
 

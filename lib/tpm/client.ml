@@ -24,6 +24,19 @@ let pp_error ppf = function
   | Tpm rc -> Fmt.pf ppf "TPM rc=0x%x" rc
   | Transport m -> Fmt.pf ppf "transport: %s" m
 
+(* Retry classification for the hardware fault domain: TPM_RETRY (busy)
+   and a stale auth handle (the session died in a reset) clear on a fresh
+   attempt, as do the transport failures the hardware fault injector
+   raises ("hw-tpm: ..." power loss / reset). Everything else — authfail,
+   bad index, malformed bytes — is permanent. *)
+let hw_fault_prefix = "hw-tpm:"
+
+let transient = function
+  | Tpm rc -> rc = Types.tpm_retry || rc = Types.tpm_invalid_authhandle
+  | Transport m ->
+      String.length m >= String.length hw_fault_prefix
+      && String.sub m 0 (String.length hw_fault_prefix) = hw_fault_prefix
+
 let create ?(seed = 0x5eed) transport = { transport; nonce_rng = Vtpm_util.Rng.create ~seed }
 
 let exchange t (req : Cmd.request) : (Cmd.response, error) result =

@@ -17,6 +17,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+val hw_fault_prefix : string
+(** ["hw-tpm:"] — transport failures carrying this prefix mark injected
+    hardware-TPM faults (power loss, reset) and classify as transient. *)
+
+val transient : error -> bool
+(** Retry classification: [TPM_RETRY] (busy), a stale auth handle (the
+    session died in a chip reset), and ["hw-tpm:"]-prefixed transport
+    failures clear on a fresh attempt; everything else is permanent. *)
+
 val create : ?seed:int -> transport -> t
 (** [seed] drives the client-side nonce generator. *)
 

@@ -373,10 +373,18 @@ let execute t ~locality (req : Cmd.request) : Cmd.response =
                 match Keystore.insert t.keys ~parent child with
                 | Ok handle -> Cmd.ok (Cmd.R_key_handle handle)
                 | Error rc -> Cmd.error rc))
-  | Cmd.Flush_specific { handle } -> (
-      match Keystore.evict t.keys handle with
-      | Ok () -> Cmd.ok Cmd.R_ok
-      | Error rc -> Cmd.error rc)
+  | Cmd.Flush_specific { handle } ->
+      (* TPM_RT_AUTH-style flush: auth-session handles (0x02000000+) and
+         transient key handles (0x01000000+) occupy disjoint ranges, so one
+         command serves both resource types as in TPM 1.2. *)
+      if Auth.mem t.sessions handle then begin
+        Auth.terminate t.sessions handle;
+        Cmd.ok Cmd.R_ok
+      end
+      else (
+        match Keystore.evict t.keys handle with
+        | Ok () -> Cmd.ok Cmd.R_ok
+        | Error rc -> Cmd.error rc)
   | Cmd.Seal { key; pcr_sel; blob_auth; data; auth } ->
       with_key_auth t ~proof:auth ~handle:key ~req (fun key_m ->
           if key_m.Keystore.usage <> Types.Storage then Cmd.error Types.tpm_invalid_keyusage

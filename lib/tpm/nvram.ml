@@ -77,6 +77,22 @@ let read t ~index ~offset ~length ~owner_authorized ~composite_now ~expected_dig
         Error Types.tpm_nospace
       else Ok (Bytes.sub_string sp.data offset length)
 
+(* Fault injection: flip one byte of a space in place — at-rest bit rot,
+   bypassing every access gate (the radiation does not ask the owner).
+   Returns false when the index has no space to rot. *)
+let corrupt t ~index ~pos ~mask =
+  match Hashtbl.find_opt t.spaces index with
+  | None -> false
+  | Some sp ->
+      let len = Bytes.length sp.data in
+      if len = 0 then false
+      else begin
+        let pos = ((pos mod len) + len) mod len in
+        let mask = if mask land 0xff = 0 then 1 else mask land 0xff in
+        Bytes.set sp.data pos (Char.chr (Char.code (Bytes.get sp.data pos) lxor mask));
+        true
+      end
+
 (* --- State serialization ----------------------------------------------- *)
 
 let serialize t (w : Vtpm_util.Codec.writer) =

@@ -35,5 +35,11 @@ val read :
   expected_digest:string option ->
   (string, int) result
 
+val corrupt : t -> index:int -> pos:int -> mask:int -> bool
+(** Fault injection: xor one byte of the space's data in place (at-rest
+    bit rot; ignores every access gate). [pos] is reduced modulo the
+    space size; a zero [mask] is promoted to 1 so the byte always
+    changes. [false] when the index has no space. *)
+
 val serialize : t -> Vtpm_util.Codec.writer -> unit
 val deserialize : Vtpm_util.Codec.reader -> t

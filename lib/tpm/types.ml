@@ -37,6 +37,7 @@ let tpm_badtag = 0x01E
 let tpm_area_locked = 0x03C
 let tpm_auth_conflict = 0x03B
 let tpm_bad_counter = 0x045
+let tpm_retry = 0x800 (* TPM_RETRY: device busy, command may be resubmitted *)
 
 (* --- Ordinals: TPM_ORD values ------------------------------------------ *)
 

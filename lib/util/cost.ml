@@ -125,6 +125,13 @@ let audit_append_us = 18.0 (* SHA-1 chain step *)
 let state_io_per_kib_us = 25.0 (* serialize + file write, both formats *)
 let seal_per_kib_us = 210.0 (* XTEA-CTR + HMAC per KiB *)
 let hwtpm_srk_op_us = 12_000.0 (* hardware-TPM bound key operation *)
+let hwtpm_session_us = 800.0 (* OIAP setup round trip on the physical part *)
+let hwtpm_nv_write_us = 14_000.0 (* TPM 1.2 NV write: EEPROM-class latency *)
+let hwtpm_nv_read_us = 1_200.0
+let hwtpm_counter_inc_us = 6_500.0 (* monotonic counter bump (throttled) *)
+let hwtpm_counter_read_us = 600.0
+let hwtpm_stall_us = 120_000.0 (* injected device stall; >> any op deadline *)
+let merkle_hash_us = 1.2 (* one SHA-256 combine in a catch-up batch tree *)
 
 (* Self-healing transport (fault recovery) *)
 let retry_backoff_us = 100.0 (* base; doubles per attempt, capped *)

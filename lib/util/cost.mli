@@ -118,6 +118,35 @@ val seal_per_kib_us : float
 val hwtpm_srk_op_us : float
 (** A hardware-TPM SRK-bound operation (seal/unseal/unbind). *)
 
+(** {1 Hardware-TPM anchoring (the serial physical device)}
+
+    Charged by {!Vtpm_access.Anchor_svc} around each hardware round trip;
+    the raw manager transport stays free so pre-existing figures are
+    unperturbed. TPM 1.2 NV writes and counter increments are slow
+    (10–20 ms class) — exactly why Merkle-batched catch-up pays off. *)
+
+val hwtpm_session_us : float
+(** OIAP session establishment on the physical TPM. *)
+
+val hwtpm_nv_write_us : float
+(** Owner-authorized NV write of an anchor head/root. *)
+
+val hwtpm_nv_read_us : float
+(** NV read of the anchored value. *)
+
+val hwtpm_counter_inc_us : float
+(** Monotonic counter increment (throttled in real parts). *)
+
+val hwtpm_counter_read_us : float
+(** Monotonic counter read. *)
+
+val hwtpm_stall_us : float
+(** Simulated device stall injected by the [Hw_stall] fault class —
+    larger than any sane per-op deadline. *)
+
+val merkle_hash_us : float
+(** One SHA-256 node combine while building a catch-up batch tree. *)
+
 (** {1 Self-healing transport (fault recovery)} *)
 
 val retry_backoff_us : float

@@ -15,6 +15,12 @@ type t =
   | Retries_exhausted of string (* self-healing transport gave up *)
   | Overloaded of { reason : string; retry_after_us : float }
     (* backpressure: shed or rejected under load, with a retry-after hint *)
+  | Unavailable of string
+    (* a dependency (e.g. the hardware TPM) is down or circuit-open;
+       transient by contract — retry after recovery, state is intact *)
+  | Integrity of string
+    (* an integrity check failed: broken chain, anchor mismatch, rollback.
+       Never transient; retrying cannot help *)
   | Internal of string
 
 let pp ppf = function
@@ -28,6 +34,8 @@ let pp ppf = function
   | Retries_exhausted r -> Fmt.pf ppf "retries exhausted: %s" r
   | Overloaded { reason; retry_after_us } ->
       Fmt.pf ppf "overloaded: %s (retry after %.0f us)" reason retry_after_us
+  | Unavailable r -> Fmt.pf ppf "unavailable: %s" r
+  | Integrity r -> Fmt.pf ppf "integrity: %s" r
   | Internal r -> Fmt.pf ppf "internal: %s" r
 
 let to_string e = Fmt.str "%a" pp e
@@ -46,7 +54,17 @@ let retries_exhausted fmt = Fmt.kstr (fun s -> Error (Retries_exhausted s)) fmt
 
 let overloaded ~retry_after_us fmt =
   Fmt.kstr (fun s -> Error (Overloaded { reason = s; retry_after_us })) fmt
+let unavailable fmt = Fmt.kstr (fun s -> Error (Unavailable s)) fmt
+let integrity fmt = Fmt.kstr (fun s -> Error (Integrity s)) fmt
 let internal fmt = Fmt.kstr (fun s -> Error (Internal s)) fmt
+
+(* Classification for retry policy: [Integrity] (and [Denied]) must never
+   be retried; [Unavailable] / [Timeout] / [Overloaded] may clear. *)
+let transient = function
+  | Unavailable _ | Timeout _ | Overloaded _ | Retries_exhausted _ -> true
+  | Denied _ | Tpm_error _ | Bad_request _ | No_such _ | Conflict _ | Exhausted _
+  | Integrity _ | Internal _ ->
+      false
 
 let get_ok ~what = function
   | Ok v -> v

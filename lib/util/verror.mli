@@ -16,6 +16,12 @@ type t =
   | Overloaded of { reason : string; retry_after_us : float }
       (** backpressure: the request was shed or rejected under load; the
           hint says when (simulated us from now) a retry may succeed *)
+  | Unavailable of string
+      (** a dependency (e.g. the hardware TPM) is down or circuit-open;
+          transient by contract — retry after recovery, state is intact *)
+  | Integrity of string
+      (** an integrity check failed: broken chain, anchor mismatch,
+          rollback. Never transient; retrying cannot help *)
   | Internal of string
 
 val pp : Format.formatter -> t -> unit
@@ -38,7 +44,14 @@ val retries_exhausted : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 
 val overloaded :
   retry_after_us:float -> ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val unavailable : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+val integrity : ('a, Format.formatter, unit, 'b result) format4 -> 'a
 val internal : ('a, Format.formatter, unit, 'b result) format4 -> 'a
+
+val transient : t -> bool
+(** Retry classification: [Unavailable] / [Timeout] / [Overloaded] /
+    [Retries_exhausted] may clear on retry; [Integrity], [Denied] and the
+    rest never do. *)
 
 val get_ok : what:string -> 'a result -> 'a
 (** Unwrap, raising [Invalid_argument] tagged with [what] on [Error]. *)

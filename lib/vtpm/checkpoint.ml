@@ -27,6 +27,9 @@ type t = {
   format : Stateproc.format;
   fresh : Freshness.t option;
   store : (int, entry) Hashtbl.t; (* vtpm_id -> latest checkpoint *)
+  blobs : (string, string) Hashtbl.t;
+      (* named durable blobs (e.g. the anchor service's intent journal):
+         the same dom0 state directory, so they survive Manager.crash *)
   mutable saved_next_id : int;
   mutable saves : int;
   mutable restores : int;
@@ -38,6 +41,7 @@ let create ?(format = Stateproc.Plain) ?fresh (mgr : Manager.t) : t =
     format;
     fresh;
     store = Hashtbl.create 16;
+    blobs = Hashtbl.create 4;
     saved_next_id = mgr.Manager.next_id;
     saves = 0;
     restores = 0;
@@ -80,6 +84,11 @@ let checkpoint_all (t : t) : (unit, string) result =
     (Ok ()) (Manager.instances t.mgr)
 
 let forget (t : t) ~vtpm_id = Hashtbl.remove t.store vtpm_id
+
+(* Named durable blobs alongside the instance entries. *)
+let save_blob (t : t) ~key blob = Hashtbl.replace t.blobs key blob
+let load_blob (t : t) ~key = Hashtbl.find_opt t.blobs key
+let drop_blob (t : t) ~key = Hashtbl.remove t.blobs key
 
 (* Capture/inject: the rollback adversary's handle on the state
    directory. [capture] snapshots an instance's current entry (an old

@@ -43,6 +43,16 @@ val checkpoint_all : t -> (unit, string) result
 val forget : t -> vtpm_id:int -> unit
 (** Drop an instance's checkpoint (after [destroy_instance]). *)
 
+(** {1 Named durable blobs}
+
+    Small named records in the same dom0 state directory — the anchor
+    service's write-ahead intent journal lives here. Like instance
+    entries they survive {!Manager.crash}. *)
+
+val save_blob : t -> key:string -> string -> unit
+val load_blob : t -> key:string -> string option
+val drop_blob : t -> key:string -> unit
+
 val restore_instance : t -> vtpm_id:int -> (unit, string) result
 (** Restore one instance in place from its latest checkpoint, replacing
     whatever (wedged) instance currently holds the id — the supervisor's

@@ -24,6 +24,12 @@ open Vtpm_tpm
 
 type anchor = { nv_index : int; counter_handle : int; counter_auth : string }
 
+type router = {
+  rt_commit : data:string -> (int, Vtpm_util.Verror.t) result;
+  rt_read : unit -> (string, Vtpm_util.Verror.t) result;
+  rt_available : unit -> bool;
+}
+
 type t = {
   mgr : Manager.t;
   issued : (string, int) Hashtbl.t; (* lineage -> highest counter stamped here *)
@@ -34,6 +40,11 @@ type t = {
          (which also issues) doesn't strand the latest checkpoint as
          "stale" after an aborted handshake. *)
   mutable anchor : anchor option;
+  mutable router : router option;
+      (* when set, anchor traffic is funneled through the anchoring
+         service (lib/core/anchor_svc) instead of raw hardware ops; lives
+         here as a record of closures because lib/vtpm cannot depend on
+         lib/core *)
   mutable accepted : int;
   mutable rejected : int;
 }
@@ -45,9 +56,15 @@ let create (mgr : Manager.t) : t =
     last_seen = Hashtbl.create 16;
     ckpt_hwm = Hashtbl.create 16;
     anchor = None;
+    router = None;
     accepted = 0;
     rejected = 0;
   }
+
+let set_router t r = t.router <- r
+
+let anchor_slot t =
+  Option.map (fun a -> (a.nv_index, a.counter_handle, a.counter_auth)) t.anchor
 
 let lineage (engine : Engine.t) : string =
   Vtpm_crypto.Rsa.fingerprint engine.Engine.ek.Keystore.rsa.pub
@@ -71,7 +88,17 @@ let default_nv_index = 0x1A0E
 let digest_size = 32
 
 let ( let* ) = Result.bind
-let client_err what e = Error (Fmt.str "%s: %a" what Client.pp_error e)
+
+(* Typed anchor-path errors: transient device trouble (busy, reset,
+   power loss) is [Unavailable] — retry after recovery; a non-transient
+   TPM code keeps its identity; anything else is [Internal]. *)
+let client_err what (e : Client.error) : ('a, Vtpm_util.Verror.t) result =
+  if Client.transient e then
+    Vtpm_util.Verror.unavailable "%s: %a" what Client.pp_error e
+  else
+    match e with
+    | Client.Tpm rc -> Error (Vtpm_util.Verror.Tpm_error rc)
+    | Client.Transport m -> Vtpm_util.Verror.internal "%s: %s" what m
 
 let owner_session mgr hw =
   Result.fold ~ok:Result.ok ~error:(client_err "owner session")
@@ -109,11 +136,16 @@ let table_digest t =
   write_map w (dump t.last_seen);
   Vtpm_crypto.Sha256.digest (Vtpm_util.Codec.contents w)
 
-(* Commit the current table digest; returns the anchor counter value. *)
-let anchor_commit (t : t) : (int, string) result =
-  match t.anchor with
-  | None -> Error "freshness table is not anchored"
-  | Some a ->
+(* Commit the current table digest; returns the anchor counter value.
+   Routed through the anchoring service when one is attached — freshness
+   commits are synchronous and never deferred (an unanchored admission
+   would be a rollback window), so the router propagates the service's
+   typed error instead of queueing. *)
+let anchor_commit (t : t) : (int, Vtpm_util.Verror.t) result =
+  match (t.anchor, t.router) with
+  | None, _ -> Vtpm_util.Verror.internal "freshness table is not anchored"
+  | Some _, Some r -> r.rt_commit ~data:(table_digest t)
+  | Some a, None ->
       let mgr = t.mgr in
       let hw = Manager.hw_client mgr in
       let* sess = owner_session mgr hw in
@@ -133,22 +165,28 @@ let anchor_commit (t : t) : (int, string) result =
       in
       (match resp.Cmd.body with
       | Cmd.R_counter { value; _ } -> Ok value
-      | _ -> Error "unexpected counter response")
+      | _ -> Vtpm_util.Verror.internal "unexpected counter response")
 
-(* Compare the live table against the hardware anchor. *)
-let anchor_verify (t : t) : (unit, string) result =
+(* Compare the live table against the hardware anchor. A mismatch is an
+   [Integrity] error — rollback or staleness, never retryable. *)
+let anchor_verify (t : t) : (unit, Vtpm_util.Verror.t) result =
   match t.anchor with
-  | None -> Error "freshness table is not anchored"
+  | None -> Vtpm_util.Verror.internal "freshness table is not anchored"
   | Some a ->
-      let hw = Manager.hw_client t.mgr in
       let* anchored_digest =
-        Result.fold ~ok:Result.ok ~error:(client_err "nv_read")
-          (Client.nv_read hw ~index:a.nv_index ~offset:0 ~length:digest_size ())
+        match t.router with
+        | Some r -> r.rt_read ()
+        | None ->
+            let hw = Manager.hw_client t.mgr in
+            Result.fold ~ok:Result.ok ~error:(client_err "nv_read")
+              (Client.nv_read hw ~index:a.nv_index ~offset:0 ~length:digest_size ())
       in
       if Vtpm_crypto.Hmac.equal_ct anchored_digest (table_digest t) then Ok ()
-      else Error "freshness table does not match the hardware anchor (rolled back or stale)"
+      else
+        Vtpm_util.Verror.integrity
+          "freshness table does not match the hardware anchor (rolled back or stale)"
 
-let anchor_setup ?(nv_index = default_nv_index) (t : t) : (unit, string) result =
+let anchor_setup ?(nv_index = default_nv_index) (t : t) : (unit, Vtpm_util.Verror.t) result =
   let mgr = t.mgr in
   let hw = Manager.hw_client mgr in
   let* sess = owner_session mgr hw in
@@ -171,7 +209,7 @@ let anchor_setup ?(nv_index = default_nv_index) (t : t) : (unit, string) result 
          the anchor invariant holds before the first admission — an
          anchored tracker whose live table mismatches refuses imports. *)
       Result.map (fun (_ : int) -> ()) (anchor_commit t)
-  | _ -> Error "unexpected counter response"
+  | _ -> Vtpm_util.Verror.internal "unexpected counter response"
 
 (* --- Counter issue / admission ------------------------------------------- *)
 
@@ -195,6 +233,16 @@ let stamp_checkpoint (t : t) ~lineage =
    last value accepted for this lineage. Records the counter (and commits
    the anchored table) on success. *)
 let admit (t : t) ~lineage ~counter : (unit, string) result =
+  (* Fail closed while the anchoring service reports the hardware TPM
+     down: an admission recorded without a synchronous anchor commit
+     would be silently un-anchored — exactly the rollback window the
+     anchor exists to close. Bounded staleness is for audit heads only;
+     freshness never defers. *)
+  match t.anchor, t.router with
+  | Some _, Some r when not (r.rt_available ()) ->
+      t.rejected <- t.rejected + 1;
+      Error "freshness anchor unavailable (hardware TPM down), refusing import"
+  | _ -> (
   (* Fail closed on an anchored tracker whose live table no longer
      matches the hardware digest — e.g. after a stale reload was
      discarded. An empty table would otherwise admit any counter,
@@ -204,7 +252,7 @@ let admit (t : t) ~lineage ~counter : (unit, string) result =
   with
   | Error e ->
       t.rejected <- t.rejected + 1;
-      Error ("freshness table unusable, refusing import: " ^ e)
+      Error ("freshness table unusable, refusing import: " ^ Vtpm_util.Verror.to_string e)
   | Ok () ->
   let seen = find t.last_seen lineage in
   if counter <= seen then begin
@@ -219,8 +267,10 @@ let admit (t : t) ~lineage ~counter : (unit, string) result =
     t.accepted <- t.accepted + 1;
     match t.anchor with
     | None -> Ok ()
-    | Some _ -> Result.map (fun (_ : int) -> ()) (anchor_commit t)
-  end
+    | Some _ ->
+        Result.map_error Vtpm_util.Verror.to_string
+          (Result.map (fun (_ : int) -> ()) (anchor_commit t))
+  end)
 
 (* Restore check for a checkpoint entry: the latest checkpoint carries
    the lineage's restore floor, so anything below it is a captured older
@@ -281,4 +331,4 @@ let load_table (t : t) (blob : string) : (unit, string) result =
               Hashtbl.reset t.last_seen;
               Hashtbl.reset t.issued;
               Hashtbl.reset t.ckpt_hwm;
-              Error e))
+              Error (Vtpm_util.Verror.to_string e)))

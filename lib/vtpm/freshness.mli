@@ -12,7 +12,27 @@
 
 type t
 
+type router = {
+  rt_commit : data:string -> (int, Vtpm_util.Verror.t) result;
+      (** synchronous anchored commit of the table digest *)
+  rt_read : unit -> (string, Vtpm_util.Verror.t) result;
+      (** read back the anchored digest *)
+  rt_available : unit -> bool;
+      (** false while the anchoring service holds the hardware TPM down;
+          admissions fail closed *)
+}
+(** Injection point for the hardware-TPM anchoring service
+    ([Vtpm_access.Anchor_svc]); closures because [lib/vtpm] cannot depend
+    on [lib/core]. *)
+
 val create : Manager.t -> t
+
+val set_router : t -> router option -> unit
+(** Funnel anchor traffic through the anchoring service. *)
+
+val anchor_slot : t -> (int * int * string) option
+(** [(nv_index, counter_handle, counter_auth)] once {!anchor_setup} ran —
+    what the anchoring service needs to own this anchor's hardware ops. *)
 
 val lineage : Vtpm_tpm.Engine.t -> string
 (** The engine's lineage identity: its EK fingerprint. *)
@@ -33,7 +53,9 @@ val admit : t -> lineage:string -> counter:int -> (unit, string) result
     commits the table digest to the hardware TPM. On an anchored tracker
     the live table must match the hardware digest first — a tracker whose
     table was discarded after a stale reload refuses every import until
-    an up-to-date table is loaded. *)
+    an up-to-date table is loaded. With a {!router} attached, admissions
+    also fail closed while the anchoring service reports the hardware TPM
+    down: freshness commits are never deferred. *)
 
 val check_restore : t -> lineage:string -> counter:int -> (unit, string) result
 (** Checkpoint-restore admission: at least the lineage's restore floor
@@ -51,16 +73,20 @@ val default_nv_index : int
 
 val anchored : t -> bool
 
-val anchor_setup : ?nv_index:int -> t -> (unit, string) result
+val anchor_setup : ?nv_index:int -> t -> (unit, Vtpm_util.Verror.t) result
 (** Define the NV space (owner-write), create the anchor counter, and
     commit the current table digest so the anchor invariant holds from
-    setup onward. *)
+    setup onward. Errors are typed: transient device trouble is
+    [Unavailable], TPM codes keep their identity. *)
 
-val anchor_commit : t -> (int, string) result
-(** Commit the current table digest; returns the hardware counter. *)
+val anchor_commit : t -> (int, Vtpm_util.Verror.t) result
+(** Commit the current table digest; returns the hardware counter.
+    Routed through the attached {!router} when present. *)
 
-val anchor_verify : t -> (unit, string) result
-(** Compare the live table against the anchored digest. *)
+val anchor_verify : t -> (unit, Vtpm_util.Verror.t) result
+(** Compare the live table against the anchored digest. A mismatch is an
+    [Integrity] error (rollback/stale — never retryable); device trouble
+    is [Unavailable]. *)
 
 val table_digest : t -> string
 

@@ -31,6 +31,11 @@ type t = {
   mutable seed : int;
   creation_seed : int; (* seed at [create] time; never bumped *)
   mutable lanes : Vtpm_util.Cost.Lanes.pool;
+  mutable hw_faults : Vtpm_xen.Faults.t option;
+      (* hardware-TPM fault injector consulted by [hw_transport]; None
+         (the default) keeps the transport byte-identical to the seed *)
+  mutable hw_ops : int; (* hardware round trips attempted *)
+  mutable hw_power_cycles : int;
 }
 
 (* PCR the manager's own measurement lives in on the hardware TPM; sealed
@@ -66,6 +71,9 @@ let create ?(rsa_bits = 512) ~seed ~(cost : Vtpm_util.Cost.t) () =
     seed;
     creation_seed = seed;
     lanes = Vtpm_util.Cost.Lanes.create 1;
+    hw_faults = None;
+    hw_ops = 0;
+    hw_power_cycles = 0;
   }
 
 (* --- Execution lanes ----------------------------------------------------- *)
@@ -218,10 +226,61 @@ let execute_wire t (inst : instance) ~(wire : string) : (string, Vtpm_util.Verro
 
 (* --- Hardware-TPM access for the manager's own needs --------------------- *)
 
+let set_hw_faults t f = t.hw_faults <- f
+
+(* Chip power cycle / reset: volatile state (auth sessions) is gone; NV,
+   counters, keys and PCRs persist. The platform's firmware restarts the
+   part and dom0 re-launches the manager, which re-measures to the same
+   digest — so the measured PCR state is reconstructed identically and
+   sealed blobs bound to [manager_pcr] still unseal. The simulation
+   models that by clearing sessions and leaving the PCR bank alone. *)
+let hw_power_cycle t =
+  Auth.clear t.hw_tpm.Engine.sessions;
+  t.hw_tpm.Engine.started <- false;
+  let resp = Engine.execute t.hw_tpm ~locality:4 (Cmd.Startup Types.St_clear) in
+  assert (resp.Cmd.rc = Types.tpm_success);
+  t.hw_power_cycles <- t.hw_power_cycles + 1
+
+(* NV space targeted by a request, for the at-rest corruption fault. *)
+let nv_index_of = function
+  | Cmd.Nv_write_value { index; _ } | Cmd.Nv_read_value { index; _ }
+  | Cmd.Nv_define_space { index; _ } ->
+      Some index
+  | _ -> None
+
 let hw_transport t : Client.transport =
  fun bytes ->
   let req = Wire.decode_request bytes in
-  Wire.encode_response (Engine.execute t.hw_tpm ~locality:2 req)
+  match t.hw_faults with
+  | None -> Wire.encode_response (Engine.execute t.hw_tpm ~locality:2 req)
+  | Some f ->
+      t.hw_ops <- t.hw_ops + 1;
+      let open Vtpm_xen.Faults in
+      if fire f Hw_power_loss then begin
+        (* The command's fate is unknown to the client; here it is lost. *)
+        hw_power_cycle t;
+        raise (Failure (Client.hw_fault_prefix ^ " power loss mid-exchange"))
+      end;
+      if fire f Hw_reset then begin
+        hw_power_cycle t;
+        raise (Failure (Client.hw_fault_prefix ^ " reset cycle mid-exchange"))
+      end;
+      if fire f Hw_busy then Wire.encode_response (Cmd.error Types.tpm_retry)
+      else begin
+        (* Stall: the command executes, but the response is late — charge
+           the simulated clock past any sane deadline so the caller's
+           deadline check flags it (and a retried increment can double). *)
+        if fire f Hw_stall then
+          Vtpm_util.Cost.charge t.cost Vtpm_util.Cost.hwtpm_stall_us;
+        let resp = Engine.execute t.hw_tpm ~locality:2 req in
+        (if fire f Hw_nv_corrupt then
+           match nv_index_of req with
+           | Some index ->
+               let pos, mask = byte_flip f in
+               ignore (Nvram.corrupt t.hw_tpm.Engine.nv ~index ~pos ~mask)
+           | None -> ());
+        Wire.encode_response resp
+      end
 
 (* Seeded from the immutable creation-time seed: the client's stream must
    not depend on how many instances existed when it was built (t.seed is

@@ -32,6 +32,11 @@ type t = {
   mutable seed : int;
   creation_seed : int;  (** seed at [create] time; never bumped *)
   mutable lanes : Vtpm_util.Cost.Lanes.pool;
+  mutable hw_faults : Vtpm_xen.Faults.t option;
+      (** hardware-TPM fault injector consulted by {!hw_transport};
+          [None] (the default) keeps the transport byte-identical *)
+  mutable hw_ops : int;  (** hardware round trips attempted under faults *)
+  mutable hw_power_cycles : int;
 }
 
 val manager_pcr : int
@@ -110,5 +115,19 @@ val execute_wire : t -> instance -> wire:string -> (string, Vtpm_util.Verror.t) 
 
 (** {1 Hardware-TPM access for the manager's own needs} *)
 
+val set_hw_faults : t -> Vtpm_xen.Faults.t option -> unit
+(** Arm (or disarm) hardware-TPM fault injection on {!hw_transport}. The
+    injector's [Hw_*] classes are consulted once per round trip; with
+    [None] the transport draws nothing and behaves exactly as the seed. *)
+
+val hw_power_cycle : t -> unit
+(** Chip power cycle / reset: volatile auth sessions are wiped and the
+    part restarted; NV, counters, keys and the measured PCR state
+    persist, so sealed blobs bound to {!manager_pcr} still unseal. *)
+
 val hw_transport : t -> Vtpm_tpm.Client.transport
+(** May raise [Failure "hw-tpm: ..."] when an injected power loss or
+    reset cuts the exchange — surfaced by {!Vtpm_tpm.Client.exchange} as
+    a transient [Transport] error. *)
+
 val hw_client : t -> Vtpm_tpm.Client.t

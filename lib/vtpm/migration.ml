@@ -66,8 +66,17 @@ let export mgr ?fresh (inst : Manager.instance) ~(mode : mode)
       match dest_key with
       | None -> Error "protected migration needs the destination bind key"
       | Some dest_key -> (
-          let hw = Manager.hw_client mgr in
-          match Client.get_random hw ~length:16 with
+          (* Transient chip trouble (busy, a reset or power loss cutting
+             the exchange) must not kill the export outright: retry the
+             entropy fetch on a fresh client — a power cycle drops
+             sessions, and [get_random] needs none. Persistent failure
+             still fails closed below. *)
+          let rec entropy attempt =
+            match Client.get_random (Manager.hw_client mgr) ~length:16 with
+            | Error e when attempt < 3 && Client.transient e -> entropy (attempt + 1)
+            | r -> r
+          in
+          match entropy 0 with
           | Error e ->
               (* Fail closed: a session key must never be derivable from
                  the state it protects. *)

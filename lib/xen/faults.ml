@@ -24,6 +24,14 @@ type clazz =
   | Xenstore_transient (* XenStore op returns EAGAIN *)
   | Manager_crash (* vTPM manager domain dies mid-service *)
   | Wedged_instance (* a single vTPM instance hangs; manager stays up *)
+  (* Hardware-TPM fault domain: the one physical chip at the root of every
+     trust chain. Fired only by the manager's hardware transport, so
+     existing transport fault plans never see these draws. *)
+  | Hw_busy (* device returns TPM_RETRY; command not executed *)
+  | Hw_stall (* command executes but the response arrives past any deadline *)
+  | Hw_power_loss (* platform power cut mid-exchange: volatile state gone *)
+  | Hw_nv_corrupt (* at-rest NV bit rot in the space being accessed *)
+  | Hw_reset (* chip reset cycle: sessions dropped, command lost *)
 
 let all_classes =
   [
@@ -37,6 +45,11 @@ let all_classes =
     Xenstore_transient;
     Manager_crash;
     Wedged_instance;
+    Hw_busy;
+    Hw_stall;
+    Hw_power_loss;
+    Hw_nv_corrupt;
+    Hw_reset;
   ]
 
 let class_name = function
@@ -50,6 +63,11 @@ let class_name = function
   | Xenstore_transient -> "xenstore-transient"
   | Manager_crash -> "manager-crash"
   | Wedged_instance -> "wedged-instance"
+  | Hw_busy -> "hw-busy"
+  | Hw_stall -> "hw-stall"
+  | Hw_power_loss -> "hw-power-loss"
+  | Hw_nv_corrupt -> "hw-nv-corrupt"
+  | Hw_reset -> "hw-reset"
 
 type t = {
   seed : int;
@@ -57,10 +75,18 @@ type t = {
   mutable rates : (clazz * float) list;
   mutable armed : bool;
   counts : (clazz, int ref) Hashtbl.t;
+  scheduled : (clazz, int ref) Hashtbl.t; (* pending one-shot firings *)
 }
 
 let make ~seed ~rates ~armed =
-  { seed; rng = Vtpm_util.Rng.create ~seed; rates; armed; counts = Hashtbl.create 9 }
+  {
+    seed;
+    rng = Vtpm_util.Rng.create ~seed;
+    rates;
+    armed;
+    counts = Hashtbl.create 9;
+    scheduled = Hashtbl.create 4;
+  }
 
 let none () = make ~seed:0 ~rates:[] ~armed:false
 let create ?(seed = 1) ?(rates = []) () = make ~seed ~rates ~armed:true
@@ -87,18 +113,39 @@ let record t clazz =
   | Some r -> incr r
   | None -> Hashtbl.replace t.counts clazz (ref 1)
 
+(* Deterministic one-shot firings: the next [count] decisions for [clazz]
+   fire unconditionally, without touching the rng stream — so a drill can
+   hit an exact boundary (e.g. "the next NV write loses power") while the
+   rest of the seeded plan replays byte-identically. *)
+let schedule t ?(count = 1) clazz =
+  match Hashtbl.find_opt t.scheduled clazz with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.replace t.scheduled clazz (ref count)
+
+let scheduled t clazz =
+  match Hashtbl.find_opt t.scheduled clazz with Some r -> max 0 !r | None -> 0
+
+let clear_schedules t = Hashtbl.reset t.scheduled
+
 (* One injection decision. Classes at rate 0 (and disarmed injectors)
-   return false without drawing, so they leave the plan untouched. *)
+   return false without drawing, so they leave the plan untouched.
+   Scheduled one-shots fire first and never draw. *)
 let fire t clazz =
   if not t.armed then false
   else
-    let r = rate t clazz in
-    if r <= 0.0 then false
-    else if Vtpm_util.Rng.float t.rng < r then begin
-      record t clazz;
-      true
-    end
-    else false
+    match Hashtbl.find_opt t.scheduled clazz with
+    | Some r when !r > 0 ->
+        decr r;
+        record t clazz;
+        true
+    | _ ->
+        let r = rate t clazz in
+        if r <= 0.0 then false
+        else if Vtpm_util.Rng.float t.rng < r then begin
+          record t clazz;
+          true
+        end
+        else false
 
 (* Simulated delivery delay for a Delay_notify injection: 50..500 us,
    drawn from the plan stream. *)
@@ -119,6 +166,10 @@ let corrupt t s =
     done;
     Bytes.to_string b
   end
+
+(* Position and non-zero xor mask for an at-rest NV bit flip, drawn from
+   the plan stream (callers take the position modulo the space size). *)
+let byte_flip t = (Vtpm_util.Rng.int t.rng 4096, 1 + Vtpm_util.Rng.int t.rng 255)
 
 (* Cut the payload to a strictly shorter prefix. *)
 let truncate t s =

@@ -20,6 +20,16 @@ type clazz =
       (** a single vTPM instance stops answering; the manager domain stays
           up. Fired only by the supervisor's execution/probe path, so
           existing transport fault plans are unaffected. *)
+  | Hw_busy  (** hardware TPM returns TPM_RETRY; the command did not run *)
+  | Hw_stall
+      (** the command executes but the response arrives past any sane
+          deadline — the client cannot tell it from a failure, so a
+          retried counter bump may land twice *)
+  | Hw_power_loss
+      (** platform power cut mid-exchange: the chip's volatile state
+          (sessions) is gone and the command's fate is unknown *)
+  | Hw_nv_corrupt  (** at-rest bit rot in the NV space being accessed *)
+  | Hw_reset  (** chip reset cycle: sessions dropped, command lost *)
 
 val all_classes : clazz list
 val class_name : clazz -> string
@@ -46,14 +56,31 @@ val replay : t -> t
 (** Fresh injector with the same seed and rates: replays the plan from
     the start given the same call sequence. *)
 
+val schedule : t -> ?count:int -> clazz -> unit
+(** Arm [count] (default 1) deterministic one-shot firings: the next
+    [count] {!fire} decisions for the class fire unconditionally without
+    drawing from the stream, so a drill can hit an exact boundary while
+    the rest of the seeded plan replays byte-identically. *)
+
+val scheduled : t -> clazz -> int
+(** One-shot firings still pending for the class. *)
+
+val clear_schedules : t -> unit
+
 val fire : t -> clazz -> bool
-(** One injection decision; records it when it fires. *)
+(** One injection decision; records it when it fires. Scheduled one-shots
+    fire first and never draw. *)
 
 val delay_us : t -> float
 (** Simulated delivery delay for a [Delay_notify] injection (50–500 us). *)
 
 val corrupt : t -> string -> string
 (** Flip 1–3 bytes; at least one byte is guaranteed to change. *)
+
+val byte_flip : t -> int * int
+(** [(position, mask)] for an at-rest NV bit flip, drawn from the plan
+    stream; the mask is non-zero and the caller reduces the position
+    modulo the target size. *)
 
 val truncate : t -> string -> string
 (** Strictly shorter prefix ([""] for inputs of length <= 1). *)

@@ -73,6 +73,53 @@ let test_corrupt_and_truncate () =
   check_s "prefix" (String.sub s 0 (String.length t)) t;
   check_s "tiny to empty" "" (Faults.truncate f "x")
 
+(* Replay determinism over the mutation helpers: a replayed injector
+   reproduces the corrupt/truncate byte stream exactly, so a failing
+   hardware-fault schedule re-runs byte-for-byte. *)
+let test_replay_mutation_stream () =
+  let mutations f =
+    seq 50 (fun i ->
+        let s = Printf.sprintf "payload-%d-some-bytes-to-mutate" i in
+        (Faults.corrupt f s, Faults.truncate f s, Faults.byte_flip f))
+  in
+  let f = Faults.uniform ~seed:29 ~rate:0.5 in
+  let a = mutations f in
+  let b = mutations (Faults.replay f) in
+  check_b "byte-identical mutation stream" true (a = b);
+  let c = mutations (Faults.uniform ~seed:30 ~rate:0.5) in
+  check_b "different seed diverges" true (a <> c);
+  List.iter (fun (_, _, (_, mask)) -> check_b "flip mask nonzero" true (mask <> 0)) a
+
+(* One-shot schedules never draw from the seeded stream — arming a
+   hardware fault cannot shift the replay plan — and replay deliberately
+   does not copy them. *)
+let test_schedules_one_shot_and_off_plan () =
+  let plan f =
+    seq 100 (fun _ -> (Faults.fire f Faults.Hw_busy, Faults.corrupt f "plan-bytes"))
+  in
+  let scheduled_then_plan () =
+    let f = Faults.create ~seed:17 ~rates:[ (Faults.Hw_busy, 0.3) ] () in
+    Faults.schedule f Faults.Hw_nv_corrupt;
+    check_i "armed once" 1 (Faults.scheduled f Faults.Hw_nv_corrupt);
+    check_b "scheduled class fires" true (Faults.fire f Faults.Hw_nv_corrupt);
+    check_i "consumed" 0 (Faults.scheduled f Faults.Hw_nv_corrupt);
+    check_b "one-shot spent" false (Faults.fire f Faults.Hw_nv_corrupt);
+    plan f
+  in
+  let bare_plan () =
+    let f = Faults.create ~seed:17 ~rates:[ (Faults.Hw_busy, 0.3) ] () in
+    plan f
+  in
+  check_b "schedule does not shift the seeded plan" true (scheduled_then_plan () = bare_plan ());
+  let f = Faults.create ~seed:17 () in
+  Faults.schedule f ~count:3 Faults.Hw_reset;
+  check_i "count honoured" 3 (Faults.scheduled f Faults.Hw_reset);
+  let g = Faults.replay f in
+  check_i "replay drops schedules" 0 (Faults.scheduled g Faults.Hw_reset);
+  Faults.clear_schedules f;
+  check_i "cleared" 0 (Faults.scheduled f Faults.Hw_reset);
+  check_b "cleared class quiet" false (Faults.fire f Faults.Hw_reset)
+
 let test_counts_recorded () =
   let f = Faults.create ~seed:5 ~rates:[ (Faults.Xenstore_transient, 1.0) ] () in
   ignore (Faults.fire f Faults.Xenstore_transient);
@@ -155,6 +202,9 @@ let suite =
     Alcotest.test_case "replay" `Quick test_replay;
     Alcotest.test_case "zero-rate plan stable" `Quick test_zero_rate_plan_stable;
     Alcotest.test_case "corrupt and truncate" `Quick test_corrupt_and_truncate;
+    Alcotest.test_case "replay reproduces the mutation stream" `Quick test_replay_mutation_stream;
+    Alcotest.test_case "schedules are one-shot and off-plan" `Quick
+      test_schedules_one_shot_and_off_plan;
     Alcotest.test_case "counts recorded" `Quick test_counts_recorded;
     Alcotest.test_case "hv drop notify" `Quick test_hv_drop_notify;
     Alcotest.test_case "hv dup notify" `Quick test_hv_dup_notify;

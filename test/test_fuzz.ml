@@ -101,6 +101,30 @@ let test_seed_fixture () =
       check_b "seed trace detected tampering" true (r.Fuzz.tampers > 0);
       check_i "seed trace migrated" 1 r.Fuzz.migrations
 
+(* The anchor fixture: a schedule arming every hardware-TPM fault class
+   against legitimate anchor commits — the fault-domain regression
+   corpus. Replays clean and stays byte-stable. *)
+let test_anchor_fixture () =
+  let path = fixture_path "fuzz-anchor-001.trace" in
+  let contents = read_file path in
+  (match Fuzz.trace_of_string contents with
+  | Error e -> Alcotest.failf "fixture parse: %s" e
+  | Ok t ->
+      check_b "fixture re-serializes byte-for-byte" true
+        (String.equal (Fuzz.trace_to_string t) contents);
+      check_b "every hardware fault class armed" true
+        (List.sort_uniq compare
+           (List.filter_map
+              (fun (tag, arg) ->
+                if tag mod Fuzz.op_tags = 12 then Some (arg mod 5) else None)
+              t)
+        = [ 0; 1; 2; 3; 4 ]));
+  match Fuzz.replay ~seed:11 path with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok r ->
+      fail_violations "anchor trace" r;
+      check_b "hw faults were armed" true (r.Fuzz.attack_ops > 0)
+
 (* --- Bounded smoke soak (the @fuzz alias runs this suite) --------------------------- *)
 
 let test_smoke_soak () =
@@ -186,6 +210,8 @@ let suite =
     Alcotest.test_case "traces save and load" `Quick test_save_load;
     Alcotest.test_case "checked-in seed trace replays clean, byte-for-byte" `Quick
       test_seed_fixture;
+    Alcotest.test_case "anchor fixture arms every hw fault class, replays clean" `Quick
+      test_anchor_fixture;
     Alcotest.test_case "bounded soak: zero violations, attacks exercised" `Slow test_smoke_soak;
     Alcotest.test_case "revoke during batch drain: audited denial, no silent success" `Quick
       test_revoke_during_batch_drain;

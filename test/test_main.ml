@@ -11,6 +11,7 @@ let () =
       ("vtpm", Test_vtpm.suite);
       ("migration", Test_migration.suite);
       ("access", Test_access.suite);
+      ("anchor", Test_anchor.suite);
       ("attacks", Test_attacks.suite);
       ("fuzz", Test_fuzz.suite);
       ("overload", Test_overload.suite);

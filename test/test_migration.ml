@@ -282,7 +282,9 @@ let test_anchor_detects_stale_table () =
   let src = mk_manager ~seed:13 () in
   let dst = mk_manager ~seed:14 () in
   let fsrc = Freshness.create src and fdst = Freshness.create dst in
-  (match Freshness.anchor_setup fdst with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Freshness.anchor_setup fdst with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (Vtpm_util.Verror.to_string m));
   check_b "anchored" true (Freshness.anchored fdst);
   let inst = provisioned_instance src in
   let dest_key = Some (Migration.bind_pubkey dst) in
@@ -294,7 +296,9 @@ let test_anchor_detects_stale_table () =
   | Ok _ -> ()
   | Error m -> Alcotest.fail m);
   (* Live table matches the hardware anchor after the admit's commit. *)
-  (match Freshness.anchor_verify fdst with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Freshness.anchor_verify fdst with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (Vtpm_util.Verror.to_string m));
   (* Reloading the stale table fails closed... *)
   check_b "stale table refused" true (Result.is_error (Freshness.load_table fdst stale_table));
   (* ...and fails closed means fails safe: the replayed stream is still
