@@ -711,6 +711,106 @@ let run_fig12 () =
   if List.exists (fun (_, ok) -> not ok) checks then
     invalid_arg "hardware-TPM fault-domain invariant violated (see anchor checks above)"
 
+(* fig13/table9: lane placement and manager sharding. fig13 also runs the
+   cross-group flood drill and emits BENCH_PR9.json — the
+   throughput-vs-VMs series per placement policy, the drill rows and the
+   acceptance checks (>= 3x fixed-hash at 64 VMs, sharded curve still
+   rising at 256 VMs, 100% victim-group goodput under a 10x cross-group
+   flood) — so CI fails loudly if placement or isolation regresses. *)
+
+let run_table9 () =
+  let _, rendered = Vtpm_sim.Experiments.table9 () in
+  print_string rendered;
+  print_newline ()
+
+let run_fig13 () =
+  let open Vtpm_sim.Experiments in
+  let series, rendered = fig13 () in
+  print_string rendered;
+  print_newline ();
+  let rows, t9_rendered = table9 () in
+  print_string t9_rendered;
+  print_newline ();
+  let at x points = List.assoc_opt x points in
+  let ratio name x =
+    match (List.assoc_opt "fixed-hash 8-lane" series, List.assoc_opt name series) with
+    | Some f, Some s -> (
+        match (at x f, at x s) with
+        | Some tf, Some ts when tf > 0.0 -> Some (ts /. tf)
+        | _ -> None)
+    | _ -> None
+  in
+  let ws_64 = ratio "work-stealing" 64.0 in
+  let sh_64 = ratio "sharded" 64.0 in
+  let sharded_rising =
+    match List.assoc_opt "sharded" series with
+    | Some s -> (
+        match (at 128.0 s, at 256.0 s) with Some a, Some b -> b > a | _ -> false)
+    | None -> false
+  in
+  let row name = List.find_opt (fun r -> r.t9_config = name) rows in
+  let goodput name = match row name with Some r -> r.t9_victim_goodput_pct | None -> 0.0 in
+  let ge3 = function Some r -> r >= 3.0 | None -> false in
+  let checks =
+    [
+      ("placement_3x_fixed_at_64_vms", ge3 ws_64 || ge3 sh_64);
+      ("sharded_rising_at_256_vms", sharded_rising);
+      ("sharded_victim_goodput_100pct", goodput "sharded" >= 100.0);
+      ( "group_quota_caps_flooder",
+        match row "sharded+group-quota" with
+        | Some r -> r.t9_attacker_rejected > 0 && r.t9_victim_goodput_pct >= 100.0
+        | None -> false );
+    ]
+  in
+  List.iter
+    (fun (name, ok) -> say "shard check %-32s %s@." name (if ok then "PASS" else "FAIL"))
+    checks;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"pr\": 9,\n  \"figure\": \"fig13\",\n";
+  Buffer.add_string buf
+    "  \"unit\": \"simulated ops/s\",\n  \"x_label\": \"vms\",\n  \"series\": {\n";
+  List.iteri
+    (fun i (name, points) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: [" name);
+      List.iteri
+        (fun j (x, y) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "[%g, %.1f]" x y))
+        points;
+      Buffer.add_string buf (if i < List.length series - 1 then "],\n" else "]\n"))
+    series;
+  Buffer.add_string buf "  },\n";
+  let add_ratio name = function
+    | Some r -> Buffer.add_string buf (Printf.sprintf "  %S: %.2f,\n" name r)
+    | None -> Buffer.add_string buf (Printf.sprintf "  %S: null,\n" name)
+  in
+  add_ratio "work_stealing_vs_fixed_at_64_vms" ws_64;
+  add_ratio "sharded_vs_fixed_at_64_vms" sh_64;
+  Buffer.add_string buf "  \"table9\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"config\": %S, \"flood_x\": %d, \"victim_sent\": %d, \"victim_good\": %d, \
+            \"victim_goodput_pct\": %.1f, \"victim_p99_us\": %.1f, \"attacker_served\": %d, \
+            \"attacker_rejected\": %d}"
+           r.t9_config r.t9_flood_x r.t9_victim_sent r.t9_victim_good r.t9_victim_goodput_pct
+           r.t9_victim_p99_us r.t9_attacker_served r.t9_attacker_rejected);
+      Buffer.add_string buf (if i < List.length rows - 1 then ",\n" else "\n"))
+    rows;
+  Buffer.add_string buf "  ],\n  \"checks\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: %b" name ok);
+      Buffer.add_string buf (if i < List.length checks - 1 then ",\n" else "\n"))
+    checks;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text "BENCH_PR9.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  say "wrote BENCH_PR9.json@.";
+  if List.exists (fun (_, ok) -> not ok) checks then
+    invalid_arg "lane placement / shard isolation invariant violated (see shard checks above)"
+
 (* --- Driver ---------------------------------------------------------------------- *)
 
 let sections : (string * (unit -> unit)) list =
@@ -735,6 +835,8 @@ let sections : (string * (unit -> unit)) list =
     ("fig11", run_fig11);
     ("table8", run_table8);
     ("fig12", run_fig12);
+    ("table9", run_table9);
+    ("fig13", run_fig13);
     ("micro", run_micro);
   ]
 

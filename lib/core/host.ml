@@ -29,6 +29,9 @@ type t = {
   acm : Acm.t option; (* sHype-style coarse policy, improved mode only *)
   mutable guests : guest list;
   manager_token : string;
+  mutable group_of : (guest -> string) option;
+      (* sharding: when set, every guest (present and future) is assigned
+         to the vTPM group named by this function — see [enable_sharding] *)
 }
 
 let manager_process = "vtpm-manager"
@@ -67,6 +70,7 @@ let create ?(mode = Improved_mode) ?(seed = 1) ?(rsa_bits = 512) ?policy ?acm ()
     acm;
     guests = [];
     manager_token;
+    group_of = None;
   }
 
 let cost t = t.xen.Hypervisor.cost
@@ -76,6 +80,40 @@ let monitor_exn t =
   match t.monitor with
   | Some m -> m
   | None -> invalid_arg "host is in baseline mode; no monitor"
+
+(* --- Manager sharding (vTPM groups) ---------------------------------------- *)
+
+let assign_guest_group t (g : guest) label =
+  match Vtpm_mgr.Manager.find t.mgr g.vtpm_id with
+  | Ok inst -> ignore (Vtpm_mgr.Manager.assign_group t.mgr inst ~label)
+  | Error _ -> ()
+
+(* Shard the manager by vTPM group: install a group registry (group =
+   tenant = shard, each with its own lane pool), assign every present and
+   future guest by [group_of] (default: the guest domain's security
+   label), and redirect each frontend's per-request serial residue onto
+   its shard lane — each replica runs its own frontend, so one shard's
+   transport work does not serialize the others. Everything here is
+   opt-in: a host that never calls this is byte-identical to the seed. *)
+let enable_sharding t ?placement ?lanes_per_shard ?group_of () =
+  let registry = Vtpm_mgr.Group.create ?placement ?lanes_per_shard () in
+  Vtpm_mgr.Manager.set_shards t.mgr (Some registry);
+  let label_of =
+    match group_of with
+    | Some f -> f
+    | None -> fun (g : guest) -> (Hypervisor.domain_exn t.xen g.domid).Domain.label
+  in
+  t.group_of <- Some label_of;
+  List.iter (fun g -> assign_guest_group t g (label_of g)) (List.rev t.guests);
+  Vtpm_mgr.Driver.set_lane_sink t.backend (fun fe_domid ->
+      match Vtpm_mgr.Manager.route_for_domid t.mgr fe_domid with
+      | Some (group_id, inst) when group_id <> 0 ->
+          let vtpm_id = inst.Vtpm_mgr.Manager.vtpm_id in
+          Some (fun us -> Vtpm_mgr.Manager.charge_lane t.mgr ~vtpm_id us)
+      | _ -> None);
+  registry
+
+let sharded t = t.group_of <> None
 
 (* --- Guest lifecycle --------------------------------------------------------- *)
 
@@ -139,6 +177,9 @@ let create_guest t ~name ~label ?(kernel = "vmlinuz-5.x-tenant") () : (guest, st
               | Ok conn ->
                   let g = { domid; name; vtpm_id; conn } in
                   t.guests <- g :: t.guests;
+                  (match t.group_of with
+                  | Some f -> assign_guest_group t g (f g)
+                  | None -> ());
                   Ok g)))))
 
 let create_guest_exn t ~name ~label ?kernel () =

@@ -27,6 +27,10 @@ type t = {
   acm : Acm.t option;  (** sHype coarse policy, improved mode only *)
   mutable guests : guest list;
   manager_token : string;
+  mutable group_of : (guest -> string) option;
+      (** sharding: when set, every guest (present and future) is
+          assigned to the vTPM group named by this function — see
+          {!enable_sharding} *)
 }
 
 val manager_process : string
@@ -39,6 +43,25 @@ val now_us : t -> float
 
 val monitor_exn : t -> Monitor.t
 (** @raise Invalid_argument in baseline mode. *)
+
+(** {1 Manager sharding (vTPM groups)} *)
+
+val enable_sharding :
+  t ->
+  ?placement:Vtpm_util.Cost.Lanes.placement ->
+  ?lanes_per_shard:int ->
+  ?group_of:(guest -> string) ->
+  unit ->
+  Vtpm_mgr.Group.t
+(** Shard the manager by vTPM group (group = tenant = shard, each with
+    its own lane pool, quota scope and audit stream tag): installs a
+    group registry, assigns every present and future guest by
+    [group_of] (default: the guest domain's security label), and
+    redirects each frontend's per-request serial residue onto its shard
+    lane. Opt-in: a host that never calls this is byte-identical to the
+    seed. *)
+
+val sharded : t -> bool
 
 (** {1 Guest lifecycle} *)
 

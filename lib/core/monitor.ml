@@ -56,6 +56,9 @@ type t = {
       (* opt-in: generation-tagged caching for guarded policies *)
   mutable audit_enabled : bool;
   mutable quota : Quota.t option; (* None: no rate limiting *)
+  group_quotas : (int, Quota.t) Hashtbl.t;
+      (* per-vTPM-group token buckets: a grouped tenant's burst drains
+         only its own bucket; empty = no group limiting (seed behavior) *)
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
       (* None: requests execute directly on the manager *)
   mutable freshness : Vtpm_mgr.Freshness.t option;
@@ -83,6 +86,7 @@ let create ~(xen : Hypervisor.t) ~(mgr : Vtpm_mgr.Manager.t) ?(policy = Policy.d
     guard_cache_enabled = false;
     audit_enabled = true;
     quota = None;
+    group_quotas = Hashtbl.create 8;
     supervisor = None;
     freshness = None;
     stats =
@@ -263,6 +267,9 @@ let stats t = t.stats
    lane order. *)
 let lane_stats t = Vtpm_mgr.Manager.lane_stats t.mgr
 
+(* Per-shard view when the manager is sharded: one entry per vTPM group. *)
+let shard_stats t = Vtpm_mgr.Manager.shard_stats t.mgr
+
 let reset_stats t =
   let s = t.stats in
   s.lookups <- 0;
@@ -400,6 +407,47 @@ let quota_ok t subject =
       if not ok then t.stats.throttled <- t.stats.throttled + 1;
       ok
 
+let set_group_quota t ~group_id ~rate_per_s ~burst =
+  Hashtbl.replace t.group_quotas group_id
+    (Quota.create ~rate_per_s ~burst ~cost:t.xen.Hypervisor.cost ())
+
+let clear_group_quota t ~group_id = Hashtbl.remove t.group_quotas group_id
+
+(* Group rate-limit check: the routed instance's whole group shares one
+   bucket, admitted under a synthetic per-group subject so tenants never
+   drain each other's tokens. An empty table (the default) changes
+   nothing. *)
+let group_quota_ok t vtpm_id =
+  Hashtbl.length t.group_quotas = 0
+  ||
+  let gid =
+    match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+    | Ok inst -> inst.Vtpm_mgr.Manager.group_id
+    | Error _ -> 0
+  in
+  gid = 0
+  ||
+  match Hashtbl.find_opt t.group_quotas gid with
+  | None -> true
+  | Some q ->
+      let ok = Quota.admit q (Subject.Dom0_process (Printf.sprintf "group-%d" gid)) in
+      if not ok then t.stats.throttled <- t.stats.throttled + 1;
+      ok
+
+(* Sharded hosts tag every audited wire decision with the routed
+   instance's group, giving each tenant a filterable audit stream. The
+   empty suffix on unsharded hosts keeps seed audit lines byte-identical. *)
+let group_suffix t vtpm_id =
+  match Vtpm_mgr.Manager.shards t.mgr with
+  | None -> ""
+  | Some _ -> (
+      match Vtpm_mgr.Manager.find t.mgr vtpm_id with
+      | Error _ -> ""
+      | Ok inst -> (
+          match Vtpm_mgr.Manager.shard_of t.mgr inst with
+          | None -> ""
+          | Some s -> ";" ^ Vtpm_mgr.Group.audit_tag s))
+
 (* --- The wire-request router (installed into the vTPM backend) ----------- *)
 
 let router t : Vtpm_mgr.Driver.router =
@@ -421,17 +469,23 @@ let router t : Vtpm_mgr.Driver.router =
           (* A claimed id that disagrees with the binding is noise at best,
              an attack at worst; route by binding either way and log. *)
           let mismatch = claimed_instance <> b.Binding.vtpm_id in
+          let gtag = group_suffix t b.Binding.vtpm_id in
           match decide t ~subject ~ordinal ~binding:(Some b) with
           | Policy.Deny, reason ->
               audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
-                ~allowed:false ~reason;
+                ~allowed:false ~reason:(reason ^ gtag);
               Error (Printf.sprintf "policy denied %s (%s)" op_name reason)
           | Policy.Allow, _ when not (quota_ok t subject) ->
               audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
-                ~allowed:false ~reason:"rate-limited";
+                ~allowed:false ~reason:("rate-limited" ^ gtag);
               Error (Printf.sprintf "rate limit exceeded for %s" (Subject.to_string subject))
+          | Policy.Allow, _ when not (group_quota_ok t b.Binding.vtpm_id) ->
+              audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
+                ~allowed:false ~reason:("group-rate-limited" ^ gtag);
+              Error (Printf.sprintf "group rate limit exceeded for %s" (Subject.to_string subject))
           | Policy.Allow, reason -> (
               let reason = if mismatch then reason ^ ";claimed-id-mismatch" else reason in
+              let reason = reason ^ gtag in
               audit_and_count t ~subject ~operation:op_name ~instance:(Some b.Binding.vtpm_id)
                 ~allowed:true ~reason;
               (* A PCR-mutating command changes what the measurement gate

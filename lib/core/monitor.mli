@@ -51,6 +51,7 @@ type t = {
   mutable guard_cache_enabled : bool;
   mutable audit_enabled : bool;
   mutable quota : Quota.t option;
+  group_quotas : (int, Quota.t) Hashtbl.t;
   mutable supervisor : Vtpm_mgr.Supervisor.t option;
   mutable freshness : Vtpm_mgr.Freshness.t option;
   stats : stats;
@@ -99,6 +100,15 @@ val set_quota : t -> rate_per_s:float -> burst:float -> unit
 (** Enable token-bucket rate limiting for all mediated requests. *)
 
 val clear_quota : t -> unit
+
+val set_group_quota : t -> group_id:int -> rate_per_s:float -> burst:float -> unit
+(** Token-bucket rate limiting scoped to one vTPM group (sharded hosts):
+    the group's members share a single bucket, admitted under a synthetic
+    per-group subject, so one tenant's flood can exhaust only its own
+    group's tokens. Checked after the per-subject quota; refusals audit
+    as ["group-rate-limited"]. No buckets installed = seed behaviour. *)
+
+val clear_group_quota : t -> group_id:int -> unit
 
 val set_supervisor : t -> Vtpm_mgr.Supervisor.t -> unit
 (** Route execution through a supervisor: circuit breaker, quarantine +
@@ -160,6 +170,11 @@ val reset_stats : t -> unit
 val lane_stats : t -> (int * float) array
 (** Per execution lane of the manager's pool: commands executed and busy
     microseconds, in lane order. *)
+
+val shard_stats : t -> (int * string * int * (int * float) array) list
+(** Per vTPM group when the manager is sharded: (group id, label,
+    members, per-lane stats of the shard's pool), ordered by group id;
+    empty on unsharded hosts. *)
 
 (** {1 Decision core (exposed for benchmarks)} *)
 

@@ -1848,3 +1848,247 @@ let fig12 ?(batches = [ 16; 64; 256; 1024 ]) ?(seed = 83) () : fig12_point list 
       ~x_label:"backlog size" ~series
   in
   (points, rendered)
+
+(* --- fig13 / table9: lane placement and manager sharding (PR 9) --------------
+
+   Figure 9's compiled index and generation cache cure the monitor's
+   O(rules) residue, yet the curve still flatlines: every request pays
+   the transport/audit residue on the one global meter, and the fixed
+   hash pins each instance to [key mod lanes] forever, so hot instances
+   pile onto cold lanes' neighbours while idle lanes stay idle. Figure 13
+   re-runs fig9's best configuration (1024 guarded rules, index + gen
+   cache, same hosts/seeds/op budget) across placement policies and the
+   sharded manager: fixed-hash at the seed's 8 lanes, least-loaded and
+   work-stealing with one lane per VM, and group-per-tenant shards whose
+   private frontends absorb the serial residue. *)
+
+let fig13 ?(vm_counts = [ 8; 16; 32; 64; 128; 256 ]) ?(rules = 1024) ?(fixed_lanes = 8)
+    ?(total_ops = 1920) () : (string * (float * float) list) list * string =
+  let series_for configure =
+    List.map
+      (fun n ->
+        let host, tenants =
+          Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n ~seed:(50 + n) ()
+        in
+        let monitor = Host.monitor_exn host in
+        Monitor.set_policy monitor (Policy.synthetic_guarded ~n:rules);
+        Monitor.set_index_enabled monitor true;
+        Monitor.set_guard_cache_enabled monitor true;
+        configure host n;
+        let ops_per_tenant = max 1 (total_ops / n) in
+        let r = Workload.run host ~tenants ~mix:Workload.mixed ~ops_per_tenant () in
+        (float_of_int n, r.Workload.throughput_ops_s))
+      vm_counts
+  in
+  let fixed host _n = Vtpm_mgr.Manager.set_lanes host.Host.mgr fixed_lanes in
+  let least_loaded host n =
+    Vtpm_mgr.Manager.set_lanes ~placement:Vtpm_util.Cost.Lanes.Least_loaded host.Host.mgr n
+  in
+  let work_stealing host n =
+    Vtpm_mgr.Manager.set_lanes ~placement:Vtpm_util.Cost.Lanes.Work_stealing host.Host.mgr n
+  in
+  (* Two lanes per shard: with a single lane the pool's earliest-free
+     lane is the lane itself, so every exec drags the shared meter to its
+     own finish and the shards serialize through it — an artifact of the
+     one-meter simulation, not of sharding. A second lane keeps
+     [earliest_free] behind the busy lane and lets each shard's horizon
+     grow independently; elapsed time is then the slowest shard's
+     makespan, which is what a per-replica frontend would see. *)
+  let sharded host _n = ignore (Host.enable_sharding host ~lanes_per_shard:2 ()) in
+  let series =
+    [
+      (Printf.sprintf "fixed-hash %d-lane" fixed_lanes, series_for fixed);
+      ("least-loaded", series_for least_loaded);
+      ("work-stealing", series_for work_stealing);
+      ("sharded", series_for sharded);
+    ]
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        (Printf.sprintf
+           "Figure 13: aggregate vTPM throughput (simulated ops/s) vs number of VMs by lane \
+            placement, %d-rule guarded policy with index + gen-cache (improved mode)"
+           rules)
+      ~x_label:"vms" ~series
+  in
+  (series, rendered)
+
+(* --- table9: tenant isolation under a cross-group flood ----------------------
+
+   The sharded counterpart of table5: one tenant floods its own vTPM at
+   [flood_x] times a victim's rate, with no quota and no admission
+   control — the single-manager host lets the flood serialize on the
+   global meter and the victims' goodput collapses; the sharded host
+   confines the flood to the noisy group's own lanes and frontend, so
+   the quiet group never sees it. A per-group quota on the noisy group
+   additionally caps how much of its own lanes the flooder may burn. *)
+
+type table9_row = {
+  t9_config : string;
+  t9_flood_x : int;
+  t9_victim_sent : int;
+  t9_victim_good : int;  (** served OK within the deadline *)
+  t9_victim_goodput_pct : float;
+  t9_victim_p99_us : float;
+  t9_attacker_served : int;
+  t9_attacker_rejected : int;  (** group-quota denials at service time *)
+}
+
+let shard_drill ~sharded ~flood_x ?(victims = 3) ?(victim_period_us = 3_000.0)
+    ?(victim_ops = 200) ?(deadline_us = 10_000.0) ?group_quota_rate ~seed () : table9_row =
+  let open Vtpm_mgr in
+  let host = Host.create ~mode:Host.Improved_mode ~seed ~rsa_bits:256 () in
+  let m = Host.monitor_exn host in
+  let cost = Host.cost host in
+  Monitor.set_audit_cap m (Some 4096);
+  let victim_guests =
+    List.init victims (fun i ->
+        Host.create_guest_exn host
+          ~name:(Printf.sprintf "victim%d" i)
+          ~label:(Printf.sprintf "tenant_%02d" i) ())
+  in
+  let attacker = Host.create_guest_exn host ~name:"flooder" ~label:"tenant_99" () in
+  if sharded then begin
+    let registry =
+      Host.enable_sharding host ~lanes_per_shard:2
+        ~group_of:(fun (g : Host.guest) ->
+          if g.Host.domid = attacker.Host.domid then "noisy" else "quiet")
+        ()
+    in
+    match group_quota_rate with
+    | None -> ()
+    | Some rate -> (
+        match Group.find_label registry "noisy" with
+        | Some s -> Monitor.set_group_quota m ~group_id:s.Group.group_id ~rate_per_s:rate ~burst:30.0
+        | None -> invalid_arg "shard_drill: noisy group missing")
+  end;
+  let extend_wire i =
+    Vtpm_tpm.Wire.encode_request
+      (Vtpm_tpm.Cmd.Extend { pcr = 10; digest = Vtpm_crypto.Sha1.digest (string_of_int i) })
+  in
+  let read_wire = Vtpm_tpm.Wire.encode_request (Vtpm_tpm.Cmd.Pcr_read { pcr = 10 }) in
+  let t0 = Vtpm_util.Cost.now cost in
+  let arrivals =
+    let victim_stream i (g : Host.guest) =
+      List.init victim_ops (fun k ->
+          let at =
+            t0
+            +. (victim_period_us *. float_of_int (i + 1) /. float_of_int (victims + 1))
+            +. (victim_period_us *. float_of_int k)
+          in
+          (at, g, (if k mod 4 = 0 then extend_wire ((i * victim_ops) + k) else read_wire), false))
+    in
+    let attacker_stream =
+      let period = victim_period_us /. float_of_int flood_x in
+      List.init (victim_ops * flood_x) (fun k ->
+          (t0 +. 50.0 +. (period *. float_of_int k), attacker, extend_wire (100_000 + k), true))
+    in
+    List.concat (attacker_stream :: List.mapi victim_stream victim_guests)
+    |> List.stable_sort (fun (a, g1, _, _) (b, g2, _, _) ->
+           match Float.compare a b with
+           | 0 -> Stdlib.compare g1.Host.domid g2.Host.domid
+           | c -> c)
+    |> Array.of_list
+  in
+  let n = Array.length arrivals in
+  let backend = host.Host.backend in
+  let vm = Metrics.create () in
+  let victim_good = ref 0 in
+  let attacker_served = ref 0 and attacker_rejected = ref 0 in
+  let i = ref 0 in
+  let admit_due () =
+    while
+      !i < n
+      &&
+      let at, _, _, _ = arrivals.(!i) in
+      at <= Vtpm_util.Cost.now cost
+    do
+      let at, g, wire, _ = arrivals.(!i) in
+      incr i;
+      match Driver.submit backend g.Host.conn ~wire ~arrival_us:at ~deadline_us () with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Vtpm_util.Verror.to_string e)
+    done
+  in
+  while !i < n || Driver.queued_total backend > 0 do
+    (if Driver.queued_total backend = 0 then
+       let at, _, _, _ = arrivals.(!i) in
+       Vtpm_util.Cost.advance_to cost at);
+    admit_due ();
+    match Driver.pump_batch backend with
+    | `Idle -> ()
+    | `Served served ->
+        List.iter
+          (fun (s : Driver.serviced) ->
+            let latency = s.Driver.s_done_us -. s.Driver.s_arrival_us in
+            let ok =
+              match s.Driver.s_outcome with
+              | Ok o -> o.Driver.status = Proto.Ok_routed
+              | Error _ -> false
+            in
+            if s.Driver.s_domid = attacker.Host.domid then begin
+              if ok then incr attacker_served else incr attacker_rejected
+            end
+            else begin
+              Metrics.add vm latency;
+              if ok && latency <= deadline_us then incr victim_good
+            end)
+          served
+  done;
+  Manager.sync_lanes host.Host.mgr;
+  let victim_sent = victims * victim_ops in
+  {
+    t9_config =
+      (if not sharded then "single-manager"
+       else if group_quota_rate <> None then "sharded+group-quota"
+       else "sharded");
+    t9_flood_x = flood_x;
+    t9_victim_sent = victim_sent;
+    t9_victim_good = !victim_good;
+    t9_victim_goodput_pct = float_of_int !victim_good /. float_of_int victim_sent *. 100.0;
+    t9_victim_p99_us = (Metrics.summarize vm).Metrics.p99;
+    t9_attacker_served = !attacker_served;
+    t9_attacker_rejected = !attacker_rejected;
+  }
+
+let table9 ?(flood_x = 10) ?(victim_ops = 200) () : table9_row list * string =
+  let rows =
+    [
+      shard_drill ~sharded:false ~flood_x ~victim_ops ~seed:61 ();
+      shard_drill ~sharded:true ~flood_x ~victim_ops ~seed:61 ();
+      shard_drill ~sharded:true ~flood_x ~victim_ops ~group_quota_rate:400.0 ~seed:61 ();
+    ]
+  in
+  let rendered =
+    Table.render
+      ~title:
+        (Printf.sprintf
+           "Table 9: victim-group goodput under a %dx cross-group flood (3 victims, %d ops \
+            each, 10 ms deadline, seed 61)"
+           flood_x victim_ops)
+      ~header:
+        [
+          "config";
+          "victim sent";
+          "victim good";
+          "goodput %";
+          "victim p99 (us)";
+          "attacker served";
+          "attacker rejected";
+        ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+             r.t9_config;
+             string_of_int r.t9_victim_sent;
+             string_of_int r.t9_victim_good;
+             Printf.sprintf "%.1f" r.t9_victim_goodput_pct;
+             Printf.sprintf "%.0f" r.t9_victim_p99_us;
+             string_of_int r.t9_attacker_served;
+             string_of_int r.t9_attacker_rejected;
+           ])
+         rows)
+  in
+  (rows, rendered)

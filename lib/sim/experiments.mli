@@ -304,3 +304,52 @@ val fig12 : ?batches:int list -> ?seed:int -> unit -> fig12_point list * string
     Merkle-batched commit anchoring the whole backlog with per-entry
     inclusion proofs. The batched path must be at least an order of
     magnitude faster from modest backlog sizes on. *)
+
+val fig13 :
+  ?vm_counts:int list ->
+  ?rules:int ->
+  ?fixed_lanes:int ->
+  ?total_ops:int ->
+  unit ->
+  (string * (float * float) list) list * string
+(** Lane placement and manager sharding at scale: fig9's best
+    configuration (guarded policy, index + gen-cache) re-run with
+    fixed-hash placement at the seed's 8 lanes, least-loaded and
+    work-stealing placement at one lane per VM, and group-per-tenant
+    manager shards whose private frontends absorb the per-request serial
+    residue. The fixed-hash series flatlines; work-stealing or sharding
+    must clear 3x its 64-VM throughput, with the sharded curve still
+    rising at 256 VMs. *)
+
+type table9_row = {
+  t9_config : string;
+  t9_flood_x : int;
+  t9_victim_sent : int;
+  t9_victim_good : int;  (** served OK within the deadline *)
+  t9_victim_goodput_pct : float;
+  t9_victim_p99_us : float;
+  t9_attacker_served : int;
+  t9_attacker_rejected : int;  (** group-quota denials at service time *)
+}
+
+val shard_drill :
+  sharded:bool ->
+  flood_x:int ->
+  ?victims:int ->
+  ?victim_period_us:float ->
+  ?victim_ops:int ->
+  ?deadline_us:float ->
+  ?group_quota_rate:float ->
+  seed:int ->
+  unit ->
+  table9_row
+(** One tenant floods its own vTPM at [flood_x] times a victim's rate
+    with no admission control. Unsharded, the flood serializes on the
+    global meter and victim goodput collapses; sharded, it is confined
+    to the noisy group's own lanes and frontend, leaving the quiet
+    group's goodput at 100%. [group_quota_rate] additionally installs a
+    per-group token bucket on the noisy group. *)
+
+val table9 : ?flood_x:int -> ?victim_ops:int -> unit -> table9_row list * string
+(** The cross-group flood drill: single-manager vs sharded vs sharded
+    with a noisy-group quota, as one table. *)

@@ -44,14 +44,37 @@ val with_redirect : t -> (float -> unit) -> (unit -> 'a) -> 'a
 module Lanes : sig
   type pool
 
-  val create : int -> pool
-  (** [create n] builds an [n]-lane pool; raises [Invalid_argument] if
-      [n < 1]. *)
+  (** Placement policy for mapping instance keys onto lanes.
+
+      - [Fixed_hash] is the seed model, byte for byte: [key mod count],
+        no per-key state. Hot instances can skew onto one lane.
+      - [Least_loaded] places a key on the lane with the minimum horizon
+        at first touch, then keeps it sticky, so one instance's commands
+        stay serial on its home lane.
+      - [Work_stealing] starts like [Least_loaded] but lets an idler lane
+        steal a whole instance between charges when doing so starts the
+        next charge strictly earlier. Per-instance FIFO order is
+        preserved: a migrated charge never starts before the instance's
+        previous completion. *)
+  type placement = Fixed_hash | Least_loaded | Work_stealing
+
+  val placement_name : placement -> string
+
+  val create : ?placement:placement -> int -> pool
+  (** [create n] builds an [n]-lane pool ([Fixed_hash] unless [placement]
+      says otherwise); raises [Invalid_argument] if [n < 1]. *)
 
   val count : pool -> int
+  val placement : pool -> placement
+
+  val steals : pool -> int
+  (** Instances migrated between lanes so far (always 0 unless the pool
+      uses [Work_stealing]). *)
 
   val lane_for : pool -> key:int -> int
-  (** Fixed deterministic assignment: [key mod count]. *)
+  (** Current lane for [key]: the fixed [key mod count] under
+      [Fixed_hash], the key's sticky home (or the lane a first touch
+      would pick) under the dynamic policies. *)
 
   val exec : pool -> t -> key:int -> float -> float
   (** [exec pool meter ~key us] executes a command of cost [us] on the
@@ -63,6 +86,12 @@ module Lanes : sig
 
   val stats : pool -> (int * float) array
   (** Per lane: commands executed and total busy microseconds. *)
+
+  val horizons : pool -> float array
+  (** Per lane: current busy-until horizon, microseconds. *)
+
+  val max_horizon : pool -> float
+  (** Largest busy-until horizon across the pool (0 when idle). *)
 end
 
 (** {1 Transport} *)

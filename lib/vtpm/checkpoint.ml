@@ -132,12 +132,21 @@ let restore_instance (t : t) ~vtpm_id : (unit, string) result =
       match load_entry t e with
       | Error m -> Error m
       | Ok engine ->
+          (* Group membership survives the restore: the replacement record
+             inherits the live instance's shard, so recovery work keeps
+             landing on the right lane pool. *)
+          let group_id =
+            match Hashtbl.find_opt t.mgr.Manager.instances e.vtpm_id with
+            | Some live -> live.Manager.group_id
+            | None -> 0
+          in
           let inst =
             {
               Manager.vtpm_id = e.vtpm_id;
               engine;
               state = Manager.Active;
               bound_domid = e.bound_domid;
+              group_id;
               created_at = Vtpm_util.Cost.now t.mgr.Manager.cost;
             }
           in
@@ -173,12 +182,18 @@ let restore_all (t : t) : (int, string) result =
         match load_entry t e with
         | Error m -> Error m
         | Ok engine ->
+            let group_id =
+              match Hashtbl.find_opt t.mgr.Manager.instances e.vtpm_id with
+              | Some live -> live.Manager.group_id
+              | None -> 0
+            in
             let inst =
               {
                 Manager.vtpm_id = e.vtpm_id;
                 engine;
                 state = Manager.Active;
                 bound_domid = e.bound_domid;
+                group_id;
                 created_at = Vtpm_util.Cost.now t.mgr.Manager.cost;
               }
             in

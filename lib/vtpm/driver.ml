@@ -97,6 +97,11 @@ type backend = {
   mutable on_backpressure : backpressure -> Domain.domid -> unit;
   rr_last : (Domain.domid, int) Hashtbl.t; (* round-robin: last service seq *)
   mutable rr_seq : int;
+  mutable fifo_rotor : Domain.domid;
+      (* naive-pick rotation point: on exact arrival-time ties the pick
+         favors the first domid at/after the rotor (cyclically), and the
+         rotor advances past each served domid — so tied frontends share
+         service instead of the lowest domid winning every round *)
   mutable batch : int; (* max requests drained per frontend per round *)
   mutable on_batch : Domain.domid -> int -> unit; (* multi-request drains *)
   (* Transport-integrity validation (off = the trusting 2006 backend):
@@ -108,6 +113,12 @@ type backend = {
   mutable validate_transport : bool;
   mutable on_transport_tamper : Domain.domid -> string -> unit;
   mutable transport_tampers : int;
+  mutable lane_sink : Domain.domid -> (float -> unit) option;
+      (* per-request residue redirection: when this yields a sink for the
+         serving frontend, the whole exchange (ring trip, XenStore reads,
+         backoffs) charges the sink instead of the global meter — modeling
+         a per-shard frontend whose transport work runs on its replica.
+         The default (fun _ -> None) keeps charges byte-identical. *)
 }
 
 let vtpm_fe_path fe = Printf.sprintf "/local/domain/%d/device/vtpm/0" fe
@@ -130,11 +141,13 @@ let create_backend ?resilience ~xen ~be_domid ~router () =
     on_backpressure = (fun _ _ -> ());
     rr_last = Hashtbl.create 16;
     rr_seq = 0;
+    fifo_rotor = 0;
     batch = 1;
     on_batch = (fun _ _ -> ());
     validate_transport = false;
     on_transport_tamper = (fun _ _ -> ());
     transport_tampers = 0;
+    lane_sink = (fun _ -> None);
   }
 
 let set_validate_transport (backend : backend) v = backend.validate_transport <- v
@@ -570,30 +583,49 @@ let request_resilient (backend : backend) (conn : connection) ~wire ~(r : resili
 (* [ring_charge] is the transport cost of reaching the backend: a full
    round trip for a standalone request or the first of a batch, the
    amortised slot cost for the rest of a drained batch. *)
+let set_lane_sink (backend : backend) f = backend.lane_sink <- f
+
 let request_charged (backend : backend) (conn : connection) ~(wire : string) ~ring_charge :
     (outcome, Vtpm_util.Verror.t) result =
+  let cost = backend.xen.Hypervisor.cost in
+  (* The exchange proper: transport charge plus the fail-fast or resilient
+     protocol. When [lane_sink] yields a sink for this frontend, the whole
+     serial residue of the exchange (ring trip, XenStore reads, monitor
+     and audit work — everything that goes through [Cost.charge]) is
+     re-homed onto the frontend's lane instead of the global meter: each
+     shard replica runs its own frontend, so one shard's transport work
+     does not serialize every other shard. Lane executions themselves
+     ([Lanes.exec]) are untouched. *)
+  let exchange () =
+    Vtpm_util.Cost.charge cost ring_charge;
+    match backend.resilience with
+    | None -> request_failfast backend conn ~wire
+    | Some r -> request_resilient backend conn ~wire ~r
+  in
+  let exchange () =
+    match backend.lane_sink conn.fe_domid with
+    | None -> exchange ()
+    | Some sink ->
+        let spent = ref 0.0 in
+        let result =
+          Vtpm_util.Cost.with_redirect cost (fun us -> spent := !spent +. us) exchange
+        in
+        if !spent > 0.0 then sink !spent;
+        result
+  in
   (* Transport guard before the exchange: a tampered ring grant fails the
      in-flight operation with an audited denial rather than running the
      request over an adversary-controlled page. The link is torn; a
      resilient frontend's next request reconnects with a fresh grant. *)
   if backend.validate_transport && conn.connected then begin
     match transport_ok backend conn with
-    | Ok () ->
-        Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
-        (match backend.resilience with
-        | None -> request_failfast backend conn ~wire
-        | Some r -> request_resilient backend conn ~wire ~r)
+    | Ok () -> exchange ()
     | Error reason ->
         transport_tamper backend conn reason;
         conn.connected <- false;
         Vtpm_util.Verror.denied "transport integrity: %s" reason
   end
-  else begin
-    Vtpm_util.Cost.charge backend.xen.Hypervisor.cost ring_charge;
-    match backend.resilience with
-    | None -> request_failfast backend conn ~wire
-    | Some r -> request_resilient backend conn ~wire ~r
-  end
+  else exchange ()
 
 let request_with_info (backend : backend) (conn : connection) ~(wire : string) :
     (outcome, Vtpm_util.Verror.t) result =
@@ -725,14 +757,23 @@ let pump_batched (backend : backend) ~batch : [ `Idle | `Served of serviced list
   | Some _ -> Hashtbl.iter (fun _ q -> shed_stale backend q ~now) backend.queues
   | None -> ());
   let fifo_pick () =
+    (* Earliest arrival first. Exact arrival ties are ranked by cyclic
+       distance from the rotor (first domid at/after it wins, wrapping),
+       not by raw domid: the rotor advances past each served frontend, so
+       tied frontends share service round-robin. Ranking by domid alone
+       let a persistently-full low-domid frontend win every tie and
+       starve the rest. *)
+    let rank domid =
+      if domid >= backend.fifo_rotor then (0, domid) else (1, domid)
+    in
     Hashtbl.fold
       (fun domid q best ->
         match Queue.peek_opt q with
         | None -> best
         | Some h -> (
             match best with
-            | Some (bd, (bh : queued), _) when (bh.arrival_us, bd) <= (h.arrival_us, domid)
-              ->
+            | Some (bd, (bh : queued), _)
+              when (bh.arrival_us, rank bd) <= (h.arrival_us, rank domid) ->
                 best
             | _ -> Some (domid, h, q)))
       backend.queues None
@@ -761,6 +802,7 @@ let pump_batched (backend : backend) ~batch : [ `Idle | `Served of serviced list
          round, and the batch bound applies to every frontend alike. *)
       backend.rr_seq <- backend.rr_seq + 1;
       Hashtbl.replace backend.rr_last domid backend.rr_seq;
+      backend.fifo_rotor <- domid + 1;
       let first = serve_entry backend domid h ~ring_charge:Vtpm_util.Cost.ring_round_trip_us in
       let rec drain n acc =
         if n >= batch then acc

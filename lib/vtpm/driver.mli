@@ -76,6 +76,10 @@ type backend = {
   rr_last : (Vtpm_xen.Domain.domid, int) Hashtbl.t;
       (** round-robin bookkeeping: last service sequence per frontend *)
   mutable rr_seq : int;
+  mutable fifo_rotor : Vtpm_xen.Domain.domid;
+      (** naive-pick rotation point: exact arrival-time ties favor the
+          first domid at/after the rotor (cyclically); advances past each
+          served frontend so tied frontends share service *)
   mutable batch : int;  (** max requests drained per frontend per round *)
   mutable on_batch : Vtpm_xen.Domain.domid -> int -> unit;
       (** audit hook: the monitor records multi-request batch drains *)
@@ -86,6 +90,11 @@ type backend = {
       (** audit hook: the monitor logs detected transport tampering as a
           denial against the affected frontend *)
   mutable transport_tampers : int;  (** violations detected so far *)
+  mutable lane_sink : Vtpm_xen.Domain.domid -> (float -> unit) option;
+      (** per-request residue redirection: when this yields a sink for
+          the serving frontend, the exchange's serial residue (ring
+          trip, XenStore reads, monitor/audit work) charges the sink
+          instead of the global meter — see {!set_lane_sink} *)
 }
 
 val vtpm_fe_path : Vtpm_xen.Domain.domid -> string
@@ -107,6 +116,16 @@ val set_on_transport_tamper : backend -> (Vtpm_xen.Domain.domid -> string -> uni
     grant, corrupted producer index, injected frame). *)
 
 val transport_tamper_count : backend -> int
+
+val set_lane_sink : backend -> (Vtpm_xen.Domain.domid -> (float -> unit) option) -> unit
+(** Install the per-frontend residue sink used by sharded hosts: every
+    charge the exchange makes through [Cost.charge] (ring round trip,
+    XenStore reads, monitor and audit bookkeeping) accumulates and lands
+    on the sink — typically the frontend instance's shard lane — instead
+    of serializing on the global meter, modeling one frontend replica
+    per shard. Lane executions ({!Vtpm_util.Cost.Lanes.exec}) are
+    unaffected. The default [(fun _ -> None)] keeps every charge
+    byte-identical to the seed. *)
 
 val publish_device :
   xen:Vtpm_xen.Hypervisor.t -> fe:Vtpm_xen.Domain.domid -> be:Vtpm_xen.Domain.domid ->

@@ -1,0 +1,51 @@
+(** vTPM groups: the shard boundary for manager replication.
+
+    Mirrors the vTPM {e group} concept of xen-vtpmmgr (each group owns
+    its own AIK/SAA and one tenant's vTPMs): a group = one tenant = one
+    manager shard. Each shard owns a private lane pool — one tenant's
+    flood can only queue on its own lanes — plus a quota scope (enforced
+    by {!Vtpm_access.Monitor}) and an audit stream tag. *)
+
+type shard = {
+  group_id : int;  (** registry-assigned, > 0 (0 means "ungrouped") *)
+  label : string;  (** tenant label; also the audit stream tag *)
+  pool : Vtpm_util.Cost.Lanes.pool;  (** this shard's private lane pool *)
+  mutable members : int;  (** live instances assigned to this group *)
+}
+
+type t
+
+val create :
+  ?placement:Vtpm_util.Cost.Lanes.placement -> ?lanes_per_shard:int -> unit -> t
+(** Fresh registry. [placement] (default [Least_loaded]) and
+    [lanes_per_shard] (default 1) apply to every shard pool it mints;
+    raises [Invalid_argument] if [lanes_per_shard < 1]. *)
+
+val placement : t -> Vtpm_util.Cost.Lanes.placement
+val lanes_per_shard : t -> int
+
+val intern : t -> label:string -> shard
+(** Shard for a tenant label, minted on first sight. Ids are dense and
+    assigned in intern order, so a run's shard layout is deterministic. *)
+
+val find : t -> int -> shard option
+val find_label : t -> string -> shard option
+
+val shards : t -> shard list
+(** All shards, sorted by group id. *)
+
+val count : t -> int
+
+val audit_tag : shard -> string
+(** Audit stream tag (["group:<label>"]), appended to audit reasons of
+    requests routed through the shard. *)
+
+val sync : t -> Vtpm_util.Cost.t -> unit
+(** Drain every shard pool into the meter: elapsed time over a sharded
+    burst is the max horizon across all shards. *)
+
+val stats : t -> (int * string * int * (int * float) array) list
+(** Per shard: group id, label, members, per-lane (executed, busy_us). *)
+
+val steals : t -> int
+(** Total lane steals across all shard pools. *)

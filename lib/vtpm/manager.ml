@@ -16,12 +16,15 @@ type instance = {
   engine : Engine.t;
   mutable state : instance_state;
   mutable bound_domid : Vtpm_xen.Domain.domid option;
+  mutable group_id : int; (* owning vTPM group/shard; 0 = ungrouped *)
   created_at : float; (* simulated time *)
 }
 
 type t = {
   instances : (int, instance) Hashtbl.t;
-  domid_index : (Vtpm_xen.Domain.domid, int) Hashtbl.t; (* domid -> vtpm_id *)
+  domid_index : (Vtpm_xen.Domain.domid, int * int) Hashtbl.t;
+      (* domid -> (group_id, vtpm_id): one lookup routes a frontend to
+         both its shard and its instance *)
   mutable next_id : int;
   hw_tpm : Engine.t; (* the physical TPM under the manager *)
   hw_srk_auth : string;
@@ -31,6 +34,10 @@ type t = {
   mutable seed : int;
   creation_seed : int; (* seed at [create] time; never bumped *)
   mutable lanes : Vtpm_util.Cost.Lanes.pool;
+  mutable shards : Group.t option;
+      (* vTPM group registry: when set, grouped instances execute on
+         their shard's private lane pool instead of [lanes]. None (the
+         default) keeps every charge byte-identical to the seed. *)
   mutable hw_faults : Vtpm_xen.Faults.t option;
       (* hardware-TPM fault injector consulted by [hw_transport]; None
          (the default) keeps the transport byte-identical to the seed *)
@@ -71,21 +78,98 @@ let create ?(rsa_bits = 512) ~seed ~(cost : Vtpm_util.Cost.t) () =
     seed;
     creation_seed = seed;
     lanes = Vtpm_util.Cost.Lanes.create 1;
+    shards = None;
     hw_faults = None;
     hw_ops = 0;
     hw_power_cycles = 0;
   }
 
-(* --- Execution lanes ----------------------------------------------------- *)
+(* --- Execution lanes and shard routing ------------------------------------ *)
 
-let set_lanes t n = t.lanes <- Vtpm_util.Cost.Lanes.create n
+(* The pool an instance executes on: its shard's private pool when it
+   belongs to a registered group, the manager-wide pool otherwise. *)
+let pool_for t (inst : instance) =
+  match t.shards with
+  | Some g when inst.group_id <> 0 -> (
+      match Group.find g inst.group_id with
+      | Some s -> s.Group.pool
+      | None -> t.lanes)
+  | _ -> t.lanes
+
+let pool_for_id t vtpm_id =
+  match Hashtbl.find_opt t.instances vtpm_id with
+  | Some inst -> pool_for t inst
+  | None -> t.lanes
+
+(* Replacing the pool mid-run must not rewind simulated time: drain the
+   old pool's in-flight horizons into the meter first, so work already
+   dispatched stays paid for (the fresh lanes then start from [now]). *)
+let set_lanes ?placement t n =
+  Vtpm_util.Cost.Lanes.sync t.lanes t.cost;
+  t.lanes <- Vtpm_util.Cost.Lanes.create ?placement n
+
 let lane_count t = Vtpm_util.Cost.Lanes.count t.lanes
-let lane_of t ~vtpm_id = Vtpm_util.Cost.Lanes.lane_for t.lanes ~key:vtpm_id
-let lane_stats t = Vtpm_util.Cost.Lanes.stats t.lanes
-let sync_lanes t = Vtpm_util.Cost.Lanes.sync t.lanes t.cost
+let lane_of t ~vtpm_id = Vtpm_util.Cost.Lanes.lane_for (pool_for_id t vtpm_id) ~key:vtpm_id
+let lane_placement t = Vtpm_util.Cost.Lanes.placement t.lanes
+let lane_steals t = Vtpm_util.Cost.Lanes.steals t.lanes
+
+(* True when re-homing work onto the instance's own lane changes anything:
+   its pool can overlap work, or it executes on a shard pool (where even a
+   single lane must not leak charges onto the global meter). The
+   supervisor keys lane-aware recovery off this, per instance. *)
+let parallel_for t ~vtpm_id =
+  match Hashtbl.find_opt t.instances vtpm_id with
+  | Some inst ->
+      let grouped =
+        match t.shards with Some _ -> inst.group_id <> 0 | None -> false
+      in
+      grouped || Vtpm_util.Cost.Lanes.count (pool_for t inst) > 1
+  | None -> Vtpm_util.Cost.Lanes.count t.lanes > 1
+
+let sync_lanes t =
+  Vtpm_util.Cost.Lanes.sync t.lanes t.cost;
+  match t.shards with Some g -> Group.sync g t.cost | None -> ()
+
+(* Self-syncing: drain in-flight horizons first so stats can never show a
+   meter that lags the pool. The drain only advances [now]; executed
+   counts and busy_us are untouched. *)
+let lane_stats t =
+  sync_lanes t;
+  Vtpm_util.Cost.Lanes.stats t.lanes
 
 let charge_lane t ~vtpm_id us =
-  ignore (Vtpm_util.Cost.Lanes.exec t.lanes t.cost ~key:vtpm_id us)
+  ignore (Vtpm_util.Cost.Lanes.exec (pool_for_id t vtpm_id) t.cost ~key:vtpm_id us)
+
+(* --- Shard (vTPM group) management ---------------------------------------- *)
+
+let set_shards t g = t.shards <- g
+let shards t = t.shards
+
+let shard_of t (inst : instance) =
+  match t.shards with
+  | Some g when inst.group_id <> 0 -> Group.find g inst.group_id
+  | _ -> None
+
+let shard_stats t = match t.shards with Some g -> Group.stats g | None -> []
+
+(* Move an instance into the group for [label] (minting the shard on
+   first sight) and keep the domid routing index in step. Requires
+   [set_shards]; grouping without a registry is a programming error. *)
+let assign_group t (inst : instance) ~label =
+  match t.shards with
+  | None -> invalid_arg "Manager.assign_group: sharding is not enabled"
+  | Some g ->
+      (match Group.find g inst.group_id with
+      | Some old when old.Group.group_id <> 0 ->
+          old.Group.members <- old.Group.members - 1
+      | _ -> ());
+      let s = Group.intern g ~label in
+      inst.group_id <- s.Group.group_id;
+      s.Group.members <- s.Group.members + 1;
+      (match inst.bound_domid with
+      | Some d -> Hashtbl.replace t.domid_index d (inst.group_id, inst.vtpm_id)
+      | None -> ());
+      s
 
 let find t vtpm_id : (instance, Vtpm_util.Verror.t) result =
   match Hashtbl.find_opt t.instances vtpm_id with
@@ -105,6 +189,7 @@ let create_instance t : instance =
       engine;
       state = Active;
       bound_domid = None;
+      group_id = 0;
       created_at = Vtpm_util.Cost.now t.cost;
     }
   in
@@ -120,16 +205,18 @@ let create_instance t : instance =
 
 let drop_index_entry t (inst : instance) =
   match inst.bound_domid with
-  | Some d when Hashtbl.find_opt t.domid_index d = Some inst.vtpm_id ->
-      Hashtbl.remove t.domid_index d
-  | _ -> ()
+  | Some d -> (
+      match Hashtbl.find_opt t.domid_index d with
+      | Some (_, id) when id = inst.vtpm_id -> Hashtbl.remove t.domid_index d
+      | _ -> ())
+  | None -> ()
 
 (* A domid routes to exactly one instance: whoever held it before loses
    the binding, so the index and the per-instance records cannot drift
    into claiming the same frontend twice. *)
 let evict_holder t domid ~(except : int) =
   match Hashtbl.find_opt t.domid_index domid with
-  | Some other_id when other_id <> except -> (
+  | Some (_, other_id) when other_id <> except -> (
       Hashtbl.remove t.domid_index domid;
       match Hashtbl.find_opt t.instances other_id with
       | Some other -> other.bound_domid <- None
@@ -140,30 +227,51 @@ let bind_domid t (inst : instance) domid =
   evict_holder t domid ~except:inst.vtpm_id;
   drop_index_entry t inst;
   inst.bound_domid <- Some domid;
-  Hashtbl.replace t.domid_index domid inst.vtpm_id
+  Hashtbl.replace t.domid_index domid (inst.group_id, inst.vtpm_id)
 
 let unbind_domid t (inst : instance) =
   drop_index_entry t inst;
   inst.bound_domid <- None
 
+let release_member t (inst : instance) =
+  match t.shards with
+  | Some g when inst.group_id <> 0 -> (
+      match Group.find g inst.group_id with
+      | Some s -> s.Group.members <- max 0 (s.Group.members - 1)
+      | None -> ())
+  | _ -> ()
+
+let count_member t (inst : instance) =
+  match t.shards with
+  | Some g when inst.group_id <> 0 -> (
+      match Group.find g inst.group_id with
+      | Some s -> s.Group.members <- s.Group.members + 1
+      | None -> ())
+  | _ -> ()
+
 (* Install (or replace) an instance record wholesale — the restore path
    used by checkpoint/migration/state-resume, which rebuild records rather
-   than mutate live ones. Keeps the index in step with the incoming
-   binding. *)
+   than mutate live ones. Keeps the index (and shard membership) in step
+   with the incoming record. *)
 let install_instance t (inst : instance) =
   (match Hashtbl.find_opt t.instances inst.vtpm_id with
-  | Some old -> drop_index_entry t old
+  | Some old ->
+      drop_index_entry t old;
+      release_member t old
   | None -> ());
+  count_member t inst;
   Hashtbl.replace t.instances inst.vtpm_id inst;
   match inst.bound_domid with
   | Some d ->
       evict_holder t d ~except:inst.vtpm_id;
-      Hashtbl.replace t.domid_index d inst.vtpm_id
+      Hashtbl.replace t.domid_index d (inst.group_id, inst.vtpm_id)
   | None -> ()
 
 let destroy_instance t vtpm_id =
   (match Hashtbl.find_opt t.instances vtpm_id with
-  | Some inst -> drop_index_entry t inst
+  | Some inst ->
+      drop_index_entry t inst;
+      release_member t inst
   | None -> ());
   Hashtbl.remove t.instances vtpm_id
 
@@ -177,7 +285,10 @@ let is_wedged (inst : instance) = inst.state = Wedged
    what lets sealed checkpoints restore afterwards. *)
 let crash t =
   Hashtbl.reset t.instances;
-  Hashtbl.reset t.domid_index
+  Hashtbl.reset t.domid_index;
+  match t.shards with
+  | Some g -> List.iter (fun s -> s.Group.members <- 0) (Group.shards g)
+  | None -> ()
 
 let instances t =
   Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
@@ -186,7 +297,17 @@ let instances t =
 let instance_for_domid t domid =
   match Hashtbl.find_opt t.domid_index domid with
   | None -> None
-  | Some vtpm_id -> Hashtbl.find_opt t.instances vtpm_id
+  | Some (_, vtpm_id) -> Hashtbl.find_opt t.instances vtpm_id
+
+(* O(1) frontend routing, shard-aware: one index lookup yields both the
+   owning group (0 when unsharded) and the instance. *)
+let route_for_domid t domid =
+  match Hashtbl.find_opt t.domid_index domid with
+  | None -> None
+  | Some (group_id, vtpm_id) -> (
+      match Hashtbl.find_opt t.instances vtpm_id with
+      | Some inst -> Some (group_id, inst)
+      | None -> None)
 
 (* Simulated execution cost of a TPM command, charged per dispatch. *)
 let command_cost ordinal =
@@ -215,11 +336,11 @@ let execute_wire t (inst : instance) ~(wire : string) : (string, Vtpm_util.Verro
     match Wire.decode_request wire with
     | exception Wire.Malformed m -> Vtpm_util.Verror.bad_request "%s" m
     | req ->
-        (* Execute on the instance's lane: same-instance commands stay
-           strictly ordered (fixed lane, FIFO dispatch); different
+        (* Execute on the instance's lane (its shard's pool when grouped):
+           same-instance commands stay strictly ordered; different
            instances on different lanes overlap in simulated time. *)
         ignore
-          (Vtpm_util.Cost.Lanes.exec t.lanes t.cost ~key:inst.vtpm_id
+          (Vtpm_util.Cost.Lanes.exec (pool_for t inst) t.cost ~key:inst.vtpm_id
              (command_cost (Cmd.ordinal req)));
         let resp = Engine.execute inst.engine ~locality:0 req in
         Ok (Wire.encode_response resp))

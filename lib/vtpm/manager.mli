@@ -14,15 +14,17 @@ type instance = {
   engine : Vtpm_tpm.Engine.t;
   mutable state : instance_state;
   mutable bound_domid : Vtpm_xen.Domain.domid option;
+  mutable group_id : int;  (** owning vTPM group/shard; 0 = ungrouped *)
   created_at : float;  (** simulated time *)
 }
 
 type t = {
   instances : (int, instance) Hashtbl.t;
-  domid_index : (Vtpm_xen.Domain.domid, int) Hashtbl.t;
-      (** [bound_domid] mirror: domid -> vtpm_id, maintained by
-          {!bind_domid}/{!unbind_domid}/{!install_instance}/
-          {!destroy_instance}/{!crash} *)
+  domid_index : (Vtpm_xen.Domain.domid, int * int) Hashtbl.t;
+      (** [bound_domid] mirror: domid -> (group_id, vtpm_id), maintained
+          by {!bind_domid}/{!unbind_domid}/{!install_instance}/
+          {!destroy_instance}/{!crash}/{!assign_group} — one O(1) lookup
+          routes a frontend to both its shard and its instance *)
   mutable next_id : int;
   hw_tpm : Vtpm_tpm.Engine.t;  (** the physical TPM under the manager *)
   hw_srk_auth : string;
@@ -32,6 +34,10 @@ type t = {
   mutable seed : int;
   creation_seed : int;  (** seed at [create] time; never bumped *)
   mutable lanes : Vtpm_util.Cost.Lanes.pool;
+  mutable shards : Group.t option;
+      (** vTPM group registry: when set, grouped instances execute on
+          their shard's private lane pool instead of [lanes]; [None]
+          (the default) keeps every charge byte-identical to the seed *)
   mutable hw_faults : Vtpm_xen.Faults.t option;
       (** hardware-TPM fault injector consulted by {!hw_transport};
           [None] (the default) keeps the transport byte-identical *)
@@ -56,29 +62,70 @@ val destroy_instance : t -> int -> unit
 (** {1 Execution lanes}
 
     A configurable pool of simulated worker lanes on the shared cost
-    meter. Instances map to lanes by the fixed assignment
-    [vtpm_id mod lanes], so a run's lane schedule is deterministic;
-    commands for the same instance stay strictly ordered while different
+    meter. Instances map to lanes by the pool's placement policy (the
+    default [Fixed_hash] is the seed's [vtpm_id mod lanes]); commands
+    for the same instance stay strictly ordered while different
     instances on different lanes overlap in simulated time. The default
-    single lane reproduces the serial manager bit-exactly. *)
+    single lane reproduces the serial manager bit-exactly. When a shard
+    registry is installed ({!set_shards}), grouped instances execute on
+    their shard's private pool instead. *)
 
-val set_lanes : t -> int -> unit
-(** Replace the lane pool with [n] fresh lanes; raises [Invalid_argument]
-    if [n < 1]. *)
+val set_lanes : ?placement:Vtpm_util.Cost.Lanes.placement -> t -> int -> unit
+(** Replace the manager-wide pool with [n] fresh lanes (default
+    placement [Fixed_hash]); raises [Invalid_argument] if [n < 1]. The
+    outgoing pool's in-flight horizons are drained into the meter first,
+    so a mid-run swap cannot lose simulated time already dispatched. *)
 
 val lane_count : t -> int
+(** Lanes in the manager-wide pool. *)
+
 val lane_of : t -> vtpm_id:int -> int
+(** Current lane of the instance, within its own pool (shard pool when
+    grouped). *)
+
+val lane_placement : t -> Vtpm_util.Cost.Lanes.placement
+val lane_steals : t -> int
+
+val parallel_for : t -> vtpm_id:int -> bool
+(** True when re-homing work onto the instance's own lane changes
+    anything: its pool (shard pool when grouped) has more than one lane,
+    or it is grouped at all — a shard must not leak charges onto the
+    global meter even with a single lane. *)
 
 val lane_stats : t -> (int * float) array
-(** Per lane: commands executed and total busy microseconds. *)
+(** Per lane of the manager-wide pool: commands executed and total busy
+    microseconds. Self-syncing: in-flight horizons are drained into the
+    meter first, so the numbers can never lag the pool. *)
 
 val sync_lanes : t -> unit
-(** Advance the meter past all in-flight lane work (elapsed = max over
-    lanes); call before reading elapsed time at the end of a workload. *)
+(** Advance the meter past all in-flight lane work, shard pools
+    included (elapsed = max over lanes); call before reading elapsed
+    time at the end of a workload. *)
 
 val charge_lane : t -> vtpm_id:int -> float -> unit
 (** Charge non-command work (degraded reads, restarts) to the instance's
-    lane instead of the global meter. *)
+    lane — in its shard's pool when grouped — instead of the global
+    meter. *)
+
+(** {1 vTPM groups (manager shards)} *)
+
+val set_shards : t -> Group.t option -> unit
+(** Install (or remove) the group registry. [None] — the default — keeps
+    every instance on the manager-wide pool, byte-identical to the
+    seed. *)
+
+val shards : t -> Group.t option
+
+val assign_group : t -> instance -> label:string -> Group.shard
+(** Move an instance into the group for [label] (minting the shard on
+    first sight), updating membership counts and the domid routing
+    index. Raises [Invalid_argument] when no registry is installed. *)
+
+val shard_of : t -> instance -> Group.shard option
+(** The instance's shard, when sharding is enabled and it is grouped. *)
+
+val shard_stats : t -> (int * string * int * (int * float) array) list
+(** Per shard: group id, label, members, per-lane (executed, busy_us). *)
 
 (** {1 Domain binding}
 
@@ -105,6 +152,10 @@ val crash : t -> unit
 
 val instances : t -> instance list
 val instance_for_domid : t -> Vtpm_xen.Domain.domid -> instance option
+
+val route_for_domid : t -> Vtpm_xen.Domain.domid -> (int * instance) option
+(** O(1) shard-aware frontend routing: (group_id, instance) for a bound
+    domid, group_id 0 when unsharded. *)
 
 val command_cost : int -> float
 (** Simulated execution cost of a TPM ordinal. *)

@@ -245,7 +245,7 @@ let quarantine_and_restart t (e : entry) =
           emit t e Restart
       | Error _ -> () (* stays Quarantined; the next trip retries *)
     in
-    if Manager.lane_count t.mgr > 1 then begin
+    if Manager.parallel_for t.mgr ~vtpm_id:e.vtpm_id then begin
       let cost = t.mgr.Manager.cost in
       let spent = ref 0.0 in
       Vtpm_util.Cost.with_redirect cost (fun us -> spent := !spent +. us) run_recovery;

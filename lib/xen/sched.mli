@@ -52,6 +52,24 @@ val tick_n : t -> slice_us:float -> n:int -> Domain.domid list
     slice of wall time (the lanes run concurrently). [tick_n ~n:1]
     accounts like {!tick}. *)
 
+val pick_grouped :
+  t -> group_of:(Domain.domid -> int) -> lanes_per_group:int -> Domain.domid list
+(** The runnable domains a sharded manager would serve this step: up to
+    [lanes_per_group] per group (as classified by [group_of]), taken in
+    the same credit-descending, domid tie-break order as {!pick_n} —
+    one group's backlog never throttles another's lanes. Charges
+    nothing. @raise Invalid_argument if [lanes_per_group < 1]. *)
+
+val tick_grouped :
+  t ->
+  slice_us:float ->
+  group_of:(Domain.domid -> int) ->
+  lanes_per_group:int ->
+  Domain.domid list
+(** Sharded parallel step: charge each of {!pick_grouped}'s domains a
+    full slice while the accounting period advances by one slice of wall
+    time (the shards run concurrently). *)
+
 val shares : t -> total_us:float -> slice_us:float -> (Domain.domid * float) list
 (** Run for [total_us] and report each domain's fraction of granted
     time. *)

@@ -17,5 +17,6 @@ let () =
       ("overload", Test_overload.suite);
       ("sim", Test_sim.suite);
       ("perf", Test_perf.suite);
+      ("shard", Test_shard.suite);
       ("integration", Test_integration.suite);
     ]
