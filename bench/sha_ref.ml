@@ -1,0 +1,323 @@
+(* Frozen copies of the pre-overhaul Int32-based SHA-1/SHA-256 (the
+   implementations this PR replaced), kept only as benchmark references so
+   the before/after ratio in BENCH_PR10.json is measured in the same
+   process on the same machine, immune to box-speed drift between
+   sessions. Not part of the library; correctness is cross-checked against
+   the live implementations in the harness below. *)
+
+
+module Sha1_ref = struct
+  (* SHA-1 (FIPS 180-4). TPM 1.2 is specified over SHA-1: PCRs are 20-byte
+     SHA-1 digests and all authorization HMACs use it, so the repo carries its
+     own implementation (no crypto library is vendored in this environment).
+
+     Implemented over int32 words with an incremental context so large vTPM
+     state images can be hashed in streaming fashion. *)
+
+  type ctx = {
+    mutable h0 : int32;
+    mutable h1 : int32;
+    mutable h2 : int32;
+    mutable h3 : int32;
+    mutable h4 : int32;
+    buf : Bytes.t; (* pending partial block *)
+    mutable buf_len : int;
+    mutable total : int64; (* total message bytes *)
+  }
+
+  let digest_size = 20
+  let block_size = 64
+
+  let init () =
+    {
+      h0 = 0x67452301l;
+      h1 = 0xEFCDAB89l;
+      h2 = 0x98BADCFEl;
+      h3 = 0x10325476l;
+      h4 = 0xC3D2E1F0l;
+      buf = Bytes.create block_size;
+      buf_len = 0;
+      total = 0L;
+    }
+
+  let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+  let w = Array.make 80 0l
+
+  let process_block ctx (block : Bytes.t) off =
+    for i = 0 to 15 do
+      let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
+      w.(i) <-
+        Int32.logor
+          (Int32.shift_left (b 0) 24)
+          (Int32.logor
+             (Int32.shift_left (b 1) 16)
+             (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    done;
+    for i = 16 to 79 do
+      w.(i) <- rotl32 (Int32.logxor (Int32.logxor w.(i - 3) w.(i - 8)) (Int32.logxor w.(i - 14) w.(i - 16))) 1
+    done;
+    let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
+    let d = ref ctx.h3 and e = ref ctx.h4 in
+    for i = 0 to 79 do
+      let f, k =
+        if i < 20 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+        else if i < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+        else if i < 60 then
+          ( Int32.logor
+              (Int32.logand !b !c)
+              (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+            0x8F1BBCDCl )
+        else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+      in
+      let temp = Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(i) in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := temp
+    done;
+    ctx.h0 <- Int32.add ctx.h0 !a;
+    ctx.h1 <- Int32.add ctx.h1 !b;
+    ctx.h2 <- Int32.add ctx.h2 !c;
+    ctx.h3 <- Int32.add ctx.h3 !d;
+    ctx.h4 <- Int32.add ctx.h4 !e
+
+  let feed ctx (s : string) =
+    ctx.total <- Int64.add ctx.total (Int64.of_int (String.length s));
+    let pos = ref 0 and len = String.length s in
+    (* Fill any pending partial block first. *)
+    if ctx.buf_len > 0 then begin
+      let take = min (block_size - ctx.buf_len) len in
+      Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+      ctx.buf_len <- ctx.buf_len + take;
+      pos := take;
+      if ctx.buf_len = block_size then begin
+        process_block ctx ctx.buf 0;
+        ctx.buf_len <- 0
+      end
+    end;
+    while len - !pos >= block_size do
+      Bytes.blit_string s !pos ctx.buf 0 block_size;
+      process_block ctx ctx.buf 0;
+      pos := !pos + block_size
+    done;
+    if len - !pos > 0 then begin
+      Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+      ctx.buf_len <- len - !pos
+    end
+
+  (* Pad directly into the pending block: one compression (two when the
+     length field does not fit) instead of per-byte [feed] round-trips. *)
+  let finalize ctx =
+    let bit_len = Int64.mul ctx.total 8L in
+    let n = ctx.buf_len in
+    Bytes.set ctx.buf n '\x80';
+    if n >= 56 then begin
+      Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
+      process_block ctx ctx.buf 0;
+      Bytes.fill ctx.buf 0 56 '\x00'
+    end
+    else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
+    for i = 0 to 7 do
+      Bytes.set ctx.buf (56 + i)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
+    done;
+    process_block ctx ctx.buf 0;
+    ctx.buf_len <- 0;
+    let out = Bytes.create digest_size in
+    let put i (v : int32) =
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j)
+          (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * (3 - j))) land 0xff))
+      done
+    in
+    put 0 ctx.h0;
+    put 1 ctx.h1;
+    put 2 ctx.h2;
+    put 3 ctx.h3;
+    put 4 ctx.h4;
+    Bytes.unsafe_to_string out
+
+  let reset ctx =
+    ctx.h0 <- 0x67452301l;
+    ctx.h1 <- 0xEFCDAB89l;
+    ctx.h2 <- 0x98BADCFEl;
+    ctx.h3 <- 0x10325476l;
+    ctx.h4 <- 0xC3D2E1F0l;
+    ctx.buf_len <- 0;
+    ctx.total <- 0L
+
+  (* One-shot digests reuse a module-level scratch context, so the hot path
+     allocates only the 20-byte result. Safe: [digest] never nests (the
+     module is already serialized by the shared message schedule [w]). *)
+  let scratch = lazy (init ())
+
+  let digest (s : string) : string =
+    let ctx = Lazy.force scratch in
+    reset ctx;
+    feed ctx s;
+    finalize ctx
+
+
+end
+
+module Sha256_ref = struct
+  (* SHA-256 (FIPS 180-4). Used for the hash-chained audit log and for the
+     state-sealing MAC, where a longer digest than TPM 1.2's SHA-1 is
+     appropriate. Incremental API mirroring [Sha1]. *)
+
+  type ctx = {
+    h : int32 array; (* 8 words of chaining state *)
+    buf : Bytes.t;
+    mutable buf_len : int;
+    mutable total : int64;
+  }
+
+  let digest_size = 32
+  let block_size = 64
+
+  let k =
+    [|
+      0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+      0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+      0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+      0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+      0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+      0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+      0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+      0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+      0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+      0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+      0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+    |]
+
+  let iv =
+    [|
+      0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+      0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+    |]
+
+  let init () = { h = Array.copy iv; buf = Bytes.create block_size; buf_len = 0; total = 0L }
+
+  let rotr32 x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+  let shr32 x n = Int32.shift_right_logical x n
+  let w = Array.make 64 0l
+
+  let process_block ctx (block : Bytes.t) off =
+    for i = 0 to 15 do
+      let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
+      w.(i) <-
+        Int32.logor
+          (Int32.shift_left (b 0) 24)
+          (Int32.logor
+             (Int32.shift_left (b 1) 16)
+             (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    done;
+    for i = 16 to 63 do
+      let s0 =
+        Int32.logxor (rotr32 w.(i - 15) 7) (Int32.logxor (rotr32 w.(i - 15) 18) (shr32 w.(i - 15) 3))
+      in
+      let s1 =
+        Int32.logxor (rotr32 w.(i - 2) 17) (Int32.logxor (rotr32 w.(i - 2) 19) (shr32 w.(i - 2) 10))
+      in
+      w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    done;
+    let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
+    let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+    for i = 0 to 63 do
+      let s1 = Int32.logxor (rotr32 !e 6) (Int32.logxor (rotr32 !e 11) (rotr32 !e 25)) in
+      let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+      let temp1 = Int32.add (Int32.add (Int32.add !hh s1) (Int32.add ch k.(i))) w.(i) in
+      let s0 = Int32.logxor (rotr32 !a 2) (Int32.logxor (rotr32 !a 13) (rotr32 !a 22)) in
+      let maj =
+        Int32.logxor (Int32.logand !a !b) (Int32.logxor (Int32.logand !a !c) (Int32.logand !b !c))
+      in
+      let temp2 = Int32.add s0 maj in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := Int32.add !d temp1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := Int32.add temp1 temp2
+    done;
+    ctx.h.(0) <- Int32.add ctx.h.(0) !a;
+    ctx.h.(1) <- Int32.add ctx.h.(1) !b;
+    ctx.h.(2) <- Int32.add ctx.h.(2) !c;
+    ctx.h.(3) <- Int32.add ctx.h.(3) !d;
+    ctx.h.(4) <- Int32.add ctx.h.(4) !e;
+    ctx.h.(5) <- Int32.add ctx.h.(5) !f;
+    ctx.h.(6) <- Int32.add ctx.h.(6) !g;
+    ctx.h.(7) <- Int32.add ctx.h.(7) !hh
+
+  let feed ctx (s : string) =
+    ctx.total <- Int64.add ctx.total (Int64.of_int (String.length s));
+    let pos = ref 0 and len = String.length s in
+    if ctx.buf_len > 0 then begin
+      let take = min (block_size - ctx.buf_len) len in
+      Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+      ctx.buf_len <- ctx.buf_len + take;
+      pos := take;
+      if ctx.buf_len = block_size then begin
+        process_block ctx ctx.buf 0;
+        ctx.buf_len <- 0
+      end
+    end;
+    while len - !pos >= block_size do
+      Bytes.blit_string s !pos ctx.buf 0 block_size;
+      process_block ctx ctx.buf 0;
+      pos := !pos + block_size
+    done;
+    if len - !pos > 0 then begin
+      Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+      ctx.buf_len <- len - !pos
+    end
+
+  (* Pad directly into the pending block: one compression (two when the
+     length field does not fit) instead of per-byte [feed] round-trips. *)
+  let finalize ctx =
+    let bit_len = Int64.mul ctx.total 8L in
+    let n = ctx.buf_len in
+    Bytes.set ctx.buf n '\x80';
+    if n >= 56 then begin
+      Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
+      process_block ctx ctx.buf 0;
+      Bytes.fill ctx.buf 0 56 '\x00'
+    end
+    else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
+    for i = 0 to 7 do
+      Bytes.set ctx.buf (56 + i)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
+    done;
+    process_block ctx ctx.buf 0;
+    ctx.buf_len <- 0;
+    let out = Bytes.create digest_size in
+    for i = 0 to 7 do
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j)
+          (Char.chr (Int32.to_int (Int32.shift_right_logical ctx.h.(i) (8 * (3 - j))) land 0xff))
+      done
+    done;
+    Bytes.unsafe_to_string out
+
+  let reset ctx =
+    Array.blit iv 0 ctx.h 0 8;
+    ctx.buf_len <- 0;
+    ctx.total <- 0L
+
+  (* One-shot digests reuse a module-level scratch context, so the hot path
+     allocates only the 32-byte result. Safe: [digest] never nests (the
+     module is already serialized by the shared message schedule [w]). *)
+  let scratch = lazy (init ())
+
+  let digest (s : string) : string =
+    let ctx = Lazy.force scratch in
+    reset ctx;
+    feed ctx s;
+    finalize ctx
+
+
+end

@@ -50,6 +50,7 @@ let create ~cost =
    before each variable field, the raw 32-byte previous hash last. *)
 let digest_ctx = lazy (Vtpm_crypto.Sha256.init ())
 let digest_fixed = Bytes.create 26 (* seq:8 time:8 instance:8 flags:2 *)
+let digest_len4 = Bytes.create 4 (* length prefix scratch *)
 
 let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~prev_hash =
   let ctx = Lazy.force digest_ctx in
@@ -65,11 +66,10 @@ let entry_digest ~seq ~time_us ~subject ~operation ~instance ~allowed ~reason ~p
       Bytes.set b 16 '\x00';
       Bytes.set_int64_be b 17 0L);
   Bytes.set b 25 (if allowed then '\x01' else '\x00');
-  Vtpm_crypto.Sha256.feed ctx (Bytes.unsafe_to_string b);
-  let len4 = Bytes.create 4 in
+  Vtpm_crypto.Sha256.feed_bytes ctx b ~off:0 ~len:26;
   let feed_field s =
-    Bytes.set_int32_be len4 0 (Int32.of_int (String.length s));
-    Vtpm_crypto.Sha256.feed ctx (Bytes.unsafe_to_string len4);
+    Bytes.set_int32_be digest_len4 0 (Int32.of_int (String.length s));
+    Vtpm_crypto.Sha256.feed_bytes ctx digest_len4 ~off:0 ~len:4;
     Vtpm_crypto.Sha256.feed ctx s
   in
   feed_field subject;

@@ -16,8 +16,11 @@ type side = L | R
 type proof = (side * string) list
 (* sibling list, leaf-level first: [(L, h)] means h is the left sibling *)
 
-let leaf_hash data = Vtpm_crypto.Sha256.digest ("\x00" ^ data)
-let node_hash l r = Vtpm_crypto.Sha256.digest ("\x01" ^ l ^ r)
+(* [digest_concat]: one context walk per hash, no tag ^ child staging
+   strings — the batched anchoring path performs n - 1 combines per
+   catch-up, so the copies were pure overhead. *)
+let leaf_hash data = Vtpm_crypto.Sha256.digest_concat [ "\x00"; data ]
+let node_hash l r = Vtpm_crypto.Sha256.digest_concat [ "\x01"; l; r ]
 
 (* One level up: pair adjacent nodes, carry a trailing odd node. *)
 let combine (lvl : string array) : string array =

@@ -254,8 +254,11 @@ let is_even (a : t) = is_zero a || a.(0) land 1 = 0
 let mod_add m a b = rem (add a b) m
 let mod_mul m a b = rem (mul a b) m
 
-(* Modular exponentiation, square-and-multiply MSB-first. *)
-let mod_pow ~modulus base exp =
+(* Modular exponentiation, square-and-multiply MSB-first. Kept as the
+   reference implementation: [mod_pow] below dispatches here for even
+   moduli, and the differential property tests pin the Montgomery path
+   against this one. *)
+let mod_pow_schoolbook ~modulus base exp =
   if is_zero modulus then raise Division_by_zero;
   if equal modulus one then zero
   else begin
@@ -267,6 +270,209 @@ let mod_pow ~modulus base exp =
     done;
     !result
   end
+
+(* Montgomery arithmetic for odd moduli. Every RSA private operation is a
+   long chain of multiplications mod the same n; schoolbook [mod_mul] pays
+   a full Knuth-D division per product. REDC replaces the division with two
+   half-products and a shift: with R = 2^(30k) for a k-limb modulus,
+   mont_mul computes a*b*R^-1 mod m in one fused interleaved pass (CIOS),
+   so only the entry (to Montgomery form) and exit (final REDC by 1) touch
+   [divmod] at all. *)
+module Montgomery = struct
+  type ctx = {
+    m : t; (* odd modulus, also the limb array of length k *)
+    k : int;
+    m0' : int; (* -m^-1 mod 2^30, for the REDC quotient digit *)
+    r2 : t; (* R^2 mod m: multiplying by it (via mont_mul) enters Montgomery form *)
+  }
+
+  let ctx ~modulus:(m : t) =
+    if is_zero m || is_even m then invalid_arg "Bignum.Montgomery.ctx: modulus must be odd";
+    if equal m one then invalid_arg "Bignum.Montgomery.ctx: modulus must exceed 1";
+    let k = Array.length m in
+    (* m.(0)^-1 mod 2^30 by Hensel lifting: x <- x*(2 - m0*x) doubles the
+       number of correct low bits each step; m0 itself is correct mod 8. *)
+    let m0 = m.(0) in
+    let inv = ref m0 in
+    for _ = 1 to 5 do
+      inv := (!inv * (2 - (m0 * !inv))) land limb_mask
+    done;
+    let m0' = (limb_base - !inv) land limb_mask in
+    let r2 = rem (shift_left one (2 * k * limb_bits)) m in
+    { m; k; m0'; r2 }
+
+  (* CIOS: out <- a*b*R^-1 mod m. [a], [b], [out] are k-limb arrays with
+     values < m; [tmp] is (k+2)-limb scratch. Each inner step accumulates
+     limb + 30x30-bit product + carry, staying under 2^62. The running
+     value is < 2m throughout, so one conditional subtraction at the end
+     lands the result < m. *)
+  let mont_mul c (a : int array) (b : int array) (out : int array) (tmp : int array) =
+    let k = c.k and m = c.m and m0' = c.m0' in
+    Array.fill tmp 0 (k + 2) 0;
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let x = tmp.(j) + (ai * b.(j)) + !carry in
+        tmp.(j) <- x land limb_mask;
+        carry := x lsr limb_bits
+      done;
+      let x = tmp.(k) + !carry in
+      tmp.(k) <- x land limb_mask;
+      tmp.(k + 1) <- tmp.(k + 1) + (x lsr limb_bits);
+      let u = (tmp.(0) * m0') land limb_mask in
+      let x0 = tmp.(0) + (u * m.(0)) in
+      let carry = ref (x0 lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let x = tmp.(j) + (u * m.(j)) + !carry in
+        tmp.(j - 1) <- x land limb_mask;
+        carry := x lsr limb_bits
+      done;
+      let x = tmp.(k) + !carry in
+      tmp.(k - 1) <- x land limb_mask;
+      tmp.(k) <- tmp.(k + 1) + (x lsr limb_bits);
+      tmp.(k + 1) <- 0
+    done;
+    let ge =
+      tmp.(k) > 0
+      ||
+      let rec cmp i = if i < 0 then true else if tmp.(i) <> m.(i) then tmp.(i) > m.(i) else cmp (i - 1) in
+      cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for j = 0 to k - 1 do
+        let d = tmp.(j) - m.(j) - !borrow in
+        if d < 0 then begin
+          out.(j) <- d + limb_base;
+          borrow := 1
+        end
+        else begin
+          out.(j) <- d;
+          borrow := 0
+        end
+      done
+    end
+    else Array.blit tmp 0 out 0 k
+
+  (* Zero-extend a value < m to the fixed k-limb width mont_mul expects. *)
+  let limbs k (a : t) =
+    let out = Array.make k 0 in
+    Array.blit a 0 out 0 (Array.length a);
+    out
+
+  (* Sliding-window size by exponent width: the odd-powers table costs
+     2^(w-1) mont_muls up front and saves roughly one multiply per w-1
+     squarings, so wider windows only pay off for longer exponents. *)
+  let window_bits ebits = if ebits <= 24 then 1 else if ebits <= 96 then 3 else if ebits <= 512 then 4 else 5
+
+  let mod_pow c base exp =
+    let k = c.k in
+    let e_bits = num_bits exp in
+    if e_bits = 0 then rem one c.m
+    else begin
+      let base = rem base c.m in
+      if is_zero base then zero
+      else begin
+        let scratch = Array.make (k + 2) 0 in
+        let tmp = Array.make k 0 in
+        let g = Array.make k 0 in
+        mont_mul c (limbs k base) (limbs k c.r2) g scratch;
+        let w = window_bits e_bits in
+        (* tbl.(i) = g^(2i+1) in Montgomery form. *)
+        let tbl = Array.init (1 lsl (w - 1)) (fun _ -> Array.make k 0) in
+        Array.blit g 0 tbl.(0) 0 k;
+        let g2 = Array.make k 0 in
+        mont_mul c g g g2 scratch;
+        for i = 1 to Array.length tbl - 1 do
+          mont_mul c tbl.(i - 1) g2 tbl.(i) scratch
+        done;
+        let acc = Array.make k 0 in
+        let started = ref false in
+        let square () =
+          mont_mul c acc acc tmp scratch;
+          Array.blit tmp 0 acc 0 k
+        in
+        let mult i =
+          mont_mul c acc tbl.(i) tmp scratch;
+          Array.blit tmp 0 acc 0 k
+        in
+        let i = ref (e_bits - 1) in
+        while !i >= 0 do
+          if not (test_bit exp !i) then begin
+            if !started then square ();
+            decr i
+          end
+          else begin
+            (* Largest window [j..i] of width <= w ending on a set bit:
+               its value is odd, so it indexes the odd-powers table. *)
+            let lo = max 0 (!i - w + 1) in
+            let j = ref lo in
+            while not (test_bit exp !j) do
+              incr j
+            done;
+            let v = ref 0 in
+            for b = !i downto !j do
+              v := (!v lsl 1) lor (if test_bit exp b then 1 else 0)
+            done;
+            if !started then begin
+              for _ = 1 to !i - !j + 1 do
+                square ()
+              done;
+              mult (!v lsr 1)
+            end
+            else begin
+              Array.blit tbl.(!v lsr 1) 0 acc 0 k;
+              started := true
+            end;
+            i := !j - 1
+          end
+        done;
+        (* Exit Montgomery form: multiply by 1 is a bare REDC. *)
+        let onek = Array.make k 0 in
+        onek.(0) <- 1;
+        mont_mul c acc onek tmp scratch;
+        normalize tmp
+      end
+    end
+end
+
+(* Montgomery context cache, keyed by physical equality of the modulus.
+   RSA signing exponentiates repeatedly against the same limb arrays (the
+   key's p, q and n), and context setup is dominated by the Knuth-D
+   division computing R^2 mod m — without the cache every CRT signature
+   pays three of those divisions. Physical equality is sound because limb
+   arrays are never mutated after construction (all Bignum operations
+   allocate fresh results); a value-equal but distinct array only costs a
+   redundant context. Round-robin replacement over a handful of slots is
+   plenty: a signing workload touches three moduli per key. *)
+let mont_cache : (t * Montgomery.ctx) option array = Array.make 8 None
+let mont_slot = ref 0
+
+let mont_ctx modulus =
+  let rec find i =
+    if i >= Array.length mont_cache then None
+    else
+      match mont_cache.(i) with
+      | Some (m, c) when m == modulus -> Some c
+      | _ -> find (i + 1)
+  in
+  match find 0 with
+  | Some c -> c
+  | None ->
+      let c = Montgomery.ctx ~modulus in
+      mont_cache.(!mont_slot) <- Some (modulus, c);
+      mont_slot := (!mont_slot + 1) land (Array.length mont_cache - 1);
+      c
+
+(* Modular exponentiation: Montgomery + sliding window for odd moduli
+   (every RSA modulus and prime factor), schoolbook square-and-multiply
+   otherwise. Results are bit-identical across the two paths. *)
+let mod_pow ~modulus base exp =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else if is_even modulus then mod_pow_schoolbook ~modulus base exp
+  else Montgomery.mod_pow (mont_ctx modulus) base exp
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)
 

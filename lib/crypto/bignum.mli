@@ -60,7 +60,30 @@ val mod_mul : t -> t -> t -> t
 (** [mod_mul m a b] is [(a * b) mod m]. *)
 
 val mod_pow : modulus:t -> t -> t -> t
-(** [mod_pow ~modulus base exp], square-and-multiply. *)
+(** [mod_pow ~modulus base exp]. Odd moduli (every RSA modulus and prime
+    factor) go through Montgomery REDC with sliding-window exponentiation;
+    even moduli fall back to {!mod_pow_schoolbook}. Both paths return
+    bit-identical results. *)
+
+val mod_pow_schoolbook : modulus:t -> t -> t -> t
+(** Reference square-and-multiply via {!mod_mul} (one full division per
+    product). Exported for the differential property tests and the
+    before/after micro-benchmarks. *)
+
+(** Montgomery arithmetic for odd moduli: build a {!Montgomery.ctx} once
+    per modulus and amortize the REDC setup across an exponentiation
+    chain. [mod_pow] above wraps this; the RSA CRT path builds one ctx per
+    prime factor. *)
+module Montgomery : sig
+  type ctx
+
+  val ctx : modulus:t -> ctx
+  (** @raise Invalid_argument when the modulus is even or <= 1. *)
+
+  val mod_pow : ctx -> t -> t -> t
+  (** Sliding-window exponentiation over an odd-powers table, entering and
+      leaving Montgomery form internally. *)
+end
 
 val mod_inverse : modulus:t -> t -> t option
 (** Multiplicative inverse; [None] when not coprime with the modulus. *)

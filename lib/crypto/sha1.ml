@@ -2,15 +2,19 @@
    SHA-1 digests and all authorization HMACs use it, so the repo carries its
    own implementation (no crypto library is vendored in this environment).
 
-   Implemented over int32 words with an incremental context so large vTPM
-   state images can be hashed in streaming fashion. *)
+   Word-level hot path: state and schedule live in native ints masked to 32
+   bits (OCaml's 63-bit int holds the worst-case five-way round sum without
+   boxing — the earlier Int32 version boxed every intermediate), the four
+   round families run in separate unrolled loops, and full blocks are
+   compressed straight out of the caller's string so [feed] only copies
+   partial-block tails. *)
 
 type ctx = {
-  mutable h0 : int32;
-  mutable h1 : int32;
-  mutable h2 : int32;
-  mutable h3 : int32;
-  mutable h4 : int32;
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
   buf : Bytes.t; (* pending partial block *)
   mutable buf_len : int;
   mutable total : int64; (* total message bytes *)
@@ -18,86 +22,272 @@ type ctx = {
 
 let digest_size = 20
 let block_size = 64
+let mask32 = 0xffffffff
 
 let init () =
   {
-    h0 = 0x67452301l;
-    h1 = 0xEFCDAB89l;
-    h2 = 0x98BADCFEl;
-    h3 = 0x10325476l;
-    h4 = 0xC3D2E1F0l;
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0L;
   }
 
-let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let w = Array.make 80 0
 
-let w = Array.make 80 0l
+(* Four-round groups hand-unrolled in SSA form (the variable-role
+   rotation turned into renaming, as in the classic OpenSSL macros): this
+   build has no flambda, so local closures and [@inline] hints stay
+   calls, and the straight-line let-chain keeps the working state in
+   registers. The message schedule is fused into the groups (each group
+   expands the four words it consumes), so its independent xor/rotate
+   chains fill the stalls of the serially-dependent round sums. Sums are
+   ordered so the previous round's result is added last (shortest
+   critical path) and [Ch]/[Maj] use the two-op forms. Intermediate sums
+   skip masking — garbage above bit 31 never carries downward and the
+   final [land mask32] drops it; only rotation inputs are re-masked.
 
-let process_block ctx (block : Bytes.t) off =
+   [off + 64 <= String.length s] is the caller's invariant ([feed_sub]
+   checks its arguments), so the byte loads are unchecked. *)
+let process_block ctx (s : string) off =
   for i = 0 to 15 do
-    let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-  done;
-  for i = 16 to 79 do
-    w.(i) <- rotl32 (Int32.logxor (Int32.logxor w.(i - 3) w.(i - 8)) (Int32.logxor w.(i - 14) w.(i - 16))) 1
+    let j = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (String.unsafe_get s j) lsl 24)
+      lor (Char.code (String.unsafe_get s (j + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (j + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (j + 3)))
   done;
   let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
   let d = ref ctx.h3 and e = ref ctx.h4 in
-  for i = 0 to 79 do
-    let f, k =
-      if i < 20 then
-        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
-      else if i < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
-      else if i < 60 then
-        ( Int32.logor
-            (Int32.logand !b !c)
-            (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
-          0x8F1BBCDCl )
-      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
-    in
-    let temp = Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(i) in
-    e := !d;
-    d := !c;
-    c := rotl32 !b 30;
-    b := !a;
-    a := temp
+  let i = ref 0 in
+  while !i < 16 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d and e0 = !e in
+    let e1 = (e0 + (d0 lxor (b0 land (c0 lxor d0))) + (0x5A827999 + Array.unsafe_get w i0) + ((a0 lsl 5) lor (a0 lsr 27))) land mask32 in
+    let b1r = (b0 lsl 30) lor (b0 lsr 2) in
+    let e2 = (d0 + (c0 lxor (a0 land (b1r lxor c0))) + (0x5A827999 + Array.unsafe_get w (i0 + 1)) + ((e1 lsl 5) lor (e1 lsr 27))) land mask32 in
+    let a1r = (a0 lsl 30) lor (a0 lsr 2) in
+    let e3 = (c0 + (b1r lxor (e1 land (a1r lxor b1r))) + (0x5A827999 + Array.unsafe_get w (i0 + 2)) + ((e2 lsl 5) lor (e2 lsr 27))) land mask32 in
+    let e1r = (e1 lsl 30) lor (e1 lsr 2) in
+    let e4 = (b1r + (a1r lxor (e2 land (e1r lxor a1r))) + (0x5A827999 + Array.unsafe_get w (i0 + 3)) + ((e3 lsl 5) lor (e3 lsr 27))) land mask32 in
+    let e2r = (e2 lsl 30) lor (e2 lsr 2) in
+    a := e4;
+    b := e3;
+    c := e2r;
+    d := e1r;
+    e := a1r;
+    i := i0 + 4
   done;
-  ctx.h0 <- Int32.add ctx.h0 !a;
-  ctx.h1 <- Int32.add ctx.h1 !b;
-  ctx.h2 <- Int32.add ctx.h2 !c;
-  ctx.h3 <- Int32.add ctx.h3 !d;
-  ctx.h4 <- Int32.add ctx.h4 !e
+  while !i < 20 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d and e0 = !e in
+    let x0 =
+      Array.unsafe_get w (i0 + -3) lxor Array.unsafe_get w (i0 + -8)
+      lxor Array.unsafe_get w (i0 + -14) lxor Array.unsafe_get w (i0 + -16)
+    in
+    let w0v = ((x0 lsl 1) lor (x0 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 0) w0v;
+    let x1 =
+      Array.unsafe_get w (i0 + -2) lxor Array.unsafe_get w (i0 + -7)
+      lxor Array.unsafe_get w (i0 + -13) lxor Array.unsafe_get w (i0 + -15)
+    in
+    let w1v = ((x1 lsl 1) lor (x1 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 1) w1v;
+    let x2 =
+      Array.unsafe_get w (i0 + -1) lxor Array.unsafe_get w (i0 + -6)
+      lxor Array.unsafe_get w (i0 + -12) lxor Array.unsafe_get w (i0 + -14)
+    in
+    let w2v = ((x2 lsl 1) lor (x2 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 2) w2v;
+    let x3 =
+      Array.unsafe_get w (i0 + 0) lxor Array.unsafe_get w (i0 + -5)
+      lxor Array.unsafe_get w (i0 + -11) lxor Array.unsafe_get w (i0 + -13)
+    in
+    let w3v = ((x3 lsl 1) lor (x3 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 3) w3v;
+    let e1 = (e0 + (d0 lxor (b0 land (c0 lxor d0))) + (0x5A827999 + w0v) + ((a0 lsl 5) lor (a0 lsr 27))) land mask32 in
+    let b1r = (b0 lsl 30) lor (b0 lsr 2) in
+    let e2 = (d0 + (c0 lxor (a0 land (b1r lxor c0))) + (0x5A827999 + w1v) + ((e1 lsl 5) lor (e1 lsr 27))) land mask32 in
+    let a1r = (a0 lsl 30) lor (a0 lsr 2) in
+    let e3 = (c0 + (b1r lxor (e1 land (a1r lxor b1r))) + (0x5A827999 + w2v) + ((e2 lsl 5) lor (e2 lsr 27))) land mask32 in
+    let e1r = (e1 lsl 30) lor (e1 lsr 2) in
+    let e4 = (b1r + (a1r lxor (e2 land (e1r lxor a1r))) + (0x5A827999 + w3v) + ((e3 lsl 5) lor (e3 lsr 27))) land mask32 in
+    let e2r = (e2 lsl 30) lor (e2 lsr 2) in
+    a := e4;
+    b := e3;
+    c := e2r;
+    d := e1r;
+    e := a1r;
+    i := i0 + 4
+  done;
+  while !i < 40 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d and e0 = !e in
+    let x0 =
+      Array.unsafe_get w (i0 + -3) lxor Array.unsafe_get w (i0 + -8)
+      lxor Array.unsafe_get w (i0 + -14) lxor Array.unsafe_get w (i0 + -16)
+    in
+    let w0v = ((x0 lsl 1) lor (x0 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 0) w0v;
+    let x1 =
+      Array.unsafe_get w (i0 + -2) lxor Array.unsafe_get w (i0 + -7)
+      lxor Array.unsafe_get w (i0 + -13) lxor Array.unsafe_get w (i0 + -15)
+    in
+    let w1v = ((x1 lsl 1) lor (x1 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 1) w1v;
+    let x2 =
+      Array.unsafe_get w (i0 + -1) lxor Array.unsafe_get w (i0 + -6)
+      lxor Array.unsafe_get w (i0 + -12) lxor Array.unsafe_get w (i0 + -14)
+    in
+    let w2v = ((x2 lsl 1) lor (x2 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 2) w2v;
+    let x3 =
+      Array.unsafe_get w (i0 + 0) lxor Array.unsafe_get w (i0 + -5)
+      lxor Array.unsafe_get w (i0 + -11) lxor Array.unsafe_get w (i0 + -13)
+    in
+    let w3v = ((x3 lsl 1) lor (x3 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 3) w3v;
+    let e1 = (e0 + (b0 lxor c0 lxor d0) + (0x6ED9EBA1 + w0v) + ((a0 lsl 5) lor (a0 lsr 27))) land mask32 in
+    let b1r = (b0 lsl 30) lor (b0 lsr 2) in
+    let e2 = (d0 + (a0 lxor b1r lxor c0) + (0x6ED9EBA1 + w1v) + ((e1 lsl 5) lor (e1 lsr 27))) land mask32 in
+    let a1r = (a0 lsl 30) lor (a0 lsr 2) in
+    let e3 = (c0 + (e1 lxor a1r lxor b1r) + (0x6ED9EBA1 + w2v) + ((e2 lsl 5) lor (e2 lsr 27))) land mask32 in
+    let e1r = (e1 lsl 30) lor (e1 lsr 2) in
+    let e4 = (b1r + (e2 lxor e1r lxor a1r) + (0x6ED9EBA1 + w3v) + ((e3 lsl 5) lor (e3 lsr 27))) land mask32 in
+    let e2r = (e2 lsl 30) lor (e2 lsr 2) in
+    a := e4;
+    b := e3;
+    c := e2r;
+    d := e1r;
+    e := a1r;
+    i := i0 + 4
+  done;
+  while !i < 60 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d and e0 = !e in
+    let x0 =
+      Array.unsafe_get w (i0 + -3) lxor Array.unsafe_get w (i0 + -8)
+      lxor Array.unsafe_get w (i0 + -14) lxor Array.unsafe_get w (i0 + -16)
+    in
+    let w0v = ((x0 lsl 1) lor (x0 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 0) w0v;
+    let x1 =
+      Array.unsafe_get w (i0 + -2) lxor Array.unsafe_get w (i0 + -7)
+      lxor Array.unsafe_get w (i0 + -13) lxor Array.unsafe_get w (i0 + -15)
+    in
+    let w1v = ((x1 lsl 1) lor (x1 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 1) w1v;
+    let x2 =
+      Array.unsafe_get w (i0 + -1) lxor Array.unsafe_get w (i0 + -6)
+      lxor Array.unsafe_get w (i0 + -12) lxor Array.unsafe_get w (i0 + -14)
+    in
+    let w2v = ((x2 lsl 1) lor (x2 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 2) w2v;
+    let x3 =
+      Array.unsafe_get w (i0 + 0) lxor Array.unsafe_get w (i0 + -5)
+      lxor Array.unsafe_get w (i0 + -11) lxor Array.unsafe_get w (i0 + -13)
+    in
+    let w3v = ((x3 lsl 1) lor (x3 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 3) w3v;
+    let e1 = (e0 + ((b0 land c0) lor (d0 land (b0 lxor c0))) + (0x8F1BBCDC + w0v) + ((a0 lsl 5) lor (a0 lsr 27))) land mask32 in
+    let b1r = (b0 lsl 30) lor (b0 lsr 2) in
+    let e2 = (d0 + ((a0 land b1r) lor (c0 land (a0 lxor b1r))) + (0x8F1BBCDC + w1v) + ((e1 lsl 5) lor (e1 lsr 27))) land mask32 in
+    let a1r = (a0 lsl 30) lor (a0 lsr 2) in
+    let e3 = (c0 + ((e1 land a1r) lor (b1r land (e1 lxor a1r))) + (0x8F1BBCDC + w2v) + ((e2 lsl 5) lor (e2 lsr 27))) land mask32 in
+    let e1r = (e1 lsl 30) lor (e1 lsr 2) in
+    let e4 = (b1r + ((e2 land e1r) lor (a1r land (e2 lxor e1r))) + (0x8F1BBCDC + w3v) + ((e3 lsl 5) lor (e3 lsr 27))) land mask32 in
+    let e2r = (e2 lsl 30) lor (e2 lsr 2) in
+    a := e4;
+    b := e3;
+    c := e2r;
+    d := e1r;
+    e := a1r;
+    i := i0 + 4
+  done;
+  while !i < 80 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d and e0 = !e in
+    let x0 =
+      Array.unsafe_get w (i0 + -3) lxor Array.unsafe_get w (i0 + -8)
+      lxor Array.unsafe_get w (i0 + -14) lxor Array.unsafe_get w (i0 + -16)
+    in
+    let w0v = ((x0 lsl 1) lor (x0 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 0) w0v;
+    let x1 =
+      Array.unsafe_get w (i0 + -2) lxor Array.unsafe_get w (i0 + -7)
+      lxor Array.unsafe_get w (i0 + -13) lxor Array.unsafe_get w (i0 + -15)
+    in
+    let w1v = ((x1 lsl 1) lor (x1 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 1) w1v;
+    let x2 =
+      Array.unsafe_get w (i0 + -1) lxor Array.unsafe_get w (i0 + -6)
+      lxor Array.unsafe_get w (i0 + -12) lxor Array.unsafe_get w (i0 + -14)
+    in
+    let w2v = ((x2 lsl 1) lor (x2 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 2) w2v;
+    let x3 =
+      Array.unsafe_get w (i0 + 0) lxor Array.unsafe_get w (i0 + -5)
+      lxor Array.unsafe_get w (i0 + -11) lxor Array.unsafe_get w (i0 + -13)
+    in
+    let w3v = ((x3 lsl 1) lor (x3 lsr 31)) land mask32 in
+    Array.unsafe_set w (i0 + 3) w3v;
+    let e1 = (e0 + (b0 lxor c0 lxor d0) + (0xCA62C1D6 + w0v) + ((a0 lsl 5) lor (a0 lsr 27))) land mask32 in
+    let b1r = (b0 lsl 30) lor (b0 lsr 2) in
+    let e2 = (d0 + (a0 lxor b1r lxor c0) + (0xCA62C1D6 + w1v) + ((e1 lsl 5) lor (e1 lsr 27))) land mask32 in
+    let a1r = (a0 lsl 30) lor (a0 lsr 2) in
+    let e3 = (c0 + (e1 lxor a1r lxor b1r) + (0xCA62C1D6 + w2v) + ((e2 lsl 5) lor (e2 lsr 27))) land mask32 in
+    let e1r = (e1 lsl 30) lor (e1 lsr 2) in
+    let e4 = (b1r + (e2 lxor e1r lxor a1r) + (0xCA62C1D6 + w3v) + ((e3 lsl 5) lor (e3 lsr 27))) land mask32 in
+    let e2r = (e2 lsl 30) lor (e2 lsr 2) in
+    a := e4;
+    b := e3;
+    c := e2r;
+    d := e1r;
+    e := a1r;
+    i := i0 + 4
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask32;
+  ctx.h1 <- (ctx.h1 + !b) land mask32;
+  ctx.h2 <- (ctx.h2 + !c) land mask32;
+  ctx.h3 <- (ctx.h3 + !d) land mask32;
+  ctx.h4 <- (ctx.h4 + !e) land mask32
 
-let feed ctx (s : string) =
-  ctx.total <- Int64.add ctx.total (Int64.of_int (String.length s));
-  let pos = ref 0 and len = String.length s in
+let feed_sub ctx (s : string) ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then invalid_arg "Sha1.feed_sub";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and stop = off + len in
   (* Fill any pending partial block first. *)
   if ctx.buf_len > 0 then begin
     let take = min (block_size - ctx.buf_len) len in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    Bytes.blit_string s off ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
+    pos := off + take;
     if ctx.buf_len = block_size then begin
-      process_block ctx ctx.buf 0;
+      process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
       ctx.buf_len <- 0
     end
   end;
-  while len - !pos >= block_size do
-    Bytes.blit_string s !pos ctx.buf 0 block_size;
-    process_block ctx ctx.buf 0;
+  (* Full blocks compress straight from the input, no staging copy. *)
+  while stop - !pos >= block_size do
+    process_block ctx s !pos;
     pos := !pos + block_size
   done;
-  if len - !pos > 0 then begin
-    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if stop - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
+
+let feed ctx (s : string) = feed_sub ctx s ~off:0 ~len:(String.length s)
+
+let feed_bytes ctx (b : Bytes.t) ~off ~len =
+  (* The string view is only read inside this call, so later mutation of
+     [b] is fine; this keeps hot paths that build records in a scratch
+     buffer (audit entries, wire frames) copy-free. *)
+  feed_sub ctx (Bytes.unsafe_to_string b) ~off ~len
 
 (* Pad directly into the pending block: one compression (two when the
    length field does not fit) instead of per-byte [feed] round-trips. *)
@@ -107,36 +297,27 @@ let finalize ctx =
   Bytes.set ctx.buf n '\x80';
   if n >= 56 then begin
     Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
-    process_block ctx ctx.buf 0;
+    process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
     Bytes.fill ctx.buf 0 56 '\x00'
   end
   else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
-  for i = 0 to 7 do
-    Bytes.set ctx.buf (56 + i)
-      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
-  done;
-  process_block ctx ctx.buf 0;
+  Bytes.set_int64_be ctx.buf 56 bit_len;
+  process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
   ctx.buf_len <- 0;
   let out = Bytes.create digest_size in
-  let put i (v : int32) =
-    for j = 0 to 3 do
-      Bytes.set out ((4 * i) + j)
-        (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * (3 - j))) land 0xff))
-    done
-  in
-  put 0 ctx.h0;
-  put 1 ctx.h1;
-  put 2 ctx.h2;
-  put 3 ctx.h3;
-  put 4 ctx.h4;
+  Bytes.set_int32_be out 0 (Int32.of_int ctx.h0);
+  Bytes.set_int32_be out 4 (Int32.of_int ctx.h1);
+  Bytes.set_int32_be out 8 (Int32.of_int ctx.h2);
+  Bytes.set_int32_be out 12 (Int32.of_int ctx.h3);
+  Bytes.set_int32_be out 16 (Int32.of_int ctx.h4);
   Bytes.unsafe_to_string out
 
 let reset ctx =
-  ctx.h0 <- 0x67452301l;
-  ctx.h1 <- 0xEFCDAB89l;
-  ctx.h2 <- 0x98BADCFEl;
-  ctx.h3 <- 0x10325476l;
-  ctx.h4 <- 0xC3D2E1F0l;
+  ctx.h0 <- 0x67452301;
+  ctx.h1 <- 0xEFCDAB89;
+  ctx.h2 <- 0x98BADCFE;
+  ctx.h3 <- 0x10325476;
+  ctx.h4 <- 0xC3D2E1F0;
   ctx.buf_len <- 0;
   ctx.total <- 0L
 
@@ -149,6 +330,15 @@ let digest (s : string) : string =
   let ctx = Lazy.force scratch in
   reset ctx;
   feed ctx s;
+  finalize ctx
+
+(* Digest of the concatenation without building it: one context walk over
+   the parts. The measurement paths (PCR extend, event-log entries) hash
+   small multi-part records constantly. *)
+let digest_concat (parts : string list) : string =
+  let ctx = Lazy.force scratch in
+  reset ctx;
+  List.iter (fun s -> feed ctx s) parts;
   finalize ctx
 
 let hexdigest s = Vtpm_util.Hex.encode (digest s)

@@ -13,6 +13,11 @@ val block_size : int
 val digest : string -> string
 (** One-shot digest; the result is [digest_size] raw bytes. *)
 
+val digest_concat : string list -> string
+(** Digest of the concatenation of the parts, without materializing it:
+    one context walk. For the multi-part records on the measurement paths
+    (PCR extends, event-log entries, Merkle nodes). *)
+
 val hexdigest : string -> string
 (** [digest] rendered in lowercase hex. *)
 
@@ -29,6 +34,16 @@ val reset : ctx -> unit
     buffers — lets hot paths hash repeatedly without allocating. *)
 
 val feed : ctx -> string -> unit
+(** Full blocks are compressed straight from the input string; only a
+    partial-block tail is copied into the context. *)
+
+val feed_sub : ctx -> string -> off:int -> len:int -> unit
+(** [feed] restricted to a substring, without allocating it.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val feed_bytes : ctx -> Bytes.t -> off:int -> len:int -> unit
+(** Zero-copy feed from a scratch buffer; the buffer is only read during
+    the call and may be reused afterwards. *)
 
 val finalize : ctx -> string
 (** Pads, finishes and returns the digest. The context must not be fed

@@ -1,9 +1,15 @@
 (* SHA-256 (FIPS 180-4). Used for the hash-chained audit log and for the
    state-sealing MAC, where a longer digest than TPM 1.2's SHA-1 is
-   appropriate. Incremental API mirroring [Sha1]. *)
+   appropriate. Incremental API mirroring [Sha1].
+
+   Word-level hot path as in [Sha1]: native-int words masked to 32 bits
+   (the worst-case temp1 sum of five 32-bit values stays under 2^35, well
+   inside the 63-bit int), unrolled compression loop over a preallocated
+   schedule, and full blocks compressed straight out of the caller's
+   string. *)
 
 type ctx = {
-  h : int32 array; (* 8 words of chaining state *)
+  h : int array; (* 8 words of chaining state *)
   buf : Bytes.t;
   mutable buf_len : int;
   mutable total : int64;
@@ -11,104 +17,160 @@ type ctx = {
 
 let digest_size = 32
 let block_size = 64
+let mask32 = 0xffffffff
 
-let k =
+let kt =
   [|
-    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
-    0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
-    0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
-    0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
-    0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
-    0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
-    0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
-    0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
-    0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
   |]
 
 let iv =
   [|
-    0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-    0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+    0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
   |]
 
 let init () = { h = Array.copy iv; buf = Bytes.create block_size; buf_len = 0; total = 0L }
 
-let rotr32 x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
-let shr32 x n = Int32.shift_right_logical x n
-let w = Array.make 64 0l
+let w = Array.make 64 0
+let kw = Array.make 16 0 (* w.(i) + kt.(i) for the first sixteen rounds *)
 
-let process_block ctx (block : Bytes.t) off =
+(* Two-round groups hand-unrolled in SSA form, as in [Sha1]: each round
+   produces two new values (the next a and e), the other six roles are
+   pure renaming, and after two rounds the names line up again. This
+   build has no flambda, so the straight-line let-chain is what keeps
+   the working words in registers; wider groups were measured slower
+   here (the eight-word state plus round temporaries exceeds x86-64's
+   register file and the allocator starts spilling). The message
+   schedule for rounds 16..63 is fused into the groups, so its
+   independent rotate/xor chains fill the stalls of the serially-
+   dependent round sums; the first sixteen k+w sums are precomputed
+   during the byte load. Sums are ordered so the previous round's
+   result is added last (shortest critical path), [Ch]/[Maj] use the
+   two-op forms, and intermediate sums skip masking (garbage above bit
+   31 never carries downward); only rotation inputs are re-masked.
+   Byte loads are unchecked under [feed_sub]'s bound check. *)
+let process_block ctx (s : string) off =
   for i = 0 to 15 do
-    let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-  done;
-  for i = 16 to 63 do
-    let s0 =
-      Int32.logxor (rotr32 w.(i - 15) 7) (Int32.logxor (rotr32 w.(i - 15) 18) (shr32 w.(i - 15) 3))
+    let j = off + (4 * i) in
+    let v =
+      (Char.code (String.unsafe_get s j) lsl 24)
+      lor (Char.code (String.unsafe_get s (j + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (j + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (j + 3))
     in
-    let s1 =
-      Int32.logxor (rotr32 w.(i - 2) 17) (Int32.logxor (rotr32 w.(i - 2) 19) (shr32 w.(i - 2) 10))
-    in
-    w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    Array.unsafe_set w i v;
+    Array.unsafe_set kw i (v + Array.unsafe_get kt i)
   done;
-  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
-  let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
-  for i = 0 to 63 do
-    let s1 = Int32.logxor (rotr32 !e 6) (Int32.logxor (rotr32 !e 11) (rotr32 !e 25)) in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let temp1 = Int32.add (Int32.add (Int32.add !hh s1) (Int32.add ch k.(i))) w.(i) in
-    let s0 = Int32.logxor (rotr32 !a 2) (Int32.logxor (rotr32 !a 13) (rotr32 !a 22)) in
-    let maj =
-      Int32.logxor (Int32.logand !a !b) (Int32.logxor (Int32.logand !a !c) (Int32.logand !b !c))
-    in
-    let temp2 = Int32.add s0 maj in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := Int32.add !d temp1;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := Int32.add temp1 temp2
+  let a = ref (Array.unsafe_get ctx.h 0) and b = ref (Array.unsafe_get ctx.h 1) in
+  let c = ref (Array.unsafe_get ctx.h 2) and d = ref (Array.unsafe_get ctx.h 3) in
+  let e = ref (Array.unsafe_get ctx.h 4) and f = ref (Array.unsafe_get ctx.h 5) in
+  let g = ref (Array.unsafe_get ctx.h 6) and hh = ref (Array.unsafe_get ctx.h 7) in
+  let i = ref 0 in
+  while !i < 16 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d in
+    let e0 = !e and f0 = !f and g0 = !g and h0 = !hh in
+    let t1 = h0 + Array.unsafe_get kw i0 + (g0 lxor (e0 land (f0 lxor g0))) + (((e0 lsr 6) lor (e0 lsl 26)) lxor ((e0 lsr 11) lor (e0 lsl 21)) lxor ((e0 lsr 25) lor (e0 lsl 7))) in
+    let a1 = (t1 + ((a0 land b0) lor (c0 land (a0 lxor b0))) + (((a0 lsr 2) lor (a0 lsl 30)) lxor ((a0 lsr 13) lor (a0 lsl 19)) lxor ((a0 lsr 22) lor (a0 lsl 10)))) land mask32 in
+    let e1 = (d0 + t1) land mask32 in
+    let t1 = g0 + Array.unsafe_get kw (i0 + 1) + (f0 lxor (e1 land (e0 lxor f0))) + (((e1 lsr 6) lor (e1 lsl 26)) lxor ((e1 lsr 11) lor (e1 lsl 21)) lxor ((e1 lsr 25) lor (e1 lsl 7))) in
+    let a2 = (t1 + ((a1 land a0) lor (b0 land (a1 lxor a0))) + (((a1 lsr 2) lor (a1 lsl 30)) lxor ((a1 lsr 13) lor (a1 lsl 19)) lxor ((a1 lsr 22) lor (a1 lsl 10)))) land mask32 in
+    let e2 = (c0 + t1) land mask32 in
+    a := a2;
+    b := a1;
+    c := a0;
+    d := b0;
+    e := e2;
+    f := e1;
+    g := e0;
+    hh := f0;
+    i := i0 + 2
   done;
-  ctx.h.(0) <- Int32.add ctx.h.(0) !a;
-  ctx.h.(1) <- Int32.add ctx.h.(1) !b;
-  ctx.h.(2) <- Int32.add ctx.h.(2) !c;
-  ctx.h.(3) <- Int32.add ctx.h.(3) !d;
-  ctx.h.(4) <- Int32.add ctx.h.(4) !e;
-  ctx.h.(5) <- Int32.add ctx.h.(5) !f;
-  ctx.h.(6) <- Int32.add ctx.h.(6) !g;
-  ctx.h.(7) <- Int32.add ctx.h.(7) !hh
+  while !i < 64 do
+    let i0 = !i in
+    let a0 = !a and b0 = !b and c0 = !c and d0 = !d in
+    let e0 = !e and f0 = !f and g0 = !g and h0 = !hh in
+    let x0 = Array.unsafe_get w (i0 + -15) in
+    let s00 = ((x0 lsr 7) lor (x0 lsl 25)) lxor ((x0 lsr 18) lor (x0 lsl 14)) lxor (x0 lsr 3) in
+    let y0 = Array.unsafe_get w (i0 + -2) in
+    let s10 = ((y0 lsr 17) lor (y0 lsl 15)) lxor ((y0 lsr 19) lor (y0 lsl 13)) lxor (y0 lsr 10) in
+    let w0v =
+      (Array.unsafe_get w (i0 + -16) + s00 + Array.unsafe_get w (i0 + -7) + s10) land mask32
+    in
+    Array.unsafe_set w (i0 + 0) w0v;
+    let x1 = Array.unsafe_get w (i0 + -14) in
+    let s01 = ((x1 lsr 7) lor (x1 lsl 25)) lxor ((x1 lsr 18) lor (x1 lsl 14)) lxor (x1 lsr 3) in
+    let y1 = Array.unsafe_get w (i0 + -1) in
+    let s11 = ((y1 lsr 17) lor (y1 lsl 15)) lxor ((y1 lsr 19) lor (y1 lsl 13)) lxor (y1 lsr 10) in
+    let w1v =
+      (Array.unsafe_get w (i0 + -15) + s01 + Array.unsafe_get w (i0 + -6) + s11) land mask32
+    in
+    Array.unsafe_set w (i0 + 1) w1v;
+    let t1 = h0 + (Array.unsafe_get kt i0 + w0v) + (g0 lxor (e0 land (f0 lxor g0))) + (((e0 lsr 6) lor (e0 lsl 26)) lxor ((e0 lsr 11) lor (e0 lsl 21)) lxor ((e0 lsr 25) lor (e0 lsl 7))) in
+    let a1 = (t1 + ((a0 land b0) lor (c0 land (a0 lxor b0))) + (((a0 lsr 2) lor (a0 lsl 30)) lxor ((a0 lsr 13) lor (a0 lsl 19)) lxor ((a0 lsr 22) lor (a0 lsl 10)))) land mask32 in
+    let e1 = (d0 + t1) land mask32 in
+    let t1 = g0 + (Array.unsafe_get kt (i0 + 1) + w1v) + (f0 lxor (e1 land (e0 lxor f0))) + (((e1 lsr 6) lor (e1 lsl 26)) lxor ((e1 lsr 11) lor (e1 lsl 21)) lxor ((e1 lsr 25) lor (e1 lsl 7))) in
+    let a2 = (t1 + ((a1 land a0) lor (b0 land (a1 lxor a0))) + (((a1 lsr 2) lor (a1 lsl 30)) lxor ((a1 lsr 13) lor (a1 lsl 19)) lxor ((a1 lsr 22) lor (a1 lsl 10)))) land mask32 in
+    let e2 = (c0 + t1) land mask32 in
+    a := a2;
+    b := a1;
+    c := a0;
+    d := b0;
+    e := e2;
+    f := e1;
+    g := e0;
+    hh := f0;
+    i := i0 + 2
+  done;
+  ctx.h.(0) <- (ctx.h.(0) + !a) land mask32;
+  ctx.h.(1) <- (ctx.h.(1) + !b) land mask32;
+  ctx.h.(2) <- (ctx.h.(2) + !c) land mask32;
+  ctx.h.(3) <- (ctx.h.(3) + !d) land mask32;
+  ctx.h.(4) <- (ctx.h.(4) + !e) land mask32;
+  ctx.h.(5) <- (ctx.h.(5) + !f) land mask32;
+  ctx.h.(6) <- (ctx.h.(6) + !g) land mask32;
+  ctx.h.(7) <- (ctx.h.(7) + !hh) land mask32
 
-let feed ctx (s : string) =
-  ctx.total <- Int64.add ctx.total (Int64.of_int (String.length s));
-  let pos = ref 0 and len = String.length s in
+let feed_sub ctx (s : string) ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then invalid_arg "Sha256.feed_sub";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and stop = off + len in
   if ctx.buf_len > 0 then begin
     let take = min (block_size - ctx.buf_len) len in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    Bytes.blit_string s off ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
+    pos := off + take;
     if ctx.buf_len = block_size then begin
-      process_block ctx ctx.buf 0;
+      process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
       ctx.buf_len <- 0
     end
   end;
-  while len - !pos >= block_size do
-    Bytes.blit_string s !pos ctx.buf 0 block_size;
-    process_block ctx ctx.buf 0;
+  (* Full blocks compress straight from the input, no staging copy. *)
+  while stop - !pos >= block_size do
+    process_block ctx s !pos;
     pos := !pos + block_size
   done;
-  if len - !pos > 0 then begin
-    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if stop - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
+
+let feed ctx (s : string) = feed_sub ctx s ~off:0 ~len:(String.length s)
+
+let feed_bytes ctx (b : Bytes.t) ~off ~len =
+  (* Read-only view during the call; the caller may reuse [b] afterwards. *)
+  feed_sub ctx (Bytes.unsafe_to_string b) ~off ~len
 
 (* Pad directly into the pending block: one compression (two when the
    length field does not fit) instead of per-byte [feed] round-trips. *)
@@ -118,22 +180,16 @@ let finalize ctx =
   Bytes.set ctx.buf n '\x80';
   if n >= 56 then begin
     Bytes.fill ctx.buf (n + 1) (block_size - n - 1) '\x00';
-    process_block ctx ctx.buf 0;
+    process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
     Bytes.fill ctx.buf 0 56 '\x00'
   end
   else Bytes.fill ctx.buf (n + 1) (56 - (n + 1)) '\x00';
-  for i = 0 to 7 do
-    Bytes.set ctx.buf (56 + i)
-      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * (7 - i))) land 0xff))
-  done;
-  process_block ctx ctx.buf 0;
+  Bytes.set_int64_be ctx.buf 56 bit_len;
+  process_block ctx (Bytes.unsafe_to_string ctx.buf) 0;
   ctx.buf_len <- 0;
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    for j = 0 to 3 do
-      Bytes.set out ((4 * i) + j)
-        (Char.chr (Int32.to_int (Int32.shift_right_logical ctx.h.(i) (8 * (3 - j))) land 0xff))
-    done
+    Bytes.set_int32_be out (4 * i) (Int32.of_int ctx.h.(i))
   done;
   Bytes.unsafe_to_string out
 
@@ -151,6 +207,15 @@ let digest (s : string) : string =
   let ctx = Lazy.force scratch in
   reset ctx;
   feed ctx s;
+  finalize ctx
+
+(* Digest of the concatenation without building it: one context walk over
+   the parts. Merkle-node hashing (tag ^ left ^ right) is the heavy
+   caller. *)
+let digest_concat (parts : string list) : string =
+  let ctx = Lazy.force scratch in
+  reset ctx;
+  List.iter (fun s -> feed ctx s) parts;
   finalize ctx
 
 let hexdigest s = Vtpm_util.Hex.encode (digest s)

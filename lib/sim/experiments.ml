@@ -2092,3 +2092,59 @@ let table9 ?(flood_x = 10) ?(victim_ops = 200) () : table9_row list * string =
          rows)
   in
   (rows, rendered)
+
+(* --- fig14: quote-path throughput before/after the crypto overhaul (PR 10) --
+
+   Everything before this point prices TPM_Quote at the 2010-era model
+   constant, so the figures say nothing about what the Montgomery/CRT
+   signer and word-level SHA actually buy a deployment. Figure 14 re-runs
+   the attestation-heavy mix on fig13's best host (guarded policy with
+   index + gen-cache, group shards) under the three quote-cost profiles:
+   the 2010 model (38 ms per quote), the container-measured schoolbook
+   signer (~3.4 ms), and the container-measured Montgomery/CRT signer
+   (~0.34 ms). Only [Cost.quote_cost_us] differs between series; hosts,
+   seeds and op budgets are identical, so the spread between curves is
+   exactly the signature cost's share of the quote path. *)
+
+let fig14 ?(vm_counts = [ 8; 16; 32; 64; 128; 256 ]) ?(rules = 1024) ?(total_ops = 1920) ()
+    : (string * (float * float) list) list * string =
+  let series_for profile =
+    let saved = Vtpm_util.Cost.current_quote_profile () in
+    Vtpm_util.Cost.set_quote_profile profile;
+    Fun.protect ~finally:(fun () -> Vtpm_util.Cost.set_quote_profile saved) @@ fun () ->
+    List.map
+      (fun n ->
+        let host, tenants =
+          Workload.make_host_with_tenants ~mode:Host.Improved_mode ~n ~seed:(70 + n) ()
+        in
+        let monitor = Host.monitor_exn host in
+        Monitor.set_policy monitor (Policy.synthetic_guarded ~n:rules);
+        Monitor.set_index_enabled monitor true;
+        Monitor.set_guard_cache_enabled monitor true;
+        ignore (Host.enable_sharding host ~lanes_per_shard:2 ());
+        let ops_per_tenant = max 1 (total_ops / n) in
+        let r =
+          Workload.run host ~tenants ~mix:Workload.attestation_heavy ~ops_per_tenant ()
+        in
+        (float_of_int n, r.Workload.throughput_ops_s))
+      vm_counts
+  in
+  let series =
+    List.map
+      (fun p -> (Vtpm_util.Cost.quote_profile_name p, series_for p))
+      [
+        Vtpm_util.Cost.Quote_model_2010;
+        Vtpm_util.Cost.Quote_measured_schoolbook;
+        Vtpm_util.Cost.Quote_measured;
+      ]
+  in
+  let rendered =
+    Table.render_series
+      ~title:
+        (Printf.sprintf
+           "Figure 14: attestation-heavy throughput (simulated ops/s) vs number of VMs by \
+            quote-cost profile, %d-rule guarded policy, sharded host"
+           rules)
+      ~x_label:"vms" ~series
+  in
+  (series, rendered)

@@ -353,3 +353,18 @@ val shard_drill :
 val table9 : ?flood_x:int -> ?victim_ops:int -> unit -> table9_row list * string
 (** The cross-group flood drill: single-manager vs sharded vs sharded
     with a noisy-group quota, as one table. *)
+
+val fig14 :
+  ?vm_counts:int list ->
+  ?rules:int ->
+  ?total_ops:int ->
+  unit ->
+  (string * (float * float) list) list * string
+(** Quote-path throughput before/after the crypto overhaul: the
+    attestation-heavy mix on fig13's best host (guarded policy, index +
+    gen-cache, group shards) priced under each {!Vtpm_util.Cost.quote_profile}.
+    The 2010-model series reproduces the paper-era ceiling; the measured
+    schoolbook and Montgomery/CRT series re-cost TPM_Quote from this
+    container's Bechamel medians, so the gap between the last two curves
+    is the signature speedup's end-to-end effect. The default profile is
+    restored afterwards. *)

@@ -97,16 +97,14 @@ let deserialize_material (s : string) : (material, int) result =
   | exception Vtpm_util.Codec.Truncated _ -> Error Types.tpm_bad_parameter
   | usage_int, migratable, usage_auth, pub_bytes, d, p, q, pcr_bound, pcr_digest_at_creation -> (
       match (Types.key_usage_of_int usage_int, Rsa.public_of_bytes pub_bytes) with
-      | Some usage, Some pub ->
-          Ok
-            {
-              usage;
-              migratable;
-              usage_auth;
-              rsa = { pub; d; p; q };
-              pcr_bound;
-              pcr_digest_at_creation;
-            }
+      | Some usage, Some pub -> (
+          (* The wire layout predates the CRT fields and stays byte-identical
+             (blob sizes feed the simulated I/O costs); recompute them here.
+             [of_parts] rejects garbage (p, q) from a corrupted blob. *)
+          match Rsa.of_parts ~pub ~d ~p ~q with
+          | rsa -> Ok { usage; migratable; usage_auth; rsa; pcr_bound; pcr_digest_at_creation }
+          | exception Invalid_argument _ -> Error Types.tpm_bad_parameter
+          | exception Division_by_zero -> Error Types.tpm_bad_parameter)
       | _ -> Error Types.tpm_bad_parameter)
 
 (* Authenticated-encryption envelope shared by key wrapping and sealed-data

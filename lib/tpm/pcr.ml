@@ -44,7 +44,7 @@ let extend t ~locality i (measurement : string) =
       if String.length measurement <> Types.digest_size then Error Types.tpm_bad_parameter
       else if not (extend_locality_ok ~locality i) then Error Types.tpm_bad_locality
       else begin
-        t.values.(i) <- Sha1.digest (t.values.(i) ^ measurement);
+        t.values.(i) <- Sha1.digest_concat [ t.values.(i); measurement ];
         Ok t.values.(i)
       end
 

@@ -113,7 +113,47 @@ val tpm_pcr_read_us : float
 val tpm_get_random_us : float
 val tpm_seal_us : float
 val tpm_unseal_us : float
+
+val rsa_sign_schoolbook_us : float
+(** Measured pre-overhaul RSA-512 signature (full-width schoolbook
+    square-and-multiply), Bechamel median on the dev container. *)
+
+val rsa_sign_us : float
+(** Measured Montgomery/CRT RSA-512 signature on the same container. *)
+
+val sha_block_us : float
+(** Measured SHA-1 compression of one 64-byte block (word-level path). *)
+
+val quote_hw_scale_2010 : float
+(** How much slower a 2010-era software vTPM signs than this container's
+    schoolbook measurement. *)
+
+val quote_digest_overhead_us : float
+(** Composite-hash walk + response assembly under the 2010 model. *)
+
 val tpm_quote_us : float
+(** Derived, not hand-waved:
+    [rsa_sign_schoolbook_us *. quote_hw_scale_2010 +. quote_digest_overhead_us]
+    — exactly the seed's [38_000.0] (no binary64 rounding; see the
+    implementation comment), so every pre-existing figure is unchanged. *)
+
+val quote_digest_overhead_measured_us : float
+(** Composite walk + response build measured on this container. *)
+
+(** Quote-cost profile: [Quote_model_2010] (default) reproduces the
+    paper-era tables; the measured profiles re-cost the quote path from
+    this container's Bechamel numbers so fig14 can show the end-to-end
+    effect of the crypto overhaul. Only {!quote_cost_us} is affected. *)
+type quote_profile = Quote_model_2010 | Quote_measured_schoolbook | Quote_measured
+
+val quote_profile_name : quote_profile -> string
+val set_quote_profile : quote_profile -> unit
+val current_quote_profile : unit -> quote_profile
+
+val quote_cost_us : unit -> float
+(** Simulated cost of TPM_Quote under the current profile; equals
+    {!tpm_quote_us} under [Quote_model_2010]. *)
+
 val tpm_loadkey_us : float
 val tpm_nv_us : float
 val tpm_generic_us : float

@@ -317,7 +317,7 @@ let command_cost ordinal =
   else if ordinal = Types.ord_get_random then tpm_get_random_us
   else if ordinal = Types.ord_seal then tpm_seal_us
   else if ordinal = Types.ord_unseal then tpm_unseal_us
-  else if ordinal = Types.ord_quote then tpm_quote_us
+  else if ordinal = Types.ord_quote then quote_cost_us ()
   else if ordinal = Types.ord_load_key2 || ordinal = Types.ord_create_wrap_key then tpm_loadkey_us
   else if
     ordinal = Types.ord_nv_read_value || ordinal = Types.ord_nv_write_value

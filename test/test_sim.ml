@@ -183,6 +183,45 @@ let test_experiment_fig4_shape () =
   check_b "plaintext grows" true (snd (List.nth plain 1) > snd (List.nth plain 0));
   check_b "protected grows" true (snd (List.nth prot 1) > snd (List.nth prot 0))
 
+(* --- Seed-figure freeze (PR 10) ---------------------------------------------
+   The crypto overhaul re-derives [Cost.tpm_quote_us] instead of
+   hard-coding it, and the measured quote profiles re-cost the quote
+   path. Neither may move a single byte of the pre-existing figures:
+   these hashes were captured from the seed tables before the overhaul
+   landed, and the derived constant must equal the seed's exactly. *)
+
+let test_seed_figures_frozen () =
+  check_f "tpm_quote_us derivation exact" 38_000.0 Vtpm_util.Cost.tpm_quote_us;
+  check_b "default profile is the 2010 model" true
+    (Vtpm_util.Cost.current_quote_profile () = Vtpm_util.Cost.Quote_model_2010);
+  let _, fig1 = Vtpm_sim.Experiments.fig1 () in
+  let _, fig8 = Vtpm_sim.Experiments.fig8 () in
+  Alcotest.(check string)
+    "fig1 rendered table unchanged"
+    "dbf90e2bbdb55ba6c1f20bad0d1dfa0ac096cdcf938298cf18da41b81a14e2a5"
+    (Vtpm_crypto.Sha256.hexdigest fig1);
+  Alcotest.(check string)
+    "fig8 rendered table unchanged"
+    "8770cc791e1108fa57b5d2593a7089b4b3f2306b257915461bbbf8c1bb1dd99b"
+    (Vtpm_crypto.Sha256.hexdigest fig8)
+
+let test_fig14_shape () =
+  (* Small-scale: the measured-crt series must dominate, and the profile
+     switch must be restored afterwards. *)
+  let series, rendered =
+    Vtpm_sim.Experiments.fig14 ~vm_counts:[ 4; 8 ] ~rules:64 ~total_ops:64 ()
+  in
+  check_b "default profile restored" true
+    (Vtpm_util.Cost.current_quote_profile () = Vtpm_util.Cost.Quote_model_2010);
+  let get name = List.assoc name series in
+  List.iter2
+    (fun (_, slow) (_, fast) -> check_b "measured-crt beats 2010 model" true (fast > slow))
+    (get "model-2010") (get "measured-crt");
+  List.iter2
+    (fun (_, slow) (_, fast) -> check_b "measured-crt beats schoolbook" true (fast > slow))
+    (get "measured-schoolbook") (get "measured-crt");
+  check_b "rendered non-empty" true (String.length rendered > 0)
+
 let suite =
   [
     Alcotest.test_case "metrics mean" `Quick test_metrics_mean;
@@ -202,4 +241,6 @@ let suite =
     Alcotest.test_case "experiment table1 shape" `Slow test_experiment_table1_shape;
     Alcotest.test_case "experiment fig2 shape" `Slow test_experiment_fig2_shape;
     Alcotest.test_case "experiment fig4 shape" `Slow test_experiment_fig4_shape;
+    Alcotest.test_case "seed figures frozen" `Slow test_seed_figures_frozen;
+    Alcotest.test_case "experiment fig14 shape" `Slow test_fig14_shape;
   ]
